@@ -1,0 +1,55 @@
+// Command asbr-asm assembles MIPS-dialect assembly and prints a
+// disassembly listing or a flat hex dump.
+//
+//	asbr-asm prog.s            # listing with resolved labels
+//	asbr-asm -hex prog.s       # one instruction word per line
+//	asbr-asm -syms prog.s      # also dump the symbol table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"asbr/internal/asm"
+)
+
+func main() {
+	hex := flag.Bool("hex", false, "dump raw instruction words")
+	syms := flag.Bool("syms", false, "dump the symbol table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asbr-asm [flags] program.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asbr-asm:", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asbr-asm:", err)
+		os.Exit(1)
+	}
+	if *hex {
+		for i, w := range p.Text {
+			fmt.Printf("%08x: %08x\n", p.TextBase+uint32(4*i), w)
+		}
+	} else {
+		fmt.Print(asm.Disassemble(p))
+	}
+	if *syms {
+		names := make([]string, 0, len(p.Symbols))
+		for n := range p.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return p.Symbols[names[i]] < p.Symbols[names[j]] })
+		fmt.Println("symbols:")
+		for _, n := range names {
+			fmt.Printf("  %08x %s\n", p.Symbols[n], n)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%d instructions, %d data bytes\n", len(p.Text), len(p.Data))
+}

@@ -1,0 +1,47 @@
+// Command asbr-cc compiles MiniC to the project's MIPS-dialect
+// assembly.
+//
+//	asbr-cc prog.mc            # assembly on stdout
+//	asbr-cc -sched prog.mc     # plus the §5.1 scheduling pass (as a listing)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asbr/internal/asm"
+	"asbr/internal/cc"
+	"asbr/internal/sched"
+)
+
+func main() {
+	schedule := flag.Bool("sched", false, "apply the ASBR scheduling pass and print the scheduled listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asbr-cc [flags] program.mc")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asbr-cc:", err)
+		os.Exit(1)
+	}
+	text, err := cc.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asbr-cc:", err)
+		os.Exit(1)
+	}
+	if !*schedule {
+		fmt.Print(text)
+		return
+	}
+	p, err := asm.Assemble(text)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asbr-cc: internal:", err)
+		os.Exit(1)
+	}
+	p2, st := sched.Schedule(p)
+	fmt.Fprintf(os.Stderr, "scheduler: %d/%d blocks rescheduled\n", st.BlocksScheduled, st.BlocksConsidered)
+	fmt.Print(asm.Disassemble(p2))
+}

@@ -1,0 +1,174 @@
+// Command asbr-sim runs a program on the cycle-accurate pipeline
+// simulator, optionally with ASBR branch folding.
+//
+//	asbr-sim prog.s                    # assemble and run
+//	asbr-sim -c prog.mc                # compile MiniC and run
+//	asbr-sim -predictor gshare prog.s  # choose the branch predictor
+//	asbr-sim -asbr -profile prog.s     # profile, select, fold, re-run
+//	asbr-sim -trace prog.s             # print the disassembly first
+//
+// The machine is the paper's platform: 5-stage in-order pipeline, 8KB
+// I-cache, 8KB D-cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asbr/internal/asm"
+	"asbr/internal/cc"
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/isa"
+	"asbr/internal/mem"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/sched"
+)
+
+func main() {
+	compile := flag.Bool("c", false, "input is MiniC, not assembly")
+	predictor := flag.String("predictor", "bimodal", "branch predictor: nottaken|bimodal|gshare|bi512|bi256")
+	asbr := flag.Bool("asbr", false, "enable ASBR folding (profiles first, then re-runs)")
+	k := flag.Int("k", core.DefaultBITEntries, "BIT entries for -asbr")
+	schedule := flag.Bool("sched", false, "run the §5.1 instruction scheduling pass")
+	trace := flag.Bool("trace", false, "print the disassembly before running")
+	pipeTrace := flag.Int("pipetrace", 0, "dump the first N cycles of pipeline occupancy")
+	maxCycles := flag.Uint64("max-cycles", 1<<32, "abort after this many cycles")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asbr-sim [flags] program.{s,mc}")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	check(err)
+
+	var prog *isa.Program
+	if *compile {
+		prog, err = cc.CompileToProgram(string(src))
+	} else {
+		prog, err = asm.Assemble(string(src))
+	}
+	check(err)
+	if *schedule {
+		var st sched.Stats
+		prog, st = sched.Schedule(prog)
+		fmt.Printf("scheduler: %d/%d blocks rescheduled\n", st.BlocksScheduled, st.BlocksConsidered)
+	}
+	if *trace {
+		fmt.Print(asm.Disassemble(prog))
+	}
+
+	cfg := cpu.Config{
+		ICache:    mem.DefaultICache(),
+		DCache:    mem.DefaultDCache(),
+		Branch:    unit(*predictor),
+		MaxCycles: *maxCycles,
+	}
+	if *pipeTrace > 0 {
+		cfg.Trace = &truncWriter{w: os.Stdout, lines: *pipeTrace}
+	}
+
+	if !*asbr {
+		report(runOnce(prog, cfg), nil)
+		return
+	}
+
+	// ASBR flow: profile -> select -> build BIT -> fold.
+	prof := profile.New(predict.NewBimodal(512))
+	pcfg := cfg
+	pcfg.Observer = prof
+	base := runOnce(prog, pcfg)
+	cands, err := profile.Select(prog, prof, profile.SelectOptions{
+		Aux: "bimodal-512", MinDistance: 3, K: *k,
+	})
+	check(err)
+	entries, err := profile.BuildBITFromCandidates(prog, cands)
+	check(err)
+	eng := core.NewEngine(core.Config{BITEntries: *k, TrackValidity: true})
+	check(eng.Load(entries))
+	fmt.Printf("ASBR: %d branches selected for the BIT\n", len(entries))
+	for i, e := range entries {
+		fmt.Printf("  %2d: %v\n", i, e)
+	}
+	fcfg := cfg
+	fcfg.Fold = eng
+	folded := runOnce(prog, fcfg)
+	report(folded, eng)
+	fmt.Printf("baseline cycles: %d, ASBR cycles: %d (%.1f%% improvement)\n",
+		base.Stats().Cycles, folded.Stats().Cycles,
+		100*(1-float64(folded.Stats().Cycles)/float64(base.Stats().Cycles)))
+}
+
+func unit(name string) *predict.Unit {
+	switch name {
+	case "nottaken":
+		return predict.BaselineNotTaken()
+	case "gshare":
+		return predict.BaselineGShare()
+	case "bi512":
+		return predict.AuxBimodal512()
+	case "bi256":
+		return predict.AuxBimodal256()
+	default:
+		return predict.BaselineBimodal()
+	}
+}
+
+func runOnce(prog *isa.Program, cfg cpu.Config) *cpu.CPU {
+	c := cpu.New(cfg, prog)
+	_, err := c.Run()
+	check(err)
+	return c
+}
+
+func report(c *cpu.CPU, eng *core.Engine) {
+	st := c.Stats()
+	fmt.Printf("cycles:        %d\n", st.Cycles)
+	fmt.Printf("instructions:  %d (CPI %.2f)\n", st.Instructions, st.CPI())
+	fmt.Printf("cond branches: %d (taken %d, accuracy %.1f%%)\n",
+		st.CondBranches, st.TakenBranches, 100*st.PredAccuracy())
+	fmt.Printf("flushes:       %d mispredicts, %d BTB-miss taken\n", st.Mispredicts, st.BTBMissTaken)
+	fmt.Printf("stalls:        %d load-use, %d EX, %d MEM, %d fetch\n",
+		st.LoadUseStalls, st.ExStalls, st.MemStalls, st.FetchStalls)
+	fmt.Printf("icache:        %.2f%% miss, dcache: %.2f%% miss\n",
+		100*st.ICache.MissRate(), 100*st.DCache.MissRate())
+	if eng != nil {
+		es := eng.Stats()
+		fmt.Printf("ASBR:          %d folds (%d taken), %d fallbacks\n", es.Folds, es.FoldsTaken, es.Fallbacks)
+	}
+	if len(c.Output) > 0 {
+		fmt.Printf("output:        %v\n", c.Output)
+	}
+	if len(c.OutputStr) > 0 {
+		fmt.Printf("stdout:        %s\n", c.OutputStr)
+	}
+	fmt.Printf("exit code:     %d\n", c.ExitCode())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asbr-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// truncWriter forwards the first n lines and drops the rest.
+type truncWriter struct {
+	w     *os.File
+	lines int
+	seen  int
+}
+
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.seen >= t.lines {
+		return len(p), nil
+	}
+	t.seen++
+	if t.seen == t.lines {
+		defer fmt.Fprintln(t.w, "... (pipeline trace truncated)")
+	}
+	return t.w.Write(p)
+}

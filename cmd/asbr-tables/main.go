@@ -1,0 +1,221 @@
+// Command asbr-tables regenerates every table and figure of the
+// paper's evaluation section (§8) plus the ablation studies:
+//
+//	asbr-tables                  # everything
+//	asbr-tables -table fig6      # baseline predictability (Figure 6)
+//	asbr-tables -table fig7      # selected branches, G.721 encode (Figure 7)
+//	asbr-tables -table fig9      # selected branches, ADPCM encode (Figure 9)
+//	asbr-tables -table fig10     # selected branches, ADPCM decode (Figure 10)
+//	asbr-tables -table fig11     # ASBR results (Figure 11)
+//	asbr-tables -table power     # energy/area model (abstract claims)
+//	asbr-tables -table motivation # §3 Figure 1 correlation experiment
+//	asbr-tables -table ablations # threshold / BIT size / scheduling / validity
+//	asbr-tables -n 8192          # samples per benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"asbr/internal/cpu"
+	"asbr/internal/experiment"
+	"asbr/internal/workload"
+)
+
+func main() {
+	table := flag.String("table", "all", "table to regenerate: fig6|fig7|fig9|fig10|fig11|power|motivation|ablations|all")
+	n := flag.Int("n", 4096, "audio samples per benchmark")
+	seed := flag.Int64("seed", 1, "synthetic input seed")
+	update := flag.String("update", "mem", "BDT update point: ex|mem|wb (paper thresholds 2|3|4)")
+	flag.Parse()
+
+	opt := experiment.Options{Samples: *n, Seed: *seed}
+	switch strings.ToLower(*update) {
+	case "ex":
+		opt.Update = cpu.StageEX
+	case "wb":
+		opt.Update = cpu.StageWB
+	default:
+		opt.Update = cpu.StageMEM
+	}
+
+	run := func(name string, f func() error) {
+		if *table != "all" && *table != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "asbr-tables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("fig6", func() error { return fig6(opt) })
+	run("fig7", func() error { return branchTable("Figure 7", workload.G721Encode, opt) })
+	run("fig9", func() error { return branchTable("Figure 9", workload.ADPCMEncode, opt) })
+	run("fig10", func() error { return branchTable("Figure 10", workload.ADPCMDecode, opt) })
+	run("fig11", func() error { return fig11(opt) })
+	run("power", func() error { return powerArea(opt) })
+	run("motivation", func() error { return motivation(opt) })
+	run("ablations", func() error { return ablations(opt) })
+}
+
+func motivation(opt experiment.Options) error {
+	fmt.Printf("Motivation (paper §3, Figure 1): data correlation vs. input dependence (n=%d)\n", opt.Samples)
+	res, err := experiment.Motivation(opt.Samples, opt.Seed)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "branch\texec #\tbimodal\tgshare\tASBR fold rate")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\n", r.Name, r.Exec, r.Bimodal, r.GShare, r.FoldRate)
+	}
+	w.Flush()
+	verdict := "bit-exact"
+	if !res.AccMatch {
+		verdict = "MISMATCH"
+	}
+	fmt.Printf("cycles: %d baseline -> %d with B4+B5 folded (%s)\n\n",
+		res.BaselineCycles, res.ASBRCycles, verdict)
+	return nil
+}
+
+func powerArea(opt experiment.Options) error {
+	fmt.Printf("Power/area model: the abstract's energy and area claims (n=%d)\n", opt.Samples)
+	rows, err := experiment.PowerArea(opt)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "benchmark\tconfig\tinsts\twrong-path\tenergy\tpredictor+BTB energy\tarea (bits)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.0f\t%.0f\t%d\n",
+			r.Benchmark, r.Config, r.Instructions, r.WrongPath,
+			r.Energy.Total(), r.Energy.Predictor+r.Energy.BTB, r.AreaBits)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func newTab() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func fig6(opt experiment.Options) error {
+	fmt.Printf("Figure 6: branch predictability of the benchmarks (n=%d)\n", opt.Samples)
+	rows, err := experiment.Fig6(opt)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "benchmark\tpredictor\tCycles\tCPI\tAcc")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.2f\t%.0f%%\n", r.Benchmark, r.Predictor, r.Cycles, r.CPI, 100*r.Accuracy)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func branchTable(title, bench string, opt experiment.Options) error {
+	fmt.Printf("%s: execution statistics for the branches selected for %s (n=%d)\n", title, bench, opt.Samples)
+	tab, err := experiment.SelectedBranches(bench, opt)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "branch\tpc\texec #\tnot taken\tbimodal\tgshare\tdist")
+	for _, r := range tab.Rows {
+		dist := fmt.Sprintf("%d", r.Distance)
+		if r.Distance >= 1<<20 {
+			dist = "x-blk"
+		}
+		fmt.Fprintf(w, "br%d\t0x%08x\t%d\t%.2f\t%.2f\t%.2f\t%s\n",
+			r.Index, r.PC, r.Exec,
+			r.Accuracy["not taken"], r.Accuracy["bimodal-2048"], r.Accuracy["gshare-11/2048"], dist)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func fig11(opt experiment.Options) error {
+	fmt.Printf("Figure 11: application-specific branch resolution results (n=%d, update=%v)\n",
+		opt.Samples, opt.Update)
+	rows, err := experiment.Fig11(opt)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "benchmark\taux predictor\tCycles\tImpr.\tvs\tfolds\tfallbacks")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.0f%%\t%s\t%d\t%d\n",
+			r.Benchmark, r.Aux, r.Cycles, 100*r.Improvement, r.BaselineName, r.Folds, r.Fallbacks)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}
+
+func ablations(opt experiment.Options) error {
+	fmt.Printf("Ablation: BDT update point (paper §5.2 thresholds), G.721 encode\n")
+	trs, err := experiment.ThresholdAblation(workload.G721Encode, opt)
+	if err != nil {
+		return err
+	}
+	w := newTab()
+	fmt.Fprintln(w, "update\tthreshold\tCycles\tfolds\tfallbacks")
+	for _, r := range trs {
+		fmt.Fprintf(w, "%v\t%d\t%d\t%d\t%d\n", r.Update, r.Threshold, r.Cycles, r.Folds, r.Fallbacks)
+	}
+	w.Flush()
+	fmt.Println()
+
+	fmt.Printf("Ablation: BIT capacity sweep, G.721 encode\n")
+	brs, err := experiment.BITSizeAblation(workload.G721Encode, opt, []int{1, 2, 4, 8, 16, 32})
+	if err != nil {
+		return err
+	}
+	w = newTab()
+	fmt.Fprintln(w, "entries\tselected\tCycles\tfolds")
+	for _, r := range brs {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n", r.Entries, r.K, r.Cycles, r.Folds)
+	}
+	w.Flush()
+	fmt.Println()
+
+	fmt.Printf("Ablation: §5.1 scheduling, ADPCM encode\n")
+	srs, err := experiment.SchedulingAblation(workload.ADPCMEncode, opt)
+	if err != nil {
+		return err
+	}
+	w = newTab()
+	fmt.Fprintln(w, "scheduling\tCycles\tbaseline\tImpr.\tfolds\tcandidates")
+	for _, r := range srs {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f%%\t%d\t%d\n",
+			r.Label, r.Cycles, r.Baseline, 100*r.Improvement, r.Folds, r.Candidates)
+	}
+	w.Flush()
+	fmt.Println()
+
+	fmt.Printf("Ablation: BDT validity counters, ADPCM encode\n")
+	vrs, err := experiment.ValidityAblation(workload.ADPCMEncode, opt)
+	if err != nil {
+		return err
+	}
+	w = newTab()
+	fmt.Fprintln(w, "mode\tCycles\tfolds\tfallbacks\toutput")
+	for _, r := range vrs {
+		verdict := "bit-exact"
+		if !r.OutputCorrect {
+			verdict = "CORRUPTED"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\n", r.Label, r.Cycles, r.Folds, r.Fallbacks, verdict)
+	}
+	w.Flush()
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,95 @@
+// ADPCM: the paper's headline workload, end to end — compile the
+// MediaBench-style IMA ADPCM encoder (MiniC), profile its branches,
+// select the 4 hardest ones (paper Figure 9), fold them with ASBR, and
+// verify the compressed stream is bit-exact against the golden Go
+// model while cycles drop.
+//
+//	go run ./examples/adpcm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/mem"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/refmodel"
+	"asbr/internal/workload"
+)
+
+func main() {
+	const n = 4096
+	prog, err := workload.Build(workload.ADPCMEncode, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcm := refmodel.SynthPCM(n, 1)
+
+	// 1. Profile on the baseline machine.
+	prof := profile.New(predict.NewBimodal(512))
+	cfg := cpu.Config{
+		ICache:                mem.DefaultICache(),
+		DCache:                mem.DefaultDCache(),
+		Branch:                predict.BaselineBimodal(),
+		ExtraMispredictCycles: 4,
+		Observer:              prof,
+	}
+	base, err := workload.Run(prog, cfg, pcm, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Select the paper's 4 ADPCM-encode branches.
+	cands, err := profile.Select(prog, prof, profile.SelectOptions{
+		Aux: "bimodal-512", MinDistance: 3, K: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selected branches (cf. paper Figure 9):")
+	for i, c := range cands {
+		fmt.Printf("  br%d pc=0x%08x exec=%d auxAcc=%.2f\n", i, c.PC, c.Count, c.AuxAccuracy)
+	}
+
+	// 3. Build the BIT and re-run with ASBR + the quarter-size
+	//    auxiliary predictor.
+	entries, err := profile.BuildBITFromCandidates(prog, cands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := core.NewEngine(core.DefaultConfig())
+	if err := eng.Load(entries); err != nil {
+		log.Fatal(err)
+	}
+	fcfg := cfg
+	fcfg.Branch = predict.AuxBimodal512()
+	fcfg.Observer = nil
+	fcfg.Fold = eng
+	folded, err := workload.Run(prog, fcfg, pcm, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Verify bit-exactness against the golden model.
+	var st refmodel.ADPCMState
+	want := refmodel.ADPCMEncode(pcm, &st)
+	if len(folded.Output) != len(want) {
+		log.Fatalf("output length %d, want %d", len(folded.Output), len(want))
+	}
+	for i := range want {
+		if folded.Output[i] != want[i] {
+			log.Fatalf("output[%d] = %d, want %d", i, folded.Output[i], want[i])
+		}
+	}
+
+	es := eng.Stats()
+	fmt.Printf("\ncompressed %d samples -> %d packed words (bit-exact vs golden model)\n", n, len(want))
+	fmt.Printf("baseline (bimodal-2048): %d cycles, CPI %.2f\n", base.Stats.Cycles, base.Stats.CPI())
+	fmt.Printf("ASBR + bimodal-512:      %d cycles, CPI %.2f\n", folded.Stats.Cycles, folded.Stats.CPI())
+	fmt.Printf("folds: %d (%d taken), fallbacks: %d\n", es.Folds, es.FoldsTaken, es.Fallbacks)
+	fmt.Printf("improvement: %.1f%% with a quarter of the predictor area\n",
+		100*(1-float64(folded.Stats.Cycles)/float64(base.Stats.Cycles)))
+}

@@ -1,0 +1,3 @@
+module asbr
+
+go 1.22

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"asbr/internal/asm"
+	"asbr/internal/cpu"
+	"asbr/internal/isa"
+)
+
+func TestBITAddLookup(t *testing.T) {
+	b := NewBIT(2)
+	e1 := BITEntry{PC: 0x400010, BTA: 0x400020, Reg: 8, Cond: isa.CondNE}
+	if err := b.Add(e1); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := b.Lookup(0x400010); !ok || got != e1 {
+		t.Fatalf("lookup = %+v, %v", got, ok)
+	}
+	if _, ok := b.Lookup(0x400014); ok {
+		t.Fatal("phantom hit")
+	}
+	if err := b.Add(e1); err == nil {
+		t.Fatal("duplicate PC accepted")
+	}
+	if err := b.Add(BITEntry{PC: 0x400030}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(BITEntry{PC: 0x400040}); err == nil {
+		t.Fatal("capacity exceeded silently")
+	}
+	if b.Len() != 2 || b.Capacity() != 2 {
+		t.Fatalf("len=%d cap=%d", b.Len(), b.Capacity())
+	}
+	b.Clear()
+	if b.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+	if _, ok := b.Lookup(0x400010); ok {
+		t.Fatal("Clear left index")
+	}
+}
+
+// TestBDTFigure8 reproduces the paper's Figure 8 scenario: a small BDT
+// with "!=0" and "<=0" columns tracked per register.
+func TestBDTFigure8(t *testing.T) {
+	var d BDT
+	// R0 (paper figure's first row): value 5 -> !=0 true, <=0 false.
+	d.OnIssue(1)
+	d.OnValue(1, 5)
+	if !d.Holds(1, isa.CondNE) || d.Holds(1, isa.CondLE) {
+		t.Fatal("r1=5: NE/LE bits wrong")
+	}
+	// Value 0: !=0 false, <=0 true.
+	d.OnIssue(2)
+	d.OnValue(2, 0)
+	if d.Holds(2, isa.CondNE) || !d.Holds(2, isa.CondLE) {
+		t.Fatal("r2=0: NE/LE bits wrong")
+	}
+	// Negative: != and <= and < all true.
+	d.OnIssue(3)
+	d.OnValue(3, -7)
+	if !d.Holds(3, isa.CondNE) || !d.Holds(3, isa.CondLE) || !d.Holds(3, isa.CondLT) || d.Holds(3, isa.CondGE) {
+		t.Fatal("r3=-7: bits wrong")
+	}
+}
+
+func TestBDTValidityCounter(t *testing.T) {
+	var d BDT
+	r := isa.Reg(9)
+	if d.Valid(r) {
+		t.Fatal("unknown register must be invalid")
+	}
+	d.OnIssue(r)
+	if d.Valid(r) {
+		t.Fatal("in-flight producer must invalidate")
+	}
+	d.OnValue(r, 3)
+	if !d.Valid(r) {
+		t.Fatal("delivered value must validate")
+	}
+	// Two producers in flight: one delivery is not enough.
+	d.OnIssue(r)
+	d.OnIssue(r)
+	d.OnValue(r, 1)
+	if d.Valid(r) {
+		t.Fatal("second in-flight producer must keep it invalid")
+	}
+	d.OnValue(r, 2)
+	if !d.Valid(r) || !d.Holds(r, isa.CondGT) {
+		t.Fatal("after both deliveries the latest value governs")
+	}
+	if d.Counter(r) != 0 {
+		t.Fatalf("counter = %d", d.Counter(r))
+	}
+}
+
+func TestBDTZeroRegisterIgnored(t *testing.T) {
+	var d BDT
+	d.OnIssue(isa.RegZero)
+	d.OnValue(isa.RegZero, 7)
+	if d.Valid(isa.RegZero) {
+		t.Fatal("zero register must never become a tracked predicate source")
+	}
+	if d.Counter(isa.RegZero) != 0 {
+		t.Fatal("zero register counter moved")
+	}
+}
+
+// Property: for any interleaving of issues and values, the counter
+// equals issues-minus-deliveries (floored at 0) and Valid iff zero and
+// at least one delivery happened.
+func TestBDTCounterInvariant(t *testing.T) {
+	r := isa.Reg(5)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		var d BDT
+		inflight, delivered := 0, 0
+		for i := 0; i < 200; i++ {
+			if rng.Intn(2) == 0 {
+				d.OnIssue(r)
+				inflight++
+			} else {
+				d.OnValue(r, int32(rng.Intn(7)-3))
+				if inflight > 0 {
+					inflight--
+				}
+				delivered++
+			}
+			if int(d.Counter(r)) != inflight {
+				t.Fatalf("counter=%d want %d", d.Counter(r), inflight)
+			}
+			if d.Valid(r) != (inflight == 0 && delivered > 0) {
+				t.Fatalf("valid=%v inflight=%d delivered=%d", d.Valid(r), inflight, delivered)
+			}
+		}
+	}
+}
+
+func mustProgram(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const takenLoopSrc = `
+main:	li	t0, 50
+	li	t1, 0
+loop:	addu	t1, t1, t0
+	addiu	t0, t0, -1
+	nop
+	nop
+	nop
+	nop
+	bnez	t0, loop
+	jr	ra
+`
+
+// branchPC finds the nth conditional branch in the program.
+func branchPC(t *testing.T, p *isa.Program, n int) uint32 {
+	t.Helper()
+	for i, w := range p.Text {
+		in, err := isa.Decode(w)
+		if err == nil && in.IsCondBranch() {
+			if n == 0 {
+				return p.TextBase + uint32(i*4)
+			}
+			n--
+		}
+	}
+	t.Fatal("branch not found")
+	return 0
+}
+
+func TestBuildEntry(t *testing.T) {
+	p := mustProgram(t, takenLoopSrc)
+	pc := branchPC(t, p, 0)
+	e, err := BuildEntry(p, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PC != pc || e.Reg != isa.RegT0 || e.Cond != isa.CondNE {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.BTA != p.Symbols["loop"] {
+		t.Fatalf("BTA = 0x%x, want loop 0x%x", e.BTA, p.Symbols["loop"])
+	}
+	wantBTI, _ := p.WordAt(e.BTA)
+	wantBFI, _ := p.WordAt(pc + 4)
+	if e.BTI != wantBTI || e.BFI != wantBFI {
+		t.Fatal("BTI/BFI words wrong")
+	}
+}
+
+func TestBuildEntryRejections(t *testing.T) {
+	p := mustProgram(t, `
+main:	addu	t0, t1, t2
+	beq	t0, t1, main	# two-register compare
+	beqz	zero, main	# zero-register test
+	jr	ra
+`)
+	base := p.TextBase
+	if _, err := BuildEntry(p, base); err == nil || !strings.Contains(err.Error(), "not a conditional branch") {
+		t.Errorf("non-branch: %v", err)
+	}
+	if _, err := BuildEntry(p, base+4); err == nil || !strings.Contains(err.Error(), "two registers") {
+		t.Errorf("two-register: %v", err)
+	}
+	if _, err := BuildEntry(p, base+8); err == nil || !strings.Contains(err.Error(), "zero register") {
+		t.Errorf("zero-register: %v", err)
+	}
+	// Branch as the last instruction has no in-text fall-through.
+	p2 := mustProgram(t, "main:\tbnez t0, main\n")
+	if _, err := BuildEntry(p2, p2.TextBase); err == nil {
+		t.Error("missing fall-through accepted")
+	}
+}
+
+func TestBuildBITAndFoldable(t *testing.T) {
+	p := mustProgram(t, takenLoopSrc)
+	pcs := FoldableBranches(p)
+	if len(pcs) != 1 {
+		t.Fatalf("foldable = %v", pcs)
+	}
+	entries, err := BuildBIT(p, pcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if _, err := BuildBIT(p, []uint32{pcs[0], pcs[0]}); err == nil {
+		t.Fatal("duplicate PCs accepted")
+	}
+}
+
+// runWith runs src with an optional engine, returning machine + stats.
+func runWith(t *testing.T, src string, eng *Engine, update cpu.Stage) (*cpu.CPU, cpu.Stats) {
+	t.Helper()
+	p := mustProgram(t, src)
+	cfg := cpu.Config{BDTUpdate: update}
+	if eng != nil {
+		cfg.Fold = eng
+	}
+	c := cpu.New(cfg, p)
+	st, err := c.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c, st
+}
+
+func TestEngineFoldsLoopBranch(t *testing.T) {
+	p := mustProgram(t, takenLoopSrc)
+	entries, err := BuildBIT(p, FoldableBranches(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(DefaultConfig())
+	if err := eng.Load(entries); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Config{Fold: eng, BDTUpdate: cpu.StageMEM}, p)
+	st, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(isa.RegT0+1) != 1275 { // sum 1..50
+		t.Fatalf("sum = %d, want 1275", c.Reg(isa.RegT0+1))
+	}
+	es := eng.Stats()
+	if es.Folds == 0 {
+		t.Fatalf("no folds happened: %+v", es)
+	}
+	// The distance between `addiu t0,t0,-1` and the branch is 3
+	// (3 nops); with the MEM update point (threshold 3) almost every
+	// iteration folds. The first encounter may fall back (t0 unknown).
+	if st.Folded < 45 {
+		t.Fatalf("folded = %d of 50 dynamic branches; stats %+v", st.Folded, es)
+	}
+	if es.Folds != st.Folded {
+		t.Fatalf("engine folds %d vs cpu folded %d", es.Folds, st.Folded)
+	}
+	if got := eng.FoldsByPC()[entries[0].PC]; got != es.Folds {
+		t.Fatalf("per-PC folds = %d, want %d", got, es.Folds)
+	}
+}
+
+// TestFoldEquivalence is the central architectural-correctness
+// property: enabling ASBR must never change program results, for every
+// BDT update point.
+func TestFoldEquivalence(t *testing.T) {
+	srcs := map[string]string{
+		"taken-loop": takenLoopSrc,
+		"alternating": `
+main:	li	t0, 20
+	li	t1, 0
+	li	t2, 0
+loop:	andi	t3, t0, 1
+	nop
+	nop
+	nop
+	nop
+	beqz	t3, even
+	addiu	t1, t1, 1
+	j	cont
+even:	addiu	t2, t2, 1
+cont:	addiu	t0, t0, -1
+	nop
+	nop
+	nop
+	nop
+	bnez	t0, loop
+	jr	ra
+`,
+		"data-dependent": `
+main:	la	s0, data
+	li	s1, 8
+	li	s2, 0
+loop:	lw	t0, 0(s0)
+	addiu	s0, s0, 4
+	nop
+	nop
+	nop
+	nop
+	blez	t0, skip
+	addu	s2, s2, t0
+skip:	addiu	s1, s1, -1
+	nop
+	nop
+	nop
+	nop
+	bnez	s1, loop
+	jr	ra
+	.data
+data:	.word	5, -3, 0, 7, -1, 2, 0, 9
+`,
+	}
+	for name, src := range srcs {
+		for _, up := range []cpu.Stage{cpu.StageEX, cpu.StageMEM, cpu.StageWB} {
+			base, _ := runWith(t, src, nil, up)
+			p := mustProgram(t, src)
+			entries, err := BuildBIT(p, FoldableBranches(p))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			eng := NewEngine(DefaultConfig())
+			if err := eng.Load(entries); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			folded, _ := runWith(t, src, eng, up)
+			for r := isa.Reg(1); r < isa.NumRegs; r++ {
+				if r == isa.RegSP || r == isa.RegRA {
+					continue
+				}
+				if base.Reg(r) != folded.Reg(r) {
+					t.Errorf("%s update=%v: %s = %d base vs %d folded",
+						name, up, r, base.Reg(r), folded.Reg(r))
+				}
+			}
+			if eng.Stats().Folds == 0 {
+				t.Errorf("%s update=%v: nothing folded; test is vacuous", name, up)
+			}
+		}
+	}
+}
+
+// TestThresholdOrdering verifies the paper's §5.2 claim: lowering the
+// update threshold (WB -> MEM -> EX) monotonically increases fold
+// coverage for a fixed def-to-branch distance.
+func TestThresholdOrdering(t *testing.T) {
+	// Distance 2: two independent instructions between the def of t0
+	// and the branch.
+	src := `
+main:	li	t0, 60
+loop:	addiu	t0, t0, -1
+	nop
+	nop
+	bnez	t0, loop
+	jr	ra
+`
+	folds := map[cpu.Stage]uint64{}
+	for _, up := range []cpu.Stage{cpu.StageEX, cpu.StageMEM, cpu.StageWB} {
+		p := mustProgram(t, src)
+		entries, err := BuildBIT(p, FoldableBranches(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine(DefaultConfig())
+		if err := eng.Load(entries); err != nil {
+			t.Fatal(err)
+		}
+		_, st := runWith(t, src, eng, up)
+		folds[up] = st.Folded
+	}
+	if !(folds[cpu.StageEX] >= folds[cpu.StageMEM] && folds[cpu.StageMEM] >= folds[cpu.StageWB]) {
+		t.Fatalf("fold coverage not monotone: EX=%d MEM=%d WB=%d",
+			folds[cpu.StageEX], folds[cpu.StageMEM], folds[cpu.StageWB])
+	}
+	if folds[cpu.StageEX] == 0 {
+		t.Fatal("EX update point folded nothing at distance 2")
+	}
+	// At distance 2 the WB update point (threshold 4) must fall back
+	// on in-flight producers, folding strictly less than EX.
+	if folds[cpu.StageWB] >= folds[cpu.StageEX] {
+		t.Fatalf("threshold effect invisible: EX=%d WB=%d", folds[cpu.StageEX], folds[cpu.StageWB])
+	}
+}
+
+func TestValidityPreventsStaleFold(t *testing.T) {
+	// Def immediately before the branch: never enough slack, so a
+	// tracking engine must always fall back, and the program result
+	// must stay correct.
+	src := `
+main:	li	t0, 30
+	li	t1, 0
+loop:	addu	t1, t1, t0
+	addiu	t0, t0, -1
+	bnez	t0, loop
+	jr	ra
+`
+	p := mustProgram(t, src)
+	entries, err := BuildBIT(p, FoldableBranches(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(DefaultConfig())
+	if err := eng.Load(entries); err != nil {
+		t.Fatal(err)
+	}
+	c, st := runWith(t, src, eng, cpu.StageWB)
+	if c.Reg(isa.RegT0+1) != 465 {
+		t.Fatalf("sum = %d, want 465", c.Reg(isa.RegT0+1))
+	}
+	if st.Folded != 0 {
+		t.Fatalf("folded %d branches whose predicate was in flight", st.Folded)
+	}
+	if eng.Stats().Fallbacks == 0 {
+		t.Fatal("no fallbacks recorded")
+	}
+}
+
+func TestUnsafeModeFoldsMore(t *testing.T) {
+	src := `
+main:	li	t0, 30
+	li	t1, 0
+loop:	addu	t1, t1, t0
+	addiu	t0, t0, -1
+	bnez	t0, loop
+	jr	ra
+`
+	p := mustProgram(t, src)
+	entries, _ := BuildBIT(p, FoldableBranches(p))
+	unsafe := NewEngine(Config{TrackValidity: false})
+	if err := unsafe.Load(entries); err != nil {
+		t.Fatal(err)
+	}
+	_, st := runWith(t, src, unsafe, cpu.StageWB)
+	if st.Folded == 0 {
+		t.Fatal("unsafe mode should fold despite in-flight producers")
+	}
+	// With a stale predicate the loop trip count may differ — that is
+	// exactly why the ablation is labelled unsafe; only coverage is
+	// asserted here.
+}
+
+func TestBankSwitching(t *testing.T) {
+	src := `
+main:	li	t0, 10
+l1:	addiu	t0, t0, -1
+	nop
+	nop
+	nop
+	bnez	t0, l1
+	bitsw	1
+	li	t1, 10
+l2:	addiu	t1, t1, -1
+	nop
+	nop
+	nop
+	bnez	t1, l2
+	jr	ra
+`
+	p := mustProgram(t, src)
+	pcs := FoldableBranches(p)
+	if len(pcs) != 2 {
+		t.Fatalf("foldable = %v", pcs)
+	}
+	e1, err := BuildBIT(p, pcs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := BuildBIT(p, pcs[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(Config{BITEntries: 1, Banks: 2, TrackValidity: true})
+	if err := eng.LoadBank(0, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.LoadBank(1, e2); err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.Config{Fold: eng}, p)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	es := eng.Stats()
+	if es.BankSwitches != 1 {
+		t.Fatalf("bank switches = %d", es.BankSwitches)
+	}
+	if eng.ActiveBank() != 1 {
+		t.Fatalf("active bank = %d", eng.ActiveBank())
+	}
+	// Both loops' branches folded even though each bank holds only one.
+	byPC := eng.FoldsByPC()
+	if byPC[pcs[0]] == 0 || byPC[pcs[1]] == 0 {
+		t.Fatalf("per-branch folds = %v", byPC)
+	}
+}
+
+func TestLoadBankErrors(t *testing.T) {
+	eng := NewEngine(Config{BITEntries: 1, Banks: 1})
+	if err := eng.LoadBank(5, nil); err == nil {
+		t.Fatal("bad bank index accepted")
+	}
+	two := []BITEntry{{PC: 4}, {PC: 8}}
+	if err := eng.Load(two); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	eng := NewEngine(DefaultConfig())
+	eng.OnIssue(7)
+	eng.OnValue(7, 1)
+	eng.OnBankSwitch(0)
+	eng.Reset()
+	if eng.Stats() != (Stats{}) {
+		t.Fatal("Reset left stats")
+	}
+	if eng.BDTState().Valid(7) {
+		t.Fatal("Reset left BDT state")
+	}
+}
+
+func TestFoldRateAndStats(t *testing.T) {
+	s := Stats{Hits: 10, Folds: 7}
+	if s.FoldRate() != 0.7 {
+		t.Fatalf("fold rate = %v", s.FoldRate())
+	}
+	if (Stats{}).FoldRate() != 0 {
+		t.Fatal("empty fold rate")
+	}
+}

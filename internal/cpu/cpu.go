@@ -1,0 +1,428 @@
+// Package cpu implements a cycle-accurate, in-order, single-issue,
+// five-stage pipeline simulator (IF ID EX MEM WB) for the project's
+// MIPS-like ISA — the evaluation platform of the DAC'01 ASBR paper
+// ("a pipelined architecture with a 5 stage pipeline, in-order single
+// issue ... 8KB instruction cache, and 8KB data cache").
+//
+// Pipeline model:
+//
+//   - Full ALU forwarding; a one-cycle load-use interlock.
+//   - Conditional branches are predicted at fetch by a pluggable
+//     branch unit (direction predictor + BTB, package predict) and
+//     resolved at the end of EX; a misprediction squashes the two
+//     younger fetch slots (2-cycle penalty). A taken prediction can
+//     redirect fetch only on a BTB hit.
+//   - Direct jumps (j/jal) redirect at decode (1-cycle penalty);
+//     indirect jumps (jr/jalr) redirect at EX (2-cycle penalty).
+//   - mult/div occupy EX for a configurable number of cycles; HI/LO
+//     are read by mfhi/mflo in EX.
+//   - I-cache and D-cache misses stall fetch and MEM respectively.
+//   - An optional ASBR fold hook (package core) is consulted at fetch:
+//     a folded branch never enters the pipeline; its replacement
+//     instruction (branch target or fall-through instruction) is
+//     injected into the fetch slot instead, exactly as in the paper's
+//     Figure 4.
+//
+// The simulator is functional+timing: instruction semantics execute in
+// EX/MEM and commit at WB, while the latches, stalls and squashes
+// produce the cycle counts.
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"asbr/internal/isa"
+	"asbr/internal/mem"
+	"asbr/internal/predict"
+)
+
+// Stage identifies a pipeline stage, used to configure the BDT update
+// point (the paper's threshold optimization, §5.2).
+type Stage int
+
+// Pipeline stages.
+const (
+	StageIF Stage = iota
+	StageID
+	StageEX  // update point "end of EX": paper threshold 2
+	StageMEM // update point "forwarding path after EX": paper threshold 3 (default)
+	StageWB  // update point "register commit": paper threshold 4
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageIF:
+		return "IF"
+	case StageID:
+		return "ID"
+	case StageEX:
+		return "EX"
+	case StageMEM:
+		return "MEM"
+	case StageWB:
+		return "WB"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// Fold describes a successful ASBR branch fold returned by a FoldHook:
+// the fetched branch is replaced in the fetch slot by the instruction
+// word Word whose architectural address is PC, and fetch continues at
+// Next (paper Figure 4: BTA+4 when taken, branch PC+8 when not).
+type Fold struct {
+	Word  uint32 // replacement instruction (BTI or BFI)
+	PC    uint32 // architectural address of the replacement instruction
+	Next  uint32 // next fetch address
+	Taken bool   // folded direction (for statistics/observers)
+}
+
+// FoldHook is the microarchitectural customization interface the ASBR
+// engine (internal/core) plugs into the fetch stage.
+//
+// Call-ordering invariant maintained by the CPU: OnIssue(rd) fires
+// exactly once when a register-writing instruction enters decode, and
+// the matching OnValue(rd, v) fires exactly once when its value is
+// delivered at the configured update point. Squashed wrong-path
+// instructions are killed before decode, so an OnIssue is never
+// orphaned and validity counters cannot leak.
+type FoldHook interface {
+	// TryFold is consulted for every delivered fetch. It returns a
+	// fold when pc hits the Branch Identification Table and the
+	// branch's precomputed direction is valid.
+	TryFold(pc uint32) (Fold, bool)
+	// OnIssue notes that an instruction producing rd entered decode.
+	OnIssue(rd isa.Reg)
+	// OnValue delivers the produced value of rd at the update point.
+	OnValue(rd isa.Reg, v int32)
+	// OnBankSwitch handles the bitsw control-register write (BIT bank
+	// selection at loop transitions, paper §7).
+	OnBankSwitch(bank int)
+}
+
+// BranchObserver receives every dynamic conditional-branch outcome,
+// including folded ones. It is the profiling tap (internal/profile).
+type BranchObserver interface {
+	OnBranch(pc uint32, taken bool, folded bool)
+}
+
+// Config assembles a simulated machine.
+type Config struct {
+	// ICache and DCache configure the first-level caches. A zero
+	// SizeBytes disables the cache (single-cycle ideal memory).
+	ICache mem.CacheConfig
+	DCache mem.CacheConfig
+	// Branch is the fetch-stage branch unit. Nil means always
+	// not-taken with no BTB (the paper's predictor-less baseline).
+	Branch *predict.Unit
+	// RAS, when non-nil, predicts `jr ra` targets at fetch (calls push
+	// their return address, returns pop it). An extension beyond the
+	// paper's platform; disabled by default.
+	RAS *predict.RAS
+	// Fold is the optional ASBR engine hook.
+	Fold FoldHook
+	// BDTUpdate selects where register values are delivered to the
+	// fold hook: StageEX, StageMEM (default) or StageWB.
+	BDTUpdate Stage
+	// MultCycles and DivCycles are EX occupancies (defaults 4 and 16).
+	MultCycles int
+	DivCycles  int
+	// ExtraMispredictCycles adds front-end redirect bubbles after a
+	// conditional-branch misprediction, on top of the two squashed
+	// slots (models the deeper fetch/dispatch front end of the
+	// paper's SimpleScalar platform, whose Figure 6 numbers imply an
+	// effective penalty well above the bare 2 cycles of a textbook
+	// 5-stage). Default 2 (total penalty 4).
+	ExtraMispredictCycles int
+	// NoExtraMispredict disables the default ExtraMispredictCycles.
+	NoExtraMispredict bool
+	// MaxCycles aborts runaway simulations (default 2^40).
+	MaxCycles uint64
+	// Observer, when non-nil, sees every conditional branch outcome.
+	Observer BranchObserver
+	// Trace, when non-nil, receives a per-cycle pipeline-occupancy
+	// row (a textbook pipeline diagram; ASBR-injected instructions
+	// are starred). Expensive; for debugging and teaching.
+	Trace io.Writer
+}
+
+func (c *Config) fillDefaults() {
+	if c.MultCycles <= 0 {
+		c.MultCycles = 4
+	}
+	if c.DivCycles <= 0 {
+		c.DivCycles = 16
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 1 << 40
+	}
+	if c.ExtraMispredictCycles == 0 && !c.NoExtraMispredict {
+		c.ExtraMispredictCycles = 2
+	}
+	if c.NoExtraMispredict {
+		c.ExtraMispredictCycles = 0
+	}
+	if c.BDTUpdate != StageEX && c.BDTUpdate != StageWB {
+		c.BDTUpdate = StageMEM
+	}
+	if c.Branch == nil {
+		c.Branch = predict.BaselineNotTaken()
+	}
+}
+
+// Stats aggregates the counters of one simulation.
+type Stats struct {
+	Cycles       uint64
+	Instructions uint64 // committed (folded-out branches never count)
+
+	CondBranches   uint64 // resolved in the pipeline (excludes folded)
+	TakenBranches  uint64
+	DirMispredicts uint64 // direction wrong
+	BTBMissTaken   uint64 // direction right (taken) but fetch could not redirect
+	BTBWrongTarget uint64 // redirected to a stale target
+	Mispredicts    uint64 // total pipeline flushes from conditional branches
+
+	Folded        uint64 // branches folded out at fetch (never entered the pipe)
+	FoldedTaken   uint64
+	FoldFallbacks uint64 // BIT hit but BDT invalid: auxiliary predictor used
+
+	Jumps         uint64
+	IndirectJumps uint64
+	RASHits       uint64 // returns correctly predicted by the RAS
+	RASMisses     uint64 // returns the RAS predicted wrongly (or not at all)
+
+	LoadUseStalls uint64
+	FetchStalls   uint64 // cycles fetch was blocked on the I-cache
+	MemStalls     uint64 // cycles MEM was blocked on the D-cache
+	ExStalls      uint64 // cycles EX was occupied by mult/div
+
+	Fetches   uint64 // instructions delivered by fetch (incl. ASBR-injected and wrong-path)
+	WrongPath uint64 // fetched instructions squashed before execution
+
+	Syscalls uint64
+
+	ICache mem.CacheStats
+	DCache mem.CacheStats
+}
+
+// CPI returns cycles per committed instruction.
+func (s Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// PredAccuracy returns the direction-prediction accuracy over the
+// conditional branches that were resolved in the pipeline — the "Acc"
+// column of the paper's Figure 6.
+func (s Stats) PredAccuracy() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return 1 - float64(s.DirMispredicts)/float64(s.CondBranches)
+}
+
+// DynamicCondBranches returns all dynamic conditional branches,
+// folded or not.
+func (s Stats) DynamicCondBranches() uint64 { return s.CondBranches + s.Folded }
+
+// slot is one in-flight instruction.
+type slot struct {
+	pc   uint32
+	word uint32
+	in   isa.Inst
+	ok   bool // decode succeeded
+
+	// Fetch-time branch prediction.
+	predTaken    bool
+	predRedirect bool
+	predTarget   uint32
+	predicted    bool // a prediction was recorded (conditional branch)
+
+	folded bool // injected by the fold hook
+
+	dest    isa.Reg
+	hasDest bool
+	counted bool // OnIssue fired
+
+	result    int32  // value to write at WB
+	memAddr   uint32 // effective address for loads/stores
+	storeVal  int32
+	started   bool // EX work began
+	exLeft    int  // EX cycles remaining (mult/div occupancy)
+	valueSent bool // OnValue already fired (EX-point ALU results)
+	poison    bool // wrong-path fetch outside the text segment
+}
+
+// CPU is one simulated machine instance.
+type CPU struct {
+	cfg  Config
+	prog *isa.Program
+	mem  *mem.Memory
+
+	icache *mem.Cache // nil if disabled
+	dcache *mem.Cache
+
+	regs [isa.NumRegs]int32
+	hi   int32
+	lo   int32
+	pc   uint32
+
+	// Latches: the instruction currently in each back-end stage.
+	sID, sEX, sMEM, sWB *slot
+
+	fetchBusy    int // cycles until the pending fetch delivers
+	fetchPC      uint32
+	fetching     bool
+	memBusy      int // extra cycles the instruction in MEM still needs
+	redirectHold int // extra front-end bubbles after a mispredict
+
+	killFetch bool // the fetch slot of this cycle is wrong-path (decode redirect)
+
+	halting bool // fetch reached the halt address; draining
+	halted  bool
+	err     error
+	exit    int32
+
+	// Values produced this cycle, delivered to the fold hook at the
+	// end of the cycle: a value leaving stage S is usable by fetches
+	// from the *next* cycle on, which makes the BDT update points
+	// EX/MEM/WB correspond exactly to the paper's thresholds 2/3/4.
+	pendingVals []pendingVal
+
+	stats Stats
+
+	// Output captured from syscalls.
+	Output    []int32
+	OutputStr []byte
+}
+
+// HaltAddress is the PC that stops fetch: main returns here because
+// the loader seeds RA with it.
+const HaltAddress uint32 = 0
+
+// New builds a CPU, loads the program image into memory, and points
+// the PC at the entry symbol. SP and GP follow the MIPS conventions;
+// RA is seeded with HaltAddress so returning from the entry function
+// halts cleanly.
+func New(cfg Config, prog *isa.Program) *CPU {
+	cfg.fillDefaults()
+	c := &CPU{cfg: cfg, prog: prog, mem: mem.NewMemory()}
+	if cfg.ICache.SizeBytes > 0 {
+		c.icache = mem.NewCache(cfg.ICache)
+	}
+	if cfg.DCache.SizeBytes > 0 {
+		c.dcache = mem.NewCache(cfg.DCache)
+	}
+	for i, w := range prog.Text {
+		c.mem.StoreWord(prog.TextBase+uint32(i*4), w)
+	}
+	c.mem.StoreBytes(prog.DataBase, prog.Data)
+	c.pc = prog.Entry
+	c.regs[isa.RegSP] = int32(isa.DefaultStackTop)
+	c.regs[isa.RegGP] = int32(prog.DataBase + isa.DefaultGPOffset)
+	c.regs[isa.RegRA] = int32(HaltAddress)
+	return c
+}
+
+// Mem exposes the simulated memory (for harnesses to pour inputs into
+// global arrays and read results back).
+func (c *CPU) Mem() *mem.Memory { return c.mem }
+
+// Reg returns the architectural value of register r.
+func (c *CPU) Reg(r isa.Reg) int32 { return c.regs[r] }
+
+// SetReg sets an architectural register (harness use, before Run).
+func (c *CPU) SetReg(r isa.Reg, v int32) {
+	if r != isa.RegZero {
+		c.regs[r] = v
+	}
+}
+
+// PC returns the current fetch address.
+func (c *CPU) PC() uint32 { return c.pc }
+
+// Halted reports whether execution finished.
+func (c *CPU) Halted() bool { return c.halted }
+
+// ExitCode returns the value passed to the exit syscall (0 when the
+// program halted by returning from the entry function).
+func (c *CPU) ExitCode() int32 { return c.exit }
+
+// Stats returns a copy of the counters, with cache statistics filled in.
+func (c *CPU) Stats() Stats {
+	s := c.stats
+	if c.icache != nil {
+		s.ICache = c.icache.Stats()
+	}
+	if c.dcache != nil {
+		s.DCache = c.dcache.Stats()
+	}
+	return s
+}
+
+// Err returns the simulation error, if any (bad instruction, bad PC).
+func (c *CPU) Err() error { return c.err }
+
+// Run steps the machine until it halts, errors, or exceeds MaxCycles.
+func (c *CPU) Run() (Stats, error) {
+	for !c.halted && c.err == nil {
+		if c.stats.Cycles >= c.cfg.MaxCycles {
+			c.err = fmt.Errorf("cpu: exceeded MaxCycles=%d at pc=0x%08x", c.cfg.MaxCycles, c.pc)
+			break
+		}
+		c.Step()
+	}
+	return c.Stats(), c.err
+}
+
+// Step advances the machine by one clock cycle. Stages are processed
+// back to front so each instruction can advance into the slot freed by
+// its elder in the same cycle.
+func (c *CPU) Step() {
+	if c.halted || c.err != nil {
+		return
+	}
+	c.stats.Cycles++
+	c.killFetch = false
+	c.doWB()
+	if c.halted {
+		c.flushValues() // exit syscall committed; younger work is abandoned
+		return
+	}
+	c.doMEM()
+	c.doEX()
+	c.doID()
+	c.doIF()
+	c.flushValues()
+	if c.cfg.Trace != nil {
+		c.traceCycle(c.cfg.Trace)
+	}
+	if c.halting && c.sID == nil && c.sEX == nil && c.sMEM == nil && c.sWB == nil {
+		c.halted = true
+	}
+}
+
+type pendingVal struct {
+	reg isa.Reg
+	val int32
+}
+
+// queueValue defers a BDT delivery to the end of the current cycle.
+func (c *CPU) queueValue(r isa.Reg, v int32) {
+	c.pendingVals = append(c.pendingVals, pendingVal{r, v})
+}
+
+// flushValues delivers this cycle's produced values to the fold hook.
+func (c *CPU) flushValues() {
+	if c.cfg.Fold == nil {
+		c.pendingVals = c.pendingVals[:0]
+		return
+	}
+	for _, pv := range c.pendingVals {
+		c.cfg.Fold.OnValue(pv.reg, pv.val)
+	}
+	c.pendingVals = c.pendingVals[:0]
+}

@@ -1,0 +1,561 @@
+package cpu
+
+import (
+	"fmt"
+
+	"asbr/internal/isa"
+)
+
+// doWB commits the instruction in WB: architectural register write,
+// syscall side effects, and (in StageWB update mode) BDT delivery.
+func (c *CPU) doWB() {
+	s := c.sWB
+	if s == nil {
+		return
+	}
+	c.sWB = nil
+	if s.hasDest {
+		c.regs[s.dest] = s.result
+		if c.cfg.Fold != nil && s.counted && !s.valueSent {
+			if c.cfg.BDTUpdate == StageWB {
+				c.queueValue(s.dest, s.result)
+				s.valueSent = true
+			}
+		}
+	}
+	switch s.in.Op {
+	case isa.OpSYSCALL:
+		c.stats.Syscalls++
+		c.syscall()
+	case isa.OpBITSW:
+		if c.cfg.Fold != nil {
+			c.cfg.Fold.OnBankSwitch(int(s.in.Imm))
+		}
+	case isa.OpBREAK:
+		c.err = fmt.Errorf("cpu: break at pc=0x%08x", s.pc)
+	}
+	c.stats.Instructions++
+}
+
+// syscall implements the tiny OS surface: exit, print-int, print-char.
+func (c *CPU) syscall() {
+	code := c.regs[isa.RegV0]
+	arg := c.regs[isa.RegA0]
+	switch code {
+	case 1: // print integer
+		c.Output = append(c.Output, arg)
+	case 10: // exit
+		c.exit = arg
+		c.halted = true
+	case 11: // print character
+		c.OutputStr = append(c.OutputStr, byte(arg))
+	default:
+		c.err = fmt.Errorf("cpu: unknown syscall %d", code)
+	}
+}
+
+// doMEM performs data-memory access. A D-cache miss holds the
+// instruction in MEM for the extra cycles.
+func (c *CPU) doMEM() {
+	s := c.sMEM
+	if s == nil {
+		return
+	}
+	if c.memBusy > 0 {
+		c.memBusy--
+		c.stats.MemStalls++
+		if c.memBusy > 0 {
+			return
+		}
+		// Fall through: access completes this cycle.
+	} else if s.ok && (s.in.IsLoad() || s.in.IsStore()) {
+		cycles := 1
+		if c.dcache != nil {
+			cycles = c.dcache.Access(s.memAddr, s.in.IsStore())
+		}
+		c.access(s)
+		if c.err != nil {
+			return
+		}
+		if cycles > 1 {
+			c.memBusy = cycles - 1
+			return
+		}
+	}
+	// Leave MEM.
+	if c.cfg.Fold != nil && s.hasDest && s.counted && !s.valueSent && c.cfg.BDTUpdate != StageWB {
+		// StageMEM mode delivers everything here; StageEX mode
+		// delivers loads here (their value exists only now).
+		if c.cfg.BDTUpdate == StageMEM || s.in.IsLoad() {
+			c.queueValue(s.dest, s.result)
+			s.valueSent = true
+		}
+	}
+	c.sWB = s
+	c.sMEM = nil
+}
+
+// access performs the functional memory operation for s.
+func (c *CPU) access(s *slot) {
+	a := s.memAddr
+	switch s.in.Op {
+	case isa.OpLW:
+		if a%4 != 0 {
+			c.err = fmt.Errorf("cpu: unaligned lw at 0x%08x (pc=0x%08x)", a, s.pc)
+			return
+		}
+		s.result = int32(c.mem.LoadWord(a))
+	case isa.OpLH:
+		if a%2 != 0 {
+			c.err = fmt.Errorf("cpu: unaligned lh at 0x%08x (pc=0x%08x)", a, s.pc)
+			return
+		}
+		s.result = int32(int16(c.mem.LoadHalf(a)))
+	case isa.OpLHU:
+		if a%2 != 0 {
+			c.err = fmt.Errorf("cpu: unaligned lhu at 0x%08x (pc=0x%08x)", a, s.pc)
+			return
+		}
+		s.result = int32(c.mem.LoadHalf(a))
+	case isa.OpLB:
+		s.result = int32(int8(c.mem.LoadByte(a)))
+	case isa.OpLBU:
+		s.result = int32(c.mem.LoadByte(a))
+	case isa.OpSW:
+		if a%4 != 0 {
+			c.err = fmt.Errorf("cpu: unaligned sw at 0x%08x (pc=0x%08x)", a, s.pc)
+			return
+		}
+		c.mem.StoreWord(a, uint32(s.storeVal))
+	case isa.OpSH:
+		if a%2 != 0 {
+			c.err = fmt.Errorf("cpu: unaligned sh at 0x%08x (pc=0x%08x)", a, s.pc)
+			return
+		}
+		c.mem.StoreHalf(a, uint16(s.storeVal))
+	case isa.OpSB:
+		c.mem.StoreByte(a, byte(s.storeVal))
+	}
+}
+
+// readReg returns the value of r as seen by the instruction entering
+// EX this cycle: the instruction that just moved MEM->WB forwards its
+// result; otherwise the architectural register file is current
+// (anything older committed during this cycle's doWB).
+func (c *CPU) readReg(r isa.Reg) int32 {
+	if r == isa.RegZero {
+		return 0
+	}
+	if w := c.sWB; w != nil && w.hasDest && w.dest == r {
+		return w.result
+	}
+	return c.regs[r]
+}
+
+// loadUseHazard reports whether s, about to execute, needs the value
+// of a load that has not yet produced it. sWB is drained at the start
+// of every cycle, so any occupant during doEX completed MEM this very
+// cycle; a load there delivers its data only at the cycle edge — the
+// classic one-bubble load-use interlock.
+func (c *CPU) loadUseHazard(s *slot) bool {
+	w := c.sWB
+	if w == nil || !w.in.IsLoad() || !w.hasDest {
+		return false
+	}
+	for _, r := range s.in.SrcRegs() {
+		if r == w.dest {
+			return true
+		}
+	}
+	return false
+}
+
+// doEX executes the instruction in EX, resolving branches and
+// indirect jumps at the end of the stage.
+func (c *CPU) doEX() {
+	s := c.sEX
+	if s == nil {
+		return
+	}
+	if c.sMEM != nil {
+		return // structural stall: MEM busy with a cache miss
+	}
+	if !s.started {
+		if c.loadUseHazard(s) {
+			c.stats.LoadUseStalls++
+			return
+		}
+		if !s.ok {
+			if s.poison {
+				c.err = fmt.Errorf("cpu: execution ran past the text segment to pc=0x%08x", s.pc)
+			} else {
+				c.err = fmt.Errorf("cpu: illegal instruction word 0x%08x at pc=0x%08x", s.word, s.pc)
+			}
+			return
+		}
+		s.started = true
+		s.exLeft = 1
+		switch s.in.Op {
+		case isa.OpMULT, isa.OpMULTU:
+			s.exLeft = c.cfg.MultCycles
+		case isa.OpDIV, isa.OpDIVU:
+			s.exLeft = c.cfg.DivCycles
+		}
+		c.execute(s)
+		if c.err != nil {
+			return
+		}
+	}
+	s.exLeft--
+	if s.exLeft > 0 {
+		c.stats.ExStalls++
+		return
+	}
+	// End of EX: resolve control flow.
+	c.resolve(s)
+	if c.cfg.Fold != nil && s.hasDest && s.counted && !s.valueSent &&
+		c.cfg.BDTUpdate == StageEX && !s.in.IsLoad() {
+		c.queueValue(s.dest, s.result)
+		s.valueSent = true
+	}
+	c.sMEM = s
+	c.sEX = nil
+}
+
+// execute computes the functional result of s in EX.
+func (c *CPU) execute(s *slot) {
+	in := s.in
+	rs := c.readReg(in.Rs)
+	rt := c.readReg(in.Rt)
+	switch in.Op {
+	case isa.OpADD, isa.OpADDU:
+		s.result = rs + rt
+	case isa.OpSUB, isa.OpSUBU:
+		s.result = rs - rt
+	case isa.OpAND:
+		s.result = rs & rt
+	case isa.OpOR:
+		s.result = rs | rt
+	case isa.OpXOR:
+		s.result = rs ^ rt
+	case isa.OpNOR:
+		s.result = ^(rs | rt)
+	case isa.OpSLT:
+		s.result = b2i(rs < rt)
+	case isa.OpSLTU:
+		s.result = b2i(uint32(rs) < uint32(rt))
+	case isa.OpSLL:
+		s.result = rt << uint(in.Imm&31)
+	case isa.OpSRL:
+		s.result = int32(uint32(rt) >> uint(in.Imm&31))
+	case isa.OpSRA:
+		s.result = rt >> uint(in.Imm&31)
+	case isa.OpSLLV:
+		s.result = rt << uint(rs&31)
+	case isa.OpSRLV:
+		s.result = int32(uint32(rt) >> uint(rs&31))
+	case isa.OpSRAV:
+		s.result = rt >> uint(rs&31)
+	case isa.OpMULT:
+		p := int64(rs) * int64(rt)
+		c.lo, c.hi = int32(p), int32(p>>32)
+	case isa.OpMULTU:
+		p := uint64(uint32(rs)) * uint64(uint32(rt))
+		c.lo, c.hi = int32(uint32(p)), int32(uint32(p>>32))
+	case isa.OpDIV:
+		if rt == 0 {
+			c.err = fmt.Errorf("cpu: divide by zero at pc=0x%08x", s.pc)
+			return
+		}
+		c.lo, c.hi = rs/rt, rs%rt
+	case isa.OpDIVU:
+		if rt == 0 {
+			c.err = fmt.Errorf("cpu: divide by zero at pc=0x%08x", s.pc)
+			return
+		}
+		c.lo = int32(uint32(rs) / uint32(rt))
+		c.hi = int32(uint32(rs) % uint32(rt))
+	case isa.OpMFHI:
+		s.result = c.hi
+	case isa.OpMFLO:
+		s.result = c.lo
+	case isa.OpMTHI:
+		c.hi = rs
+	case isa.OpMTLO:
+		c.lo = rs
+	case isa.OpADDI, isa.OpADDIU:
+		s.result = rs + in.Imm
+	case isa.OpSLTI:
+		s.result = b2i(rs < in.Imm)
+	case isa.OpSLTIU:
+		s.result = b2i(uint32(rs) < uint32(in.Imm))
+	case isa.OpANDI:
+		s.result = rs & in.Imm
+	case isa.OpORI:
+		s.result = rs | in.Imm
+	case isa.OpXORI:
+		s.result = rs ^ in.Imm
+	case isa.OpLUI:
+		s.result = in.Imm << 16
+	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW:
+		s.memAddr = uint32(rs + in.Imm)
+	case isa.OpSB, isa.OpSH, isa.OpSW:
+		s.memAddr = uint32(rs + in.Imm)
+		s.storeVal = rt
+	case isa.OpJAL:
+		s.result = int32(s.pc + 4)
+	case isa.OpJALR:
+		s.result = int32(s.pc + 4)
+	case isa.OpJ, isa.OpJR, isa.OpSYSCALL, isa.OpBREAK, isa.OpBITSW,
+		isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ, isa.OpBLTZ, isa.OpBGEZ:
+		// Control flow handled in resolve; no register result.
+	}
+	// Branch operand values are needed at resolve time; latch them.
+	if in.IsCondBranch() {
+		s.result = rs // condition register value
+		s.storeVal = rt
+	}
+	if in.Op == isa.OpJR || in.Op == isa.OpJALR {
+		s.memAddr = uint32(rs) // jump target
+	}
+}
+
+// resolve handles end-of-EX control flow: conditional branches and
+// indirect jumps. A wrong-path fetch stream is squashed (the ID slot
+// and the in-flight fetch), costing the paper's two-cycle penalty.
+func (c *CPU) resolve(s *slot) {
+	in := s.in
+	switch {
+	case in.IsCondBranch():
+		rs, rt := s.result, s.storeVal
+		var taken bool
+		switch in.Op {
+		case isa.OpBEQ:
+			taken = rs == rt
+		case isa.OpBNE:
+			taken = rs != rt
+		case isa.OpBLEZ:
+			taken = rs <= 0
+		case isa.OpBGTZ:
+			taken = rs > 0
+		case isa.OpBLTZ:
+			taken = rs < 0
+		case isa.OpBGEZ:
+			taken = rs >= 0
+		}
+		target := in.BranchTarget(s.pc)
+		c.stats.CondBranches++
+		if taken {
+			c.stats.TakenBranches++
+		}
+		if c.cfg.Observer != nil {
+			c.cfg.Observer.OnBranch(s.pc, taken, false)
+		}
+		actualNext := s.pc + 4
+		if taken {
+			actualNext = target
+		}
+		predictedNext := s.pc + 4
+		if s.predRedirect {
+			predictedNext = s.predTarget
+		}
+		if s.predTaken != taken {
+			c.stats.DirMispredicts++
+		} else if taken && !s.predRedirect {
+			c.stats.BTBMissTaken++
+		} else if taken && s.predRedirect && s.predTarget != target {
+			c.stats.BTBWrongTarget++
+		}
+		c.cfg.Branch.Resolve(s.pc, taken, target)
+		if actualNext != predictedNext {
+			c.stats.Mispredicts++
+			c.squashFrontend(actualNext)
+			c.redirectHold = c.cfg.ExtraMispredictCycles
+		}
+	case in.Op == isa.OpJR || in.Op == isa.OpJALR:
+		c.stats.Jumps++
+		c.stats.IndirectJumps++
+		if s.predRedirect && s.predTarget == s.memAddr {
+			c.stats.RASHits++
+			return // fetch already followed the return correctly
+		}
+		if s.predicted {
+			c.stats.RASMisses++
+		}
+		c.squashFrontend(s.memAddr)
+	}
+}
+
+// squashFrontend kills the wrong-path front end: the instruction in
+// decode and any in-flight or upcoming fetch this cycle, then
+// redirects fetch to next.
+func (c *CPU) squashFrontend(next uint32) {
+	if c.sID != nil {
+		c.stats.WrongPath++
+	}
+	c.sID = nil
+	c.fetching = false
+	c.fetchBusy = 0
+	c.killFetch = true
+	c.redirectHold = 0
+	c.pc = next
+	c.halting = false // a redirect revives fetch even if the halt address was reached
+	if next == HaltAddress {
+		c.halting = true
+	}
+}
+
+// doID moves the decoded instruction into EX, fires OnIssue, and
+// redirects fetch for direct jumps (one-cycle penalty).
+func (c *CPU) doID() {
+	s := c.sID
+	if s == nil {
+		return
+	}
+	if c.sEX != nil {
+		return // EX occupied (stall)
+	}
+	c.sID = nil
+	c.sEX = s
+	if s.ok {
+		if r, ok := s.in.DestReg(); ok {
+			s.dest, s.hasDest = r, true
+			if c.cfg.Fold != nil {
+				c.cfg.Fold.OnIssue(r)
+				s.counted = true
+			}
+		}
+		switch s.in.Op {
+		case isa.OpJ, isa.OpJAL:
+			c.stats.Jumps++
+			// Redirect after this cycle's (wrong-path) fetch slot.
+			c.pc = s.in.Target
+			c.killFetch = true
+			c.fetching = false
+			c.fetchBusy = 0
+			c.halting = s.in.Target == HaltAddress
+		}
+	}
+}
+
+// doIF fetches one instruction, consulting the ASBR fold hook and the
+// branch unit. I-cache misses hold the slot for the miss latency.
+func (c *CPU) doIF() {
+	if c.killFetch {
+		// This cycle's fetch slot belongs to a squashed path.
+		return
+	}
+	if c.redirectHold > 0 {
+		c.redirectHold--
+		c.stats.FetchStalls++
+		return
+	}
+	if c.sID != nil {
+		return // decode occupied (stall)
+	}
+	if c.halting {
+		return
+	}
+	if c.fetching {
+		if c.fetchBusy > 0 {
+			c.fetchBusy--
+			c.stats.FetchStalls++
+			if c.fetchBusy > 0 {
+				return
+			}
+		}
+		c.fetching = false
+		c.deliver(c.fetchPC)
+		return
+	}
+	pc := c.pc
+	if pc == HaltAddress {
+		c.halting = true
+		return
+	}
+	if !c.prog.InText(pc) {
+		// Possibly a wrong-path overrun (e.g. sequential fetch past a
+		// jr at the end of the text segment). Deliver a poison slot:
+		// it only faults if it survives to execute.
+		c.sID = &slot{pc: pc, poison: true}
+		c.pc = pc + 4
+		return
+	}
+	cycles := 1
+	if c.icache != nil {
+		cycles = c.icache.Access(pc, false)
+	}
+	if cycles > 1 {
+		c.fetching = true
+		c.fetchPC = pc
+		c.fetchBusy = cycles - 1
+		return
+	}
+	c.deliver(pc)
+}
+
+// deliver completes a fetch: the ASBR fold hook is consulted first
+// (the BIT lookup happens in the fetch stage, paper Figure 4); on a
+// miss the word is decoded and conditional branches are predicted.
+func (c *CPU) deliver(pc uint32) {
+	c.stats.Fetches++
+	if c.cfg.Fold != nil {
+		if f, ok := c.cfg.Fold.TryFold(pc); ok {
+			c.stats.Folded++
+			if f.Taken {
+				c.stats.FoldedTaken++
+			}
+			if c.cfg.Observer != nil {
+				c.cfg.Observer.OnBranch(pc, f.Taken, true)
+			}
+			in, err := isa.Decode(f.Word)
+			s := &slot{pc: f.PC, word: f.Word, in: in, ok: err == nil, folded: true}
+			c.sID = s
+			c.pc = f.Next
+			if f.Next == HaltAddress {
+				c.halting = true
+			}
+			return
+		}
+	}
+	word, err := c.prog.WordAt(pc)
+	if err != nil {
+		c.err = fmt.Errorf("cpu: fetch at 0x%08x: %v", pc, err)
+		return
+	}
+	in, derr := isa.Decode(word)
+	s := &slot{pc: pc, word: word, in: in, ok: derr == nil}
+	next := pc + 4
+	if derr == nil && in.IsCondBranch() {
+		taken, target, redirect := c.cfg.Branch.PredictFetch(pc)
+		s.predTaken, s.predTarget, s.predRedirect, s.predicted = taken, target, redirect, true
+		if redirect {
+			next = target
+		}
+	}
+	if derr == nil && c.cfg.RAS != nil {
+		switch {
+		case in.Op == isa.OpJAL || in.Op == isa.OpJALR:
+			// Calls push their return address speculatively at fetch.
+			c.cfg.RAS.Push(pc + 4)
+		case in.Op == isa.OpJR && in.Rs == isa.RegRA:
+			s.predicted = true
+			if target, ok := c.cfg.RAS.Pop(); ok {
+				s.predTarget, s.predRedirect = target, true
+				next = target
+			}
+		}
+	}
+	c.sID = s
+	c.pc = next
+	if next == HaltAddress {
+		c.halting = true
+	}
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,32 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracing: an optional per-cycle dump of pipeline occupancy, the
+// classic textbook pipeline diagram rendered one row per cycle. It is
+// a debugging aid for pipeline and ASBR behaviour (folded slots are
+// marked), enabled by setting Config.Trace.
+
+// traceCycle writes one row describing the latch occupancy at the end
+// of the current cycle. Columns show the instruction that has
+// completed IF/ID/EX/MEM this cycle (and will occupy the next stage).
+func (c *CPU) traceCycle(w io.Writer) {
+	render := func(s *slot) string {
+		if s == nil {
+			return "-"
+		}
+		mark := ""
+		if s.folded {
+			mark = "*" // injected by ASBR in place of a folded branch
+		}
+		if !s.ok {
+			return fmt.Sprintf("%s<raw 0x%08x>", mark, s.word)
+		}
+		return fmt.Sprintf("%s%08x %s", mark, s.pc, s.in)
+	}
+	fmt.Fprintf(w, "cyc %6d | IF %-32s | EX %-32s | MEM %-32s | WB %-32s\n",
+		c.stats.Cycles, render(c.sID), render(c.sEX), render(c.sMEM), render(c.sWB))
+}

@@ -1,0 +1,288 @@
+package experiment
+
+import (
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/workload"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. All use
+// the G.721 encoder unless stated otherwise (the paper's largest
+// selected-branch set), on the same platform as the main experiments.
+
+// ThresholdRow is one row of the BDT-update-point ablation (paper
+// §5.2: thresholds 2/3/4 via the EX/MEM/WB update points).
+type ThresholdRow struct {
+	Update    cpu.Stage
+	Threshold int
+	Cycles    uint64
+	Folds     uint64
+	Fallbacks uint64
+}
+
+// ThresholdAblation sweeps the three update points with a fixed
+// selection (performed at the given options' threshold), showing how
+// fold coverage degrades as the predicate must be ready earlier.
+func ThresholdAblation(bench string, opt Options) ([]ThresholdRow, error) {
+	opt.fill()
+	prog, prof, _, err := profiledRun(bench, opt)
+	if err != nil {
+		return nil, err
+	}
+	in, err := workload.Input(bench, opt.Samples, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cands, err := selectBranches(bench, prog, prof, Options{Samples: opt.Samples, Seed: opt.Seed, Update: cpu.StageEX})
+	if err != nil {
+		return nil, err
+	}
+	entries, err := profile.BuildBITFromCandidates(prog, cands)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ThresholdRow
+	for _, up := range []cpu.Stage{cpu.StageEX, cpu.StageMEM, cpu.StageWB} {
+		eng := core.NewEngine(core.DefaultConfig())
+		if err := eng.Load(entries); err != nil {
+			return nil, err
+		}
+		cfg := machine(predict.AuxBimodal512())
+		cfg.Fold = eng
+		cfg.BDTUpdate = up
+		res, err := workload.Run(prog, cfg, in, opt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		es := eng.Stats()
+		rows = append(rows, ThresholdRow{
+			Update:    up,
+			Threshold: map[cpu.Stage]int{cpu.StageEX: 2, cpu.StageMEM: 3, cpu.StageWB: 4}[up],
+			Cycles:    res.Stats.Cycles,
+			Folds:     es.Folds,
+			Fallbacks: es.Fallbacks,
+		})
+	}
+	return rows, nil
+}
+
+// BITSizeRow is one row of the BIT-capacity sweep.
+type BITSizeRow struct {
+	Entries uint64
+	K       int
+	Cycles  uint64
+	Folds   uint64
+}
+
+// BITSizeAblation sweeps the number of BIT entries, showing the
+// diminishing returns that justify the paper's small 16-entry table.
+func BITSizeAblation(bench string, opt Options, sizes []int) ([]BITSizeRow, error) {
+	opt.fill()
+	prog, prof, _, err := profiledRun(bench, opt)
+	if err != nil {
+		return nil, err
+	}
+	in, err := workload.Input(bench, opt.Samples, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BITSizeRow
+	for _, k := range sizes {
+		cands, err := profile.Select(prog, prof, profile.SelectOptions{
+			Aux: "bimodal-512", MinDistance: opt.MinDistance(), K: k,
+			MinCount: uint64(opt.Samples / 16),
+		})
+		if err != nil {
+			return nil, err
+		}
+		entries, err := profile.BuildBITFromCandidates(prog, cands)
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(core.Config{BITEntries: maxInt(k, 1), TrackValidity: true})
+		if err := eng.Load(entries); err != nil {
+			return nil, err
+		}
+		cfg := machine(predict.AuxBimodal512())
+		cfg.Fold = eng
+		cfg.BDTUpdate = opt.Update
+		res, err := workload.Run(prog, cfg, in, opt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BITSizeRow{
+			Entries: uint64(k),
+			K:       len(cands),
+			Cycles:  res.Stats.Cycles,
+			Folds:   eng.Stats().Folds,
+		})
+	}
+	return rows, nil
+}
+
+// SchedulingRow is one row of the §5.1 scheduling ablation. Baseline
+// and Improvement are measured against the same binary without ASBR,
+// so the source-level overhead of manual scheduling does not pollute
+// the comparison.
+type SchedulingRow struct {
+	Label       string
+	Cycles      uint64
+	Baseline    uint64
+	Improvement float64
+	Folds       uint64
+	Candidates  int
+}
+
+// SchedulingAblation compares no scheduling, compiler-pass-only,
+// manual-source-only, and both — quantifying the paper's claim that
+// scheduling "can boost significantly the effectiveness of the
+// approach".
+func SchedulingAblation(bench string, opt Options) ([]SchedulingRow, error) {
+	opt.fill()
+	variants := []struct {
+		label string
+		bopt  workload.BuildOptions
+	}{
+		{"none", workload.BuildOptions{}},
+		{"compiler pass", workload.BuildOptions{CompilerSchedule: true}},
+		{"manual source", workload.BuildOptions{ManualSchedule: true}},
+		{"manual+compiler", workload.BuildOptions{ManualSchedule: true, CompilerSchedule: true}},
+	}
+	var rows []SchedulingRow
+	for _, v := range variants {
+		prog, err := workload.BuildOpt(bench, v.bopt)
+		if err != nil {
+			return nil, err
+		}
+		in, err := workload.Input(bench, opt.Samples, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		prof := profile.New(predict.NewBimodal(512))
+		cfg := machine(predict.BaselineBimodal())
+		cfg.Observer = prof
+		baseRes, err := workload.Run(prog, cfg, in, opt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		cands, err := profile.Select(prog, prof, profile.SelectOptions{
+			Aux: "bimodal-512", MinDistance: opt.MinDistance(), K: BITSizes()[bench],
+			MinCount: uint64(opt.Samples / 16),
+		})
+		if err != nil {
+			return nil, err
+		}
+		entries, err := profile.BuildBITFromCandidates(prog, cands)
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(core.DefaultConfig())
+		if err := eng.Load(entries); err != nil {
+			return nil, err
+		}
+		cfg2 := machine(predict.AuxBimodal512())
+		cfg2.Fold = eng
+		cfg2.BDTUpdate = opt.Update
+		res, err := workload.Run(prog, cfg2, in, opt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SchedulingRow{
+			Label:       v.label,
+			Cycles:      res.Stats.Cycles,
+			Baseline:    baseRes.Stats.Cycles,
+			Improvement: 1 - float64(res.Stats.Cycles)/float64(baseRes.Stats.Cycles),
+			Folds:       eng.Stats().Folds,
+			Candidates:  len(cands),
+		})
+	}
+	return rows, nil
+}
+
+// ValidityRow is one row of the validity-counter ablation.
+type ValidityRow struct {
+	Label         string
+	Cycles        uint64
+	Folds         uint64
+	Fallbacks     uint64
+	OutputCorrect bool
+}
+
+// ValidityAblation compares the safe engine (validity counters, paper
+// §4) against the unsafe upper bound (fold on every BIT hit with the
+// latest delivered value). The unsafe run measures maximum coverage
+// and demonstrates why the counters are architecturally necessary:
+// its output is checked against the golden model.
+func ValidityAblation(bench string, opt Options) ([]ValidityRow, error) {
+	opt.fill()
+	prog, prof, _, err := profiledRun(bench, opt)
+	if err != nil {
+		return nil, err
+	}
+	in, err := workload.Input(bench, opt.Samples, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	want, err := workload.Expected(bench, opt.Samples, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Select with no distance filter: the BIT deliberately includes
+	// stale-prone branches so the safe engine's fallbacks (and the
+	// unsafe engine's wrong folds) become visible.
+	cands, err := profile.Select(prog, prof, profile.SelectOptions{
+		Aux: "bimodal-512", MinDistance: 0, K: BITSizes()[bench],
+		MinCount: uint64(opt.Samples / 16),
+	})
+	if err != nil {
+		return nil, err
+	}
+	entries, err := profile.BuildBITFromCandidates(prog, cands)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ValidityRow
+	for _, mode := range []struct {
+		label string
+		track bool
+	}{{"validity counters (safe)", true}, {"no counters (unsafe bound)", false}} {
+		eng := core.NewEngine(core.Config{TrackValidity: mode.track})
+		if err := eng.Load(entries); err != nil {
+			return nil, err
+		}
+		cfg := machine(predict.AuxBimodal512())
+		cfg.Fold = eng
+		cfg.BDTUpdate = opt.Update
+		res, err := workload.Run(prog, cfg, in, opt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		correct := len(res.Output) == len(want)
+		if correct {
+			for i := range want {
+				if res.Output[i] != want[i] {
+					correct = false
+					break
+				}
+			}
+		}
+		es := eng.Stats()
+		rows = append(rows, ValidityRow{
+			Label:         mode.label,
+			Cycles:        res.Stats.Cycles,
+			Folds:         es.Folds,
+			Fallbacks:     es.Fallbacks,
+			OutputCorrect: correct,
+		})
+	}
+	return rows, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

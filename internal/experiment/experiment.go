@@ -1,0 +1,325 @@
+// Package experiment reproduces the evaluation section (§8) of the
+// DAC'01 ASBR paper: the baseline predictability table (Figure 6), the
+// per-branch selection statistics (Figures 7, 9, 10), the ASBR results
+// table (Figure 11), and the ablation studies DESIGN.md calls out.
+//
+// The simulated platform matches the paper's: a 5-stage in-order
+// single-issue pipeline with an 8KB instruction cache and an 8KB data
+// cache, running the four MediaBench applications (ADPCM and G.721,
+// encode and decode) over a deterministic synthetic audio trace.
+package experiment
+
+import (
+	"fmt"
+
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/isa"
+	"asbr/internal/mem"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/workload"
+)
+
+// Options configures a reproduction run.
+type Options struct {
+	Samples int        // audio samples per benchmark (default 4096)
+	Seed    int64      // synthetic-trace seed (default 1)
+	Update  cpu.Stage  // BDT update point (default StageMEM = threshold 3)
+}
+
+func (o *Options) fill() {
+	if o.Samples <= 0 {
+		o.Samples = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Update != cpu.StageEX && o.Update != cpu.StageWB {
+		o.Update = cpu.StageMEM
+	}
+}
+
+// MinDistance returns the static-distance threshold implied by the
+// update point (paper §5.2: EX=2, MEM=3, WB=4).
+func (o Options) MinDistance() int {
+	switch o.Update {
+	case cpu.StageEX:
+		return 2
+	case cpu.StageWB:
+		return 4
+	default:
+		return 3
+	}
+}
+
+// BITSizes returns the paper's per-benchmark selected branch counts
+// ("we have targeted 16 branches for the encode and 15 for the decode
+// of the G.721 benchmarks. For the ADPCM encoder we have utilized only
+// 4 branches, and 3 branches for the decoder").
+func BITSizes() map[string]int {
+	return map[string]int{
+		workload.ADPCMEncode: 4,
+		workload.ADPCMDecode: 3,
+		workload.G721Encode:  16,
+		workload.G721Decode:  15,
+	}
+}
+
+// ExtraMispredictCycles is the platform's calibrated front-end
+// redirect penalty beyond the two squashed slots. The value 3 (total
+// penalty 5) reproduces the paper's Figure 6 not-taken/bimodal cycle
+// ratios (measured 1.31/1.33 vs the paper's 1.31/1.30 for ADPCM
+// enc / G.721 enc); see EXPERIMENTS.md for the calibration sweep.
+const ExtraMispredictCycles = 3
+
+// machine assembles the paper's platform around a branch unit.
+func machine(branch *predict.Unit) cpu.Config {
+	return cpu.Config{
+		ICache:                mem.DefaultICache(),
+		DCache:                mem.DefaultDCache(),
+		Branch:                branch,
+		ExtraMispredictCycles: ExtraMispredictCycles,
+	}
+}
+
+// baselineUnits returns the three baseline predictors of Figure 6.
+func baselineUnits() []func() *predict.Unit {
+	return []func() *predict.Unit{
+		predict.BaselineNotTaken,
+		predict.BaselineBimodal,
+		predict.BaselineGShare,
+	}
+}
+
+// Fig6Row is one cell group of Figure 6.
+type Fig6Row struct {
+	Benchmark string
+	Predictor string
+	Cycles    uint64
+	CPI       float64
+	Accuracy  float64 // conditional-branch direction accuracy
+}
+
+// Fig6 reproduces Figure 6: total cycles, CPI and prediction accuracy
+// of the three general-purpose baseline predictors on all four
+// benchmarks.
+func Fig6(opt Options) ([]Fig6Row, error) {
+	opt.fill()
+	var rows []Fig6Row
+	for _, bench := range workload.Names() {
+		prog, err := workload.Build(bench, true)
+		if err != nil {
+			return nil, err
+		}
+		in, err := workload.Input(bench, opt.Samples, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, mk := range baselineUnits() {
+			unit := mk()
+			res, err := workload.Run(prog, machine(unit), in, opt.Samples)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %v", bench, unit.Name(), err)
+			}
+			rows = append(rows, Fig6Row{
+				Benchmark: bench,
+				Predictor: unit.Name(),
+				Cycles:    res.Stats.Cycles,
+				CPI:       res.Stats.CPI(),
+				Accuracy:  res.Stats.PredAccuracy(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// BranchRow is one selected branch's statistics (Figures 7, 9, 10).
+type BranchRow struct {
+	Index    int
+	PC       uint32
+	Exec     uint64
+	Taken    float64
+	Accuracy map[string]float64 // per baseline predictor
+	Distance int
+}
+
+// BranchTable is one benchmark's selected-branch table.
+type BranchTable struct {
+	Benchmark string
+	Shadows   []string
+	Rows      []BranchRow
+}
+
+// profiledRun builds the benchmark, runs it once on the baseline
+// bimodal machine with a profiler attached, and returns program,
+// profiler and the run result.
+func profiledRun(bench string, opt Options) (*isa.Program, *profile.Profiler, *workload.Result, error) {
+	prog, err := workload.Build(bench, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	in, err := workload.Input(bench, opt.Samples, opt.Seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prof := profile.New(
+		predict.NotTaken{},
+		predict.NewBimodal(2048),
+		predict.NewGShare(11, 2048),
+		predict.NewBimodal(512),
+		predict.NewBimodal(256),
+	)
+	cfg := machine(predict.BaselineBimodal())
+	cfg.Observer = prof
+	res, err := workload.Run(prog, cfg, in, opt.Samples)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return prog, prof, res, nil
+}
+
+// selectBranches runs the paper's §6 selection for a benchmark.
+func selectBranches(bench string, prog *isa.Program, prof *profile.Profiler, opt Options) ([]profile.Candidate, error) {
+	return profile.Select(prog, prof, profile.SelectOptions{
+		Aux:         "bimodal-512",
+		MinDistance: opt.MinDistance(),
+		K:           BITSizes()[bench],
+		MinCount:    uint64(opt.Samples / 16),
+		Penalty:     2 + ExtraMispredictCycles, // the platform's flush cost
+	})
+}
+
+// SelectedBranches reproduces Figures 7 (G.721 encode), 9 (ADPCM
+// encode) and 10 (ADPCM decode): execution counts and per-predictor
+// accuracies for the branches selected for folding.
+func SelectedBranches(bench string, opt Options) (BranchTable, error) {
+	opt.fill()
+	prog, prof, _, err := profiledRun(bench, opt)
+	if err != nil {
+		return BranchTable{}, err
+	}
+	cands, err := selectBranches(bench, prog, prof, opt)
+	if err != nil {
+		return BranchTable{}, err
+	}
+	shadows := []string{"not taken", "bimodal-2048", "gshare-11/2048"}
+	tab := BranchTable{Benchmark: bench, Shadows: shadows}
+	for i, c := range cands {
+		st, _ := prof.Stat(c.PC)
+		row := BranchRow{
+			Index:    i,
+			PC:       c.PC,
+			Exec:     st.Count,
+			Taken:    st.TakenRate(),
+			Accuracy: make(map[string]float64, len(shadows)),
+			Distance: c.Distance,
+		}
+		for _, s := range shadows {
+			row.Accuracy[s] = st.Accuracy(s)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab, nil
+}
+
+// Fig11Row is one cell group of Figure 11.
+type Fig11Row struct {
+	Benchmark   string
+	Aux         string // auxiliary predictor used with ASBR
+	Cycles      uint64
+	Baseline    uint64  // the paper's comparison base for this row
+	BaselineName string
+	Improvement float64 // 1 - Cycles/Baseline
+	Folds       uint64
+	Fallbacks   uint64
+	FoldedFrac  float64 // folded / dynamic conditional branches
+}
+
+// auxUnits returns the three ASBR auxiliary configurations of Fig. 11.
+func auxUnits() []struct {
+	Label string
+	Mk    func() *predict.Unit
+} {
+	return []struct {
+		Label string
+		Mk    func() *predict.Unit
+	}{
+		{"not taken", predict.AuxNotTaken},
+		{"bi-512", predict.AuxBimodal512},
+		{"bi-256", predict.AuxBimodal256},
+	}
+}
+
+// Fig11 reproduces Figure 11: ASBR with each auxiliary predictor,
+// compared against the paper's chosen baselines (the "not taken" row
+// compares to the predictor-less baseline; the bi-512/bi-256 rows
+// compare to the full-size bimodal-2048 baseline).
+func Fig11(opt Options) ([]Fig11Row, error) {
+	opt.fill()
+	var rows []Fig11Row
+	for _, bench := range workload.Names() {
+		prog, prof, _, err := profiledRun(bench, opt)
+		if err != nil {
+			return nil, err
+		}
+		in, err := workload.Input(bench, opt.Samples, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cands, err := selectBranches(bench, prog, prof, opt)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := profile.BuildBITFromCandidates(prog, cands)
+		if err != nil {
+			return nil, err
+		}
+		// Comparison bases.
+		baseNT, err := workload.Run(prog, machine(predict.BaselineNotTaken()), in, opt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		baseBi, err := workload.Run(prog, machine(predict.BaselineBimodal()), in, opt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		for _, aux := range auxUnits() {
+			eng := core.NewEngine(core.DefaultConfig())
+			if err := eng.Load(entries); err != nil {
+				return nil, err
+			}
+			cfg := machine(aux.Mk())
+			cfg.Fold = eng
+			cfg.BDTUpdate = opt.Update
+			res, err := workload.Run(prog, cfg, in, opt.Samples)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %v", bench, aux.Label, err)
+			}
+			base := baseBi.Stats.Cycles
+			baseName := "bimodal-2048"
+			if aux.Label == "not taken" {
+				base = baseNT.Stats.Cycles
+				baseName = "not taken"
+			}
+			es := eng.Stats()
+			dyn := res.Stats.DynamicCondBranches()
+			frac := 0.0
+			if dyn > 0 {
+				frac = float64(res.Stats.Folded) / float64(dyn)
+			}
+			rows = append(rows, Fig11Row{
+				Benchmark:    bench,
+				Aux:          aux.Label,
+				Cycles:       res.Stats.Cycles,
+				Baseline:     base,
+				BaselineName: baseName,
+				Improvement:  1 - float64(res.Stats.Cycles)/float64(base),
+				Folds:        es.Folds,
+				Fallbacks:    es.Fallbacks,
+				FoldedFrac:   frac,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"asbr/internal/core"
+	"asbr/internal/power"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/workload"
+)
+
+// PowerRow is one row of the power/area comparison: the paper's
+// abstract and §6 claims, quantified with the activity-based model of
+// package power.
+type PowerRow struct {
+	Benchmark    string
+	Config       string
+	Cycles       uint64
+	Instructions uint64
+	WrongPath    uint64
+	Energy       power.Report
+	AreaBits     int
+}
+
+// PowerArea compares the baseline bimodal-2048 machine against the
+// ASBR + bimodal-512 machine on energy activity and branch-hardware
+// area, for every benchmark.
+func PowerArea(opt Options) ([]PowerRow, error) {
+	opt.fill()
+	params := power.DefaultParams()
+	var rows []PowerRow
+	for _, bench := range workload.Names() {
+		prog, prof, baseRes, err := profiledRun(bench, opt)
+		if err != nil {
+			return nil, err
+		}
+		in, err := workload.Input(bench, opt.Samples, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		baseHW := power.BaselineBimodal2048()
+		rows = append(rows, PowerRow{
+			Benchmark:    bench,
+			Config:       "bimodal-2048 baseline",
+			Cycles:       baseRes.Stats.Cycles,
+			Instructions: baseRes.Stats.Instructions,
+			WrongPath:    baseRes.Stats.WrongPath,
+			Energy:       power.Estimate(params, baseHW, baseRes.Stats, nil),
+			AreaBits:     baseHW.AreaBits(),
+		})
+
+		cands, err := selectBranches(bench, prog, prof, opt)
+		if err != nil {
+			return nil, err
+		}
+		entries, err := profile.BuildBITFromCandidates(prog, cands)
+		if err != nil {
+			return nil, err
+		}
+		eng := core.NewEngine(core.DefaultConfig())
+		if err := eng.Load(entries); err != nil {
+			return nil, err
+		}
+		cfg := machine(predict.AuxBimodal512())
+		cfg.Fold = eng
+		cfg.BDTUpdate = opt.Update
+		res, err := workload.Run(prog, cfg, in, opt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		es := eng.Stats()
+		asbrHW := power.ASBRBimodal(512, core.DefaultBITEntries)
+		rows = append(rows, PowerRow{
+			Benchmark:    bench,
+			Config:       "ASBR + bimodal-512",
+			Cycles:       res.Stats.Cycles,
+			Instructions: res.Stats.Instructions,
+			WrongPath:    res.Stats.WrongPath,
+			Energy:       power.Estimate(params, asbrHW, res.Stats, &es),
+			AreaBits:     asbrHW.AreaBits(),
+		})
+	}
+	return rows, nil
+}

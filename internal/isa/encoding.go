@@ -1,0 +1,241 @@
+package isa
+
+import "fmt"
+
+// Binary encoding follows the classic MIPS-I layout:
+//
+//	R-type: opcode(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+//	I-type: opcode(6) rs(5) rt(5) imm(16)
+//	J-type: opcode(6) target(26)
+//
+// bltz/bgez use the REGIMM opcode (1) with the condition in the rt
+// field. bitsw uses the otherwise-unused primary opcode 0x3f.
+
+// Primary opcode field values.
+const (
+	opcSpecial = 0x00
+	opcRegimm  = 0x01
+	opcJ       = 0x02
+	opcJAL     = 0x03
+	opcBEQ     = 0x04
+	opcBNE     = 0x05
+	opcBLEZ    = 0x06
+	opcBGTZ    = 0x07
+	opcADDI    = 0x08
+	opcADDIU   = 0x09
+	opcSLTI    = 0x0a
+	opcSLTIU   = 0x0b
+	opcANDI    = 0x0c
+	opcORI     = 0x0d
+	opcXORI    = 0x0e
+	opcLUI     = 0x0f
+	opcLB      = 0x20
+	opcLH      = 0x21
+	opcLW      = 0x23
+	opcLBU     = 0x24
+	opcLHU     = 0x25
+	opcSB      = 0x28
+	opcSH      = 0x29
+	opcSW      = 0x2b
+	opcBITSW   = 0x3f
+)
+
+// SPECIAL funct field values.
+const (
+	fnSLL     = 0x00
+	fnSRL     = 0x02
+	fnSRA     = 0x03
+	fnSLLV    = 0x04
+	fnSRLV    = 0x06
+	fnSRAV    = 0x07
+	fnJR      = 0x08
+	fnJALR    = 0x09
+	fnSYSCALL = 0x0c
+	fnBREAK   = 0x0d
+	fnMFHI    = 0x10
+	fnMTHI    = 0x11
+	fnMFLO    = 0x12
+	fnMTLO    = 0x13
+	fnMULT    = 0x18
+	fnMULTU   = 0x19
+	fnDIV     = 0x1a
+	fnDIVU    = 0x1b
+	fnADD     = 0x20
+	fnADDU    = 0x21
+	fnSUB     = 0x22
+	fnSUBU    = 0x23
+	fnAND     = 0x24
+	fnOR      = 0x25
+	fnXOR     = 0x26
+	fnNOR     = 0x27
+	fnSLT     = 0x2a
+	fnSLTU    = 0x2b
+)
+
+// REGIMM rt field values.
+const (
+	riBLTZ = 0x00
+	riBGEZ = 0x01
+)
+
+var rFunct = map[Op]uint32{
+	OpSLL: fnSLL, OpSRL: fnSRL, OpSRA: fnSRA,
+	OpSLLV: fnSLLV, OpSRLV: fnSRLV, OpSRAV: fnSRAV,
+	OpJR: fnJR, OpJALR: fnJALR, OpSYSCALL: fnSYSCALL, OpBREAK: fnBREAK,
+	OpMFHI: fnMFHI, OpMTHI: fnMTHI, OpMFLO: fnMFLO, OpMTLO: fnMTLO,
+	OpMULT: fnMULT, OpMULTU: fnMULTU, OpDIV: fnDIV, OpDIVU: fnDIVU,
+	OpADD: fnADD, OpADDU: fnADDU, OpSUB: fnSUB, OpSUBU: fnSUBU,
+	OpAND: fnAND, OpOR: fnOR, OpXOR: fnXOR, OpNOR: fnNOR,
+	OpSLT: fnSLT, OpSLTU: fnSLTU,
+}
+
+var functOp = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(rFunct))
+	for op, fn := range rFunct {
+		m[fn] = op
+	}
+	return m
+}()
+
+var iOpc = map[Op]uint32{
+	OpBEQ: opcBEQ, OpBNE: opcBNE, OpBLEZ: opcBLEZ, OpBGTZ: opcBGTZ,
+	OpADDI: opcADDI, OpADDIU: opcADDIU, OpSLTI: opcSLTI, OpSLTIU: opcSLTIU,
+	OpANDI: opcANDI, OpORI: opcORI, OpXORI: opcXORI, OpLUI: opcLUI,
+	OpLB: opcLB, OpLH: opcLH, OpLW: opcLW, OpLBU: opcLBU, OpLHU: opcLHU,
+	OpSB: opcSB, OpSH: opcSH, OpSW: opcSW,
+}
+
+var opcIOp = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(iOpc))
+	for op, oc := range iOpc {
+		m[oc] = op
+	}
+	return m
+}()
+
+// immBits reports how many immediate bits an opcode's Imm field may
+// occupy, and whether the immediate is signed.
+func immRange(op Op) (lo, hi int32) {
+	switch op {
+	case OpANDI, OpORI, OpXORI, OpLUI, OpBITSW:
+		return 0, 0xffff // zero-extended 16-bit
+	case OpSLL, OpSRL, OpSRA:
+		return 0, 31
+	default:
+		return -0x8000, 0x7fff // sign-extended 16-bit
+	}
+}
+
+// Encode packs the instruction into its 32-bit binary form. It
+// validates register numbers, immediate ranges, and jump-target
+// alignment.
+func Encode(i Inst) (uint32, error) {
+	if i.Rd >= NumRegs || i.Rs >= NumRegs || i.Rt >= NumRegs {
+		return 0, fmt.Errorf("isa: encode %s: register out of range", i.Op)
+	}
+	if lo, hi := immRange(i.Op); i.Imm < lo || i.Imm > hi {
+		switch i.Op {
+		case OpJ, OpJAL, OpJR, OpJALR, OpSYSCALL, OpBREAK,
+			OpMULT, OpMULTU, OpDIV, OpDIVU, OpMFHI, OpMFLO, OpMTHI, OpMTLO:
+			// Imm unused by these opcodes.
+		default:
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of range [%d,%d]", i.Op, i.Imm, lo, hi)
+		}
+	}
+	r := func(fn uint32) uint32 {
+		return opcSpecial<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Rd)<<11 | fn
+	}
+	switch i.Op {
+	case OpSLL, OpSRL, OpSRA:
+		return r(rFunct[i.Op]) | (uint32(i.Imm)&0x1f)<<6, nil
+	case OpADD, OpADDU, OpSUB, OpSUBU, OpAND, OpOR, OpXOR, OpNOR,
+		OpSLT, OpSLTU, OpSLLV, OpSRLV, OpSRAV,
+		OpJR, OpJALR, OpSYSCALL, OpBREAK,
+		OpMFHI, OpMFLO, OpMTHI, OpMTLO,
+		OpMULT, OpMULTU, OpDIV, OpDIVU:
+		return r(rFunct[i.Op]), nil
+	case OpBLTZ:
+		return opcRegimm<<26 | uint32(i.Rs)<<21 | riBLTZ<<16 | uint32(i.Imm)&0xffff, nil
+	case OpBGEZ:
+		return opcRegimm<<26 | uint32(i.Rs)<<21 | riBGEZ<<16 | uint32(i.Imm)&0xffff, nil
+	case OpJ, OpJAL:
+		if i.Target&3 != 0 {
+			return 0, fmt.Errorf("isa: encode %s: misaligned target 0x%x", i.Op, i.Target)
+		}
+		oc := uint32(opcJ)
+		if i.Op == OpJAL {
+			oc = opcJAL
+		}
+		return oc<<26 | (i.Target>>2)&0x03ffffff, nil
+	case OpBITSW:
+		return opcBITSW<<26 | uint32(i.Imm)&0xffff, nil
+	}
+	if oc, ok := iOpc[i.Op]; ok {
+		return oc<<26 | uint32(i.Rs)<<21 | uint32(i.Rt)<<16 | uint32(i.Imm)&0xffff, nil
+	}
+	return 0, fmt.Errorf("isa: encode: unsupported opcode %s", i.Op)
+}
+
+// MustEncode is like Encode but panics on error. It is intended for
+// statically known-good instructions (e.g. in tests and code generators).
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// signExt16 sign-extends the low 16 bits of w.
+func signExt16(w uint32) int32 { return int32(int16(w)) }
+
+// Decode unpacks a 32-bit instruction word. Unknown encodings return
+// an error; the all-zero word decodes to the canonical nop (sll zero,zero,0).
+func Decode(w uint32) (Inst, error) {
+	opc := w >> 26
+	rs := Reg(w >> 21 & 0x1f)
+	rt := Reg(w >> 16 & 0x1f)
+	rd := Reg(w >> 11 & 0x1f)
+	shamt := int32(w >> 6 & 0x1f)
+	fn := w & 0x3f
+	switch opc {
+	case opcSpecial:
+		op, ok := functOp[fn]
+		if !ok {
+			return Inst{}, fmt.Errorf("isa: decode: unknown SPECIAL funct 0x%02x in word 0x%08x", fn, w)
+		}
+		in := Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}
+		switch op {
+		case OpSLL, OpSRL, OpSRA:
+			in.Imm = shamt
+		}
+		return in, nil
+	case opcRegimm:
+		switch uint32(rt) {
+		case riBLTZ:
+			return Inst{Op: OpBLTZ, Rs: rs, Imm: signExt16(w)}, nil
+		case riBGEZ:
+			return Inst{Op: OpBGEZ, Rs: rs, Imm: signExt16(w)}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: decode: unknown REGIMM rt %d in word 0x%08x", rt, w)
+	case opcJ, opcJAL:
+		op := OpJ
+		if opc == opcJAL {
+			op = OpJAL
+		}
+		return Inst{Op: op, Target: (w & 0x03ffffff) << 2}, nil
+	case opcBITSW:
+		return Inst{Op: OpBITSW, Imm: int32(w & 0xffff)}, nil
+	}
+	if op, ok := opcIOp[opc]; ok {
+		in := Inst{Op: op, Rs: rs, Rt: rt}
+		switch op {
+		case OpANDI, OpORI, OpXORI, OpLUI:
+			in.Imm = int32(w & 0xffff) // zero-extended
+		default:
+			in.Imm = signExt16(w)
+		}
+		return in, nil
+	}
+	return Inst{}, fmt.Errorf("isa: decode: unknown opcode 0x%02x in word 0x%08x", opc, w)
+}

@@ -1,0 +1,99 @@
+// Package mem models the simulated memory hierarchy: a sparse flat
+// main memory plus configurable set-associative caches, matching the
+// paper's evaluation platform (8KB instruction cache, 8KB data cache
+// in front of a flat DRAM).
+//
+// All addresses are 32-bit byte addresses; multi-byte accesses are
+// little-endian. Loads and stores report the number of cycles they
+// cost, which the pipeline model turns into stalls.
+package mem
+
+import "fmt"
+
+const pageBits = 12 // 4 KiB pages
+
+// Memory is a sparse, paged flat memory. The zero value is ready to use.
+type Memory struct {
+	pages map[uint32]*[1 << pageBits]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[1 << pageBits]byte)}
+}
+
+func (m *Memory) page(addr uint32, create bool) *[1 << pageBits]byte {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([1 << pageBits]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr (0 for untouched memory).
+func (m *Memory) LoadByte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(1<<pageBits-1)]
+}
+
+// StoreByte stores one byte at addr.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr, true)[addr&(1<<pageBits-1)] = v
+}
+
+// LoadWord returns the little-endian 32-bit word at addr. The address
+// need not be aligned; the pipeline enforces alignment separately.
+func (m *Memory) LoadWord(addr uint32) uint32 {
+	return uint32(m.LoadByte(addr)) |
+		uint32(m.LoadByte(addr+1))<<8 |
+		uint32(m.LoadByte(addr+2))<<16 |
+		uint32(m.LoadByte(addr+3))<<24
+}
+
+// StoreWord stores a little-endian 32-bit word at addr.
+func (m *Memory) StoreWord(addr uint32, v uint32) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+	m.StoreByte(addr+2, byte(v>>16))
+	m.StoreByte(addr+3, byte(v>>24))
+}
+
+// LoadHalf returns the little-endian 16-bit halfword at addr.
+func (m *Memory) LoadHalf(addr uint32) uint16 {
+	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
+}
+
+// StoreHalf stores a little-endian 16-bit halfword at addr.
+func (m *Memory) StoreHalf(addr uint32, v uint16) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+}
+
+// StoreBytes copies a byte image to consecutive addresses starting at addr.
+func (m *Memory) StoreBytes(addr uint32, data []byte) {
+	for i, b := range data {
+		m.StoreByte(addr+uint32(i), b)
+	}
+}
+
+// LoadBytes copies n bytes starting at addr.
+func (m *Memory) LoadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint32(i))
+	}
+	return out
+}
+
+// Footprint returns the number of touched pages, a debugging aid.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// String summarizes the touched footprint.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{%d pages}", len(m.pages))
+}

@@ -1,0 +1,98 @@
+package power
+
+import (
+	"testing"
+
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+)
+
+func TestAreaBits(t *testing.T) {
+	base := BaselineBimodal2048()
+	// 2048*2 + 2048*62 = 131072 + ... = 4096 + 126976 = 131072.
+	if got := base.AreaBits(); got != 2048*2+2048*62 {
+		t.Fatalf("baseline area = %d", got)
+	}
+	asbr := ASBRBimodal(512, 16)
+	want := 512*2 + 512*62 + 16*bitEntryBits + bdtBits
+	if got := asbr.AreaBits(); got != want {
+		t.Fatalf("ASBR area = %d, want %d", got, want)
+	}
+	// The paper's area claim: the full ASBR configuration is far
+	// smaller than the baseline predictor it beats.
+	if float64(asbr.AreaBits()) > 0.35*float64(base.AreaBits()) {
+		t.Fatalf("ASBR area %d not < 35%% of baseline %d", asbr.AreaBits(), base.AreaBits())
+	}
+	// gshare adds only the history register.
+	if BaselineGShare().AreaBits() != base.AreaBits()+11 {
+		t.Fatal("gshare area wrong")
+	}
+	// Banks multiply BIT storage.
+	two := ASBRBimodal(512, 16)
+	two.BITBanks = 2
+	if two.AreaBits() != asbr.AreaBits()+16*bitEntryBits {
+		t.Fatal("bank area wrong")
+	}
+}
+
+func TestArrayAccessScaling(t *testing.T) {
+	small := arrayAccess(1, 256)
+	big := arrayAccess(1, 1024)
+	if small != 1 {
+		t.Fatalf("256-entry access = %v, want 1", small)
+	}
+	if big != 2 {
+		t.Fatalf("1024-entry access = %v, want 2 (sqrt scaling)", big)
+	}
+	if arrayAccess(1, 0) != 0 {
+		t.Fatal("empty array costs energy")
+	}
+}
+
+func TestEstimateComponents(t *testing.T) {
+	p := DefaultParams()
+	st := cpu.Stats{
+		Instructions: 1000,
+		WrongPath:    100,
+		CondBranches: 200,
+		TakenBranches: 120,
+		Fetches:      1100,
+	}
+	base := Estimate(p, BaselineBimodal2048(), st, nil)
+	if base.BIT != 0 || base.BDT != 0 {
+		t.Fatalf("baseline has ASBR energy: %+v", base)
+	}
+	if base.Pipeline != 10000 || base.WrongPath != 400 {
+		t.Fatalf("pipeline terms: %+v", base)
+	}
+	if base.Predictor <= 0 || base.BTB <= 0 {
+		t.Fatalf("array terms missing: %+v", base)
+	}
+
+	es := &core.Stats{Folds: 50, Fallbacks: 10}
+	asbr := Estimate(p, ASBRBimodal(512, 16), st, es)
+	if asbr.BIT <= 0 || asbr.BDT <= 0 {
+		t.Fatalf("ASBR terms missing: %+v", asbr)
+	}
+	// The small predictor arrays must cost less per the model.
+	if asbr.Predictor >= base.Predictor || asbr.BTB >= base.BTB {
+		t.Fatalf("smaller arrays not cheaper: %+v vs %+v", asbr, base)
+	}
+	if got := base.Total(); got != base.Pipeline+base.WrongPath+base.Predictor+base.BTB+base.Caches {
+		t.Fatalf("total mismatch: %v", got)
+	}
+}
+
+func TestEstimateFoldingReducesActivity(t *testing.T) {
+	p := DefaultParams()
+	// Folding removes committed instructions and wrong-path slots and
+	// shrinks the branch count the predictor sees.
+	baseStats := cpu.Stats{Instructions: 10000, WrongPath: 1500, CondBranches: 2000, TakenBranches: 1200, Fetches: 11500}
+	foldStats := cpu.Stats{Instructions: 9000, WrongPath: 700, CondBranches: 1000, TakenBranches: 500, Fetches: 9700}
+	es := &core.Stats{Folds: 1000}
+	base := Estimate(p, BaselineBimodal2048(), baseStats, nil)
+	asbr := Estimate(p, ASBRBimodal(512, 16), foldStats, es)
+	if asbr.Total() >= base.Total() {
+		t.Fatalf("folding did not reduce modeled energy: %.0f vs %.0f", asbr.Total(), base.Total())
+	}
+}

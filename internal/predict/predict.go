@@ -1,0 +1,327 @@
+// Package predict implements the dynamic branch predictors used as
+// baselines and auxiliary predictors in the paper: always-not-taken,
+// bimodal (2-bit saturating counters), and gshare (global-history
+// two-level), plus a branch target buffer. A local two-level predictor,
+// a McFarling-style tournament predictor, and a profile-driven static
+// predictor are included as extensions for ablation studies.
+package predict
+
+import "fmt"
+
+// DirectionPredictor predicts the direction of conditional branches.
+// Predict is called at fetch; Update is called at resolve time with
+// the actual outcome.
+type DirectionPredictor interface {
+	// Predict returns true if the branch at pc is predicted taken.
+	Predict(pc uint32) bool
+	// Update trains the predictor with the branch's actual outcome.
+	Update(pc uint32, taken bool)
+	// Name identifies the predictor in reports.
+	Name() string
+	// Reset restores the power-on state.
+	Reset()
+}
+
+// NotTaken always predicts not-taken: the behaviour of an embedded
+// core with no branch prediction hardware (the paper's "not taken"
+// baseline row).
+type NotTaken struct{}
+
+// Predict implements DirectionPredictor; it is always false.
+func (NotTaken) Predict(uint32) bool { return false }
+
+// Update implements DirectionPredictor; it is a no-op.
+func (NotTaken) Update(uint32, bool) {}
+
+// Name implements DirectionPredictor.
+func (NotTaken) Name() string { return "not taken" }
+
+// Reset implements DirectionPredictor; it is a no-op.
+func (NotTaken) Reset() {}
+
+// Taken always predicts taken (useful as a loop-heavy baseline).
+type Taken struct{}
+
+// Predict implements DirectionPredictor; it is always true.
+func (Taken) Predict(uint32) bool { return true }
+
+// Update implements DirectionPredictor; it is a no-op.
+func (Taken) Update(uint32, bool) {}
+
+// Name implements DirectionPredictor.
+func (Taken) Name() string { return "taken" }
+
+// Reset implements DirectionPredictor; it is a no-op.
+func (Taken) Reset() {}
+
+// counter2 is a 2-bit saturating counter: 0..1 predict not-taken,
+// 2..3 predict taken.
+type counter2 uint8
+
+const counterInit counter2 = 1 // weakly not-taken at power-on
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) train(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is the classic per-PC 2-bit saturating-counter predictor
+// (McFarling's "bimodal"). The paper's baseline uses 2048 entries; the
+// ASBR auxiliary predictors use 512 and 256.
+type Bimodal struct {
+	table []counter2
+	mask  uint32
+}
+
+// NewBimodal builds a bimodal predictor with the given number of
+// entries (a power of two).
+func NewBimodal(entries int) *Bimodal {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("predict: bimodal entries %d not a power of two", entries))
+	}
+	b := &Bimodal{table: make([]counter2, entries), mask: uint32(entries - 1)}
+	b.Reset()
+	return b
+}
+
+func (b *Bimodal) index(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+// Predict implements DirectionPredictor.
+func (b *Bimodal) Predict(pc uint32) bool { return b.table[b.index(pc)].taken() }
+
+// Update implements DirectionPredictor.
+func (b *Bimodal) Update(pc uint32, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].train(taken)
+}
+
+// Name implements DirectionPredictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", len(b.table)) }
+
+// Reset implements DirectionPredictor.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = counterInit
+	}
+}
+
+// GShare is the two-level global-history predictor: the pattern table
+// is indexed by PC XOR global branch history. The paper's baseline is
+// an 11-bit history with a 2048-entry second-level table.
+type GShare struct {
+	table    []counter2
+	mask     uint32
+	history  uint32
+	histMask uint32
+	histBits int
+}
+
+// NewGShare builds a gshare predictor with historyBits of global
+// history and a pattern table of entries 2-bit counters.
+func NewGShare(historyBits, entries int) *GShare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic(fmt.Sprintf("predict: gshare entries %d not a power of two", entries))
+	}
+	if historyBits <= 0 || historyBits > 30 {
+		panic(fmt.Sprintf("predict: gshare history bits %d out of range", historyBits))
+	}
+	g := &GShare{
+		table:    make([]counter2, entries),
+		mask:     uint32(entries - 1),
+		histMask: uint32(1)<<historyBits - 1,
+		histBits: historyBits,
+	}
+	g.Reset()
+	return g
+}
+
+func (g *GShare) index(pc uint32) uint32 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict implements DirectionPredictor.
+func (g *GShare) Predict(pc uint32) bool { return g.table[g.index(pc)].taken() }
+
+// Update implements DirectionPredictor. The global history register is
+// updated non-speculatively, at resolve time, as in SimpleScalar's
+// in-order configurations.
+func (g *GShare) Update(pc uint32, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].train(taken)
+	g.history = g.history << 1 & g.histMask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Name implements DirectionPredictor.
+func (g *GShare) Name() string { return fmt.Sprintf("gshare-%d/%d", g.histBits, len(g.table)) }
+
+// Reset implements DirectionPredictor.
+func (g *GShare) Reset() {
+	for i := range g.table {
+		g.table[i] = counterInit
+	}
+	g.history = 0
+}
+
+// Local is a two-level predictor with per-branch local histories
+// (PA-style). Included as an extension beyond the paper's baselines.
+type Local struct {
+	hist     []uint32
+	pattern  []counter2
+	histMask uint32
+	patMask  uint32
+	bits     int
+}
+
+// NewLocal builds a local-history predictor with histEntries local
+// history registers of histBits bits and a pattern table of
+// patEntries counters.
+func NewLocal(histEntries, histBits, patEntries int) *Local {
+	if histEntries <= 0 || histEntries&(histEntries-1) != 0 ||
+		patEntries <= 0 || patEntries&(patEntries-1) != 0 {
+		panic("predict: local predictor sizes must be powers of two")
+	}
+	l := &Local{
+		hist:     make([]uint32, histEntries),
+		pattern:  make([]counter2, patEntries),
+		histMask: uint32(histEntries - 1),
+		patMask:  uint32(patEntries - 1),
+		bits:     histBits,
+	}
+	l.Reset()
+	return l
+}
+
+func (l *Local) patIndex(pc uint32) uint32 {
+	h := l.hist[(pc>>2)&l.histMask]
+	return h & l.patMask
+}
+
+// Predict implements DirectionPredictor.
+func (l *Local) Predict(pc uint32) bool { return l.pattern[l.patIndex(pc)].taken() }
+
+// Update implements DirectionPredictor.
+func (l *Local) Update(pc uint32, taken bool) {
+	pi := l.patIndex(pc)
+	l.pattern[pi] = l.pattern[pi].train(taken)
+	hi := (pc >> 2) & l.histMask
+	l.hist[hi] = l.hist[hi]<<1 | b2u(taken)
+	l.hist[hi] &= uint32(1)<<l.bits - 1
+}
+
+// Name implements DirectionPredictor.
+func (l *Local) Name() string {
+	return fmt.Sprintf("local-%d/%d/%d", len(l.hist), l.bits, len(l.pattern))
+}
+
+// Reset implements DirectionPredictor.
+func (l *Local) Reset() {
+	for i := range l.hist {
+		l.hist[i] = 0
+	}
+	for i := range l.pattern {
+		l.pattern[i] = counterInit
+	}
+}
+
+// Tournament combines two component predictors with a per-PC chooser
+// table (McFarling's combining predictor). Included as an extension.
+type Tournament struct {
+	a, b    DirectionPredictor
+	chooser []counter2 // >=2 selects a, <2 selects b
+	mask    uint32
+}
+
+// NewTournament builds a combining predictor over a and b with a
+// chooser table of entries counters.
+func NewTournament(a, b DirectionPredictor, entries int) *Tournament {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("predict: tournament chooser entries must be a power of two")
+	}
+	t := &Tournament{a: a, b: b, chooser: make([]counter2, entries), mask: uint32(entries - 1)}
+	for i := range t.chooser {
+		t.chooser[i] = 2 // no initial preference, leaning to a
+	}
+	return t
+}
+
+func (t *Tournament) index(pc uint32) uint32 { return (pc >> 2) & t.mask }
+
+// Predict implements DirectionPredictor.
+func (t *Tournament) Predict(pc uint32) bool {
+	if t.chooser[t.index(pc)].taken() {
+		return t.a.Predict(pc)
+	}
+	return t.b.Predict(pc)
+}
+
+// Update implements DirectionPredictor. The chooser trains toward the
+// component that was correct when exactly one of them was.
+func (t *Tournament) Update(pc uint32, taken bool) {
+	pa, pb := t.a.Predict(pc), t.b.Predict(pc)
+	i := t.index(pc)
+	if pa != pb {
+		t.chooser[i] = t.chooser[i].train(pa == taken)
+	}
+	t.a.Update(pc, taken)
+	t.b.Update(pc, taken)
+}
+
+// Name implements DirectionPredictor.
+func (t *Tournament) Name() string {
+	return fmt.Sprintf("tournament(%s,%s)", t.a.Name(), t.b.Name())
+}
+
+// Reset implements DirectionPredictor.
+func (t *Tournament) Reset() {
+	t.a.Reset()
+	t.b.Reset()
+	for i := range t.chooser {
+		t.chooser[i] = 2
+	}
+}
+
+// Static predicts from a profile-derived per-PC direction map,
+// defaulting to not-taken for unknown branches (compiler-fed static
+// prediction, cf. the paper's related-work discussion of [2]).
+type Static struct {
+	dirs map[uint32]bool
+}
+
+// NewStatic builds a static predictor from a pc -> predicted-taken map.
+// The map is used directly, not copied.
+func NewStatic(dirs map[uint32]bool) *Static {
+	if dirs == nil {
+		dirs = make(map[uint32]bool)
+	}
+	return &Static{dirs: dirs}
+}
+
+// Predict implements DirectionPredictor.
+func (s *Static) Predict(pc uint32) bool { return s.dirs[pc] }
+
+// Update implements DirectionPredictor; static predictions never train.
+func (s *Static) Update(uint32, bool) {}
+
+// Name implements DirectionPredictor.
+func (s *Static) Name() string { return fmt.Sprintf("static-%d", len(s.dirs)) }
+
+// Reset implements DirectionPredictor; it is a no-op.
+func (s *Static) Reset() {}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

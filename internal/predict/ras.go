@@ -1,0 +1,66 @@
+package predict
+
+// RAS is a return-address stack: a small hardware stack that predicts
+// the target of `jr ra` at fetch time. Calls (jal/jalr) push their
+// return address; returns pop the predicted target. This is an
+// extension beyond the paper's platform (SimpleScalar's branch units
+// carry one); the G.721 coder's eight fmult calls per sample make it
+// a meaningful baseline option, ablated in the benchmarks.
+//
+// As in real hardware the stack is updated speculatively at fetch, so
+// wrong-path calls and returns can skew it; the pipeline verifies each
+// predicted return at resolve time and flushes on mismatch.
+type RAS struct {
+	stack []uint32
+	max   int
+	// Stats.
+	pushes    uint64
+	pops      uint64
+	underflow uint64
+}
+
+// NewRAS builds a return-address stack with the given depth.
+func NewRAS(depth int) *RAS {
+	if depth <= 0 {
+		depth = 8
+	}
+	return &RAS{stack: make([]uint32, 0, depth), max: depth}
+}
+
+// Depth returns the configured capacity.
+func (r *RAS) Depth() int { return r.max }
+
+// Push records a call's return address. On overflow the oldest entry
+// is discarded (circular behaviour).
+func (r *RAS) Push(addr uint32) {
+	r.pushes++
+	if len(r.stack) == r.max {
+		copy(r.stack, r.stack[1:])
+		r.stack = r.stack[:r.max-1]
+	}
+	r.stack = append(r.stack, addr)
+}
+
+// Pop predicts a return target. ok is false when the stack is empty.
+func (r *RAS) Pop() (addr uint32, ok bool) {
+	r.pops++
+	if len(r.stack) == 0 {
+		r.underflow++
+		return 0, false
+	}
+	addr = r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return addr, true
+}
+
+// Len returns the current occupancy.
+func (r *RAS) Len() int { return len(r.stack) }
+
+// Reset empties the stack and clears statistics.
+func (r *RAS) Reset() {
+	r.stack = r.stack[:0]
+	r.pushes, r.pops, r.underflow = 0, 0, 0
+}
+
+// Underflows returns the number of empty-stack pops.
+func (r *RAS) Underflows() uint64 { return r.underflow }

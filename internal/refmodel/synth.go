@@ -1,0 +1,36 @@
+package refmodel
+
+import "math"
+
+// SynthPCM generates a deterministic 16-bit speech-like test signal:
+// two slowly swept sine partials with a periodic amplitude envelope
+// plus pseudo-random noise from a fixed LCG. It substitutes for the
+// proprietary MediaBench audio traces (clinton.pcm); what matters for
+// the paper's experiments is exercising the coders' quantizer and
+// predictor branches across quiet, loud, and noisy regions, which the
+// envelope sweep provides.
+func SynthPCM(n int, seed int64) []int32 {
+	out := make([]int32, n)
+	lcg := uint64(seed)*6364136223846793005 + 1442695040888963407
+	for i := 0; i < n; i++ {
+		t := float64(i)
+		// Envelope: syllable-like bursts.
+		env := 0.15 + 0.85*math.Abs(math.Sin(t*math.Pi/1900))
+		// Two partials with slight frequency drift.
+		f1 := 0.031 + 0.012*math.Sin(t/4000)
+		f2 := 0.117 + 0.02*math.Sin(t/2700)
+		s := 7000*math.Sin(2*math.Pi*f1*t) + 2500*math.Sin(2*math.Pi*f2*t)
+		// Noise floor.
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		noise := float64(int32(lcg>>33)%2048) - 1024
+		v := env*s + 0.8*noise
+		if v > 32767 {
+			v = 32767
+		}
+		if v < -32768 {
+			v = -32768
+		}
+		out[i] = int32(v)
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package sched
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"asbr/internal/asm"
+	"asbr/internal/cpu"
+	"asbr/internal/isa"
+	"asbr/internal/profile"
+)
+
+func mustProgram(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func lastCondBranch(t *testing.T, p *isa.Program) uint32 {
+	t.Helper()
+	var pc uint32
+	found := false
+	for i, w := range p.Text {
+		in, err := isa.Decode(w)
+		if err == nil && in.IsCondBranch() {
+			pc = p.TextBase + uint32(i*4)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no conditional branch")
+	}
+	return pc
+}
+
+func TestHoistsConditionDef(t *testing.T) {
+	// The def of t0 sits right before the branch; three independent
+	// adds on other registers can be pushed below it.
+	src := `
+main:	li	t0, 10
+	li	s0, 0
+	li	s1, 0
+	li	s2, 0
+loop:	addu	s0, s0, t0
+	addu	s1, s1, s0
+	addu	s2, s2, s1
+	addiu	t0, t0, -1
+	bnez	t0, loop
+	jr	ra
+`
+	p := mustProgram(t, src)
+	bpc := lastCondBranch(t, p)
+	if d := profile.DefDistance(p, bpc); d != 0 {
+		t.Fatalf("pre distance = %d", d)
+	}
+	p2, st := Schedule(p)
+	if st.BlocksScheduled != 1 {
+		t.Fatalf("scheduled %d blocks, considered %d", st.BlocksScheduled, st.BlocksConsidered)
+	}
+	// addu s0,s0,t0 reads the old t0 (anti-dependence), so it stays
+	// above the def; the two other adds sink below it: distance 2.
+	if d := profile.DefDistance(p2, bpc); d != 2 {
+		t.Fatalf("post distance = %d, want 2", d)
+	}
+	ch := st.Distances[bpc]
+	if ch.Before != 0 || ch.After != 2 {
+		t.Fatalf("change = %+v", ch)
+	}
+	// Original untouched.
+	if d := profile.DefDistance(p, bpc); d != 0 {
+		t.Fatal("input program mutated")
+	}
+}
+
+func TestSemanticsPreserved(t *testing.T) {
+	src := `
+main:	li	t0, 10
+	li	s0, 0
+	li	s1, 7
+loop:	addu	s0, s0, t0
+	sll	s1, s1, 1
+	xor	s1, s1, s0
+	addiu	t0, t0, -1
+	bnez	t0, loop
+	jr	ra
+`
+	p := mustProgram(t, src)
+	p2, st := Schedule(p)
+	if st.BlocksScheduled == 0 {
+		t.Fatal("nothing scheduled")
+	}
+	run := func(pr *isa.Program) (int32, int32) {
+		c := cpu.New(cpu.Config{}, pr)
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Reg(isa.RegS0), c.Reg(isa.RegS0 + 1)
+	}
+	a0, a1 := run(p)
+	b0, b1 := run(p2)
+	if a0 != b0 || a1 != b1 {
+		t.Fatalf("results changed: (%d,%d) vs (%d,%d)", a0, a1, b0, b1)
+	}
+}
+
+func TestRespectsFlowDependence(t *testing.T) {
+	// The branch condition depends on a chain: nothing independent
+	// exists, so the block must not be rewritten.
+	src := `
+main:	li	t0, 5
+loop:	addiu	t1, t0, 1
+	subu	t2, t1, t0
+	subu	t0, t0, t2
+	bnez	t0, loop
+	jr	ra
+`
+	p := mustProgram(t, src)
+	_, st := Schedule(p)
+	if st.BlocksScheduled != 0 {
+		t.Fatalf("dependent chain was rescheduled: %+v", st)
+	}
+}
+
+func TestRespectsMemoryOrdering(t *testing.T) {
+	// Store then load of the same location feeding the branch: the
+	// load (slice) must not move above the store.
+	src := `
+main:	li	t0, 3
+	la	s0, x
+loop:	sw	t0, 0(s0)
+	lw	t1, 0(s0)
+	addiu	t1, t1, -1
+	move	t0, t1
+	nop
+	bnez	t0, loop
+	jr	ra
+	.data
+x:	.word	0
+`
+	p := mustProgram(t, src)
+	p2, _ := Schedule(p)
+	// Whatever the pass did, execution must match.
+	run := func(pr *isa.Program) int32 {
+		c := cpu.New(cpu.Config{}, pr)
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.Reg(isa.RegT0)
+	}
+	if a, b := run(p), run(p2); a != b {
+		t.Fatalf("results differ: %d vs %d", a, b)
+	}
+	// And the store must still precede the load in program order.
+	idxOf := func(pr *isa.Program, op isa.Op) int {
+		for i, w := range pr.Text {
+			in, err := isa.Decode(w)
+			if err == nil && in.Op == op {
+				return i
+			}
+		}
+		return -1
+	}
+	if idxOf(p2, isa.OpSW) > idxOf(p2, isa.OpLW) {
+		t.Fatal("load hoisted above store")
+	}
+}
+
+func TestRespectsHiLoDependence(t *testing.T) {
+	src := `
+main:	li	t0, 4
+	li	s0, 3
+	li	s1, 5
+loop:	mult	s0, s1
+	mflo	s2
+	addiu	t0, t0, -1
+	nop
+	bnez	t0, loop
+	jr	ra
+`
+	p := mustProgram(t, src)
+	p2, _ := Schedule(p)
+	c := cpu.New(cpu.Config{}, p2)
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(isa.RegS0+2) != 15 {
+		t.Fatalf("mflo result = %d", c.Reg(isa.RegS0+2))
+	}
+}
+
+func TestSkipsBarriers(t *testing.T) {
+	src := `
+main:	li	t0, 2
+loop:	addiu	t0, t0, -1
+	li	v0, 1
+	move	a0, t0
+	syscall
+	bnez	t0, loop
+	jr	ra
+`
+	p := mustProgram(t, src)
+	_, st := Schedule(p)
+	if st.BlocksScheduled != 0 {
+		t.Fatal("block with syscall rescheduled")
+	}
+}
+
+func TestCrossBlockDefUntouched(t *testing.T) {
+	src := `
+main:	li	t0, 3
+top:	beqz	t0, out
+	addiu	s0, s0, 1
+	addiu	t0, t0, -1
+	j	top
+out:	jr	ra
+`
+	p := mustProgram(t, src)
+	p2, _ := Schedule(p)
+	for i := range p.Text {
+		if p.Text[i] != p2.Text[i] {
+			t.Fatal("program changed despite no in-block def")
+		}
+	}
+}
+
+// Property: scheduling random straight-line blocks preserves final
+// architectural state.
+func TestRandomBlocksEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		var b strings.Builder
+		b.WriteString("main:\tli s7, " + strconv.Itoa(3+r.Intn(5)) + "\n")
+		b.WriteString("loop:\n")
+		n := 4 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			rd := 8 + r.Intn(8)  // t0..t7
+			rs := 8 + r.Intn(12) // includes s-regs
+			rt := 8 + r.Intn(12)
+			switch r.Intn(3) {
+			case 0:
+				b.WriteString("\taddu r" + strconv.Itoa(rd) + ", r" + strconv.Itoa(rs) + ", r" + strconv.Itoa(rt) + "\n")
+			case 1:
+				b.WriteString("\txor r" + strconv.Itoa(rd) + ", r" + strconv.Itoa(rs) + ", r" + strconv.Itoa(rt) + "\n")
+			case 2:
+				b.WriteString("\taddiu r" + strconv.Itoa(rd) + ", r" + strconv.Itoa(rs) + ", " + strconv.Itoa(r.Intn(100)) + "\n")
+			}
+		}
+		b.WriteString("\taddiu s7, s7, -1\n")
+		b.WriteString("\tbnez s7, loop\n")
+		b.WriteString("\tjr ra\n")
+		src := b.String()
+		p := mustProgram(t, src)
+		p2, _ := Schedule(p)
+		final := func(pr *isa.Program) [24]int32 {
+			c := cpu.New(cpu.Config{}, pr)
+			if _, err := c.Run(); err != nil {
+				t.Fatalf("trial %d: %v\n%s", trial, err, src)
+			}
+			var out [24]int32
+			for i := range out {
+				out[i] = c.Reg(isa.Reg(i + 8))
+			}
+			return out
+		}
+		if final(p) != final(p2) {
+			t.Fatalf("trial %d: scheduling changed results\n%s\nbefore:\n%s\nafter:\n%s",
+				trial, src, asm.Disassemble(p), asm.Disassemble(p2))
+		}
+	}
+}
+
+// Property: after scheduling, def-to-branch distance never shrinks.
+func TestDistanceNeverShrinks(t *testing.T) {
+	srcs := []string{
+		"main:\tli t0, 5\nloop:\taddu s0, s0, t0\n\taddiu t0, t0, -1\n\tbnez t0, loop\n\tjr ra\n",
+		"main:\tli t1, 9\nl:\taddiu t1, t1, -1\n\taddu s1, s1, s2\n\taddu s2, s2, s1\n\tbnez t1, l\n\tjr ra\n",
+	}
+	for _, src := range srcs {
+		p := mustProgram(t, src)
+		bpc := lastCondBranch(t, p)
+		before := profile.DefDistance(p, bpc)
+		p2, _ := Schedule(p)
+		after := profile.DefDistance(p2, bpc)
+		if after < before {
+			t.Fatalf("distance shrank: %d -> %d\n%s", before, after, asm.Disassemble(p2))
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"asbr/internal/cc"
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/mem"
+	"asbr/internal/predict"
+	"asbr/internal/sched"
+)
+
+// progGen generates random MiniC programs: a handful of global scalars
+// and one array, mutated by nested loops, conditionals and arithmetic.
+// Programs are constructed to terminate (loops are bounded counters)
+// and avoid division (no fault paths).
+type progGen struct {
+	r    *rand.Rand
+	vars []string
+	sb   strings.Builder
+	loop int
+}
+
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprint(g.r.Intn(201) - 100)
+		case 1:
+			return g.vars[g.r.Intn(len(g.vars))]
+		default:
+			return fmt.Sprintf("arr[%d]", g.r.Intn(8))
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>", "<", ">", "==", "!=", "<=", ">="}
+	op := ops[g.r.Intn(len(ops))]
+	l, r := g.expr(depth-1), g.expr(depth-1)
+	if op == "<<" || op == ">>" {
+		r = fmt.Sprint(g.r.Intn(8)) // bounded shift
+	}
+	if op == "*" {
+		// Keep magnitudes bounded-ish; wrapping is fine (both sides
+		// use the same 32-bit semantics) but avoid deep mult chains.
+		r = fmt.Sprint(g.r.Intn(13) - 6)
+	}
+	return "(" + l + " " + op + " " + r + ")"
+}
+
+func (g *progGen) cond() string {
+	v := g.vars[g.r.Intn(len(g.vars))]
+	switch g.r.Intn(6) {
+	case 0:
+		return v + " < 0"
+	case 1:
+		return v + " >= 0"
+	case 2:
+		return "(" + v + " & " + fmt.Sprint(1+g.r.Intn(7)) + ") != 0"
+	case 3:
+		return v + " == 0"
+	case 4:
+		return g.expr(1) + " < " + g.expr(1)
+	default:
+		return v + " != 0"
+	}
+}
+
+func (g *progGen) stmt(depth, indent int) {
+	pad := strings.Repeat("  ", indent)
+	switch n := g.r.Intn(10); {
+	case n < 4: // assignment
+		v := g.vars[g.r.Intn(len(g.vars))]
+		fmt.Fprintf(&g.sb, "%s%s = %s;\n", pad, v, g.expr(2))
+	case n < 5: // array store
+		fmt.Fprintf(&g.sb, "%sarr[%d] = %s;\n", pad, g.r.Intn(8), g.expr(2))
+	case n < 8 && depth > 0: // if / if-else
+		fmt.Fprintf(&g.sb, "%sif (%s) {\n", pad, g.cond())
+		g.stmt(depth-1, indent+1)
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "%s} else {\n", pad)
+			g.stmt(depth-1, indent+1)
+		}
+		fmt.Fprintf(&g.sb, "%s}\n", pad)
+	case n < 9 && depth > 0: // bounded loop
+		g.loop++
+		lv := fmt.Sprintf("L%d", g.loop)
+		fmt.Fprintf(&g.sb, "%sint %s;\n", pad, lv)
+		fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s++) {\n", pad, lv, lv, 2+g.r.Intn(30), lv)
+		g.stmt(depth-1, indent+1)
+		g.stmt(depth-1, indent+1)
+		fmt.Fprintf(&g.sb, "%s}\n", pad)
+	default: // compound update
+		v := g.vars[g.r.Intn(len(g.vars))]
+		ops := []string{"+=", "-=", "^=", "|=", "&="}
+		fmt.Fprintf(&g.sb, "%s%s %s %s;\n", pad, v, ops[g.r.Intn(len(ops))], g.expr(1))
+	}
+}
+
+func (g *progGen) generate(nStmts int) string {
+	g.sb.Reset()
+	g.sb.WriteString("int arr[8] = {3, -1, 4, -1, 5, -9, 2, 6};\n")
+	for _, v := range g.vars {
+		fmt.Fprintf(&g.sb, "int %s = %d;\n", v, g.r.Intn(21)-10)
+	}
+	g.sb.WriteString("void main() {\n")
+	for i := 0; i < nStmts; i++ {
+		g.stmt(3, 1)
+	}
+	g.sb.WriteString("}\n")
+	return g.sb.String()
+}
+
+// TestFuzzFoldEquivalence is the system-level fuzz: random MiniC
+// programs are compiled, scheduled, and run three ways — baseline,
+// ASBR with every foldable branch loaded, ASBR at each update point —
+// and the final global state must be identical in all of them.
+func TestFuzzFoldEquivalence(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	r := rand.New(rand.NewSource(2001))
+	var totalFolds uint64
+	for trial := 0; trial < trials; trial++ {
+		g := &progGen{r: r, vars: []string{"a", "b", "c", "d", "e"}}
+		src := g.generate(6 + r.Intn(10))
+		prog, err := cc.CompileToProgram(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		prog, _ = sched.Schedule(prog)
+
+		readGlobals := func(c *cpu.CPU) []int32 {
+			var out []int32
+			for _, sym := range []string{"a", "b", "c", "d", "e"} {
+				addr, ok := prog.Symbol(sym)
+				if !ok {
+					t.Fatalf("trial %d: missing %s", trial, sym)
+				}
+				out = append(out, int32(c.Mem().LoadWord(addr)))
+			}
+			arr, _ := prog.Symbol("arr")
+			for i := 0; i < 8; i++ {
+				out = append(out, int32(c.Mem().LoadWord(arr+uint32(4*i))))
+			}
+			return out
+		}
+
+		run := func(fold cpu.FoldHook, up cpu.Stage) []int32 {
+			c := cpu.New(cpu.Config{
+				ICache:    mem.DefaultICache(),
+				DCache:    mem.DefaultDCache(),
+				Branch:    predict.AuxBimodal512(),
+				Fold:      fold,
+				BDTUpdate: up,
+				MaxCycles: 50_000_000,
+			}, prog)
+			if _, err := c.Run(); err != nil {
+				t.Fatalf("trial %d: run: %v\n%s", trial, err, src)
+			}
+			return readGlobals(c)
+		}
+
+		base := run(nil, cpu.StageMEM)
+		entries, err := core.BuildBIT(prog, core.FoldableBranches(prog))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(entries) == 0 {
+			continue // nothing foldable in this mutation; rare
+		}
+		for _, up := range []cpu.Stage{cpu.StageEX, cpu.StageMEM, cpu.StageWB} {
+			eng := core.NewEngine(core.Config{BITEntries: len(entries), TrackValidity: true})
+			if err := eng.Load(entries); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			got := run(eng, up)
+			totalFolds += eng.Stats().Folds
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("trial %d (update %v): global %d differs: %d vs %d\nfolds=%d fallbacks=%d\n%s",
+						trial, up, i, got[i], base[i],
+						eng.Stats().Folds, eng.Stats().Fallbacks, src)
+				}
+			}
+		}
+	}
+	if totalFolds == 0 {
+		t.Fatal("fuzz never folded a branch; the test is vacuous")
+	}
+	t.Logf("total folds across trials: %d", totalFolds)
+}
+
+// TestFuzzPredictorIndependence: the architectural result never
+// depends on the predictor choice (predictors affect timing only).
+func TestFuzzPredictorIndependence(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 5
+	}
+	r := rand.New(rand.NewSource(77))
+	units := []func() *predict.Unit{
+		predict.BaselineNotTaken,
+		predict.BaselineBimodal,
+		predict.BaselineGShare,
+		func() *predict.Unit { return predict.NewUnit(predict.Taken{}, predict.NewBTB(64)) },
+		func() *predict.Unit {
+			return predict.NewUnit(predict.NewTournament(predict.NewBimodal(128), predict.NewGShare(6, 128), 128), predict.NewBTB(128))
+		},
+		func() *predict.Unit { return predict.NewUnit(predict.NewLocal(64, 6, 256), predict.NewBTB(64)) },
+	}
+	for trial := 0; trial < trials; trial++ {
+		g := &progGen{r: r, vars: []string{"a", "b", "c", "d", "e"}}
+		src := g.generate(3 + r.Intn(6))
+		prog, err := cc.CompileToProgram(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		var ref []int32
+		for ui, mk := range units {
+			c := cpu.New(cpu.Config{Branch: mk(), MaxCycles: 50_000_000}, prog)
+			if _, err := c.Run(); err != nil {
+				t.Fatalf("trial %d unit %d: %v\n%s", trial, ui, err, src)
+			}
+			var state []int32
+			for _, sym := range []string{"a", "b", "c", "d", "e"} {
+				addr, _ := prog.Symbol(sym)
+				state = append(state, int32(c.Mem().LoadWord(addr)))
+			}
+			if ui == 0 {
+				ref = state
+				continue
+			}
+			for i := range ref {
+				if state[i] != ref[i] {
+					t.Fatalf("trial %d: predictor %d changed results\n%s", trial, ui, src)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,507 @@
+package workload
+
+// MiniC sources for the paper's four MediaBench benchmarks. Each is a
+// direct transliteration of the corresponding golden Go model in
+// package refmodel; integration tests require bit-exact agreement.
+//
+// Conventions shared by every benchmark program:
+//
+//	int n_samples;       number of samples to process (set by harness)
+//	int input[...];      input stream (set by harness)
+//	int output[...];     output stream (read by harness)
+//	int out_count;       number of valid output words (read by harness)
+
+// adpcmCommon holds the quantizer tables shared by the ADPCM coder and
+// decoder.
+const adpcmCommon = `
+int indexTable[] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int stepsizeTable[] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 158, 173, 191, 211, 233, 257, 282, 310,
+    341, 375, 411, 452, 497, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+
+int n_samples;
+int out_count;
+int state_valprev;
+int state_index;
+`
+
+// adpcmEncodeSrc is the MediaBench "adpcm_coder" (rawcaudio).
+const adpcmEncodeSrc = adpcmCommon + `
+int input[16384];
+int output[8200];
+
+void adpcm_coder() {
+    int valpred = state_valprev;
+    int index = state_index;
+    int step = stepsizeTable[index];
+    int outputbuffer = 0;
+    int bufferstep = 1;
+    int count = 0;
+    int n;
+    for (n = 0; n < n_samples; n++) {
+        int val = input[n];
+
+        /* Step 1 - compute difference with previous value */
+        int diff = val - valpred;
+        int sign = 0;
+        if (diff < 0) { sign = 8; diff = -diff; }
+
+        /* Step 2/3 - quantize and inverse-quantize */
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) { delta = 4; diff -= step; vpdiff += step; }
+        step = step >> 1;
+        if (diff >= step) { delta |= 2; diff -= step; vpdiff += step; }
+        step = step >> 1;
+        if (diff >= step) { delta |= 1; vpdiff += step; }
+
+        /* Step 4 - update previous value */
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+
+        /* Step 5 - clamp */
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+
+        /* Step 6 - update state */
+        delta |= sign;
+        index += indexTable[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        step = stepsizeTable[index];
+
+        /* Step 7 - pack two codes per word */
+        if (bufferstep) {
+            outputbuffer = (delta << 4) & 0xf0;
+        } else {
+            output[count] = (delta & 0x0f) | outputbuffer;
+            count++;
+        }
+        bufferstep = 1 - bufferstep;
+    }
+    if (bufferstep == 0) { output[count] = outputbuffer; count++; }
+    out_count = count;
+    state_valprev = valpred;
+    state_index = index;
+}
+
+void main() { adpcm_coder(); }
+`
+
+// adpcmDecodeSrc is the MediaBench "adpcm_decoder" (rawdaudio).
+const adpcmDecodeSrc = adpcmCommon + `
+int input[8200];
+int output[16384];
+
+void adpcm_decoder() {
+    int valpred = state_valprev;
+    int index = state_index;
+    int step = stepsizeTable[index];
+    int inputbuffer = 0;
+    int bufferstep = 0;
+    int pos = 0;
+    int n;
+    for (n = 0; n < n_samples; n++) {
+        /* Step 1 - unpack a 4-bit code */
+        int delta;
+        if (bufferstep) {
+            delta = inputbuffer & 0xf;
+        } else {
+            inputbuffer = input[pos];
+            pos++;
+            delta = (inputbuffer >> 4) & 0xf;
+        }
+        bufferstep = 1 - bufferstep;
+
+        /* Step 2 - step index update */
+        index += indexTable[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+
+        /* Step 3 - sign and magnitude */
+        int sign = delta & 8;
+        delta = delta & 7;
+
+        /* Step 4 - inverse quantize */
+        int vpdiff = step >> 3;
+        if (delta & 4) vpdiff += step;
+        if (delta & 2) vpdiff += step >> 1;
+        if (delta & 1) vpdiff += step >> 2;
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+
+        /* Step 5 - clamp */
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+
+        /* Step 6 - new step */
+        step = stepsizeTable[index];
+
+        output[n] = valpred;
+    }
+    out_count = n_samples;
+    state_valprev = valpred;
+    state_index = index;
+}
+
+void main() { adpcm_decoder(); }
+`
+
+// g721Common is the shared G.721 machinery: tables, state, and the
+// numeric kernels both directions use (the paper notes the encoder and
+// decoder share these tight-loop functions, which is why they selected
+// nearly the same branch sets for both).
+const g721Common = `
+int power2[] = {1, 2, 4, 8, 0x10, 0x20, 0x40, 0x80,
+                0x100, 0x200, 0x400, 0x800, 0x1000, 0x2000, 0x4000};
+
+int qtab_721[] = {-124, 80, 178, 246, 300, 349, 400};
+
+int dqlntab[] = {-2048, 4, 135, 213, 273, 323, 373, 425,
+                 425, 373, 323, 273, 213, 135, 4, -2048};
+
+int witab[] = {-12, 18, 41, 64, 112, 198, 355, 1122,
+               1122, 355, 198, 112, 64, 41, 18, -12};
+
+int fitab[] = {0, 0, 0, 0x200, 0x200, 0x200, 0x600, 0xE00,
+               0xE00, 0x600, 0x200, 0x200, 0x200, 0, 0, 0};
+
+/* struct g72x_state, flattened */
+int s_yl;
+int s_yu;
+int s_dms;
+int s_dml;
+int s_ap;
+int s_a[2];
+int s_b[6];
+int s_pk[2];
+int s_dq[6];
+int s_sr[2];
+int s_td;
+
+int n_samples;
+int out_count;
+
+void init_state() {
+    int i;
+    s_yl = 34816;
+    s_yu = 544;
+    s_dms = 0;
+    s_dml = 0;
+    s_ap = 0;
+    for (i = 0; i < 2; i++) { s_a[i] = 0; s_pk[i] = 0; s_sr[i] = 32; }
+    for (i = 0; i < 6; i++) { s_b[i] = 0; s_dq[i] = 32; }
+    s_td = 0;
+}
+
+int quan(int val, int *table, int size) {
+    int i;
+    for (i = 0; i < size; i++)
+        if (val < table[i])
+            break;
+    return i;
+}
+
+int fmult(int an, int srn) {
+    int anmag;
+    int anexp;
+    int anmant;
+    int wanexp;
+    int wanmant;
+    int retval;
+
+    if (an > 0) anmag = an;
+    else anmag = (-an) & 0x1FFF;
+    anexp = quan(anmag, power2, 15) - 6;
+    if (anmag == 0) anmant = 32;
+    else if (anexp >= 0) anmant = anmag >> anexp;
+    else anmant = anmag << (-anexp);
+    wanexp = anexp + ((srn >> 6) & 15) - 13;
+    wanmant = (anmant * (srn & 63) + 0x30) >> 4;
+    if (wanexp >= 0) retval = (wanmant << wanexp) & 0x7FFF;
+    else retval = wanmant >> (-wanexp);
+    if ((an ^ srn) < 0) return -retval;
+    return retval;
+}
+
+int predictor_zero() {
+    int i;
+    int sezi = fmult(s_b[0] >> 2, s_dq[0]);
+    for (i = 1; i < 6; i++)
+        sezi += fmult(s_b[i] >> 2, s_dq[i]);
+    return sezi;
+}
+
+int predictor_pole() {
+    return fmult(s_a[1] >> 2, s_sr[1]) + fmult(s_a[0] >> 2, s_sr[0]);
+}
+
+int step_size() {
+    int y;
+    int dif;
+    int al;
+    if (s_ap >= 256) return s_yu;
+    y = s_yl >> 6;
+    dif = s_yu - y;
+    al = s_ap >> 2;
+    if (dif > 0) y += (dif * al) >> 6;
+    else if (dif < 0) y += (dif * al + 0x3F) >> 6;
+    return y;
+}
+
+int quantize(int d, int y, int *table, int size) {
+    int dqm;
+    int exp;
+    int mant;
+    int dl;
+    int dln;
+    int i;
+
+    if (d < 0) dqm = -d;
+    else dqm = d;
+    exp = quan(dqm >> 1, power2, 15);
+    mant = ((dqm << 7) >> exp) & 0x7F;
+    dl = (exp << 7) + mant;
+    dln = dl - (y >> 2);
+    i = quan(dln, table, size);
+    if (d < 0) return (size << 1) + 1 - i;
+    if (i == 0) return (size << 1) + 1;
+    return i;
+}
+
+int reconstruct(int sign, int dqln, int y) {
+    int dql;
+    int dex;
+    int dqt;
+    int dq;
+
+    dql = dqln + (y >> 2);
+    if (dql < 0) {
+        if (sign) return -0x8000;
+        return 0;
+    }
+    dex = (dql >> 7) & 15;
+    dqt = 128 + (dql & 127);
+    dq = (dqt << 7) >> (14 - dex);
+    if (sign) return dq - 0x8000;
+    return dq;
+}
+
+void update(int code_size, int y, int wi, int fi, int dq, int sr, int dqsez) {
+    int cnt;
+    int mag;
+    int exp;
+    int a2p = 0;
+    int a1ul;
+    int pks1;
+    int fa1;
+    int tr;
+    int ylint;
+    int thr2;
+    int dqthr;
+    int ylfrac;
+    int thr1;
+    int pk0;
+    int tmp;
+
+    if (dqsez < 0) pk0 = 1;
+    else pk0 = 0;
+    mag = dq & 0x7FFF;
+
+    /* transition detect */
+    ylint = s_yl >> 15;
+    ylfrac = (s_yl >> 10) & 0x1F;
+    thr1 = (32 + ylfrac) << ylint;
+    if (ylint > 9) thr2 = 31 << 10;
+    else thr2 = thr1;
+    dqthr = (thr2 + (thr2 >> 1)) >> 1;
+    if (s_td == 0) tr = 0;
+    else if (mag <= dqthr) tr = 0;
+    else tr = 1;
+
+    /* quantizer scale factor adaptation */
+    s_yu = y + ((wi - y) >> 5);
+    if (s_yu < 544) s_yu = 544;
+    else if (s_yu > 5120) s_yu = 5120;
+    s_yl += s_yu + ((-s_yl) >> 6);
+
+    /* adaptive predictor coefficients */
+    if (tr == 1) {
+        s_a[0] = 0;
+        s_a[1] = 0;
+        for (cnt = 0; cnt < 6; cnt++) s_b[cnt] = 0;
+    } else {
+        pks1 = pk0 ^ s_pk[0];
+        a2p = s_a[1] - (s_a[1] >> 7);
+        if (dqsez != 0) {
+            if (pks1) fa1 = s_a[0];
+            else fa1 = -s_a[0];
+            if (fa1 < -8191) a2p -= 0x100;
+            else if (fa1 > 8191) a2p += 0xFF;
+            else a2p += fa1 >> 5;
+
+            if (pk0 ^ s_pk[1]) {
+                if (a2p <= -12160) a2p = -12288;
+                else if (a2p >= 12416) a2p = 12288;
+                else a2p -= 0x80;
+            } else if (a2p <= -12416) a2p = -12288;
+            else if (a2p >= 12160) a2p = 12288;
+            else a2p += 0x80;
+        }
+        s_a[1] = a2p;
+
+        s_a[0] -= s_a[0] >> 8;
+        if (dqsez != 0) {
+            if (pks1 == 0) s_a[0] += 192;
+            else s_a[0] -= 192;
+        }
+        a1ul = 15360 - a2p;
+        if (s_a[0] < -a1ul) s_a[0] = -a1ul;
+        else if (s_a[0] > a1ul) s_a[0] = a1ul;
+
+        for (cnt = 0; cnt < 6; cnt++) {
+            if (code_size == 5) s_b[cnt] -= s_b[cnt] >> 9;
+            else s_b[cnt] -= s_b[cnt] >> 8;
+            if (dq & 0x7FFF) {
+                if ((dq ^ s_dq[cnt]) >= 0) s_b[cnt] += 128;
+                else s_b[cnt] -= 128;
+            }
+        }
+    }
+
+    /* difference signal history */
+    for (cnt = 5; cnt > 0; cnt--) s_dq[cnt] = s_dq[cnt - 1];
+    if (mag == 0) {
+        if (dq >= 0) s_dq[0] = 0x20;
+        else s_dq[0] = 0x20 - 0x400;
+    } else {
+        exp = quan(mag, power2, 15);
+        if (dq >= 0) s_dq[0] = (exp << 6) + ((mag << 6) >> exp);
+        else s_dq[0] = (exp << 6) + ((mag << 6) >> exp) - 0x400;
+    }
+
+    /* reconstructed signal history */
+    s_sr[1] = s_sr[0];
+    if (sr == 0) s_sr[0] = 0x20;
+    else if (sr > 0) {
+        exp = quan(sr, power2, 15);
+        s_sr[0] = (exp << 6) + ((sr << 6) >> exp);
+    } else if (sr > -32768) {
+        mag = -sr;
+        exp = quan(mag, power2, 15);
+        s_sr[0] = (exp << 6) + ((mag << 6) >> exp) - 0x400;
+    } else s_sr[0] = 0x20 - 0x400;
+
+    s_pk[1] = s_pk[0];
+    s_pk[0] = pk0;
+
+    /* tone detect */
+    if (tr == 1) s_td = 0;
+    else if (a2p < -11776) s_td = 1;
+    else s_td = 0;
+
+    /* speed control */
+    s_dms += (fi - s_dms) >> 5;
+    s_dml += ((fi << 2) - s_dml) >> 7;
+
+    if (tr == 1) s_ap = 256;
+    else if (y < 1536) s_ap += (0x200 - s_ap) >> 4;
+    else if (s_td == 1) s_ap += (0x200 - s_ap) >> 4;
+    else {
+        tmp = (s_dms << 2) - s_dml;
+        if (tmp < 0) tmp = -tmp;
+        if (tmp >= (s_dml >> 3)) s_ap += (0x200 - s_ap) >> 4;
+        else s_ap += (-s_ap) >> 4;
+    }
+}
+`
+
+// g721EncodeSrc is the G.721 encoder main.
+const g721EncodeSrc = g721Common + `
+int input[16384];
+int output[16384];
+
+int g721_encoder(int sl) {
+    int sezi;
+    int se;
+    int sez;
+    int d;
+    int y;
+    int i;
+    int dq;
+    int sr;
+    int dqsez;
+
+    sl = sl >> 2;                 /* 14-bit dynamic range */
+    sezi = predictor_zero();
+    sez = sezi >> 1;
+    se = (sezi + predictor_pole()) >> 1;
+    d = sl - se;
+    y = step_size();
+    i = quantize(d, y, qtab_721, 7);
+    dq = reconstruct(i & 8, dqlntab[i], y);
+    if (dq < 0) sr = se - (dq & 0x3FFF);
+    else sr = se + dq;
+    dqsez = sr + sez - se;
+    update(4, y, witab[i] << 5, fitab[i], dq, sr, dqsez);
+    return i;
+}
+
+void main() {
+    int n;
+    init_state();
+    for (n = 0; n < n_samples; n++)
+        output[n] = g721_encoder(input[n]);
+    out_count = n_samples;
+}
+`
+
+// g721DecodeSrc is the G.721 decoder main.
+const g721DecodeSrc = g721Common + `
+int input[16384];
+int output[16384];
+
+int g721_decoder(int i) {
+    int sezi;
+    int sei;
+    int sez;
+    int se;
+    int y;
+    int dq;
+    int sr;
+    int dqsez;
+
+    i = i & 0x0f;
+    sezi = predictor_zero();
+    sez = sezi >> 1;
+    sei = sezi + predictor_pole();
+    se = sei >> 1;
+    y = step_size();
+    dq = reconstruct(i & 8, dqlntab[i], y);
+    if (dq < 0) sr = se - (dq & 0x3FFF);
+    else sr = se + dq;
+    dqsez = sr - se + sez;
+    update(4, y, witab[i] << 5, fitab[i], dq, sr, dqsez);
+    return sr << 2;
+}
+
+void main() {
+    int n;
+    init_state();
+    for (n = 0; n < n_samples; n++)
+        output[n] = g721_decoder(input[n]);
+    out_count = n_samples;
+}
+`

@@ -1,0 +1,504 @@
+package workload
+
+// Hand-scheduled variants of the benchmark sources, reproducing the
+// paper's §5.1/§8 methodology: "A manual scheduling in the application
+// code is performed for the branches that we identify as candidates
+// for folding." The transformations — hoisting predicate-defining
+// computations above independent work, software-pipelining the ADPCM
+// output packing across iterations (paper Figure 5), and precomputing
+// clamp comparisons into dedicated variables — are all semantics-
+// preserving: integration tests require these variants to remain
+// bit-exact against the golden Go models.
+
+// adpcmEncodeSchedSrc software-pipelines the packing step and hoists
+// every quantizer/clamp condition definition.
+const adpcmEncodeSchedSrc = adpcmCommon + `
+int input[16384];
+int output[8200];
+
+void adpcm_coder() {
+    int valpred = state_valprev;
+    int index = state_index;
+    int step = stepsizeTable[index];
+    int outputbuffer = 0;
+    int bufferstep = 1;
+    int count = 0;
+    int pdelta = 0;
+    int n;
+    for (n = 0; n < n_samples; n++) {
+        int val = input[n];
+        int diff = val - valpred;   /* sign-branch predicate, defined early */
+        int vpdiff = step >> 3;     /* independent work hoisted between */
+        int step2 = step >> 1;
+        int step4 = step >> 2;
+        int sign = 0;
+        int delta = 0;
+        if (diff < 0) { sign = 8; diff = -diff; }
+
+        int c1 = diff - step;       /* quantizer predicate 1 */
+        /* Software-pipelined packing of the previous iteration's code
+           fills the slots between c1's definition and its branch
+           (paper Figure 5). */
+        if (n > 0) {
+            if (bufferstep) {
+                outputbuffer = (pdelta << 4) & 0xf0;
+            } else {
+                output[count] = (pdelta & 0x0f) | outputbuffer;
+                count++;
+            }
+            bufferstep = 1 - bufferstep;
+        }
+        int d2;
+        if (c1 >= 0) { delta = 4; vpdiff += step; d2 = c1; }
+        else d2 = diff;
+
+        int c2 = d2 - step2;        /* quantizer predicate 2 */
+        delta |= sign;              /* independent work between def and branch: */
+        int e3 = d2 - step4;        /*   both step-3 candidates are precomputed */
+        int f3 = c2 - step4;        /*   ahead of the branch (if-conversion) */
+        int c3;
+        if (c2 >= 0) { delta |= 2; vpdiff += step2; c3 = f3; }
+        else c3 = e3;
+
+        if (c3 >= 0) { delta |= 1; vpdiff += step4; }
+
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+
+        int over = valpred - 32767;   /* clamp predicates, hoisted */
+        int under = valpred + 32768;
+        index += indexTable[delta & 0x0f];
+        if (over > 0) valpred = 32767;
+        else if (under < 0) valpred = -32768;
+
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        step = stepsizeTable[index];
+        pdelta = delta;
+    }
+    /* Epilogue: pack the final delta, then flush a pending nibble. */
+    if (n_samples > 0) {
+        if (bufferstep) {
+            outputbuffer = (pdelta << 4) & 0xf0;
+        } else {
+            output[count] = (pdelta & 0x0f) | outputbuffer;
+            count++;
+        }
+        bufferstep = 1 - bufferstep;
+    }
+    if (bufferstep == 0) { output[count] = outputbuffer; count++; }
+    out_count = count;
+    state_valprev = valpred;
+    state_index = index;
+}
+
+void main() { adpcm_coder(); }
+`
+
+// adpcmDecodeSchedSrc extracts all four code-bit predicates right
+// after unpacking, so each branch sees its condition defined several
+// instructions (and usually a basic block) earlier.
+const adpcmDecodeSchedSrc = adpcmCommon + `
+int input[8200];
+int output[16384];
+
+void adpcm_decoder() {
+    int valpred = state_valprev;
+    int index = state_index;
+    int step = stepsizeTable[index];
+    int inputbuffer = 0;
+    int bufferstep = 0;
+    int pos = 0;
+    int n;
+    for (n = 0; n < n_samples; n++) {
+        int delta;
+        if (bufferstep) {
+            delta = inputbuffer & 0xf;
+        } else {
+            inputbuffer = input[pos];
+            pos++;
+            delta = (inputbuffer >> 4) & 0xf;
+        }
+        bufferstep = 1 - bufferstep;
+
+        /* All predicates extracted up front. */
+        int sign = delta & 8;
+        int d4 = delta & 4;
+        int d2 = delta & 2;
+        int d1 = delta & 1;
+        int vpdiff = step >> 3;
+        int s1 = step >> 1;
+        int s2 = step >> 2;
+        index += indexTable[delta];
+
+        if (d4) vpdiff += step;
+        if (d2) vpdiff += s1;
+        if (d1) vpdiff += s2;
+        if (index < 0) index = 0;
+        else if (index > 88) index = 88;
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+
+        int over = valpred - 32767;
+        int under = valpred + 32768;
+        step = stepsizeTable[index];
+        if (over > 0) valpred = 32767;
+        else if (under < 0) valpred = -32768;
+
+        output[n] = valpred;
+    }
+    out_count = n_samples;
+    state_valprev = valpred;
+    state_index = index;
+}
+
+void main() { adpcm_decoder(); }
+`
+
+// g721CommonSched is the G.721 machinery with hand-scheduled kernels.
+const g721CommonSched = `
+int power2[] = {1, 2, 4, 8, 0x10, 0x20, 0x40, 0x80,
+                0x100, 0x200, 0x400, 0x800, 0x1000, 0x2000, 0x4000};
+
+int qtab_721[] = {-124, 80, 178, 246, 300, 349, 400};
+
+int dqlntab[] = {-2048, 4, 135, 213, 273, 323, 373, 425,
+                 425, 373, 323, 273, 213, 135, 4, -2048};
+
+int witab[] = {-12, 18, 41, 64, 112, 198, 355, 1122,
+               1122, 355, 198, 112, 64, 41, 18, -12};
+
+int fitab[] = {0, 0, 0, 0x200, 0x200, 0x200, 0x600, 0xE00,
+               0xE00, 0x600, 0x200, 0x200, 0x200, 0, 0, 0};
+
+int s_yl;
+int s_yu;
+int s_dms;
+int s_dml;
+int s_ap;
+int s_a[2];
+int s_b[6];
+int s_pk[2];
+int s_dq[6];
+int s_sr[2];
+int s_td;
+
+int n_samples;
+int out_count;
+
+void init_state() {
+    int i;
+    s_yl = 34816;
+    s_yu = 544;
+    s_dms = 0;
+    s_dml = 0;
+    s_ap = 0;
+    for (i = 0; i < 2; i++) { s_a[i] = 0; s_pk[i] = 0; s_sr[i] = 32; }
+    for (i = 0; i < 6; i++) { s_b[i] = 0; s_dq[i] = 32; }
+    s_td = 0;
+}
+
+/* quan: the linear search is software-pipelined (paper Figure 5): the
+   next table entry loads while the current comparison's branch is
+   still in flight, which stretches the predicate's def-to-branch
+   distance past the fold threshold on the paper's highest-frequency
+   branch. The prefetch reads one element past the table on the final
+   iteration; the value is never used (all tables are followed by more
+   initialized data). */
+int quan(int val, int *table, int size) {
+    int i = 0;
+    int cur = table[0];
+    while (i < size) {
+        int c = val - cur;
+        cur = table[i + 1];
+        i++;
+        if (c < 0) return i - 1;
+    }
+    return i;
+}
+
+int fmult(int an, int srn) {
+    int sgn = an ^ srn;          /* sign predicate, defined first */
+    int expsrn = (srn >> 6) & 15;
+    int mansrn = srn & 63;
+    int anmag;
+    int anexp;
+    int anmant;
+    int wanexp;
+    int wanmant;
+    int retval;
+
+    if (an > 0) anmag = an;
+    else anmag = (-an) & 0x1FFF;
+    anexp = quan(anmag, power2, 15) - 6;
+    if (anmag == 0) anmant = 32;
+    else if (anexp >= 0) anmant = anmag >> anexp;
+    else anmant = anmag << (-anexp);
+    wanexp = anexp + expsrn - 13;               /* predicate */
+    wanmant = (anmant * mansrn + 0x30) >> 4;    /* independent, between */
+    if (wanexp >= 0) retval = (wanmant << wanexp) & 0x7FFF;
+    else retval = wanmant >> (-wanexp);
+    if (sgn < 0) return -retval;
+    return retval;
+}
+
+int predictor_zero() {
+    int i;
+    int sezi = fmult(s_b[0] >> 2, s_dq[0]);
+    for (i = 1; i < 6; i++)
+        sezi += fmult(s_b[i] >> 2, s_dq[i]);
+    return sezi;
+}
+
+int predictor_pole() {
+    return fmult(s_a[1] >> 2, s_sr[1]) + fmult(s_a[0] >> 2, s_sr[0]);
+}
+
+int step_size() {
+    int ap = s_ap;
+    int yu = s_yu;
+    int y = s_yl >> 6;
+    int dif = yu - y;            /* predicate, early */
+    int al = ap >> 2;
+    int apc = ap - 256;          /* predicate, early */
+    if (apc >= 0) return yu;
+    if (dif > 0) return y + ((dif * al) >> 6);
+    if (dif < 0) return y + ((dif * al + 0x3F) >> 6);
+    return y;
+}
+
+int quantize(int d, int y, int *table, int size) {
+    int dqm;
+    int yq = y >> 2;             /* independent, hoisted */
+    if (d < 0) dqm = -d;
+    else dqm = d;
+    int exp = quan(dqm >> 1, power2, 15);
+    int mant = ((dqm << 7) >> exp) & 0x7F;
+    int dln = (exp << 7) + mant - yq;
+    int i = quan(dln, table, size);
+    if (d < 0) return (size << 1) + 1 - i;
+    if (i == 0) return (size << 1) + 1;
+    return i;
+}
+
+int reconstruct(int sign, int dqln, int y) {
+    int dql = dqln + (y >> 2);   /* predicate */
+    int dex = (dql >> 7) & 15;   /* independent work between def and branch */
+    int dqt = 128 + (dql & 127);
+    int dq;
+
+    if (dql < 0) {
+        if (sign) return -0x8000;
+        return 0;
+    }
+    dq = (dqt << 7) >> (14 - dex);
+    if (sign) return dq - 0x8000;
+    return dq;
+}
+
+void update(int code_size, int y, int wi, int fi, int dq, int sr, int dqsez) {
+    int cnt;
+    int mag;
+    int exp;
+    int a2p = 0;
+    int a1ul;
+    int pks1;
+    int fa1;
+    int tr;
+    int ylint;
+    int thr2;
+    int dqthr;
+    int ylfrac;
+    int thr1;
+    int pk0;
+    int tmp;
+
+    /* Predicates first: dqsez and td arrive from far away. */
+    if (dqsez < 0) pk0 = 1;
+    else pk0 = 0;
+    mag = dq & 0x7FFF;
+
+    ylint = s_yl >> 15;
+    ylfrac = (s_yl >> 10) & 0x1F;
+    thr1 = (32 + ylfrac) << ylint;
+    if (ylint > 9) thr2 = 31 << 10;
+    else thr2 = thr1;
+    dqthr = (thr2 + (thr2 >> 1)) >> 1;
+    int magc = mag - dqthr;      /* predicate for the tr decision */
+    if (s_td == 0) tr = 0;
+    else if (magc <= 0) tr = 0;
+    else tr = 1;
+
+    int yu = y + ((wi - y) >> 5);
+    int yu_lo = yu - 544;        /* clamp predicates, hoisted */
+    int yu_hi = yu - 5120;
+    if (yu_lo < 0) yu = 544;
+    else if (yu_hi > 0) yu = 5120;
+    s_yu = yu;
+    s_yl += yu + ((-s_yl) >> 6);
+
+    if (tr == 1) {
+        s_a[0] = 0;
+        s_a[1] = 0;
+        for (cnt = 0; cnt < 6; cnt++) s_b[cnt] = 0;
+    } else {
+        pks1 = pk0 ^ s_pk[0];
+        a2p = s_a[1] - (s_a[1] >> 7);
+        if (dqsez != 0) {
+            if (pks1) fa1 = s_a[0];
+            else fa1 = -s_a[0];
+            int fa1_lo = fa1 + 8191;   /* hoisted range predicates */
+            int fa1_hi = fa1 - 8191;
+            if (fa1_lo < 0) a2p -= 0x100;
+            else if (fa1_hi > 0) a2p += 0xFF;
+            else a2p += fa1 >> 5;
+
+            if (pk0 ^ s_pk[1]) {
+                if (a2p <= -12160) a2p = -12288;
+                else if (a2p >= 12416) a2p = 12288;
+                else a2p -= 0x80;
+            } else if (a2p <= -12416) a2p = -12288;
+            else if (a2p >= 12160) a2p = 12288;
+            else a2p += 0x80;
+        }
+        s_a[1] = a2p;
+
+        s_a[0] -= s_a[0] >> 8;
+        if (dqsez != 0) {
+            if (pks1 == 0) s_a[0] += 192;
+            else s_a[0] -= 192;
+        }
+        a1ul = 15360 - a2p;
+        if (s_a[0] < -a1ul) s_a[0] = -a1ul;
+        else if (s_a[0] > a1ul) s_a[0] = a1ul;
+
+        for (cnt = 0; cnt < 6; cnt++) {
+            if (code_size == 5) s_b[cnt] -= s_b[cnt] >> 9;
+            else s_b[cnt] -= s_b[cnt] >> 8;
+            if (dq & 0x7FFF) {
+                if ((dq ^ s_dq[cnt]) >= 0) s_b[cnt] += 128;
+                else s_b[cnt] -= 128;
+            }
+        }
+    }
+
+    for (cnt = 5; cnt > 0; cnt--) s_dq[cnt] = s_dq[cnt - 1];
+    if (mag == 0) {
+        if (dq >= 0) s_dq[0] = 0x20;
+        else s_dq[0] = 0x20 - 0x400;
+    } else {
+        exp = quan(mag, power2, 15);
+        if (dq >= 0) s_dq[0] = (exp << 6) + ((mag << 6) >> exp);
+        else s_dq[0] = (exp << 6) + ((mag << 6) >> exp) - 0x400;
+    }
+
+    s_sr[1] = s_sr[0];
+    if (sr == 0) s_sr[0] = 0x20;
+    else if (sr > 0) {
+        exp = quan(sr, power2, 15);
+        s_sr[0] = (exp << 6) + ((sr << 6) >> exp);
+    } else if (sr > -32768) {
+        mag = -sr;
+        exp = quan(mag, power2, 15);
+        s_sr[0] = (exp << 6) + ((mag << 6) >> exp) - 0x400;
+    } else s_sr[0] = 0x20 - 0x400;
+
+    s_pk[1] = s_pk[0];
+    s_pk[0] = pk0;
+
+    if (tr == 1) s_td = 0;
+    else if (a2p < -11776) s_td = 1;
+    else s_td = 0;
+
+    s_dms += (fi - s_dms) >> 5;
+    s_dml += ((fi << 2) - s_dml) >> 7;
+
+    if (tr == 1) s_ap = 256;
+    else if (y < 1536) s_ap += (0x200 - s_ap) >> 4;
+    else if (s_td == 1) s_ap += (0x200 - s_ap) >> 4;
+    else {
+        tmp = (s_dms << 2) - s_dml;
+        if (tmp < 0) tmp = -tmp;
+        if (tmp >= (s_dml >> 3)) s_ap += (0x200 - s_ap) >> 4;
+        else s_ap += (-s_ap) >> 4;
+    }
+}
+`
+
+// g721EncodeSchedSrc is the hand-scheduled encoder.
+const g721EncodeSchedSrc = g721CommonSched + `
+int input[16384];
+int output[16384];
+
+int g721_encoder(int sl) {
+    int sezi;
+    int se;
+    int sez;
+    int d;
+    int y;
+    int i;
+    int dq;
+    int sr;
+    int dqsez;
+
+    sl = sl >> 2;
+    sezi = predictor_zero();
+    sez = sezi >> 1;
+    se = (sezi + predictor_pole()) >> 1;
+    d = sl - se;
+    y = step_size();
+    i = quantize(d, y, qtab_721, 7);
+    dq = reconstruct(i & 8, dqlntab[i], y);
+    if (dq < 0) sr = se - (dq & 0x3FFF);
+    else sr = se + dq;
+    dqsez = sr + sez - se;
+    update(4, y, witab[i] << 5, fitab[i], dq, sr, dqsez);
+    return i;
+}
+
+void main() {
+    int n;
+    init_state();
+    for (n = 0; n < n_samples; n++)
+        output[n] = g721_encoder(input[n]);
+    out_count = n_samples;
+}
+`
+
+// g721DecodeSchedSrc is the hand-scheduled decoder.
+const g721DecodeSchedSrc = g721CommonSched + `
+int input[16384];
+int output[16384];
+
+int g721_decoder(int i) {
+    int sezi;
+    int sei;
+    int sez;
+    int se;
+    int y;
+    int dq;
+    int sr;
+    int dqsez;
+
+    i = i & 0x0f;
+    sezi = predictor_zero();
+    sez = sezi >> 1;
+    sei = sezi + predictor_pole();
+    se = sei >> 1;
+    y = step_size();
+    dq = reconstruct(i & 8, dqlntab[i], y);
+    if (dq < 0) sr = se - (dq & 0x3FFF);
+    else sr = se + dq;
+    dqsez = sr - se + sez;
+    update(4, y, witab[i] << 5, fitab[i], dq, sr, dqsez);
+    return sr << 2;
+}
+
+void main() {
+    int n;
+    init_state();
+    for (n = 0; n < n_samples; n++)
+        output[n] = g721_decoder(input[n]);
+    out_count = n_samples;
+}
+`

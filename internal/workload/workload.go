@@ -1,0 +1,213 @@
+// Package workload builds and runs the paper's four MediaBench
+// benchmarks (ADPCM encode/decode, G.721 encode/decode) on the
+// simulated machine: it compiles the MiniC sources, pours synthetic
+// input into the program's global arrays, runs the pipeline, and
+// extracts the output stream.
+package workload
+
+import (
+	"fmt"
+
+	"asbr/internal/cc"
+	"asbr/internal/cpu"
+	"asbr/internal/isa"
+	"asbr/internal/refmodel"
+	"asbr/internal/sched"
+)
+
+// Benchmark names (the paper's four applications, §8).
+const (
+	ADPCMEncode = "adpcm-enc"
+	ADPCMDecode = "adpcm-dec"
+	G721Encode  = "g721-enc"
+	G721Decode  = "g721-dec"
+)
+
+// Names lists all benchmarks in the paper's reporting order.
+func Names() []string {
+	return []string{ADPCMEncode, ADPCMDecode, G721Encode, G721Decode}
+}
+
+// MaxSamples is the input-array capacity compiled into each benchmark.
+const MaxSamples = 16384
+
+// Source returns the plain (unscheduled) MiniC source of a benchmark.
+func Source(name string) (string, error) {
+	switch name {
+	case ADPCMEncode:
+		return adpcmEncodeSrc, nil
+	case ADPCMDecode:
+		return adpcmDecodeSrc, nil
+	case G721Encode:
+		return g721EncodeSrc, nil
+	case G721Decode:
+		return g721DecodeSrc, nil
+	}
+	return "", fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// ScheduledSource returns the hand-scheduled source variant, carrying
+// the paper's §5.1 manual scheduling (hoisted predicate definitions,
+// software-pipelined packing).
+func ScheduledSource(name string) (string, error) {
+	switch name {
+	case ADPCMEncode:
+		return adpcmEncodeSchedSrc, nil
+	case ADPCMDecode:
+		return adpcmDecodeSchedSrc, nil
+	case G721Encode:
+		return g721EncodeSchedSrc, nil
+	case G721Decode:
+		return g721DecodeSchedSrc, nil
+	}
+	return "", fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// BuildOptions selects the scheduling levels applied to a benchmark.
+type BuildOptions struct {
+	// ManualSchedule compiles the hand-scheduled source variant
+	// (paper §5.1 manual scheduling / software pipelining).
+	ManualSchedule bool
+	// CompilerSchedule runs the automatic basic-block scheduling pass
+	// (package sched) on the assembled program.
+	CompilerSchedule bool
+}
+
+// BuildOpt compiles a benchmark with explicit scheduling options.
+func BuildOpt(name string, opt BuildOptions) (*isa.Program, error) {
+	var src string
+	var err error
+	if opt.ManualSchedule {
+		src, err = ScheduledSource(name)
+	} else {
+		src, err = Source(name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p, err := cc.CompileToProgram(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %s: %v", name, err)
+	}
+	if opt.CompilerSchedule {
+		p, _ = sched.Schedule(p)
+	}
+	return p, nil
+}
+
+// Build compiles a benchmark. With schedule=true the paper's §5.1/§8
+// methodology is applied: the automatic scheduling pass everywhere,
+// plus manual source scheduling where it pays — the paper hand-
+// scheduled "the branches that we identify as candidates for folding",
+// i.e. selectively. For G.721 the hand-pipelined quan search is
+// essential (its highest-frequency branch is unfoldable otherwise);
+// for ADPCM the compiler pass alone exposes all four selected branches
+// and the manual variant's software-pipelining overhead outweighs its
+// gains (see the scheduling ablation in EXPERIMENTS.md).
+func Build(name string, schedule bool) (*isa.Program, error) {
+	if !schedule {
+		return BuildOpt(name, BuildOptions{})
+	}
+	manual := name == G721Encode || name == G721Decode
+	return BuildOpt(name, BuildOptions{ManualSchedule: manual, CompilerSchedule: true})
+}
+
+// Input produces the benchmark's input stream for n audio samples:
+// raw synthetic PCM for the encoders, and the corresponding encoded
+// streams (produced by the golden models) for the decoders.
+func Input(name string, n int, seed int64) ([]int32, error) {
+	if n > MaxSamples {
+		return nil, fmt.Errorf("workload: n=%d exceeds capacity %d", n, MaxSamples)
+	}
+	pcm := refmodel.SynthPCM(n, seed)
+	switch name {
+	case ADPCMEncode, G721Encode:
+		return pcm, nil
+	case ADPCMDecode:
+		var st refmodel.ADPCMState
+		return refmodel.ADPCMEncode(pcm, &st), nil
+	case G721Decode:
+		return refmodel.G721Encode(pcm), nil
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Expected returns the golden-model output for the benchmark on the
+// Input stream of the same n and seed.
+func Expected(name string, n int, seed int64) ([]int32, error) {
+	in, err := Input(name, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case ADPCMEncode:
+		var st refmodel.ADPCMState
+		return refmodel.ADPCMEncode(in, &st), nil
+	case ADPCMDecode:
+		var st refmodel.ADPCMState
+		return refmodel.ADPCMDecode(in, n, &st), nil
+	case G721Encode:
+		return refmodel.G721Encode(in), nil
+	case G721Decode:
+		return refmodel.G721Decode(in), nil
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Result is one finished simulation.
+type Result struct {
+	CPU    *cpu.CPU
+	Stats  cpu.Stats
+	Output []int32
+}
+
+// Run executes program p (a built benchmark) over the given input
+// stream, producing nSamples output-governing samples, under the
+// machine configuration cfg.
+func Run(p *isa.Program, cfg cpu.Config, input []int32, nSamples int) (*Result, error) {
+	c := cpu.New(cfg, p)
+	if err := pour(c, p, "n_samples", []int32{int32(nSamples)}); err != nil {
+		return nil, err
+	}
+	if err := pour(c, p, "input", input); err != nil {
+		return nil, err
+	}
+	st, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	count, err := read(c, p, "out_count", 1)
+	if err != nil {
+		return nil, err
+	}
+	out, err := read(c, p, "output", int(count[0]))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{CPU: c, Stats: st, Output: out}, nil
+}
+
+// pour writes words into the program's global array sym.
+func pour(c *cpu.CPU, p *isa.Program, sym string, vals []int32) error {
+	addr, ok := p.Symbol(sym)
+	if !ok {
+		return fmt.Errorf("workload: program has no symbol %q", sym)
+	}
+	for i, v := range vals {
+		c.Mem().StoreWord(addr+uint32(i*4), uint32(v))
+	}
+	return nil
+}
+
+// read fetches n words from the program's global array sym.
+func read(c *cpu.CPU, p *isa.Program, sym string, n int) ([]int32, error) {
+	addr, ok := p.Symbol(sym)
+	if !ok {
+		return nil, fmt.Errorf("workload: program has no symbol %q", sym)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(c.Mem().LoadWord(addr + uint32(i*4)))
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/mem"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+)
+
+// checkAgainstGolden builds and runs a benchmark and requires
+// bit-exact agreement with the golden Go model.
+func checkAgainstGolden(t *testing.T, name string, n int, schedule bool, cfg cpu.Config) *Result {
+	t.Helper()
+	p, err := Build(name, schedule)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	in, err := Input(name, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Expected(name, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, cfg, in, n)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("%s: output %d words, want %d", name, len(res.Output), len(want))
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Fatalf("%s: output[%d] = %d, want %d", name, i, res.Output[i], want[i])
+		}
+	}
+	return res
+}
+
+func TestBenchmarksMatchGoldenModels(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			res := checkAgainstGolden(t, name, 512, false, cpu.Config{})
+			if res.Stats.Instructions == 0 || res.Stats.CondBranches == 0 {
+				t.Fatalf("suspicious stats: %+v", res.Stats)
+			}
+		})
+	}
+}
+
+func TestSchedulingPreservesResults(t *testing.T) {
+	for _, name := range Names() {
+		checkAgainstGolden(t, name, 256, true, cpu.Config{})
+	}
+}
+
+func TestBenchmarksWithCachesAndPredictor(t *testing.T) {
+	cfg := cpu.Config{
+		ICache: mem.DefaultICache(),
+		DCache: mem.DefaultDCache(),
+		Branch: predict.BaselineBimodal(),
+	}
+	res := checkAgainstGolden(t, ADPCMEncode, 512, false, cfg)
+	if res.Stats.ICache.Accesses() == 0 || res.Stats.DCache.Accesses() == 0 {
+		t.Fatal("caches unused")
+	}
+	if res.Stats.PredAccuracy() <= 0.3 {
+		t.Fatalf("bimodal accuracy %v suspiciously low", res.Stats.PredAccuracy())
+	}
+}
+
+// TestASBREndToEnd is the headline integration test: profile a
+// benchmark, select branches, build a BIT, re-run with folding, and
+// verify both bit-exact output and a cycle reduction.
+func TestASBREndToEnd(t *testing.T) {
+	const n = 512
+	name := ADPCMEncode
+	p, err := Build(name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := Input(name, n, 1)
+	want, _ := Expected(name, n, 1)
+
+	// Profile with the auxiliary predictor as shadow.
+	prof := profile.New(predict.NewBimodal(512))
+	baseCfg := cpu.Config{
+		ICache: mem.DefaultICache(),
+		DCache: mem.DefaultDCache(),
+		Branch: predict.BaselineBimodal(),
+	}
+	profCfg := baseCfg
+	profCfg.Observer = prof
+	base, err := Run(p, profCfg, in, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cands, err := profile.Select(p, prof, profile.SelectOptions{
+		Aux: "bimodal-512", MinDistance: 3, K: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no fold candidates found in ADPCM encode")
+	}
+	entries, err := profile.BuildBITFromCandidates(p, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(core.DefaultConfig())
+	if err := eng.Load(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	asbrCfg := cpu.Config{
+		ICache: mem.DefaultICache(),
+		DCache: mem.DefaultDCache(),
+		Branch: predict.AuxBimodal512(),
+		Fold:   eng,
+	}
+	folded, err := Run(p, asbrCfg, in, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if folded.Output[i] != want[i] {
+			t.Fatalf("ASBR changed output[%d]: %d vs %d", i, folded.Output[i], want[i])
+		}
+	}
+	if eng.Stats().Folds == 0 {
+		t.Fatalf("no folds: %+v (candidates %+v)", eng.Stats(), cands)
+	}
+	if folded.Stats.Cycles >= base.Stats.Cycles {
+		t.Fatalf("ASBR did not reduce cycles: %d vs %d (folds=%d, fallbacks=%d)",
+			folded.Stats.Cycles, base.Stats.Cycles, eng.Stats().Folds, eng.Stats().Fallbacks)
+	}
+	t.Logf("%s: base=%d cycles, ASBR=%d cycles (%.1f%% improvement), folds=%d fallbacks=%d",
+		name, base.Stats.Cycles, folded.Stats.Cycles,
+		100*(1-float64(folded.Stats.Cycles)/float64(base.Stats.Cycles)),
+		eng.Stats().Folds, eng.Stats().Fallbacks)
+}
+
+func TestInputErrors(t *testing.T) {
+	if _, err := Input("bogus", 10, 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Input(ADPCMEncode, MaxSamples+1, 1); err == nil {
+		t.Fatal("oversized input accepted")
+	}
+	if _, err := Source("bogus"); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := Build("bogus", false); err == nil {
+		t.Fatal("unknown build accepted")
+	}
+	if _, err := Expected("bogus", 10, 1); err == nil {
+		t.Fatal("unknown expected accepted")
+	}
+}
+
+func TestDecodersConsumeEncoderOutput(t *testing.T) {
+	// The decode benchmarks' inputs are the golden encoders' outputs;
+	// check the plumbed sizes make sense.
+	in, err := Input(ADPCMDecode, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 256 {
+		t.Fatalf("adpcm decode input = %d words, want 256 packed", len(in))
+	}
+	in, err = Input(G721Decode, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 512 {
+		t.Fatalf("g721 decode input = %d codes", len(in))
+	}
+}
