@@ -1,0 +1,38 @@
+# Development targets for the ASBR reproduction. `make ci` is what the
+# CI workflow runs: vet, build, race-enabled tests, a 1-iteration
+# benchmark smoke and a short fuzz smoke of the assembler round-trip.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke fuzz-smoke tables ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the Figure 6 benchmark suite: catches bit-rot in the
+# bench harness without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -bench=Fig6 -benchtime=1x -run '^$$' .
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzAsmRoundTrip -fuzztime=10s -run '^$$' ./internal/asm
+
+# Regenerate every table of the paper at the default sample count.
+tables:
+	$(GO) run ./cmd/asbr-tables
+
+ci: vet build race bench-smoke fuzz-smoke
+
+clean:
+	$(GO) clean ./...

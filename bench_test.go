@@ -13,6 +13,7 @@
 package asbr_test
 
 import (
+	"runtime"
 	"testing"
 
 	"asbr/internal/core"
@@ -294,6 +295,35 @@ func BenchmarkAblationValidity(b *testing.B) {
 	}
 	b.ReportMetric(float64(rows[0].Folds), "folds_safe")
 	b.ReportMetric(float64(rows[1].Folds), "folds_unsafe_bound")
+}
+
+// benchSweep runs a complete Figure 11 sweep (12 simulation jobs plus
+// the shared profile/selection/baseline artifacts) on a fresh engine
+// with the given worker count.
+func benchSweep(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := experiment.NewSweep(experiment.Options{Samples: benchSamples, Seed: 1, Parallel: parallel})
+		if _, err := s.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the single-worker reference for the
+// concurrent experiment engine.
+func BenchmarkSweepSerial(b *testing.B) {
+	benchSweep(b, 1)
+	b.ReportMetric(1, "workers")
+}
+
+// BenchmarkSweepParallel runs the same sweep on GOMAXPROCS workers;
+// compare ns/op against BenchmarkSweepSerial for the engine's speedup
+// (≥2x on a 4-core host; the two are identical on a single core). The
+// outputs are byte-identical either way — see TestParallelDeterminism.
+func BenchmarkSweepParallel(b *testing.B) {
+	benchSweep(b, 0)
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 }
 
 // BenchmarkSimulatorThroughput measures the raw simulator speed

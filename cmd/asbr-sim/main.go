@@ -1,19 +1,27 @@
-// Command asbr-sim runs a program on the cycle-accurate pipeline
-// simulator, optionally with ASBR branch folding.
+// Command asbr-sim runs one or more programs on the cycle-accurate
+// pipeline simulator, optionally with ASBR branch folding.
 //
 //	asbr-sim prog.s                    # assemble and run
 //	asbr-sim -c prog.mc                # compile MiniC and run
 //	asbr-sim -predictor gshare prog.s  # choose the branch predictor
 //	asbr-sim -asbr -profile prog.s     # profile, select, fold, re-run
 //	asbr-sim -trace prog.s             # print the disassembly first
+//	asbr-sim -parallel 4 a.s b.s c.s   # simulate several programs at once
+//
+// With several program files the simulations run concurrently on a
+// bounded worker pool (internal/runner); each program's report is
+// buffered and printed in argument order, so the output is identical
+// to running the files one at a time.
 //
 // The machine is the paper's platform: 5-stage in-order pipeline, 8KB
 // I-cache, 8KB D-cache.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"asbr/internal/asm"
@@ -24,82 +32,150 @@ import (
 	"asbr/internal/mem"
 	"asbr/internal/predict"
 	"asbr/internal/profile"
+	"asbr/internal/runner"
 	"asbr/internal/sched"
 )
 
+type options struct {
+	compile   bool
+	predictor string
+	asbr      bool
+	k         int
+	schedule  bool
+	trace     bool
+	pipeTrace int
+	maxCycles uint64
+}
+
 func main() {
-	compile := flag.Bool("c", false, "input is MiniC, not assembly")
-	predictor := flag.String("predictor", "bimodal", "branch predictor: nottaken|bimodal|gshare|bi512|bi256")
-	asbr := flag.Bool("asbr", false, "enable ASBR folding (profiles first, then re-runs)")
-	k := flag.Int("k", core.DefaultBITEntries, "BIT entries for -asbr")
-	schedule := flag.Bool("sched", false, "run the §5.1 instruction scheduling pass")
-	trace := flag.Bool("trace", false, "print the disassembly before running")
-	pipeTrace := flag.Int("pipetrace", 0, "dump the first N cycles of pipeline occupancy")
-	maxCycles := flag.Uint64("max-cycles", 1<<32, "abort after this many cycles")
+	var opt options
+	flag.BoolVar(&opt.compile, "c", false, "input is MiniC, not assembly")
+	flag.StringVar(&opt.predictor, "predictor", "bimodal", "branch predictor: nottaken|bimodal|gshare|bi512|bi256")
+	flag.BoolVar(&opt.asbr, "asbr", false, "enable ASBR folding (profiles first, then re-runs)")
+	flag.IntVar(&opt.k, "k", core.DefaultBITEntries, "BIT entries for -asbr")
+	flag.BoolVar(&opt.schedule, "sched", false, "run the §5.1 instruction scheduling pass")
+	flag.BoolVar(&opt.trace, "trace", false, "print the disassembly before running")
+	flag.IntVar(&opt.pipeTrace, "pipetrace", 0, "dump the first N cycles of pipeline occupancy")
+	flag.Uint64Var(&opt.maxCycles, "max-cycles", 1<<32, "abort after this many cycles")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: asbr-sim [flags] program.{s,mc}")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: asbr-sim [flags] program.{s,mc} ...")
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	check(err)
+
+	files := flag.Args()
+	outs, err := runner.Map(*parallel, files, func(_ int, path string) (string, error) {
+		var buf bytes.Buffer
+		if err := simulate(&buf, path, opt); err != nil {
+			return "", fmt.Errorf("%s: %v", path, err)
+		}
+		return buf.String(), nil
+	})
+	// Print every completed report before failing: with several files
+	// one bad program should not hide the others' results.
+	for i, out := range outs {
+		if out == "" {
+			continue
+		}
+		if len(files) > 1 {
+			fmt.Printf("==> %s <==\n", files[i])
+		}
+		fmt.Print(out)
+		if len(files) > 1 {
+			fmt.Println()
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asbr-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// simulate loads, optionally schedules, and runs one program, writing
+// the full report to w. It is safe to call concurrently: every piece
+// of machine state is local to the call.
+func simulate(w io.Writer, path string, opt options) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
 
 	var prog *isa.Program
-	if *compile {
+	if opt.compile {
 		prog, err = cc.CompileToProgram(string(src))
 	} else {
 		prog, err = asm.Assemble(string(src))
 	}
-	check(err)
-	if *schedule {
+	if err != nil {
+		return err
+	}
+	if opt.schedule {
 		var st sched.Stats
 		prog, st = sched.Schedule(prog)
-		fmt.Printf("scheduler: %d/%d blocks rescheduled\n", st.BlocksScheduled, st.BlocksConsidered)
+		fmt.Fprintf(w, "scheduler: %d/%d blocks rescheduled\n", st.BlocksScheduled, st.BlocksConsidered)
 	}
-	if *trace {
-		fmt.Print(asm.Disassemble(prog))
+	if opt.trace {
+		fmt.Fprint(w, asm.Disassemble(prog))
 	}
 
 	cfg := cpu.Config{
 		ICache:    mem.DefaultICache(),
 		DCache:    mem.DefaultDCache(),
-		Branch:    unit(*predictor),
-		MaxCycles: *maxCycles,
+		Branch:    unit(opt.predictor),
+		MaxCycles: opt.maxCycles,
 	}
-	if *pipeTrace > 0 {
-		cfg.Trace = &truncWriter{w: os.Stdout, lines: *pipeTrace}
+	if opt.pipeTrace > 0 {
+		cfg.Trace = &truncWriter{w: w, lines: opt.pipeTrace}
 	}
 
-	if !*asbr {
-		report(runOnce(prog, cfg), nil)
-		return
+	if !opt.asbr {
+		c, err := runOnce(prog, cfg)
+		if err != nil {
+			return err
+		}
+		report(w, c, nil)
+		return nil
 	}
 
 	// ASBR flow: profile -> select -> build BIT -> fold.
 	prof := profile.New(predict.NewBimodal(512))
 	pcfg := cfg
 	pcfg.Observer = prof
-	base := runOnce(prog, pcfg)
+	base, err := runOnce(prog, pcfg)
+	if err != nil {
+		return err
+	}
 	cands, err := profile.Select(prog, prof, profile.SelectOptions{
-		Aux: "bimodal-512", MinDistance: 3, K: *k,
+		Aux: "bimodal-512", MinDistance: 3, K: opt.k,
 	})
-	check(err)
+	if err != nil {
+		return err
+	}
 	entries, err := profile.BuildBITFromCandidates(prog, cands)
-	check(err)
-	eng := core.NewEngine(core.Config{BITEntries: *k, TrackValidity: true})
-	check(eng.Load(entries))
-	fmt.Printf("ASBR: %d branches selected for the BIT\n", len(entries))
+	if err != nil {
+		return err
+	}
+	eng := core.NewEngine(core.Config{BITEntries: opt.k, TrackValidity: true})
+	if err := eng.Load(entries); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ASBR: %d branches selected for the BIT\n", len(entries))
 	for i, e := range entries {
-		fmt.Printf("  %2d: %v\n", i, e)
+		fmt.Fprintf(w, "  %2d: %v\n", i, e)
 	}
 	fcfg := cfg
 	fcfg.Fold = eng
-	folded := runOnce(prog, fcfg)
-	report(folded, eng)
-	fmt.Printf("baseline cycles: %d, ASBR cycles: %d (%.1f%% improvement)\n",
+	folded, err := runOnce(prog, fcfg)
+	if err != nil {
+		return err
+	}
+	report(w, folded, eng)
+	fmt.Fprintf(w, "baseline cycles: %d, ASBR cycles: %d (%.1f%% improvement)\n",
 		base.Stats().Cycles, folded.Stats().Cycles,
 		100*(1-float64(folded.Stats().Cycles)/float64(base.Stats().Cycles)))
+	return nil
 }
 
 func unit(name string) *predict.Unit {
@@ -117,47 +193,41 @@ func unit(name string) *predict.Unit {
 	}
 }
 
-func runOnce(prog *isa.Program, cfg cpu.Config) *cpu.CPU {
+func runOnce(prog *isa.Program, cfg cpu.Config) (*cpu.CPU, error) {
 	c := cpu.New(cfg, prog)
-	_, err := c.Run()
-	check(err)
-	return c
+	if _, err := c.Run(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
-func report(c *cpu.CPU, eng *core.Engine) {
+func report(w io.Writer, c *cpu.CPU, eng *core.Engine) {
 	st := c.Stats()
-	fmt.Printf("cycles:        %d\n", st.Cycles)
-	fmt.Printf("instructions:  %d (CPI %.2f)\n", st.Instructions, st.CPI())
-	fmt.Printf("cond branches: %d (taken %d, accuracy %.1f%%)\n",
+	fmt.Fprintf(w, "cycles:        %d\n", st.Cycles)
+	fmt.Fprintf(w, "instructions:  %d (CPI %.2f)\n", st.Instructions, st.CPI())
+	fmt.Fprintf(w, "cond branches: %d (taken %d, accuracy %.1f%%)\n",
 		st.CondBranches, st.TakenBranches, 100*st.PredAccuracy())
-	fmt.Printf("flushes:       %d mispredicts, %d BTB-miss taken\n", st.Mispredicts, st.BTBMissTaken)
-	fmt.Printf("stalls:        %d load-use, %d EX, %d MEM, %d fetch\n",
+	fmt.Fprintf(w, "flushes:       %d mispredicts, %d BTB-miss taken\n", st.Mispredicts, st.BTBMissTaken)
+	fmt.Fprintf(w, "stalls:        %d load-use, %d EX, %d MEM, %d fetch\n",
 		st.LoadUseStalls, st.ExStalls, st.MemStalls, st.FetchStalls)
-	fmt.Printf("icache:        %.2f%% miss, dcache: %.2f%% miss\n",
+	fmt.Fprintf(w, "icache:        %.2f%% miss, dcache: %.2f%% miss\n",
 		100*st.ICache.MissRate(), 100*st.DCache.MissRate())
 	if eng != nil {
 		es := eng.Stats()
-		fmt.Printf("ASBR:          %d folds (%d taken), %d fallbacks\n", es.Folds, es.FoldsTaken, es.Fallbacks)
+		fmt.Fprintf(w, "ASBR:          %d folds (%d taken), %d fallbacks\n", es.Folds, es.FoldsTaken, es.Fallbacks)
 	}
 	if len(c.Output) > 0 {
-		fmt.Printf("output:        %v\n", c.Output)
+		fmt.Fprintf(w, "output:        %v\n", c.Output)
 	}
 	if len(c.OutputStr) > 0 {
-		fmt.Printf("stdout:        %s\n", c.OutputStr)
+		fmt.Fprintf(w, "stdout:        %s\n", c.OutputStr)
 	}
-	fmt.Printf("exit code:     %d\n", c.ExitCode())
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "asbr-sim:", err)
-		os.Exit(1)
-	}
+	fmt.Fprintf(w, "exit code:     %d\n", c.ExitCode())
 }
 
 // truncWriter forwards the first n lines and drops the rest.
 type truncWriter struct {
-	w     *os.File
+	w     io.Writer
 	lines int
 	seen  int
 }

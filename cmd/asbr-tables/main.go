@@ -11,6 +11,13 @@
 //	asbr-tables -table motivation # §3 Figure 1 correlation experiment
 //	asbr-tables -table ablations # threshold / BIT size / scheduling / validity
 //	asbr-tables -n 8192          # samples per benchmark
+//	asbr-tables -parallel 8      # bounded worker pool for the sweep jobs
+//
+// All tables run on the concurrent experiment engine: independent
+// simulation jobs fan out over -parallel workers while compiled
+// programs, profiled runs and input traces are shared, built once.
+// Output is deterministic: any -parallel value prints byte-identical
+// tables.
 package main
 
 import (
@@ -30,9 +37,10 @@ func main() {
 	n := flag.Int("n", 4096, "audio samples per benchmark")
 	seed := flag.Int64("seed", 1, "synthetic input seed")
 	update := flag.String("update", "mem", "BDT update point: ex|mem|wb (paper thresholds 2|3|4)")
+	parallel := flag.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	opt := experiment.Options{Samples: *n, Seed: *seed}
+	opt := experiment.Options{Samples: *n, Seed: *seed, Parallel: *parallel}
 	switch strings.ToLower(*update) {
 	case "ex":
 		opt.Update = cpu.StageEX
@@ -42,28 +50,38 @@ func main() {
 		opt.Update = cpu.StageMEM
 	}
 
+	sw := experiment.NewSweep(opt)
+
+	ran := false
 	run := func(name string, f func() error) {
 		if *table != "all" && *table != name {
 			return
 		}
+		ran = true
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "asbr-tables: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
-	run("fig6", func() error { return fig6(opt) })
-	run("fig7", func() error { return branchTable("Figure 7", workload.G721Encode, opt) })
-	run("fig9", func() error { return branchTable("Figure 9", workload.ADPCMEncode, opt) })
-	run("fig10", func() error { return branchTable("Figure 10", workload.ADPCMDecode, opt) })
-	run("fig11", func() error { return fig11(opt) })
-	run("power", func() error { return powerArea(opt) })
-	run("motivation", func() error { return motivation(opt) })
-	run("ablations", func() error { return ablations(opt) })
+	run("fig6", func() error { return fig6(sw) })
+	run("fig7", func() error { return branchTable("Figure 7", workload.G721Encode, sw) })
+	run("fig9", func() error { return branchTable("Figure 9", workload.ADPCMEncode, sw) })
+	run("fig10", func() error { return branchTable("Figure 10", workload.ADPCMDecode, sw) })
+	run("fig11", func() error { return fig11(sw) })
+	run("power", func() error { return powerArea(sw) })
+	run("motivation", func() error { return motivation(sw) })
+	run("ablations", func() error { return ablations(sw) })
+	if !ran {
+		fmt.Fprintf(os.Stderr, "asbr-tables: unknown table %q\n", *table)
+		flag.Usage()
+		os.Exit(2)
+	}
 }
 
-func motivation(opt experiment.Options) error {
+func motivation(sw *experiment.Sweep) error {
+	opt := sw.Options()
 	fmt.Printf("Motivation (paper §3, Figure 1): data correlation vs. input dependence (n=%d)\n", opt.Samples)
-	res, err := experiment.Motivation(opt.Samples, opt.Seed)
+	res, err := sw.Motivation(opt.Samples, opt.Seed)
 	if err != nil {
 		return err
 	}
@@ -82,9 +100,9 @@ func motivation(opt experiment.Options) error {
 	return nil
 }
 
-func powerArea(opt experiment.Options) error {
-	fmt.Printf("Power/area model: the abstract's energy and area claims (n=%d)\n", opt.Samples)
-	rows, err := experiment.PowerArea(opt)
+func powerArea(sw *experiment.Sweep) error {
+	fmt.Printf("Power/area model: the abstract's energy and area claims (n=%d)\n", sw.Options().Samples)
+	rows, err := sw.PowerArea()
 	if err != nil {
 		return err
 	}
@@ -104,9 +122,9 @@ func newTab() *tabwriter.Writer {
 	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 }
 
-func fig6(opt experiment.Options) error {
-	fmt.Printf("Figure 6: branch predictability of the benchmarks (n=%d)\n", opt.Samples)
-	rows, err := experiment.Fig6(opt)
+func fig6(sw *experiment.Sweep) error {
+	fmt.Printf("Figure 6: branch predictability of the benchmarks (n=%d)\n", sw.Options().Samples)
+	rows, err := sw.Fig6()
 	if err != nil {
 		return err
 	}
@@ -120,9 +138,9 @@ func fig6(opt experiment.Options) error {
 	return nil
 }
 
-func branchTable(title, bench string, opt experiment.Options) error {
-	fmt.Printf("%s: execution statistics for the branches selected for %s (n=%d)\n", title, bench, opt.Samples)
-	tab, err := experiment.SelectedBranches(bench, opt)
+func branchTable(title, bench string, sw *experiment.Sweep) error {
+	fmt.Printf("%s: execution statistics for the branches selected for %s (n=%d)\n", title, bench, sw.Options().Samples)
+	tab, err := sw.SelectedBranches(bench)
 	if err != nil {
 		return err
 	}
@@ -142,10 +160,11 @@ func branchTable(title, bench string, opt experiment.Options) error {
 	return nil
 }
 
-func fig11(opt experiment.Options) error {
+func fig11(sw *experiment.Sweep) error {
+	opt := sw.Options()
 	fmt.Printf("Figure 11: application-specific branch resolution results (n=%d, update=%v)\n",
 		opt.Samples, opt.Update)
-	rows, err := experiment.Fig11(opt)
+	rows, err := sw.Fig11()
 	if err != nil {
 		return err
 	}
@@ -160,9 +179,9 @@ func fig11(opt experiment.Options) error {
 	return nil
 }
 
-func ablations(opt experiment.Options) error {
+func ablations(sw *experiment.Sweep) error {
 	fmt.Printf("Ablation: BDT update point (paper §5.2 thresholds), G.721 encode\n")
-	trs, err := experiment.ThresholdAblation(workload.G721Encode, opt)
+	trs, err := sw.ThresholdAblation(workload.G721Encode)
 	if err != nil {
 		return err
 	}
@@ -175,7 +194,7 @@ func ablations(opt experiment.Options) error {
 	fmt.Println()
 
 	fmt.Printf("Ablation: BIT capacity sweep, G.721 encode\n")
-	brs, err := experiment.BITSizeAblation(workload.G721Encode, opt, []int{1, 2, 4, 8, 16, 32})
+	brs, err := sw.BITSizeAblation(workload.G721Encode, []int{1, 2, 4, 8, 16, 32})
 	if err != nil {
 		return err
 	}
@@ -188,7 +207,7 @@ func ablations(opt experiment.Options) error {
 	fmt.Println()
 
 	fmt.Printf("Ablation: §5.1 scheduling, ADPCM encode\n")
-	srs, err := experiment.SchedulingAblation(workload.ADPCMEncode, opt)
+	srs, err := sw.SchedulingAblation(workload.ADPCMEncode)
 	if err != nil {
 		return err
 	}
@@ -202,7 +221,7 @@ func ablations(opt experiment.Options) error {
 	fmt.Println()
 
 	fmt.Printf("Ablation: BDT validity counters, ADPCM encode\n")
-	vrs, err := experiment.ValidityAblation(workload.ADPCMEncode, opt)
+	vrs, err := sw.ValidityAblation(workload.ADPCMEncode)
 	if err != nil {
 		return err
 	}

@@ -447,6 +447,9 @@ func (a *assembler) emitDirective(s stmt, seg int, textPC, dataPC uint32) (int, 
 // label, a character constant, or label+offset.
 func (a *assembler) value(arg string, line int) (int64, error) {
 	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return 0, errf(line, "missing operand")
+	}
 	if len(arg) >= 3 && arg[0] == '\'' {
 		s, err := strconv.Unquote(arg)
 		if err != nil || len(s) != 1 {

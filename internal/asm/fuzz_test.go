@@ -1,0 +1,94 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"asbr/internal/isa"
+)
+
+// roundTripSeeds are representative programs covering every syntactic
+// corner the assembler knows: R/I/J formats, shifts, hi/lo, loads and
+// stores, labels and branches in both directions, pseudo-instruction
+// expansion, data directives and the ASBR bank-switch op.
+var roundTripSeeds = []string{
+	"add t0, t1, t2\nsub t3, t0, zero\n",
+	"addi t0, zero, 42\nsll t1, t0, 3\nsra t2, t1, 1\n",
+	"loop: addi t0, t0, -1\nbne t0, zero, loop\njr ra\n",
+	"beq a0, a1, skip\nori v0, zero, 1\nskip: syscall\n",
+	"lui t0, 4096\nlw t1, 4(t0)\nsw t1, 8(t0)\nlb t2, 0(t0)\nsb t2, 1(t0)\n",
+	"mult a0, a1\nmflo v0\nmfhi v1\ndiv v0, a1\n",
+	"j 0x400000\njal 0x400008\nnop\n",
+	"blez s0, 2\nbgtz s0, 1\nbltz s1, -2\nbgez s1, -3\n",
+	"li t0, 123456\nla t1, buf\nmove t2, t0\n.data\nbuf: .word 1, 2, 3\n",
+	"slt t0, a0, a1\nsltiu t1, a0, 7\nxor t2, t0, t1\nnor t3, t2, zero\n",
+	"bitsw 1\nsllv t0, t1, t2\nsrav t3, t1, t0\n",
+	".text\nstart: addiu sp, sp, -8\nsw ra, 4(sp)\njal 0x400000\nlw ra, 4(sp)\njr ra\n",
+}
+
+// roundTrip checks the assembler/encoder identity on one accepted
+// source: every emitted word must decode, re-encode to the same word,
+// and the per-instruction assembly text must re-assemble to the same
+// text segment.
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Skip("not assemblable")
+	}
+	lines := make([]string, 0, len(prog.Text))
+	for i, w := range prog.Text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("word %d (0x%08x) emitted by the assembler does not decode: %v", i, w, err)
+		}
+		w2, err := isa.Encode(in)
+		if err != nil {
+			t.Fatalf("word %d: decoded %v does not re-encode: %v", i, in, err)
+		}
+		if w2 != w {
+			t.Fatalf("word %d: encode(decode(0x%08x)) = 0x%08x", i, w, w2)
+		}
+		lines = append(lines, in.String())
+	}
+	// The printed forms use numeric branch offsets and absolute jump
+	// targets, so at the same text base they must mean the same words.
+	prog2, err := Assemble(strings.Join(lines, "\n") + "\n")
+	if err != nil {
+		t.Fatalf("disassembled text does not re-assemble: %v\n%s", err, strings.Join(lines, "\n"))
+	}
+	if len(prog2.Text) != len(prog.Text) {
+		t.Fatalf("re-assembly changed length: %d -> %d words", len(prog.Text), len(prog2.Text))
+	}
+	for i := range prog.Text {
+		if prog2.Text[i] != prog.Text[i] {
+			t.Fatalf("word %d: 0x%08x re-assembled as 0x%08x (%s)",
+				i, prog.Text[i], prog2.Text[i], lines[i])
+		}
+	}
+}
+
+// TestAsmRoundTripCorpus runs the seed corpus deterministically, so
+// plain `go test` exercises the property without the fuzzer.
+func TestAsmRoundTripCorpus(t *testing.T) {
+	for i, src := range roundTripSeeds {
+		t.Run(fmt.Sprintf("seed%02d", i), func(t *testing.T) {
+			roundTrip(t, src)
+		})
+	}
+}
+
+// FuzzAsmRoundTrip lets the fuzzer mutate assembly source: anything
+// the assembler accepts must survive asm -> encode -> decode -> asm.
+func FuzzAsmRoundTrip(f *testing.F) {
+	for _, src := range roundTripSeeds {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		roundTrip(t, src)
+	})
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"asbr/internal/isa"
+)
+
+// Engine-level validity-counter tests: the BDT state machine is
+// covered in asbr_test.go; these check that the counter actually gates
+// TryFold — a BIT hit with an in-flight producer must fall back to the
+// auxiliary predictor, and a delivery must re-arm the fold.
+
+func foldEngine(t *testing.T, cfg Config, reg isa.Reg, cond isa.Cond) *Engine {
+	t.Helper()
+	eng := NewEngine(cfg)
+	err := eng.Load([]BITEntry{{
+		PC:   0x100,
+		BTA:  0x200,
+		BTI:  0x11111111,
+		BFI:  0x22222222,
+		Reg:  reg,
+		Cond: cond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestTryFoldSuppressedWhileInFlight(t *testing.T) {
+	r := isa.Reg(7)
+	eng := foldEngine(t, DefaultConfig(), r, isa.CondNE)
+
+	// Unknown register: BIT hit, no fold, one fallback.
+	if _, ok := eng.TryFold(0x100); ok {
+		t.Fatal("folded with no delivered value")
+	}
+	if st := eng.Stats(); st.Hits != 1 || st.Fallbacks != 1 || st.Folds != 0 {
+		t.Fatalf("stats after unknown-register hit: %+v", st)
+	}
+
+	// Delivery arms the predicate.
+	eng.OnValue(r, 5)
+	f, ok := eng.TryFold(0x100)
+	if !ok || !f.Taken {
+		t.Fatalf("armed predicate (r=5, !=0) must fold taken, got %+v ok=%v", f, ok)
+	}
+	if f.Word != 0x11111111 || f.PC != 0x200 || f.Next != 0x204 {
+		t.Fatalf("taken fold wired wrong: %+v", f)
+	}
+
+	// An in-flight producer suppresses folding again...
+	eng.OnIssue(r)
+	if eng.BDTState().Counter(r) != 1 {
+		t.Fatalf("counter = %d, want 1", eng.BDTState().Counter(r))
+	}
+	if _, ok := eng.TryFold(0x100); ok {
+		t.Fatal("folded while the producer was in flight")
+	}
+	// ...even if more producers pile up and one delivers.
+	eng.OnIssue(r)
+	eng.OnValue(r, 1)
+	if _, ok := eng.TryFold(0x100); ok {
+		t.Fatal("folded with one of two producers still in flight")
+	}
+
+	// The last delivery returns the counter to 0 and re-enables the
+	// fold, with the direction of the latest value.
+	eng.OnValue(r, 0)
+	f, ok = eng.TryFold(0x100)
+	if !ok || f.Taken {
+		t.Fatalf("r=0 under !=0 must fold not-taken, got %+v ok=%v", f, ok)
+	}
+	if f.Word != 0x22222222 || f.PC != 0x104 || f.Next != 0x108 {
+		t.Fatalf("not-taken fold wired wrong: %+v", f)
+	}
+	st := eng.Stats()
+	if st.Folds != 2 || st.FoldsTaken != 1 || st.Fallbacks != 3 {
+		t.Fatalf("final stats: %+v", st)
+	}
+}
+
+func TestTryFoldDirectionTracksLatestValue(t *testing.T) {
+	r := isa.Reg(3)
+	eng := foldEngine(t, DefaultConfig(), r, isa.CondLE)
+	for _, tc := range []struct {
+		v     int32
+		taken bool
+	}{{-4, true}, {0, true}, {9, false}, {-1, true}} {
+		eng.OnIssue(r)
+		eng.OnValue(r, tc.v)
+		f, ok := eng.TryFold(0x100)
+		if !ok || f.Taken != tc.taken {
+			t.Fatalf("v=%d: fold=%+v ok=%v, want taken=%v", tc.v, f, ok, tc.taken)
+		}
+	}
+}
+
+func TestTryFoldUnsafeModeIgnoresCounter(t *testing.T) {
+	r := isa.Reg(4)
+	eng := foldEngine(t, Config{TrackValidity: false}, r, isa.CondGT)
+	eng.OnValue(r, 2)
+	eng.OnIssue(r) // stale from here on
+	f, ok := eng.TryFold(0x100)
+	if !ok || !f.Taken {
+		t.Fatalf("unsafe mode must fold on the stale value, got %+v ok=%v", f, ok)
+	}
+	if st := eng.Stats(); st.Fallbacks != 0 {
+		t.Fatalf("unsafe mode recorded fallbacks: %+v", st)
+	}
+}

@@ -5,12 +5,15 @@ import (
 	"asbr/internal/cpu"
 	"asbr/internal/predict"
 	"asbr/internal/profile"
+	"asbr/internal/runner"
 	"asbr/internal/workload"
 )
 
 // Ablation studies for the design choices DESIGN.md calls out. All use
 // the G.721 encoder unless stated otherwise (the paper's largest
 // selected-branch set), on the same platform as the main experiments.
+// Each sweep point is one pool job; the profiled run and input trace
+// are shared artifacts.
 
 // ThresholdRow is one row of the BDT-update-point ablation (paper
 // §5.2: thresholds 2/3/4 via the EX/MEM/WB update points).
@@ -22,50 +25,56 @@ type ThresholdRow struct {
 	Fallbacks uint64
 }
 
-// ThresholdAblation sweeps the three update points with a fixed
-// selection (performed at the given options' threshold), showing how
-// fold coverage degrades as the predicate must be ready earlier.
+// ThresholdAblation runs the update-point sweep on a fresh sweep
+// context (see Sweep.ThresholdAblation).
 func ThresholdAblation(bench string, opt Options) ([]ThresholdRow, error) {
-	opt.fill()
-	prog, prof, _, err := profiledRun(bench, opt)
+	return NewSweep(opt).ThresholdAblation(bench)
+}
+
+// ThresholdAblation sweeps the three update points with a fixed
+// selection (performed at the EX threshold), showing how fold coverage
+// degrades as the predicate must be ready earlier.
+func (s *Sweep) ThresholdAblation(bench string) ([]ThresholdRow, error) {
+	pa, err := s.profiledRun(bench)
 	if err != nil {
 		return nil, err
 	}
-	in, err := workload.Input(bench, opt.Samples, opt.Seed)
+	in, err := s.input(bench)
 	if err != nil {
 		return nil, err
 	}
-	cands, err := selectBranches(bench, prog, prof, Options{Samples: opt.Samples, Seed: opt.Seed, Update: cpu.StageEX})
+	selOpt := s.opt
+	selOpt.Update = cpu.StageEX
+	cands, err := selectBranches(bench, pa.prog, pa.prof, selOpt)
 	if err != nil {
 		return nil, err
 	}
-	entries, err := profile.BuildBITFromCandidates(prog, cands)
+	entries, err := profile.BuildBITFromCandidates(pa.prog, cands)
 	if err != nil {
 		return nil, err
 	}
-	var rows []ThresholdRow
-	for _, up := range []cpu.Stage{cpu.StageEX, cpu.StageMEM, cpu.StageWB} {
+	updates := []cpu.Stage{cpu.StageEX, cpu.StageMEM, cpu.StageWB}
+	return runner.Map(s.opt.Parallel, updates, func(_ int, up cpu.Stage) (ThresholdRow, error) {
 		eng := core.NewEngine(core.DefaultConfig())
 		if err := eng.Load(entries); err != nil {
-			return nil, err
+			return ThresholdRow{}, err
 		}
 		cfg := machine(predict.AuxBimodal512())
 		cfg.Fold = eng
 		cfg.BDTUpdate = up
-		res, err := workload.Run(prog, cfg, in, opt.Samples)
+		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
 		if err != nil {
-			return nil, err
+			return ThresholdRow{}, err
 		}
 		es := eng.Stats()
-		rows = append(rows, ThresholdRow{
+		return ThresholdRow{
 			Update:    up,
 			Threshold: map[cpu.Stage]int{cpu.StageEX: 2, cpu.StageMEM: 3, cpu.StageWB: 4}[up],
 			Cycles:    res.Stats.Cycles,
 			Folds:     es.Folds,
 			Fallbacks: es.Fallbacks,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // BITSizeRow is one row of the BIT-capacity sweep.
@@ -76,50 +85,53 @@ type BITSizeRow struct {
 	Folds   uint64
 }
 
+// BITSizeAblation runs the capacity sweep on a fresh sweep context
+// (see Sweep.BITSizeAblation).
+func BITSizeAblation(bench string, opt Options, sizes []int) ([]BITSizeRow, error) {
+	return NewSweep(opt).BITSizeAblation(bench, sizes)
+}
+
 // BITSizeAblation sweeps the number of BIT entries, showing the
 // diminishing returns that justify the paper's small 16-entry table.
-func BITSizeAblation(bench string, opt Options, sizes []int) ([]BITSizeRow, error) {
-	opt.fill()
-	prog, prof, _, err := profiledRun(bench, opt)
+func (s *Sweep) BITSizeAblation(bench string, sizes []int) ([]BITSizeRow, error) {
+	pa, err := s.profiledRun(bench)
 	if err != nil {
 		return nil, err
 	}
-	in, err := workload.Input(bench, opt.Samples, opt.Seed)
+	in, err := s.input(bench)
 	if err != nil {
 		return nil, err
 	}
-	var rows []BITSizeRow
-	for _, k := range sizes {
-		cands, err := profile.Select(prog, prof, profile.SelectOptions{
-			Aux: "bimodal-512", MinDistance: opt.MinDistance(), K: k,
-			MinCount: uint64(opt.Samples / 16),
+	return runner.Map(s.opt.Parallel, sizes, func(_ int, k int) (BITSizeRow, error) {
+		cands, err := profile.Select(pa.prog, pa.prof, profile.SelectOptions{
+			Aux: "bimodal-512", MinDistance: s.opt.MinDistance(), K: k,
+			MinCount: uint64(s.opt.Samples / 16),
 		})
 		if err != nil {
-			return nil, err
+			return BITSizeRow{}, err
 		}
-		entries, err := profile.BuildBITFromCandidates(prog, cands)
+		entries, err := profile.BuildBITFromCandidates(pa.prog, cands)
 		if err != nil {
-			return nil, err
+			return BITSizeRow{}, err
 		}
 		eng := core.NewEngine(core.Config{BITEntries: maxInt(k, 1), TrackValidity: true})
 		if err := eng.Load(entries); err != nil {
-			return nil, err
+			return BITSizeRow{}, err
 		}
 		cfg := machine(predict.AuxBimodal512())
 		cfg.Fold = eng
-		cfg.BDTUpdate = opt.Update
-		res, err := workload.Run(prog, cfg, in, opt.Samples)
+		cfg.BDTUpdate = s.opt.Update
+		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
 		if err != nil {
-			return nil, err
+			return BITSizeRow{}, err
 		}
-		rows = append(rows, BITSizeRow{
+		return BITSizeRow{
 			Entries: uint64(k),
 			K:       len(cands),
 			Cycles:  res.Stats.Cycles,
 			Folds:   eng.Stats().Folds,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // SchedulingRow is one row of the §5.1 scheduling ablation. Baseline
@@ -135,12 +147,18 @@ type SchedulingRow struct {
 	Candidates  int
 }
 
+// SchedulingAblation runs the scheduling comparison on a fresh sweep
+// context (see Sweep.SchedulingAblation).
+func SchedulingAblation(bench string, opt Options) ([]SchedulingRow, error) {
+	return NewSweep(opt).SchedulingAblation(bench)
+}
+
 // SchedulingAblation compares no scheduling, compiler-pass-only,
 // manual-source-only, and both — quantifying the paper's claim that
 // scheduling "can boost significantly the effectiveness of the
-// approach".
-func SchedulingAblation(bench string, opt Options) ([]SchedulingRow, error) {
-	opt.fill()
+// approach". Each variant compiles its own binary (cached in the
+// artifact store) and profiles it independently.
+func (s *Sweep) SchedulingAblation(bench string) ([]SchedulingRow, error) {
 	variants := []struct {
 		label string
 		bopt  workload.BuildOptions
@@ -150,55 +168,56 @@ func SchedulingAblation(bench string, opt Options) ([]SchedulingRow, error) {
 		{"manual source", workload.BuildOptions{ManualSchedule: true}},
 		{"manual+compiler", workload.BuildOptions{ManualSchedule: true, CompilerSchedule: true}},
 	}
-	var rows []SchedulingRow
-	for _, v := range variants {
-		prog, err := workload.BuildOpt(bench, v.bopt)
+	return runner.Map(s.opt.Parallel, variants, func(_ int, v struct {
+		label string
+		bopt  workload.BuildOptions
+	}) (SchedulingRow, error) {
+		prog, err := s.arts.Program(bench, v.bopt)
 		if err != nil {
-			return nil, err
+			return SchedulingRow{}, err
 		}
-		in, err := workload.Input(bench, opt.Samples, opt.Seed)
+		in, err := s.input(bench)
 		if err != nil {
-			return nil, err
+			return SchedulingRow{}, err
 		}
 		prof := profile.New(predict.NewBimodal(512))
 		cfg := machine(predict.BaselineBimodal())
 		cfg.Observer = prof
-		baseRes, err := workload.Run(prog, cfg, in, opt.Samples)
+		baseRes, err := workload.Run(prog, cfg, in, s.opt.Samples)
 		if err != nil {
-			return nil, err
+			return SchedulingRow{}, err
 		}
 		cands, err := profile.Select(prog, prof, profile.SelectOptions{
-			Aux: "bimodal-512", MinDistance: opt.MinDistance(), K: BITSizes()[bench],
-			MinCount: uint64(opt.Samples / 16),
+			Aux: "bimodal-512", MinDistance: s.opt.MinDistance(), K: BITSizes()[bench],
+			MinCount: uint64(s.opt.Samples / 16),
 		})
 		if err != nil {
-			return nil, err
+			return SchedulingRow{}, err
 		}
 		entries, err := profile.BuildBITFromCandidates(prog, cands)
 		if err != nil {
-			return nil, err
+			return SchedulingRow{}, err
 		}
 		eng := core.NewEngine(core.DefaultConfig())
 		if err := eng.Load(entries); err != nil {
-			return nil, err
+			return SchedulingRow{}, err
 		}
 		cfg2 := machine(predict.AuxBimodal512())
 		cfg2.Fold = eng
-		cfg2.BDTUpdate = opt.Update
-		res, err := workload.Run(prog, cfg2, in, opt.Samples)
+		cfg2.BDTUpdate = s.opt.Update
+		res, err := workload.Run(prog, cfg2, in, s.opt.Samples)
 		if err != nil {
-			return nil, err
+			return SchedulingRow{}, err
 		}
-		rows = append(rows, SchedulingRow{
+		return SchedulingRow{
 			Label:       v.label,
 			Cycles:      res.Stats.Cycles,
 			Baseline:    baseRes.Stats.Cycles,
 			Improvement: 1 - float64(res.Stats.Cycles)/float64(baseRes.Stats.Cycles),
 			Folds:       eng.Stats().Folds,
 			Candidates:  len(cands),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ValidityRow is one row of the validity-counter ablation.
@@ -210,54 +229,62 @@ type ValidityRow struct {
 	OutputCorrect bool
 }
 
+// ValidityAblation runs the safe-vs-unsafe comparison on a fresh sweep
+// context (see Sweep.ValidityAblation).
+func ValidityAblation(bench string, opt Options) ([]ValidityRow, error) {
+	return NewSweep(opt).ValidityAblation(bench)
+}
+
 // ValidityAblation compares the safe engine (validity counters, paper
 // §4) against the unsafe upper bound (fold on every BIT hit with the
 // latest delivered value). The unsafe run measures maximum coverage
 // and demonstrates why the counters are architecturally necessary:
 // its output is checked against the golden model.
-func ValidityAblation(bench string, opt Options) ([]ValidityRow, error) {
-	opt.fill()
-	prog, prof, _, err := profiledRun(bench, opt)
+func (s *Sweep) ValidityAblation(bench string) ([]ValidityRow, error) {
+	pa, err := s.profiledRun(bench)
 	if err != nil {
 		return nil, err
 	}
-	in, err := workload.Input(bench, opt.Samples, opt.Seed)
+	in, err := s.input(bench)
 	if err != nil {
 		return nil, err
 	}
-	want, err := workload.Expected(bench, opt.Samples, opt.Seed)
+	want, err := s.arts.Expected(bench, s.opt.Samples, s.opt.Seed)
 	if err != nil {
 		return nil, err
 	}
 	// Select with no distance filter: the BIT deliberately includes
 	// stale-prone branches so the safe engine's fallbacks (and the
 	// unsafe engine's wrong folds) become visible.
-	cands, err := profile.Select(prog, prof, profile.SelectOptions{
+	cands, err := profile.Select(pa.prog, pa.prof, profile.SelectOptions{
 		Aux: "bimodal-512", MinDistance: 0, K: BITSizes()[bench],
-		MinCount: uint64(opt.Samples / 16),
+		MinCount: uint64(s.opt.Samples / 16),
 	})
 	if err != nil {
 		return nil, err
 	}
-	entries, err := profile.BuildBITFromCandidates(prog, cands)
+	entries, err := profile.BuildBITFromCandidates(pa.prog, cands)
 	if err != nil {
 		return nil, err
 	}
-	var rows []ValidityRow
-	for _, mode := range []struct {
+	modes := []struct {
 		label string
 		track bool
-	}{{"validity counters (safe)", true}, {"no counters (unsafe bound)", false}} {
+	}{{"validity counters (safe)", true}, {"no counters (unsafe bound)", false}}
+	return runner.Map(s.opt.Parallel, modes, func(_ int, mode struct {
+		label string
+		track bool
+	}) (ValidityRow, error) {
 		eng := core.NewEngine(core.Config{TrackValidity: mode.track})
 		if err := eng.Load(entries); err != nil {
-			return nil, err
+			return ValidityRow{}, err
 		}
 		cfg := machine(predict.AuxBimodal512())
 		cfg.Fold = eng
-		cfg.BDTUpdate = opt.Update
-		res, err := workload.Run(prog, cfg, in, opt.Samples)
+		cfg.BDTUpdate = s.opt.Update
+		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
 		if err != nil {
-			return nil, err
+			return ValidityRow{}, err
 		}
 		correct := len(res.Output) == len(want)
 		if correct {
@@ -269,15 +296,14 @@ func ValidityAblation(bench string, opt Options) ([]ValidityRow, error) {
 			}
 		}
 		es := eng.Stats()
-		rows = append(rows, ValidityRow{
+		return ValidityRow{
 			Label:         mode.label,
 			Cycles:        res.Stats.Cycles,
 			Folds:         es.Folds,
 			Fallbacks:     es.Fallbacks,
 			OutputCorrect: correct,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 func maxInt(a, b int) int {

@@ -7,6 +7,13 @@
 // single-issue pipeline with an 8KB instruction cache and an 8KB data
 // cache, running the four MediaBench applications (ADPCM and G.721,
 // encode and decode) over a deterministic synthetic audio trace.
+//
+// Every table generator runs on the concurrent experiment engine
+// (internal/runner): independent simulation jobs fan out over a
+// bounded worker pool while expensive shared artifacts — compiled
+// programs, profiled runs, synthetic traces — are built exactly once
+// per sweep. Results are deterministic: row ordering and every number
+// are identical regardless of Options.Parallel.
 package experiment
 
 import (
@@ -14,18 +21,18 @@ import (
 
 	"asbr/internal/core"
 	"asbr/internal/cpu"
-	"asbr/internal/isa"
 	"asbr/internal/mem"
 	"asbr/internal/predict"
-	"asbr/internal/profile"
+	"asbr/internal/runner"
 	"asbr/internal/workload"
 )
 
 // Options configures a reproduction run.
 type Options struct {
-	Samples int        // audio samples per benchmark (default 4096)
-	Seed    int64      // synthetic-trace seed (default 1)
-	Update  cpu.Stage  // BDT update point (default StageMEM = threshold 3)
+	Samples  int       // audio samples per benchmark (default 4096)
+	Seed     int64     // synthetic-trace seed (default 1)
+	Update   cpu.Stage // BDT update point (default StageMEM = threshold 3)
+	Parallel int       // max concurrent simulation jobs (default GOMAXPROCS; 1 = serial)
 }
 
 func (o *Options) fill() {
@@ -101,37 +108,48 @@ type Fig6Row struct {
 	Accuracy  float64 // conditional-branch direction accuracy
 }
 
+// Fig6 reproduces Figure 6 on a fresh sweep (see Sweep.Fig6).
+func Fig6(opt Options) ([]Fig6Row, error) {
+	return NewSweep(opt).Fig6()
+}
+
 // Fig6 reproduces Figure 6: total cycles, CPI and prediction accuracy
 // of the three general-purpose baseline predictors on all four
-// benchmarks.
-func Fig6(opt Options) ([]Fig6Row, error) {
-	opt.fill()
-	var rows []Fig6Row
+// benchmarks. Each (benchmark, predictor) cell is one pool job owning
+// its machine; the compiled program and input trace are shared.
+func (s *Sweep) Fig6() ([]Fig6Row, error) {
+	type job struct {
+		bench string
+		mk    func() *predict.Unit
+	}
+	var jobs []job
 	for _, bench := range workload.Names() {
-		prog, err := workload.Build(bench, true)
-		if err != nil {
-			return nil, err
-		}
-		in, err := workload.Input(bench, opt.Samples, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
 		for _, mk := range baselineUnits() {
-			unit := mk()
-			res, err := workload.Run(prog, machine(unit), in, opt.Samples)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %v", bench, unit.Name(), err)
-			}
-			rows = append(rows, Fig6Row{
-				Benchmark: bench,
-				Predictor: unit.Name(),
-				Cycles:    res.Stats.Cycles,
-				CPI:       res.Stats.CPI(),
-				Accuracy:  res.Stats.PredAccuracy(),
-			})
+			jobs = append(jobs, job{bench, mk})
 		}
 	}
-	return rows, nil
+	return runner.Map(s.opt.Parallel, jobs, func(_ int, j job) (Fig6Row, error) {
+		prog, err := s.program(j.bench)
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		in, err := s.input(j.bench)
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		unit := j.mk()
+		res, err := workload.Run(prog, machine(unit), in, s.opt.Samples)
+		if err != nil {
+			return Fig6Row{}, fmt.Errorf("%s/%s: %v", j.bench, unit.Name(), err)
+		}
+		return Fig6Row{
+			Benchmark: j.bench,
+			Predictor: unit.Name(),
+			Cycles:    res.Stats.Cycles,
+			CPI:       res.Stats.CPI(),
+			Accuracy:  res.Stats.PredAccuracy(),
+		}, nil
+	})
 }
 
 // BranchRow is one selected branch's statistics (Figures 7, 9, 10).
@@ -151,62 +169,29 @@ type BranchTable struct {
 	Rows      []BranchRow
 }
 
-// profiledRun builds the benchmark, runs it once on the baseline
-// bimodal machine with a profiler attached, and returns program,
-// profiler and the run result.
-func profiledRun(bench string, opt Options) (*isa.Program, *profile.Profiler, *workload.Result, error) {
-	prog, err := workload.Build(bench, true)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	in, err := workload.Input(bench, opt.Samples, opt.Seed)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	prof := profile.New(
-		predict.NotTaken{},
-		predict.NewBimodal(2048),
-		predict.NewGShare(11, 2048),
-		predict.NewBimodal(512),
-		predict.NewBimodal(256),
-	)
-	cfg := machine(predict.BaselineBimodal())
-	cfg.Observer = prof
-	res, err := workload.Run(prog, cfg, in, opt.Samples)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	return prog, prof, res, nil
-}
-
-// selectBranches runs the paper's §6 selection for a benchmark.
-func selectBranches(bench string, prog *isa.Program, prof *profile.Profiler, opt Options) ([]profile.Candidate, error) {
-	return profile.Select(prog, prof, profile.SelectOptions{
-		Aux:         "bimodal-512",
-		MinDistance: opt.MinDistance(),
-		K:           BITSizes()[bench],
-		MinCount:    uint64(opt.Samples / 16),
-		Penalty:     2 + ExtraMispredictCycles, // the platform's flush cost
-	})
+// SelectedBranches reproduces Figures 7, 9 and 10 on a fresh sweep
+// (see Sweep.SelectedBranches).
+func SelectedBranches(bench string, opt Options) (BranchTable, error) {
+	return NewSweep(opt).SelectedBranches(bench)
 }
 
 // SelectedBranches reproduces Figures 7 (G.721 encode), 9 (ADPCM
 // encode) and 10 (ADPCM decode): execution counts and per-predictor
-// accuracies for the branches selected for folding.
-func SelectedBranches(bench string, opt Options) (BranchTable, error) {
-	opt.fill()
-	prog, prof, _, err := profiledRun(bench, opt)
+// accuracies for the branches selected for folding. The profiled run
+// is shared with every other table of the sweep.
+func (s *Sweep) SelectedBranches(bench string) (BranchTable, error) {
+	pa, err := s.profiledRun(bench)
 	if err != nil {
 		return BranchTable{}, err
 	}
-	cands, err := selectBranches(bench, prog, prof, opt)
+	cands, err := selectBranches(bench, pa.prog, pa.prof, s.opt)
 	if err != nil {
 		return BranchTable{}, err
 	}
 	shadows := []string{"not taken", "bimodal-2048", "gshare-11/2048"}
 	tab := BranchTable{Benchmark: bench, Shadows: shadows}
 	for i, c := range cands {
-		st, _ := prof.Stat(c.PC)
+		st, _ := pa.prof.Stat(c.PC)
 		row := BranchRow{
 			Index:    i,
 			PC:       c.PC,
@@ -215,8 +200,8 @@ func SelectedBranches(bench string, opt Options) (BranchTable, error) {
 			Accuracy: make(map[string]float64, len(shadows)),
 			Distance: c.Distance,
 		}
-		for _, s := range shadows {
-			row.Accuracy[s] = st.Accuracy(s)
+		for _, sh := range shadows {
+			row.Accuracy[sh] = st.Accuracy(sh)
 		}
 		tab.Rows = append(tab.Rows, row)
 	}
@@ -225,15 +210,15 @@ func SelectedBranches(bench string, opt Options) (BranchTable, error) {
 
 // Fig11Row is one cell group of Figure 11.
 type Fig11Row struct {
-	Benchmark   string
-	Aux         string // auxiliary predictor used with ASBR
-	Cycles      uint64
-	Baseline    uint64  // the paper's comparison base for this row
+	Benchmark    string
+	Aux          string // auxiliary predictor used with ASBR
+	Cycles       uint64
+	Baseline     uint64 // the paper's comparison base for this row
 	BaselineName string
-	Improvement float64 // 1 - Cycles/Baseline
-	Folds       uint64
-	Fallbacks   uint64
-	FoldedFrac  float64 // folded / dynamic conditional branches
+	Improvement  float64 // 1 - Cycles/Baseline
+	Folds        uint64
+	Fallbacks    uint64
+	FoldedFrac   float64 // folded / dynamic conditional branches
 }
 
 // auxUnits returns the three ASBR auxiliary configurations of Fig. 11.
@@ -251,75 +236,81 @@ func auxUnits() []struct {
 	}
 }
 
+// Fig11 reproduces Figure 11 on a fresh sweep (see Sweep.Fig11).
+func Fig11(opt Options) ([]Fig11Row, error) {
+	return NewSweep(opt).Fig11()
+}
+
 // Fig11 reproduces Figure 11: ASBR with each auxiliary predictor,
 // compared against the paper's chosen baselines (the "not taken" row
 // compares to the predictor-less baseline; the bi-512/bi-256 rows
-// compare to the full-size bimodal-2048 baseline).
-func Fig11(opt Options) ([]Fig11Row, error) {
-	opt.fill()
-	var rows []Fig11Row
-	for _, bench := range workload.Names() {
-		prog, prof, _, err := profiledRun(bench, opt)
-		if err != nil {
-			return nil, err
-		}
-		in, err := workload.Input(bench, opt.Samples, opt.Seed)
-		if err != nil {
-			return nil, err
-		}
-		cands, err := selectBranches(bench, prog, prof, opt)
-		if err != nil {
-			return nil, err
-		}
-		entries, err := profile.BuildBITFromCandidates(prog, cands)
-		if err != nil {
-			return nil, err
-		}
-		// Comparison bases.
-		baseNT, err := workload.Run(prog, machine(predict.BaselineNotTaken()), in, opt.Samples)
-		if err != nil {
-			return nil, err
-		}
-		baseBi, err := workload.Run(prog, machine(predict.BaselineBimodal()), in, opt.Samples)
-		if err != nil {
-			return nil, err
-		}
-		for _, aux := range auxUnits() {
-			eng := core.NewEngine(core.DefaultConfig())
-			if err := eng.Load(entries); err != nil {
-				return nil, err
-			}
-			cfg := machine(aux.Mk())
-			cfg.Fold = eng
-			cfg.BDTUpdate = opt.Update
-			res, err := workload.Run(prog, cfg, in, opt.Samples)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %v", bench, aux.Label, err)
-			}
-			base := baseBi.Stats.Cycles
-			baseName := "bimodal-2048"
-			if aux.Label == "not taken" {
-				base = baseNT.Stats.Cycles
-				baseName = "not taken"
-			}
-			es := eng.Stats()
-			dyn := res.Stats.DynamicCondBranches()
-			frac := 0.0
-			if dyn > 0 {
-				frac = float64(res.Stats.Folded) / float64(dyn)
-			}
-			rows = append(rows, Fig11Row{
-				Benchmark:    bench,
-				Aux:          aux.Label,
-				Cycles:       res.Stats.Cycles,
-				Baseline:     base,
-				BaselineName: baseName,
-				Improvement:  1 - float64(res.Stats.Cycles)/float64(base),
-				Folds:        es.Folds,
-				Fallbacks:    es.Fallbacks,
-				FoldedFrac:   frac,
-			})
+// compare to the full-size bimodal-2048 baseline). Each (benchmark,
+// auxiliary) cell is one pool job with its own ASBR engine; the
+// profiled run, BIT selection and baseline runs are shared artifacts
+// built once per benchmark.
+func (s *Sweep) Fig11() ([]Fig11Row, error) {
+	type job struct {
+		bench string
+		aux   struct {
+			Label string
+			Mk    func() *predict.Unit
 		}
 	}
-	return rows, nil
+	var jobs []job
+	for _, bench := range workload.Names() {
+		for _, aux := range auxUnits() {
+			jobs = append(jobs, job{bench, aux})
+		}
+	}
+	return runner.Map(s.opt.Parallel, jobs, func(_ int, j job) (Fig11Row, error) {
+		pa, err := s.profiledRun(j.bench)
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		in, err := s.input(j.bench)
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		entries, err := s.bitEntries(j.bench)
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		baseName := baselineUnitBimodal
+		if j.aux.Label == "not taken" {
+			baseName = baselineUnitNotTaken
+		}
+		baseRes, err := s.baselineRun(j.bench, baseName)
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		eng := core.NewEngine(core.DefaultConfig())
+		if err := eng.Load(entries); err != nil {
+			return Fig11Row{}, err
+		}
+		cfg := machine(j.aux.Mk())
+		cfg.Fold = eng
+		cfg.BDTUpdate = s.opt.Update
+		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
+		if err != nil {
+			return Fig11Row{}, fmt.Errorf("%s/%s: %v", j.bench, j.aux.Label, err)
+		}
+		base := baseRes.Stats.Cycles
+		es := eng.Stats()
+		dyn := res.Stats.DynamicCondBranches()
+		frac := 0.0
+		if dyn > 0 {
+			frac = float64(res.Stats.Folded) / float64(dyn)
+		}
+		return Fig11Row{
+			Benchmark:    j.bench,
+			Aux:          j.aux.Label,
+			Cycles:       res.Stats.Cycles,
+			Baseline:     base,
+			BaselineName: baseName,
+			Improvement:  1 - float64(res.Stats.Cycles)/float64(base),
+			Folds:        es.Folds,
+			Fallbacks:    es.Fallbacks,
+			FoldedFrac:   frac,
+		}, nil
+	})
 }

@@ -7,6 +7,7 @@ import (
 	"asbr/internal/cc"
 	"asbr/internal/core"
 	"asbr/internal/cpu"
+	"asbr/internal/isa"
 	"asbr/internal/predict"
 	"asbr/internal/profile"
 )
@@ -72,13 +73,24 @@ type MotivationResult struct {
 	AccMatch       bool // folded run computes the same acc
 }
 
-// Motivation runs the Figure 1 program over random inputs, measures
-// per-branch predictability, then folds B4 and B5 with ASBR.
+// Motivation runs the §3 reproduction on a fresh sweep context (see
+// Sweep.Motivation).
 func Motivation(n int, seed int64) (*MotivationResult, error) {
+	return NewSweep(Options{Samples: n, Seed: seed}).Motivation(n, seed)
+}
+
+// Motivation runs the Figure 1 program over random inputs, measures
+// per-branch predictability, then folds B4 and B5 with ASBR. The two
+// simulations are inherently sequential (the folded run's BIT comes
+// from the profiled run), but the compiled Figure 1 program is cached
+// on the sweep.
+func (s *Sweep) Motivation(n int, seed int64) (*MotivationResult, error) {
 	if n <= 0 || n > 8192 {
 		n = 8192
 	}
-	prog, err := cc.CompileToProgram(fig1Src)
+	prog, err := s.motivProg.Get("fig1", func() (*isa.Program, error) {
+		return cc.CompileToProgram(fig1Src)
+	})
 	if err != nil {
 		return nil, err
 	}

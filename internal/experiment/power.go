@@ -4,7 +4,7 @@ import (
 	"asbr/internal/core"
 	"asbr/internal/power"
 	"asbr/internal/predict"
-	"asbr/internal/profile"
+	"asbr/internal/runner"
 	"asbr/internal/workload"
 )
 
@@ -21,55 +21,56 @@ type PowerRow struct {
 	AreaBits     int
 }
 
+// PowerArea runs the power/area comparison on a fresh sweep context
+// (see Sweep.PowerArea).
+func PowerArea(opt Options) ([]PowerRow, error) {
+	return NewSweep(opt).PowerArea()
+}
+
 // PowerArea compares the baseline bimodal-2048 machine against the
 // ASBR + bimodal-512 machine on energy activity and branch-hardware
-// area, for every benchmark.
-func PowerArea(opt Options) ([]PowerRow, error) {
-	opt.fill()
+// area, for every benchmark. Each benchmark is one pool job; its
+// profiled baseline run and BIT selection are shared with the other
+// tables of the sweep.
+func (s *Sweep) PowerArea() ([]PowerRow, error) {
 	params := power.DefaultParams()
-	var rows []PowerRow
-	for _, bench := range workload.Names() {
-		prog, prof, baseRes, err := profiledRun(bench, opt)
+	pairs, err := runner.Map(s.opt.Parallel, workload.Names(), func(_ int, bench string) ([2]PowerRow, error) {
+		pa, err := s.profiledRun(bench)
 		if err != nil {
-			return nil, err
+			return [2]PowerRow{}, err
 		}
-		in, err := workload.Input(bench, opt.Samples, opt.Seed)
+		in, err := s.input(bench)
 		if err != nil {
-			return nil, err
+			return [2]PowerRow{}, err
 		}
 		baseHW := power.BaselineBimodal2048()
-		rows = append(rows, PowerRow{
+		baseRow := PowerRow{
 			Benchmark:    bench,
 			Config:       "bimodal-2048 baseline",
-			Cycles:       baseRes.Stats.Cycles,
-			Instructions: baseRes.Stats.Instructions,
-			WrongPath:    baseRes.Stats.WrongPath,
-			Energy:       power.Estimate(params, baseHW, baseRes.Stats, nil),
+			Cycles:       pa.res.Stats.Cycles,
+			Instructions: pa.res.Stats.Instructions,
+			WrongPath:    pa.res.Stats.WrongPath,
+			Energy:       power.Estimate(params, baseHW, pa.res.Stats, nil),
 			AreaBits:     baseHW.AreaBits(),
-		})
-
-		cands, err := selectBranches(bench, prog, prof, opt)
-		if err != nil {
-			return nil, err
 		}
-		entries, err := profile.BuildBITFromCandidates(prog, cands)
+		entries, err := s.bitEntries(bench)
 		if err != nil {
-			return nil, err
+			return [2]PowerRow{}, err
 		}
 		eng := core.NewEngine(core.DefaultConfig())
 		if err := eng.Load(entries); err != nil {
-			return nil, err
+			return [2]PowerRow{}, err
 		}
 		cfg := machine(predict.AuxBimodal512())
 		cfg.Fold = eng
-		cfg.BDTUpdate = opt.Update
-		res, err := workload.Run(prog, cfg, in, opt.Samples)
+		cfg.BDTUpdate = s.opt.Update
+		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
 		if err != nil {
-			return nil, err
+			return [2]PowerRow{}, err
 		}
 		es := eng.Stats()
 		asbrHW := power.ASBRBimodal(512, core.DefaultBITEntries)
-		rows = append(rows, PowerRow{
+		asbrRow := PowerRow{
 			Benchmark:    bench,
 			Config:       "ASBR + bimodal-512",
 			Cycles:       res.Stats.Cycles,
@@ -77,7 +78,15 @@ func PowerArea(opt Options) ([]PowerRow, error) {
 			WrongPath:    res.Stats.WrongPath,
 			Energy:       power.Estimate(params, asbrHW, res.Stats, &es),
 			AreaBits:     asbrHW.AreaBits(),
-		})
+		}
+		return [2]PowerRow{baseRow, asbrRow}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PowerRow, 0, 2*len(pairs))
+	for _, pair := range pairs {
+		rows = append(rows, pair[0], pair[1])
 	}
 	return rows, nil
 }

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+
+	"asbr/internal/core"
+	"asbr/internal/isa"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/runner"
+	"asbr/internal/workload"
+)
+
+// Sweep is a reusable experiment context. All table generators hang
+// off it and share its artifact caches: compiled benchmarks, synthetic
+// traces, profiled runs, BIT selections and baseline runs are each
+// built exactly once per sweep, no matter how many table rows consume
+// them. Independent (benchmark × predictor × ASBR-config) simulation
+// jobs fan out over a bounded worker pool (runner.Map) with
+// Options.Parallel workers; each job owns its CPU, caches, predictor
+// unit and ASBR engine, and results aggregate in input order, so every
+// table is byte-identical to the serial run regardless of worker
+// count.
+type Sweep struct {
+	opt  Options
+	arts runner.Artifacts
+
+	profiled  runner.Cache[string, *profiledArtifact]
+	selection runner.Cache[string, []core.BITEntry]
+	baseline  runner.Cache[baselineKey, *workload.Result]
+	motivProg runner.Cache[string, *isa.Program]
+}
+
+// profiledArtifact bundles the outputs of one profiled baseline run:
+// the compiled program, the branch profiler (read-only after the run
+// completes) and the run result. Concurrent jobs share it read-only.
+type profiledArtifact struct {
+	prog *isa.Program
+	prof *profile.Profiler
+	res  *workload.Result
+}
+
+type baselineKey struct {
+	bench string
+	unit  string
+}
+
+// Baseline unit names accepted by baselineRun.
+const (
+	baselineUnitNotTaken = "not taken"
+	baselineUnitBimodal  = "bimodal-2048"
+)
+
+// NewSweep builds a sweep context for the given options. One Sweep
+// can serve any number of table generators; a full asbr-tables run
+// compiles and profiles each benchmark exactly once through it.
+func NewSweep(opt Options) *Sweep {
+	opt.fill()
+	return &Sweep{opt: opt}
+}
+
+// Options returns the sweep's filled options.
+func (s *Sweep) Options() Options { return s.opt }
+
+// Artifacts exposes the workload artifact store (for tests and cache
+// introspection).
+func (s *Sweep) Artifacts() *runner.Artifacts { return &s.arts }
+
+// program returns the benchmark built with the paper's §8 scheduling
+// methodology, compiled at most once per sweep.
+func (s *Sweep) program(bench string) (*isa.Program, error) {
+	return s.arts.ScheduledProgram(bench)
+}
+
+// input returns the benchmark's synthetic input trace for the sweep's
+// sample count and seed, generated at most once.
+func (s *Sweep) input(bench string) ([]int32, error) {
+	return s.arts.Input(bench, s.opt.Samples, s.opt.Seed)
+}
+
+// profiledRun builds the benchmark, runs it once on the baseline
+// bimodal machine with a profiler attached, and caches program,
+// profiler and run result: every consumer of the profile shares one
+// run instead of re-profiling per row.
+func (s *Sweep) profiledRun(bench string) (*profiledArtifact, error) {
+	return s.profiled.Get(bench, func() (*profiledArtifact, error) {
+		prog, err := s.program(bench)
+		if err != nil {
+			return nil, err
+		}
+		in, err := s.input(bench)
+		if err != nil {
+			return nil, err
+		}
+		prof := profile.New(
+			predict.NotTaken{},
+			predict.NewBimodal(2048),
+			predict.NewGShare(11, 2048),
+			predict.NewBimodal(512),
+			predict.NewBimodal(256),
+		)
+		cfg := machine(predict.BaselineBimodal())
+		cfg.Observer = prof
+		res, err := workload.Run(prog, cfg, in, s.opt.Samples)
+		if err != nil {
+			return nil, err
+		}
+		return &profiledArtifact{prog: prog, prof: prof, res: res}, nil
+	})
+}
+
+// selectBranches runs the paper's §6 selection for a benchmark.
+func selectBranches(bench string, prog *isa.Program, prof *profile.Profiler, opt Options) ([]profile.Candidate, error) {
+	return profile.Select(prog, prof, profile.SelectOptions{
+		Aux:         "bimodal-512",
+		MinDistance: opt.MinDistance(),
+		K:           BITSizes()[bench],
+		MinCount:    uint64(opt.Samples / 16),
+		Penalty:     2 + ExtraMispredictCycles, // the platform's flush cost
+	})
+}
+
+// bitEntries returns the benchmark's selected, pre-decoded BIT rows
+// under the sweep's options — shared by the Figure 11 rows and the
+// power table.
+func (s *Sweep) bitEntries(bench string) ([]core.BITEntry, error) {
+	return s.selection.Get(bench, func() ([]core.BITEntry, error) {
+		pa, err := s.profiledRun(bench)
+		if err != nil {
+			return nil, err
+		}
+		cands, err := selectBranches(bench, pa.prog, pa.prof, s.opt)
+		if err != nil {
+			return nil, err
+		}
+		return profile.BuildBITFromCandidates(pa.prog, cands)
+	})
+}
+
+// baselineRun returns the benchmark's comparison-base run for the
+// named baseline unit, simulated at most once per (bench, unit).
+func (s *Sweep) baselineRun(bench, unit string) (*workload.Result, error) {
+	return s.baseline.Get(baselineKey{bench: bench, unit: unit}, func() (*workload.Result, error) {
+		prog, err := s.program(bench)
+		if err != nil {
+			return nil, err
+		}
+		in, err := s.input(bench)
+		if err != nil {
+			return nil, err
+		}
+		var u *predict.Unit
+		switch unit {
+		case baselineUnitNotTaken:
+			u = predict.BaselineNotTaken()
+		case baselineUnitBimodal:
+			u = predict.BaselineBimodal()
+		default:
+			return nil, fmt.Errorf("experiment: unknown baseline unit %q", unit)
+		}
+		return workload.Run(prog, machine(u), in, s.opt.Samples)
+	})
+}
+
+// CacheStats summarizes sweep-level artifact reuse: how many expensive
+// artifacts were actually built versus requested.
+type CacheStats struct {
+	Artifacts    runner.Stats
+	ProfiledRuns uint64
+	Selections   uint64
+	BaselineRuns uint64
+}
+
+// CacheStats returns the sweep's artifact-cache counters.
+func (s *Sweep) CacheStats() CacheStats {
+	return CacheStats{
+		Artifacts:    s.arts.Stats(),
+		ProfiledRuns: s.profiled.Builds(),
+		Selections:   s.selection.Builds(),
+		BaselineRuns: s.baseline.Builds(),
+	}
+}

@@ -1,0 +1,88 @@
+package runner
+
+import (
+	"asbr/internal/isa"
+	"asbr/internal/workload"
+)
+
+// ProgramKey identifies a compiled benchmark artifact.
+type ProgramKey struct {
+	Bench    string
+	Manual   bool // §5.1 manual source scheduling
+	Compiler bool // automatic basic-block scheduling pass
+}
+
+// TraceKey identifies a synthetic input or golden-output artifact.
+type TraceKey struct {
+	Bench   string
+	Samples int
+	Seed    int64
+}
+
+// Artifacts caches the expensive shared inputs of a sweep: compiled
+// programs (MiniC front end + scheduling passes), synthetic audio
+// traces, and golden-model outputs. A compiled *isa.Program and a
+// trace slice are immutable once built, so any number of concurrent
+// simulation jobs may share them; the CPU copies the program image
+// into its own memory at construction. The zero value is ready to use.
+type Artifacts struct {
+	progs    Cache[ProgramKey, *isa.Program]
+	inputs   Cache[TraceKey, []int32]
+	expected Cache[TraceKey, []int32]
+}
+
+// Program returns the benchmark compiled with the given scheduling
+// options, building it at most once per configuration.
+func (a *Artifacts) Program(bench string, opt workload.BuildOptions) (*isa.Program, error) {
+	key := ProgramKey{Bench: bench, Manual: opt.ManualSchedule, Compiler: opt.CompilerSchedule}
+	return a.progs.Get(key, func() (*isa.Program, error) {
+		return workload.BuildOpt(bench, opt)
+	})
+}
+
+// ScheduledProgram returns the benchmark built with the paper's §8
+// methodology (workload.Build with schedule=true).
+func (a *Artifacts) ScheduledProgram(bench string) (*isa.Program, error) {
+	return a.Program(bench, workload.BuildOptionsFor(bench, true))
+}
+
+// Input returns the benchmark's synthetic input stream, generating it
+// at most once per (bench, samples, seed).
+func (a *Artifacts) Input(bench string, samples int, seed int64) ([]int32, error) {
+	key := TraceKey{Bench: bench, Samples: samples, Seed: seed}
+	return a.inputs.Get(key, func() ([]int32, error) {
+		return workload.Input(bench, samples, seed)
+	})
+}
+
+// Expected returns the golden-model output for the benchmark on the
+// Input stream of the same samples and seed.
+func (a *Artifacts) Expected(bench string, samples int, seed int64) ([]int32, error) {
+	key := TraceKey{Bench: bench, Samples: samples, Seed: seed}
+	return a.expected.Get(key, func() ([]int32, error) {
+		return workload.Expected(bench, samples, seed)
+	})
+}
+
+// Stats reports how many artifacts were actually built versus
+// requested — the sweep-level cache effectiveness.
+type Stats struct {
+	ProgramBuilds  uint64
+	ProgramGets    uint64
+	InputBuilds    uint64
+	InputGets      uint64
+	ExpectedBuilds uint64
+	ExpectedGets   uint64
+}
+
+// Stats returns the current artifact-cache counters.
+func (a *Artifacts) Stats() Stats {
+	return Stats{
+		ProgramBuilds:  a.progs.Builds(),
+		ProgramGets:    a.progs.Gets(),
+		InputBuilds:    a.inputs.Builds(),
+		InputGets:      a.inputs.Gets(),
+		ExpectedBuilds: a.expected.Builds(),
+		ExpectedGets:   a.expected.Gets(),
+	}
+}

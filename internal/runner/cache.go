@@ -1,0 +1,63 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a keyed, once-guarded build cache: concurrent Gets of the
+// same key block until the single builder finishes, then share its
+// result. The zero value is ready to use.
+//
+// Results (including build errors) are cached permanently: a sweep's
+// artifacts are deterministic functions of their key, so retrying a
+// failed build would only repeat the failure. Build functions must not
+// re-enter the cache with the same key (self-deadlock, like a
+// recursive sync.Once).
+type Cache[K comparable, V any] struct {
+	mu     sync.Mutex
+	m      map[K]*centry[V]
+	builds atomic.Uint64
+	gets   atomic.Uint64
+}
+
+type centry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Get returns the cached value for key, invoking build exactly once
+// per key across all concurrent callers.
+func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	c.gets.Add(1)
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*centry[V])
+	}
+	e := c.m[key]
+	if e == nil {
+		e = new(centry[V])
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.builds.Add(1)
+		e.val, e.err = build()
+	})
+	return e.val, e.err
+}
+
+// Len returns the number of distinct keys seen.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Builds returns how many times a build function ran — the number of
+// artifacts actually constructed, regardless of consumer count.
+func (c *Cache[K, V]) Builds() uint64 { return c.builds.Load() }
+
+// Gets returns the total number of Get calls.
+func (c *Cache[K, V]) Gets() uint64 { return c.gets.Load() }

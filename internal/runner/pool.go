@@ -1,0 +1,76 @@
+// Package runner is the concurrent experiment engine: a bounded
+// worker pool with deterministic, input-ordered result aggregation
+// (Map), a keyed once-guarded cache (Cache) and a workload artifact
+// store (Artifacts) so expensive shared inputs — compiled programs,
+// synthetic traces, golden outputs — are built exactly once per sweep
+// no matter how many simulation jobs consume them concurrently.
+//
+// Determinism contract: Map assigns each job a fixed output index, so
+// the result slice order — and, for deterministic job functions, every
+// value in it — is identical regardless of the worker count. The
+// experiment sweeps (internal/experiment) are built on this contract:
+// `-parallel 8` must be byte-identical to `-parallel 1`.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs f over items with at most parallel concurrent workers and
+// returns the results in input order. parallel <= 0 means
+// runtime.GOMAXPROCS(0); parallel == 1 runs inline with no goroutines.
+//
+// Every item is attempted even if an earlier one fails (jobs are
+// independent simulations; a sweep reports the first failure but does
+// not leave later artifacts half-built). On failure Map returns the
+// error of the lowest-indexed failed item — so the reported error does
+// not depend on goroutine scheduling — together with the result slice,
+// in which failed items hold their zero value.
+func Map[T, R any](parallel int, items []T, f func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out, nil
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(items) {
+		parallel = len(items)
+	}
+	errs := make([]error, len(items))
+	if parallel == 1 {
+		for i := range items {
+			out[i], errs[i] = f(i, items[i])
+		}
+		return finish(out, errs)
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(items) {
+					return
+				}
+				out[i], errs[i] = f(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return finish(out, errs)
+}
+
+func finish[R any](out []R, errs []error) ([]R, error) {
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -95,6 +95,17 @@ func BuildOpt(name string, opt BuildOptions) (*isa.Program, error) {
 	return p, nil
 }
 
+// BuildOptionsFor returns the scheduling options Build(name, schedule)
+// applies, exposed so artifact caches can key compiled programs by the
+// exact build configuration.
+func BuildOptionsFor(name string, schedule bool) BuildOptions {
+	if !schedule {
+		return BuildOptions{}
+	}
+	manual := name == G721Encode || name == G721Decode
+	return BuildOptions{ManualSchedule: manual, CompilerSchedule: true}
+}
+
 // Build compiles a benchmark. With schedule=true the paper's §5.1/§8
 // methodology is applied: the automatic scheduling pass everywhere,
 // plus manual source scheduling where it pays — the paper hand-
@@ -105,11 +116,7 @@ func BuildOpt(name string, opt BuildOptions) (*isa.Program, error) {
 // and the manual variant's software-pipelining overhead outweighs its
 // gains (see the scheduling ablation in EXPERIMENTS.md).
 func Build(name string, schedule bool) (*isa.Program, error) {
-	if !schedule {
-		return BuildOpt(name, BuildOptions{})
-	}
-	manual := name == G721Encode || name == G721Decode
-	return BuildOpt(name, BuildOptions{ManualSchedule: manual, CompilerSchedule: true})
+	return BuildOpt(name, BuildOptionsFor(name, schedule))
 }
 
 // Input produces the benchmark's input stream for n audio samples:
