@@ -1,10 +1,13 @@
 # Development targets for the ASBR reproduction. `make ci` is what the
 # CI workflow runs: vet, build, race-enabled tests, a 1-iteration
-# benchmark smoke and a short fuzz smoke of the assembler round-trip.
+# benchmark smoke, a fault-injection smoke and short fuzz smokes of the
+# assembler round-trip and the fault-plan grammar.
 
 GO ?= go
+FUZZTIME ?= 10s
+FAULT_FUZZTIME ?= 2m
 
-.PHONY: all build vet test race bench-smoke fuzz-smoke tables ci clean
+.PHONY: all build vet test race bench-smoke fault-smoke fuzz-smoke fuzz-fault tables ci clean
 
 all: build
 
@@ -25,14 +28,24 @@ race:
 bench-smoke:
 	$(GO) test -bench=Fig6 -benchtime=1x -run '^$$' .
 
+# Reliability table at a small sample count: the clean control must not
+# diverge and every injected corruption must be caught (nonzero exit on
+# any failed cell).
+fault-smoke:
+	$(GO) run ./cmd/asbr-tables -table faults -n 512
+
 fuzz-smoke:
-	$(GO) test -fuzz=FuzzAsmRoundTrip -fuzztime=10s -run '^$$' ./internal/asm
+	$(GO) test -fuzz=FuzzAsmRoundTrip -fuzztime=$(FUZZTIME) -run '^$$' ./internal/asm
+
+# Fuzz the fault-plan grammar (parser totality + String/Parse round trip).
+fuzz-fault:
+	$(GO) test -fuzz=FuzzParsePlan -fuzztime=$(FAULT_FUZZTIME) -run '^$$' ./internal/fault
 
 # Regenerate every table of the paper at the default sample count.
 tables:
 	$(GO) run ./cmd/asbr-tables
 
-ci: vet build race bench-smoke fuzz-smoke
+ci: vet build race bench-smoke fault-smoke fuzz-smoke fuzz-fault
 
 clean:
 	$(GO) clean ./...

@@ -129,9 +129,9 @@ func BenchmarkFig10_ADPCMDecodeBranches(b *testing.B) { benchBranchTable(b, work
 // fig11Setup holds the per-benchmark profile/selection state shared by
 // the Figure 11 sub-benchmarks.
 type fig11Setup struct {
-	entries  []core.BITEntry
-	baseNT   uint64
-	baseBi   uint64
+	entries []core.BITEntry
+	baseNT  uint64
+	baseBi  uint64
 }
 
 var fig11Cache = map[string]fig11Setup{}
@@ -142,7 +142,7 @@ func setupFig11(b *testing.B, bench string) fig11Setup {
 		return s
 	}
 	bu := buildBench(b, bench)
-	prof := profile.New(predict.NewBimodal(512))
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
 	cfg := platform(predict.BaselineBimodal())
 	cfg.Observer = prof
 	if _, err := workload.Run(bu.prog, cfg, bu.in, benchSamples); err != nil {

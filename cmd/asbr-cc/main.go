@@ -22,26 +22,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: asbr-cc [flags] program.mc")
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
+	if err := run(flag.Arg(0), *schedule); err != nil {
 		fmt.Fprintln(os.Stderr, "asbr-cc:", err)
 		os.Exit(1)
+	}
+}
+
+func run(path string, schedule bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
 	}
 	text, err := cc.Compile(string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asbr-cc:", err)
-		os.Exit(1)
+		return err
 	}
-	if !*schedule {
+	if !schedule {
 		fmt.Print(text)
-		return
+		return nil
 	}
 	p, err := asm.Assemble(text)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "asbr-cc: internal:", err)
-		os.Exit(1)
+		return fmt.Errorf("internal: %v", err)
 	}
-	p2, st := sched.Schedule(p)
+	p2, st, err := sched.Schedule(p)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "scheduler: %d/%d blocks rescheduled\n", st.BlocksScheduled, st.BlocksConsidered)
 	fmt.Print(asm.Disassemble(p2))
+	return nil
 }

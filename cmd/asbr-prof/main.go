@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,7 +33,16 @@ func main() {
 	k := flag.Int("k", 16, "fold candidates to select")
 	minDist := flag.Int("mindist", 3, "distance threshold (paper §5.2)")
 	top := flag.Int("top", 20, "branches to list in the profile table")
+	maxCycles := flag.Uint64("max-cycles", 1<<32, "abort after this many cycles")
+	timeout := flag.Duration("timeout", 0, "abort after this much wall-clock time (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	prof := profile.NewStandard()
 	var prog *isa.Program
@@ -44,8 +54,8 @@ func main() {
 		in, ierr := workload.Input(*bench, *n, 1)
 		check(ierr)
 		cfg := cpu.Config{ICache: mem.DefaultICache(), DCache: mem.DefaultDCache(),
-			Branch: predict.BaselineBimodal(), Observer: prof}
-		_, err = workload.Run(prog, cfg, in, *n)
+			Branch: predict.BaselineBimodal(), Observer: prof, MaxCycles: *maxCycles}
+		_, err = workload.RunContext(ctx, prog, cfg, in, *n)
 		check(err)
 	case flag.NArg() == 1:
 		src, rerr := os.ReadFile(flag.Arg(0))
@@ -56,9 +66,10 @@ func main() {
 			prog, err = asm.Assemble(string(src))
 		}
 		check(err)
-		c := cpu.New(cpu.Config{ICache: mem.DefaultICache(), DCache: mem.DefaultDCache(),
-			Branch: predict.BaselineBimodal(), Observer: prof, MaxCycles: 1 << 32}, prog)
-		_, err = c.Run()
+		c, cerr := cpu.New(cpu.Config{ICache: mem.DefaultICache(), DCache: mem.DefaultDCache(),
+			Branch: predict.BaselineBimodal(), Observer: prof, MaxCycles: *maxCycles}, prog)
+		check(cerr)
+		_, err = c.RunContext(ctx)
 		check(err)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: asbr-prof [-bench name | program.{s,mc}]")

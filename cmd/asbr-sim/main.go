@@ -19,15 +19,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"asbr/internal/asm"
 	"asbr/internal/cc"
 	"asbr/internal/core"
 	"asbr/internal/cpu"
+	"asbr/internal/fault"
 	"asbr/internal/isa"
 	"asbr/internal/mem"
 	"asbr/internal/predict"
@@ -45,6 +48,8 @@ type options struct {
 	trace     bool
 	pipeTrace int
 	maxCycles uint64
+	timeout   time.Duration
+	fault     string
 }
 
 func main() {
@@ -57,6 +62,8 @@ func main() {
 	flag.BoolVar(&opt.trace, "trace", false, "print the disassembly before running")
 	flag.IntVar(&opt.pipeTrace, "pipetrace", 0, "dump the first N cycles of pipeline occupancy")
 	flag.Uint64Var(&opt.maxCycles, "max-cycles", 1<<32, "abort after this many cycles")
+	flag.DurationVar(&opt.timeout, "timeout", 0, "abort after this much wall-clock time (0 = none)")
+	flag.StringVar(&opt.fault, "fault", "", "with -asbr: inject faults per plan (kind[:rate=..,seed=..,max=..]; kinds none|bdt-flip|validity-skew|bit-alias|stale-bti) and lockstep-check divergence against the baseline")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -113,7 +120,10 @@ func simulate(w io.Writer, path string, opt options) error {
 	}
 	if opt.schedule {
 		var st sched.Stats
-		prog, st = sched.Schedule(prog)
+		prog, st, err = sched.Schedule(prog)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(w, "scheduler: %d/%d blocks rescheduled\n", st.BlocksScheduled, st.BlocksConsidered)
 	}
 	if opt.trace {
@@ -130,8 +140,19 @@ func simulate(w io.Writer, path string, opt options) error {
 		cfg.Trace = &truncWriter{w: w, lines: opt.pipeTrace}
 	}
 
+	ctx := context.Background()
+	if opt.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+		defer cancel()
+	}
+
+	if opt.fault != "" && !opt.asbr {
+		return fmt.Errorf("-fault requires -asbr (faults corrupt the ASBR engine)")
+	}
+
 	if !opt.asbr {
-		c, err := runOnce(prog, cfg)
+		c, err := runOnce(ctx, prog, cfg)
 		if err != nil {
 			return err
 		}
@@ -140,10 +161,10 @@ func simulate(w io.Writer, path string, opt options) error {
 	}
 
 	// ASBR flow: profile -> select -> build BIT -> fold.
-	prof := profile.New(predict.NewBimodal(512))
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
 	pcfg := cfg
 	pcfg.Observer = prof
-	base, err := runOnce(prog, pcfg)
+	base, err := runOnce(ctx, prog, pcfg)
 	if err != nil {
 		return err
 	}
@@ -167,7 +188,33 @@ func simulate(w io.Writer, path string, opt options) error {
 	}
 	fcfg := cfg
 	fcfg.Fold = eng
-	folded, err := runOnce(prog, fcfg)
+
+	if opt.fault != "" {
+		plan, err := fault.ParsePlan(opt.fault)
+		if err != nil {
+			return err
+		}
+		inj := fault.NewInjector(plan, eng)
+		fcfg.Fold = inj
+		rep, err := fault.RunPair(prog, cfg, fcfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "fault plan:    %s (%d injected)\n", plan, inj.Count())
+		for _, ev := range inj.Events() {
+			fmt.Fprintf(w, "  %s\n", ev)
+		}
+		fmt.Fprintf(w, "divergence:    %s\n", rep)
+		if rep.BaseErr != nil {
+			fmt.Fprintf(w, "baseline err:  %v\n", rep.BaseErr)
+		}
+		if rep.TestErr != nil {
+			fmt.Fprintf(w, "faulted err:   %v\n", rep.TestErr)
+		}
+		return nil
+	}
+
+	folded, err := runOnce(ctx, prog, fcfg)
 	if err != nil {
 		return err
 	}
@@ -193,9 +240,12 @@ func unit(name string) *predict.Unit {
 	}
 }
 
-func runOnce(prog *isa.Program, cfg cpu.Config) (*cpu.CPU, error) {
-	c := cpu.New(cfg, prog)
-	if _, err := c.Run(); err != nil {
+func runOnce(ctx context.Context, prog *isa.Program, cfg cpu.Config) (*cpu.CPU, error) {
+	c, err := cpu.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.RunContext(ctx); err != nil {
 		return nil, err
 	}
 	return c, nil

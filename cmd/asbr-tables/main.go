@@ -10,8 +10,14 @@
 //	asbr-tables -table power     # energy/area model (abstract claims)
 //	asbr-tables -table motivation # §3 Figure 1 correlation experiment
 //	asbr-tables -table ablations # threshold / BIT size / scheduling / validity
+//	asbr-tables -table faults    # fault-injection reliability table
 //	asbr-tables -n 8192          # samples per benchmark
 //	asbr-tables -parallel 8      # bounded worker pool for the sweep jobs
+//	asbr-tables -max-cycles 1e6  # per-simulation watchdog budget
+//
+// A cell whose simulation fails (cycle budget, wall-clock timeout, a
+// guest fault) renders as ERR with its reason below the table; every
+// remaining table still prints, and the exit status is nonzero.
 //
 // All tables run on the concurrent experiment engine: independent
 // simulation jobs fan out over -parallel workers while compiled
@@ -33,14 +39,17 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: fig6|fig7|fig9|fig10|fig11|power|motivation|ablations|all")
+	table := flag.String("table", "all", "table to regenerate: fig6|fig7|fig9|fig10|fig11|power|motivation|ablations|faults|all")
 	n := flag.Int("n", 4096, "audio samples per benchmark")
 	seed := flag.Int64("seed", 1, "synthetic input seed")
 	update := flag.String("update", "mem", "BDT update point: ex|mem|wb (paper thresholds 2|3|4)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+	maxCycles := flag.Uint64("max-cycles", 0, "per-simulation watchdog cycle budget (0 = default)")
+	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
 	flag.Parse()
 
-	opt := experiment.Options{Samples: *n, Seed: *seed, Parallel: *parallel}
+	opt := experiment.Options{Samples: *n, Seed: *seed, Parallel: *parallel,
+		MaxCycles: *maxCycles, Timeout: *timeout}
 	switch strings.ToLower(*update) {
 	case "ex":
 		opt.Update = cpu.StageEX
@@ -52,7 +61,11 @@ func main() {
 
 	sw := experiment.NewSweep(opt)
 
+	// Every requested table prints even when an earlier one has failed
+	// cells: failures are collected and reported at the end, so one bad
+	// sweep job cannot hide the remaining results.
 	ran := false
+	var failed []string
 	run := func(name string, f func() error) {
 		if *table != "all" && *table != name {
 			return
@@ -60,7 +73,7 @@ func main() {
 		ran = true
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "asbr-tables: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = append(failed, name)
 		}
 	}
 	run("fig6", func() error { return fig6(sw) })
@@ -71,10 +84,15 @@ func main() {
 	run("power", func() error { return powerArea(sw) })
 	run("motivation", func() error { return motivation(sw) })
 	run("ablations", func() error { return ablations(sw) })
+	run("faults", func() error { return faults(sw) })
 	if !ran {
 		fmt.Fprintf(os.Stderr, "asbr-tables: unknown table %q\n", *table)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "asbr-tables: tables with failures: %s\n", strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }
 
@@ -125,17 +143,19 @@ func newTab() *tabwriter.Writer {
 func fig6(sw *experiment.Sweep) error {
 	fmt.Printf("Figure 6: branch predictability of the benchmarks (n=%d)\n", sw.Options().Samples)
 	rows, err := sw.Fig6()
-	if err != nil {
-		return err
-	}
 	w := newTab()
 	fmt.Fprintln(w, "benchmark\tpredictor\tCycles\tCPI\tAcc")
 	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%s\t%s\tERR\tERR\tERR\n", r.Benchmark, r.Predictor)
+			continue
+		}
 		fmt.Fprintf(w, "%s\t%s\t%d\t%.2f\t%.0f%%\n", r.Benchmark, r.Predictor, r.Cycles, r.CPI, 100*r.Accuracy)
 	}
 	w.Flush()
+	printCellErrors(rowErrs(rows, func(r experiment.Fig6Row) error { return r.Err }))
 	fmt.Println()
-	return nil
+	return err
 }
 
 func branchTable(title, bench string, sw *experiment.Sweep) error {
@@ -165,18 +185,20 @@ func fig11(sw *experiment.Sweep) error {
 	fmt.Printf("Figure 11: application-specific branch resolution results (n=%d, update=%v)\n",
 		opt.Samples, opt.Update)
 	rows, err := sw.Fig11()
-	if err != nil {
-		return err
-	}
 	w := newTab()
 	fmt.Fprintln(w, "benchmark\taux predictor\tCycles\tImpr.\tvs\tfolds\tfallbacks")
 	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%s\t%s\tERR\tERR\t-\tERR\tERR\n", r.Benchmark, r.Aux)
+			continue
+		}
 		fmt.Fprintf(w, "%s\t%s\t%d\t%.0f%%\t%s\t%d\t%d\n",
 			r.Benchmark, r.Aux, r.Cycles, 100*r.Improvement, r.BaselineName, r.Folds, r.Fallbacks)
 	}
 	w.Flush()
+	printCellErrors(rowErrs(rows, func(r experiment.Fig11Row) error { return r.Err }))
 	fmt.Println()
-	return nil
+	return err
 }
 
 func ablations(sw *experiment.Sweep) error {
@@ -237,4 +259,51 @@ func ablations(sw *experiment.Sweep) error {
 	w.Flush()
 	fmt.Println()
 	return nil
+}
+
+// faults renders the fault-injection reliability table.
+func faults(sw *experiment.Sweep) error {
+	opt := sw.Options()
+	fmt.Printf("Fault injection: lockstep divergence detection (n=%d)\n", opt.Samples)
+	rows, err := sw.Faults()
+	w := newTab()
+	fmt.Fprintln(w, "benchmark\tplan\tinjected\tdiverged\tfirst divergent pc\tcycle\tcommits")
+	for _, r := range rows {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%s\t%s\tERR\tERR\t-\t-\t-\n", r.Benchmark, r.Plan)
+			continue
+		}
+		diverged := "no"
+		pc := "-"
+		cyc := "-"
+		if r.Report.Diverged {
+			diverged = "YES"
+			pc = fmt.Sprintf("0x%08x", r.Report.PC)
+			cyc = fmt.Sprintf("%d", r.Report.Cycle)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%s\t%d\n",
+			r.Benchmark, r.Plan, r.Injected, diverged, pc, cyc, r.Report.Commits)
+	}
+	w.Flush()
+	printCellErrors(rowErrs(rows, func(r experiment.FaultRow) error { return r.Err }))
+	fmt.Println()
+	return err
+}
+
+// rowErrs extracts the non-nil cell errors of a rendered table.
+func rowErrs[R any](rows []R, get func(R) error) []error {
+	var errs []error
+	for _, r := range rows {
+		if err := get(r); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// printCellErrors lists each failed cell's reason under the table.
+func printCellErrors(errs []error) {
+	for _, err := range errs {
+		fmt.Printf("  ERR: %v\n", err)
+	}
 }

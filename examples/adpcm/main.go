@@ -29,7 +29,7 @@ func main() {
 	pcm := refmodel.SynthPCM(n, 1)
 
 	// 1. Profile on the baseline machine.
-	prof := profile.New(predict.NewBimodal(512))
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
 	cfg := cpu.Config{
 		ICache:                mem.DefaultICache(),
 		DCache:                mem.DefaultDCache(),

@@ -74,7 +74,10 @@ func main() {
 		if eng != nil {
 			cfg.Fold = eng
 		}
-		c := cpu.New(cfg, prog)
+		c, err := cpu.New(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
 		st, err := c.Run()
 		if err != nil {
 			log.Fatal(err)

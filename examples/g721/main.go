@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prof := profile.New(predict.NewBimodal(512))
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
 	pcfg := cpu.Config{
 		ICache: mem.DefaultICache(), DCache: mem.DefaultDCache(),
 		Branch: predict.BaselineBimodal(), ExtraMispredictCycles: 4, Observer: prof,

@@ -48,7 +48,10 @@ func main() {
 	}
 
 	// Baseline: bimodal predictor, no ASBR.
-	base := cpu.New(cpu.Config{Branch: predict.BaselineBimodal()}, prog)
+	base, err := cpu.New(cpu.Config{Branch: predict.BaselineBimodal()}, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
 	baseStats, err := base.Run()
 	if err != nil {
 		log.Fatal(err)
@@ -63,11 +66,14 @@ func main() {
 	if err := engine.Load(entries); err != nil {
 		log.Fatal(err)
 	}
-	folded := cpu.New(cpu.Config{
+	folded, err := cpu.New(cpu.Config{
 		Branch:    predict.AuxBimodal512(), // smaller auxiliary predictor
 		Fold:      engine,
 		BDTUpdate: cpu.StageMEM, // paper threshold 3
 	}, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
 	foldStats, err := folded.Run()
 	if err != nil {
 		log.Fatal(err)

@@ -133,12 +133,15 @@ func main() {
 	}
 
 	// Profile on the baseline machine.
-	prof := profile.New(predict.NewBimodal(512))
-	base := cpu.New(cpu.Config{
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
+	base, err := cpu.New(cpu.Config{
 		ICache: mem.DefaultICache(), DCache: mem.DefaultDCache(),
 		Branch: predict.BaselineBimodal(), ExtraMispredictCycles: 3,
 		Observer: prof,
 	}, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
 	pour(base)
 	baseStats, err := base.Run()
 	if err != nil {
@@ -161,11 +164,14 @@ func main() {
 	if err := eng.Load(entries); err != nil {
 		log.Fatal(err)
 	}
-	folded := cpu.New(cpu.Config{
+	folded, err := cpu.New(cpu.Config{
 		ICache: mem.DefaultICache(), DCache: mem.DefaultDCache(),
 		Branch: predict.AuxBimodal512(), ExtraMispredictCycles: 3,
 		Fold: eng,
 	}, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
 	pour(folded)
 	foldStats, err := folded.Run()
 	if err != nil {

@@ -15,7 +15,7 @@ func runMiniC(t *testing.T, src string) []int32 {
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	c := cpu.New(cpu.Config{}, prog)
+	c := cpu.MustNew(cpu.Config{}, prog)
 	if _, err := c.Run(); err != nil {
 		asmText, _ := Compile(src)
 		t.Fatalf("run: %v\nassembly:\n%s", err, asmText)
@@ -246,7 +246,7 @@ void main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := cpu.New(cpu.Config{}, prog)
+	c := cpu.MustNew(cpu.Config{}, prog)
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ void main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := cpu.New(cpu.Config{}, prog)
+	c := cpu.MustNew(cpu.Config{}, prog)
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -318,27 +318,27 @@ void main() {
 
 func TestCompileErrors(t *testing.T) {
 	cases := map[string]string{
-		"undefined var":      `void main() { x = 1; }`,
-		"undefined func":     `void main() { f(); }`,
-		"dup local":          `void main() { int a; int a; }`,
-		"dup global":         "int a;\nint a;\nvoid main() {}",
-		"dup func":           "void f() {}\nvoid f() {}\nvoid main() {}",
-		"arg count":          "int f(int a) { return a; }\nvoid main() { f(1, 2); }",
-		"void as value":      "void f() {}\nvoid main() { int a = f(); }",
-		"return from void":   `void main() { return 3; }`,
-		"no return value":    `int main() { return; }`,
-		"break outside":      `void main() { break; }`,
-		"continue outside":   `void main() { continue; }`,
-		"assign to array":    "int a[3];\nvoid main() { a = 0; }",
-		"assign to literal":  `void main() { 3 = 4; }`,
-		"deref int":          `void main() { int a; print(*a); }`,
-		"index int":          `void main() { int a; print(a[0]); }`,
-		"addr of rvalue":     `void main() { int *p = &(1+2); }`,
-		"bad array size":     "int a[0];\nvoid main() {}",
-		"too many inits":     "int a[1] = {1, 2};\nvoid main() {}",
-		"unterminated":       `void main() { print(1);`,
-		"bad token":          `void main() { print(@); }`,
-		"void condition":     "void f() {}\nvoid main() { if (f()) print(1); }",
+		"undefined var":     `void main() { x = 1; }`,
+		"undefined func":    `void main() { f(); }`,
+		"dup local":         `void main() { int a; int a; }`,
+		"dup global":        "int a;\nint a;\nvoid main() {}",
+		"dup func":          "void f() {}\nvoid f() {}\nvoid main() {}",
+		"arg count":         "int f(int a) { return a; }\nvoid main() { f(1, 2); }",
+		"void as value":     "void f() {}\nvoid main() { int a = f(); }",
+		"return from void":  `void main() { return 3; }`,
+		"no return value":   `int main() { return; }`,
+		"break outside":     `void main() { break; }`,
+		"continue outside":  `void main() { continue; }`,
+		"assign to array":   "int a[3];\nvoid main() { a = 0; }",
+		"assign to literal": `void main() { 3 = 4; }`,
+		"deref int":         `void main() { int a; print(*a); }`,
+		"index int":         `void main() { int a; print(a[0]); }`,
+		"addr of rvalue":    `void main() { int *p = &(1+2); }`,
+		"bad array size":    "int a[0];\nvoid main() {}",
+		"too many inits":    "int a[1] = {1, 2};\nvoid main() {}",
+		"unterminated":      `void main() { print(1);`,
+		"bad token":         `void main() { print(@); }`,
+		"void condition":    "void f() {}\nvoid main() { if (f()) print(1); }",
 	}
 	for name, src := range cases {
 		if _, err := Compile(src); err == nil {

@@ -199,7 +199,7 @@ func TestPeepholeRandomEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("trial %d: %v\n%s", trial, err, strings.Join(lines, "\n"))
 			}
-			c := cpu.New(cpu.Config{}, p)
+			c := cpu.MustNew(cpu.Config{}, p)
 			if _, err := c.Run(); err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
@@ -262,7 +262,7 @@ void main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := cpu.New(cpu.Config{}, p)
+	c := cpu.MustNew(cpu.Config{}, p)
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}

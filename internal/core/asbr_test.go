@@ -247,7 +247,7 @@ func runWith(t *testing.T, src string, eng *Engine, update cpu.Stage) (*cpu.CPU,
 	if eng != nil {
 		cfg.Fold = eng
 	}
-	c := cpu.New(cfg, p)
+	c := cpu.MustNew(cfg, p)
 	st, err := c.Run()
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -265,7 +265,7 @@ func TestEngineFoldsLoopBranch(t *testing.T) {
 	if err := eng.Load(entries); err != nil {
 		t.Fatal(err)
 	}
-	c := cpu.New(cpu.Config{Fold: eng, BDTUpdate: cpu.StageMEM}, p)
+	c := cpu.MustNew(cpu.Config{Fold: eng, BDTUpdate: cpu.StageMEM}, p)
 	st, err := c.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -506,7 +506,7 @@ l2:	addiu	t1, t1, -1
 	if err := eng.LoadBank(1, e2); err != nil {
 		t.Fatal(err)
 	}
-	c := cpu.New(cpu.Config{Fold: eng}, p)
+	c := cpu.MustNew(cpu.Config{Fold: eng}, p)
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -29,6 +29,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -107,6 +108,34 @@ type BranchObserver interface {
 	OnBranch(pc uint32, taken bool, folded bool)
 }
 
+// Commit describes one committed (write-back) instruction: its address,
+// opcode and architectural effects. It is the unit the fault harness's
+// divergence checker compares across machines, so it carries everything
+// architecturally observable about the instruction — register write and
+// store effect — but not timing.
+type Commit struct {
+	PC    uint32
+	Cycle uint64
+	Op    isa.Op
+
+	HasDest bool
+	Dest    isa.Reg
+	Value   int32
+
+	Store    bool
+	Addr     uint32
+	StoreVal int32
+
+	Branch bool // conditional branch (absent from a run that folded it)
+}
+
+// CommitObserver receives every committed instruction in program order.
+// It is the architectural tap the divergence checker (internal/fault)
+// attaches to both machines of a lockstep comparison.
+type CommitObserver interface {
+	OnCommit(Commit)
+}
+
 // Config assembles a simulated machine.
 type Config struct {
 	// ICache and DCache configure the first-level caches. A zero
@@ -137,15 +166,31 @@ type Config struct {
 	ExtraMispredictCycles int
 	// NoExtraMispredict disables the default ExtraMispredictCycles.
 	NoExtraMispredict bool
-	// MaxCycles aborts runaway simulations (default 2^40).
+	// MaxCycles is the watchdog cycle budget (default 2^40): a guest
+	// that has not halted when the budget runs out terminates with a
+	// SimError carrying ErrCycleLimit instead of hanging the caller.
 	MaxCycles uint64
+	// MemLimit bounds data-access effective addresses (default
+	// DefaultMemLimit). An access at or above the limit terminates the
+	// run with ErrMemOutOfRange instead of silently growing the sparse
+	// memory (wild pointers in a guest would otherwise look like an
+	// engine memory leak).
+	MemLimit uint32
 	// Observer, when non-nil, sees every conditional branch outcome.
 	Observer BranchObserver
+	// Commits, when non-nil, sees every committed instruction (the
+	// divergence-checker tap; see the Commit type).
+	Commits CommitObserver
 	// Trace, when non-nil, receives a per-cycle pipeline-occupancy
 	// row (a textbook pipeline diagram; ASBR-injected instructions
 	// are starred). Expensive; for debugging and teaching.
 	Trace io.Writer
 }
+
+// DefaultMemLimit is the default data-access address bound: the user
+// segment below 0x8000_0000, which contains the text, data and stack
+// regions the loader establishes.
+const DefaultMemLimit uint32 = 0x8000_0000
 
 func (c *Config) fillDefaults() {
 	if c.MultCycles <= 0 {
@@ -156,6 +201,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 1 << 40
+	}
+	if c.MemLimit == 0 {
+		c.MemLimit = DefaultMemLimit
 	}
 	if c.ExtraMispredictCycles == 0 && !c.NoExtraMispredict {
 		c.ExtraMispredictCycles = 2
@@ -307,14 +355,30 @@ const HaltAddress uint32 = 0
 // the PC at the entry symbol. SP and GP follow the MIPS conventions;
 // RA is seeded with HaltAddress so returning from the entry function
 // halts cleanly.
-func New(cfg Config, prog *isa.Program) *CPU {
+//
+// Invalid configurations — bad cache geometry, a nil program — are
+// reported as a *SimError with ErrBadConfig instead of panicking, so a
+// service assembling machines from untrusted configuration degrades
+// gracefully.
+func New(cfg Config, prog *isa.Program) (*CPU, error) {
+	if prog == nil {
+		return nil, &SimError{Code: ErrBadConfig, Detail: "nil program"}
+	}
 	cfg.fillDefaults()
 	c := &CPU{cfg: cfg, prog: prog, mem: mem.NewMemory()}
 	if cfg.ICache.SizeBytes > 0 {
-		c.icache = mem.NewCache(cfg.ICache)
+		ic, err := mem.NewCache(cfg.ICache)
+		if err != nil {
+			return nil, &SimError{Code: ErrBadConfig, Detail: err.Error()}
+		}
+		c.icache = ic
 	}
 	if cfg.DCache.SizeBytes > 0 {
-		c.dcache = mem.NewCache(cfg.DCache)
+		dc, err := mem.NewCache(cfg.DCache)
+		if err != nil {
+			return nil, &SimError{Code: ErrBadConfig, Detail: err.Error()}
+		}
+		c.dcache = dc
 	}
 	for i, w := range prog.Text {
 		c.mem.StoreWord(prog.TextBase+uint32(i*4), w)
@@ -324,6 +388,16 @@ func New(cfg Config, prog *isa.Program) *CPU {
 	c.regs[isa.RegSP] = int32(isa.DefaultStackTop)
 	c.regs[isa.RegGP] = int32(prog.DataBase + isa.DefaultGPOffset)
 	c.regs[isa.RegRA] = int32(HaltAddress)
+	return c, nil
+}
+
+// MustNew is like New but panics on a configuration error. It is for
+// statically known-good configurations (tests, examples).
+func MustNew(cfg Config, prog *isa.Program) *CPU {
+	c, err := New(cfg, prog)
+	if err != nil {
+		panic(err)
+	}
 	return c
 }
 
@@ -366,16 +440,51 @@ func (c *CPU) Stats() Stats {
 // Err returns the simulation error, if any (bad instruction, bad PC).
 func (c *CPU) Err() error { return c.err }
 
-// Run steps the machine until it halts, errors, or exceeds MaxCycles.
+// Run steps the machine until it halts, errors, or exhausts the
+// MaxCycles watchdog budget (terminating with ErrCycleLimit).
 func (c *CPU) Run() (Stats, error) {
+	return c.RunContext(context.Background())
+}
+
+// cancelCheckInterval is how many cycles pass between context polls in
+// RunContext: frequent enough that a watchdog timeout bites within
+// microseconds of simulated work, rare enough to stay off the profile.
+const cancelCheckInterval = 1024
+
+// RunContext steps the machine until it halts, errors, exhausts the
+// MaxCycles budget (ErrCycleLimit), or ctx is done (ErrCanceled). The
+// machine is left exactly at the cycle it stopped on, so a watchdog
+// trip still yields the full statistics and architectural state up to
+// that point.
+func (c *CPU) RunContext(ctx context.Context) (Stats, error) {
+	countdown := cancelCheckInterval
 	for !c.halted && c.err == nil {
-		if c.stats.Cycles >= c.cfg.MaxCycles {
-			c.err = fmt.Errorf("cpu: exceeded MaxCycles=%d at pc=0x%08x", c.cfg.MaxCycles, c.pc)
-			break
+		if countdown--; countdown <= 0 {
+			countdown = cancelCheckInterval
+			if err := ctx.Err(); err != nil {
+				c.fail(ErrCanceled, c.pc, "%v", err)
+				break
+			}
 		}
-		c.Step()
+		c.StepWatchdog()
 	}
 	return c.Stats(), c.err
+}
+
+// StepWatchdog advances the machine one cycle unless the MaxCycles
+// budget is already exhausted, in which case it records ErrCycleLimit
+// (observable via Err) at exactly Cycle == MaxCycles. It is the
+// single-step equivalent of RunContext for callers that interleave two
+// machines, such as the lockstep divergence checker (internal/fault).
+func (c *CPU) StepWatchdog() {
+	if c.halted || c.err != nil {
+		return
+	}
+	if c.stats.Cycles >= c.cfg.MaxCycles {
+		c.fail(ErrCycleLimit, c.pc, "exceeded MaxCycles=%d", c.cfg.MaxCycles)
+		return
+	}
+	c.Step()
 }
 
 // Step advances the machine by one clock cycle. Stages are processed

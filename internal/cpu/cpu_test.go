@@ -25,7 +25,7 @@ func run(t *testing.T, src string, cfg Config) (*CPU, Stats) {
 	if err != nil {
 		t.Fatalf("assemble: %v", err)
 	}
-	c := New(cfg, p)
+	c := MustNew(cfg, p)
 	st, err := c.Run()
 	if err != nil {
 		t.Fatalf("run: %v\nlisting:\n%s", err, asm.Disassemble(p))
@@ -417,7 +417,7 @@ func TestRunOffTextEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := New(Config{}, p)
+	c := MustNew(Config{}, p)
 	if _, err := c.Run(); err == nil || !strings.Contains(err.Error(), "past the text segment") {
 		t.Fatalf("err = %v", err)
 	}
@@ -428,7 +428,7 @@ func TestMaxCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := New(Config{MaxCycles: 1000}, p)
+	c := MustNew(Config{MaxCycles: 1000}, p)
 	if _, err := c.Run(); err == nil || !strings.Contains(err.Error(), "MaxCycles") {
 		t.Fatalf("err = %v", err)
 	}
@@ -439,7 +439,7 @@ func TestDivByZeroErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := New(Config{}, p)
+	c := MustNew(Config{}, p)
 	if _, err := c.Run(); err == nil || !strings.Contains(err.Error(), "divide by zero") {
 		t.Fatalf("err = %v", err)
 	}
@@ -450,7 +450,7 @@ func TestUnalignedAccessErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := New(Config{}, p)
+	c := MustNew(Config{}, p)
 	if _, err := c.Run(); err == nil || !strings.Contains(err.Error(), "unaligned") {
 		t.Fatalf("err = %v", err)
 	}
@@ -556,9 +556,9 @@ func (h *foldingHook) TryFold(pc uint32) (Fold, bool) {
 	}
 	return Fold{}, false
 }
-func (h *foldingHook) OnIssue(isa.Reg)          {}
-func (h *foldingHook) OnValue(isa.Reg, int32)   {}
-func (h *foldingHook) OnBankSwitch(int)         {}
+func (h *foldingHook) OnIssue(isa.Reg)        {}
+func (h *foldingHook) OnValue(isa.Reg, int32) {}
+func (h *foldingHook) OnBankSwitch(int)       {}
 
 func TestFoldHookReplacesBranch(t *testing.T) {
 	src := `
@@ -578,10 +578,10 @@ skip:	addiu	t2, zero, 5
 	targetPC := p.Symbols["skip"]
 	bti, _ := p.WordAt(targetPC)
 	h := &foldingHook{
-		pc: branchPC,
+		pc:   branchPC,
 		fold: Fold{Word: bti, PC: targetPC, Next: targetPC + 4, Taken: true},
 	}
-	c := New(Config{Fold: h}, p)
+	c := MustNew(Config{Fold: h}, p)
 	st, err := c.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -623,10 +623,10 @@ skip:	addiu	t2, zero, 5
 	branchPC := isa.DefaultTextBase + 4
 	bfi, _ := p.WordAt(branchPC + 4)
 	h := &foldingHook{
-		pc: branchPC,
+		pc:   branchPC,
 		fold: Fold{Word: bfi, PC: branchPC + 4, Next: branchPC + 8, Taken: false},
 	}
-	c := New(Config{Fold: h}, p)
+	c := MustNew(Config{Fold: h}, p)
 	st, err := c.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -710,7 +710,7 @@ func TestRandomProgramsMatchOracle(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, src)
 		}
-		c := New(Config{}, p)
+		c := MustNew(Config{}, p)
 		if _, err := c.Run(); err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, src)
 		}
@@ -898,7 +898,7 @@ loop:	addiu	t0, t0, -1
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := New(Config{Trace: &buf, NoExtraMispredict: true}, p)
+	c := MustNew(Config{Trace: &buf, NoExtraMispredict: true}, p)
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -933,7 +933,7 @@ skip:	addiu	t2, zero, 5
 	bti, _ := p.WordAt(p.Symbols["skip"])
 	h := &foldingHook{pc: branchPC, fold: Fold{Word: bti, PC: p.Symbols["skip"], Next: p.Symbols["skip"] + 4, Taken: true}}
 	var buf strings.Builder
-	c := New(Config{Fold: h, Trace: &buf}, p)
+	c := MustNew(Config{Fold: h, Trace: &buf}, p)
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,101 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCode classifies a simulation failure. Every error the simulator
+// produces at run time is a *SimError carrying one of these codes plus
+// the faulting PC and cycle, so services embedding the simulator can
+// dispatch on the failure class instead of parsing message strings.
+type ErrCode uint8
+
+// Simulation failure classes.
+const (
+	ErrNone            ErrCode = iota
+	ErrCycleLimit              // cycle budget exhausted (watchdog)
+	ErrCanceled                // context canceled or deadline exceeded
+	ErrBadOpcode               // undecodable instruction word reached execute
+	ErrUnalignedAccess         // misaligned load/store effective address
+	ErrMemOutOfRange           // data access beyond the configured memory limit
+	ErrTextOverrun             // execution ran past the text segment
+	ErrFetchFault              // fetch could not deliver an instruction word
+	ErrDivideByZero            // div/divu with a zero divisor
+	ErrBadSyscall              // unknown syscall number
+	ErrBreak                   // break instruction committed
+	ErrBadConfig               // invalid machine configuration (reported by New)
+)
+
+// String names the code.
+func (c ErrCode) String() string {
+	switch c {
+	case ErrNone:
+		return "none"
+	case ErrCycleLimit:
+		return "cycle-limit"
+	case ErrCanceled:
+		return "canceled"
+	case ErrBadOpcode:
+		return "bad-opcode"
+	case ErrUnalignedAccess:
+		return "unaligned-access"
+	case ErrMemOutOfRange:
+		return "mem-out-of-range"
+	case ErrTextOverrun:
+		return "text-overrun"
+	case ErrFetchFault:
+		return "fetch-fault"
+	case ErrDivideByZero:
+		return "divide-by-zero"
+	case ErrBadSyscall:
+		return "bad-syscall"
+	case ErrBreak:
+		return "break"
+	case ErrBadConfig:
+		return "bad-config"
+	}
+	return fmt.Sprintf("ErrCode(%d)", uint8(c))
+}
+
+// SimError is the structured simulation error: what went wrong (Code),
+// where (PC) and when (Cycle). It replaces the free-form errors and
+// panics the engine used to die with, so a hung or crashing guest
+// degrades into a typed, reportable failure.
+type SimError struct {
+	Code   ErrCode
+	PC     uint32 // faulting instruction address (fetch PC for watchdog trips)
+	Cycle  uint64 // cycle count at the failure
+	Detail string
+}
+
+// Error implements the error interface.
+func (e *SimError) Error() string {
+	return fmt.Sprintf("cpu: %s at pc=0x%08x cycle=%d: %s", e.Code, e.PC, e.Cycle, e.Detail)
+}
+
+// Is lets errors.Is match two SimErrors by code alone, so callers can
+// write errors.Is(err, &cpu.SimError{Code: cpu.ErrCycleLimit}).
+func (e *SimError) Is(target error) bool {
+	t, ok := target.(*SimError)
+	return ok && t.Code == e.Code
+}
+
+// CodeOf extracts the ErrCode from err, unwrapping as needed. It
+// returns ErrNone when err is nil or carries no SimError.
+func CodeOf(err error) ErrCode {
+	var se *SimError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return ErrNone
+}
+
+// fail records the first simulation error; later failures in the same
+// run are ignored (the machine is already dead).
+func (c *CPU) fail(code ErrCode, pc uint32, format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	c.err = &SimError{Code: code, PC: pc, Cycle: c.stats.Cycles, Detail: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,219 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"asbr/internal/asm"
+	"asbr/internal/isa"
+)
+
+// findOp returns the PC of the first instruction with opcode op.
+func findOp(t *testing.T, p *isa.Program, op isa.Op) uint32 {
+	t.Helper()
+	for i, w := range p.Text {
+		in, err := isa.Decode(w)
+		if err != nil {
+			continue
+		}
+		if in.Op == op {
+			return p.TextBase + uint32(4*i)
+		}
+	}
+	t.Fatalf("no %v instruction in program", op)
+	return 0
+}
+
+// TestSimErrorTaxonomy drives the simulator into each failure class and
+// checks that the typed *SimError carries the right code and faulting
+// PC. Free-running cases use a watchdog so a regression cannot hang the
+// test binary.
+func TestSimErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		cfg  Config
+		// patch mutates the assembled program before the run (e.g. to
+		// plant an undecodable word).
+		patch    func(t *testing.T, p *isa.Program)
+		wantCode ErrCode
+		// wantPC computes the expected faulting PC, or nil to skip.
+		wantPC func(t *testing.T, p *isa.Program) uint32
+	}{
+		{
+			name:     "cycle-limit on infinite loop",
+			src:      "main:\tj main\n",
+			cfg:      Config{MaxCycles: 500},
+			wantCode: ErrCycleLimit,
+		},
+		{
+			name: "bad opcode",
+			src:  "main:\tnop\n\tnop\n\tnop\n\tjr ra\n",
+			cfg:  Config{MaxCycles: 1000},
+			patch: func(t *testing.T, p *isa.Program) {
+				p.Text[1] = 0x7c000000 // undecodable: reserved major opcode 0x1f
+			},
+			wantCode: ErrBadOpcode,
+			wantPC: func(t *testing.T, p *isa.Program) uint32 {
+				return p.TextBase + 4
+			},
+		},
+		{
+			name:     "unaligned store",
+			src:      "main:\tla t0, x\n\tli t1, 7\n\tsw t1, 2(t0)\n\tjr ra\n\t.data\nx:\t.word 0, 0\n",
+			cfg:      Config{MaxCycles: 1000},
+			wantCode: ErrUnalignedAccess,
+			wantPC: func(t *testing.T, p *isa.Program) uint32 {
+				return findOp(t, p, isa.OpSW)
+			},
+		},
+		{
+			name:     "unaligned load",
+			src:      "main:\tla t0, x\n\tlw t1, 1(t0)\n\tjr ra\n\t.data\nx:\t.word 0, 0\n",
+			cfg:      Config{MaxCycles: 1000},
+			wantCode: ErrUnalignedAccess,
+			wantPC: func(t *testing.T, p *isa.Program) uint32 {
+				return findOp(t, p, isa.OpLW)
+			},
+		},
+		{
+			name:     "load beyond memory limit",
+			src:      "main:\tlw t1, -4(zero)\n\tjr ra\n",
+			cfg:      Config{MaxCycles: 1000},
+			wantCode: ErrMemOutOfRange,
+			wantPC: func(t *testing.T, p *isa.Program) uint32 {
+				return findOp(t, p, isa.OpLW)
+			},
+		},
+		{
+			name:     "text overrun",
+			src:      "main:\taddiu t0, zero, 1\n\taddiu t1, zero, 2\n",
+			cfg:      Config{MaxCycles: 1000},
+			wantCode: ErrTextOverrun,
+		},
+		{
+			name:     "divide by zero",
+			src:      "main:\tli t0, 1\n\tdiv t0, zero\n\tjr ra\n",
+			cfg:      Config{MaxCycles: 1000},
+			wantCode: ErrDivideByZero,
+		},
+		{
+			name:     "unknown syscall",
+			src:      "main:\tli v0, 99\n\tsyscall\n\tjr ra\n",
+			cfg:      Config{MaxCycles: 1000},
+			wantCode: ErrBadSyscall,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := asm.Assemble(tc.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			if tc.patch != nil {
+				tc.patch(t, p)
+			}
+			c := MustNew(tc.cfg, p)
+			_, err = c.Run()
+			if err == nil {
+				t.Fatal("run succeeded, want failure")
+			}
+			var se *SimError
+			if !errors.As(err, &se) {
+				t.Fatalf("err %v is not a *SimError", err)
+			}
+			if se.Code != tc.wantCode {
+				t.Fatalf("code = %v, want %v (err: %v)", se.Code, tc.wantCode, err)
+			}
+			if CodeOf(err) != tc.wantCode {
+				t.Fatalf("CodeOf = %v, want %v", CodeOf(err), tc.wantCode)
+			}
+			if !errors.Is(err, &SimError{Code: tc.wantCode}) {
+				t.Fatalf("errors.Is by code failed for %v", err)
+			}
+			if tc.wantPC != nil {
+				if want := tc.wantPC(t, p); se.PC != want {
+					t.Fatalf("faulting pc = 0x%08x, want 0x%08x (err: %v)", se.PC, want, err)
+				}
+			}
+			if se.Cycle == 0 {
+				t.Fatalf("cycle not recorded: %v", err)
+			}
+		})
+	}
+}
+
+// TestCycleLimitExact pins the watchdog contract: a guest stuck in an
+// infinite loop is stopped with ErrCycleLimit at exactly the configured
+// budget — the check runs before the cycle would execute, never after.
+func TestCycleLimitExact(t *testing.T) {
+	for _, budget := range []uint64{1, 17, 1000} {
+		p, err := asm.Assemble("main:\tj main\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := MustNew(Config{MaxCycles: budget}, p)
+		st, err := c.Run()
+		var se *SimError
+		if !errors.As(err, &se) || se.Code != ErrCycleLimit {
+			t.Fatalf("budget %d: err = %v, want cycle-limit", budget, err)
+		}
+		if se.Cycle != budget {
+			t.Fatalf("budget %d: tripped at cycle %d, want exactly the budget", budget, se.Cycle)
+		}
+		if st.Cycles != budget {
+			t.Fatalf("budget %d: stats report %d cycles", budget, st.Cycles)
+		}
+	}
+}
+
+// TestRunContextCanceled checks that a canceled context stops a
+// free-running guest with ErrCanceled instead of hanging.
+func TestRunContextCanceled(t *testing.T) {
+	p, err := asm.Assemble("main:\tj main\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := MustNew(Config{MaxCycles: 1 << 40}, p)
+	_, err = c.RunContext(ctx)
+	if CodeOf(err) != ErrCanceled {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+}
+
+// TestErrorsAreSticky: once a machine has failed, further stepping is a
+// no-op and the first error is preserved.
+func TestErrorsAreSticky(t *testing.T) {
+	p, err := asm.Assemble("main:\tlw t1, -4(zero)\n\tjr ra\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(Config{MaxCycles: 1000}, p)
+	_, first := c.Run()
+	if CodeOf(first) != ErrMemOutOfRange {
+		t.Fatalf("err = %v", first)
+	}
+	for i := 0; i < 10; i++ {
+		c.StepWatchdog()
+	}
+	if c.Err() != first {
+		t.Fatalf("error not sticky: %v then %v", first, c.Err())
+	}
+}
+
+// TestBadConfigAtNew: invalid machine configuration surfaces as
+// ErrBadConfig from New, not as a panic mid-run.
+func TestBadConfigAtNew(t *testing.T) {
+	if _, err := New(Config{}, nil); CodeOf(err) != ErrBadConfig {
+		t.Fatalf("nil program: err = %v, want bad-config", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic on a config error")
+		}
+	}()
+	MustNew(Config{}, nil)
+}

@@ -1,8 +1,6 @@
 package cpu
 
 import (
-	"fmt"
-
 	"asbr/internal/isa"
 )
 
@@ -26,19 +24,34 @@ func (c *CPU) doWB() {
 	switch s.in.Op {
 	case isa.OpSYSCALL:
 		c.stats.Syscalls++
-		c.syscall()
+		c.syscall(s.pc)
 	case isa.OpBITSW:
 		if c.cfg.Fold != nil {
 			c.cfg.Fold.OnBankSwitch(int(s.in.Imm))
 		}
 	case isa.OpBREAK:
-		c.err = fmt.Errorf("cpu: break at pc=0x%08x", s.pc)
+		c.fail(ErrBreak, s.pc, "break instruction")
 	}
 	c.stats.Instructions++
+	if c.cfg.Commits != nil {
+		cm := Commit{
+			PC:     s.pc,
+			Cycle:  c.stats.Cycles,
+			Op:     s.in.Op,
+			Branch: s.in.IsCondBranch(),
+		}
+		if s.hasDest {
+			cm.HasDest, cm.Dest, cm.Value = true, s.dest, s.result
+		}
+		if s.in.IsStore() {
+			cm.Store, cm.Addr, cm.StoreVal = true, s.memAddr, s.storeVal
+		}
+		c.cfg.Commits.OnCommit(cm)
+	}
 }
 
 // syscall implements the tiny OS surface: exit, print-int, print-char.
-func (c *CPU) syscall() {
+func (c *CPU) syscall(pc uint32) {
 	code := c.regs[isa.RegV0]
 	arg := c.regs[isa.RegA0]
 	switch code {
@@ -50,7 +63,7 @@ func (c *CPU) syscall() {
 	case 11: // print character
 		c.OutputStr = append(c.OutputStr, byte(arg))
 	default:
-		c.err = fmt.Errorf("cpu: unknown syscall %d", code)
+		c.fail(ErrBadSyscall, pc, "unknown syscall %d", code)
 	}
 }
 
@@ -95,43 +108,44 @@ func (c *CPU) doMEM() {
 	c.sMEM = nil
 }
 
-// access performs the functional memory operation for s.
+// accessWidth returns the byte width of a load/store opcode.
+func accessWidth(op isa.Op) uint32 {
+	switch op {
+	case isa.OpLW, isa.OpSW:
+		return 4
+	case isa.OpLH, isa.OpLHU, isa.OpSH:
+		return 2
+	}
+	return 1
+}
+
+// access performs the functional memory operation for s, enforcing the
+// alignment rules and the configured memory limit.
 func (c *CPU) access(s *slot) {
 	a := s.memAddr
+	width := accessWidth(s.in.Op)
+	if a >= c.cfg.MemLimit || c.cfg.MemLimit-a < width {
+		c.fail(ErrMemOutOfRange, s.pc, "%s at 0x%08x beyond memory limit 0x%08x", s.in.Op, a, c.cfg.MemLimit)
+		return
+	}
+	if a%width != 0 {
+		c.fail(ErrUnalignedAccess, s.pc, "unaligned %s at 0x%08x", s.in.Op, a)
+		return
+	}
 	switch s.in.Op {
 	case isa.OpLW:
-		if a%4 != 0 {
-			c.err = fmt.Errorf("cpu: unaligned lw at 0x%08x (pc=0x%08x)", a, s.pc)
-			return
-		}
 		s.result = int32(c.mem.LoadWord(a))
 	case isa.OpLH:
-		if a%2 != 0 {
-			c.err = fmt.Errorf("cpu: unaligned lh at 0x%08x (pc=0x%08x)", a, s.pc)
-			return
-		}
 		s.result = int32(int16(c.mem.LoadHalf(a)))
 	case isa.OpLHU:
-		if a%2 != 0 {
-			c.err = fmt.Errorf("cpu: unaligned lhu at 0x%08x (pc=0x%08x)", a, s.pc)
-			return
-		}
 		s.result = int32(c.mem.LoadHalf(a))
 	case isa.OpLB:
 		s.result = int32(int8(c.mem.LoadByte(a)))
 	case isa.OpLBU:
 		s.result = int32(c.mem.LoadByte(a))
 	case isa.OpSW:
-		if a%4 != 0 {
-			c.err = fmt.Errorf("cpu: unaligned sw at 0x%08x (pc=0x%08x)", a, s.pc)
-			return
-		}
 		c.mem.StoreWord(a, uint32(s.storeVal))
 	case isa.OpSH:
-		if a%2 != 0 {
-			c.err = fmt.Errorf("cpu: unaligned sh at 0x%08x (pc=0x%08x)", a, s.pc)
-			return
-		}
 		c.mem.StoreHalf(a, uint16(s.storeVal))
 	case isa.OpSB:
 		c.mem.StoreByte(a, byte(s.storeVal))
@@ -187,9 +201,9 @@ func (c *CPU) doEX() {
 		}
 		if !s.ok {
 			if s.poison {
-				c.err = fmt.Errorf("cpu: execution ran past the text segment to pc=0x%08x", s.pc)
+				c.fail(ErrTextOverrun, s.pc, "execution ran past the text segment")
 			} else {
-				c.err = fmt.Errorf("cpu: illegal instruction word 0x%08x at pc=0x%08x", s.word, s.pc)
+				c.fail(ErrBadOpcode, s.pc, "illegal instruction word 0x%08x", s.word)
 			}
 			return
 		}
@@ -264,13 +278,13 @@ func (c *CPU) execute(s *slot) {
 		c.lo, c.hi = int32(uint32(p)), int32(uint32(p>>32))
 	case isa.OpDIV:
 		if rt == 0 {
-			c.err = fmt.Errorf("cpu: divide by zero at pc=0x%08x", s.pc)
+			c.fail(ErrDivideByZero, s.pc, "divide by zero")
 			return
 		}
 		c.lo, c.hi = rs/rt, rs%rt
 	case isa.OpDIVU:
 		if rt == 0 {
-			c.err = fmt.Errorf("cpu: divide by zero at pc=0x%08x", s.pc)
+			c.fail(ErrDivideByZero, s.pc, "divide by zero (divu)")
 			return
 		}
 		c.lo = int32(uint32(rs) / uint32(rt))
@@ -520,7 +534,7 @@ func (c *CPU) deliver(pc uint32) {
 	}
 	word, err := c.prog.WordAt(pc)
 	if err != nil {
-		c.err = fmt.Errorf("cpu: fetch at 0x%08x: %v", pc, err)
+		c.fail(ErrFetchFault, pc, "fetch: %v", err)
 		return
 	}
 	in, derr := isa.Decode(word)

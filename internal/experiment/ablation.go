@@ -59,10 +59,10 @@ func (s *Sweep) ThresholdAblation(bench string) ([]ThresholdRow, error) {
 		if err := eng.Load(entries); err != nil {
 			return ThresholdRow{}, err
 		}
-		cfg := machine(predict.AuxBimodal512())
+		cfg := s.machine(predict.AuxBimodal512())
 		cfg.Fold = eng
 		cfg.BDTUpdate = up
-		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
+		res, err := s.run(pa.prog, cfg, in)
 		if err != nil {
 			return ThresholdRow{}, err
 		}
@@ -118,10 +118,10 @@ func (s *Sweep) BITSizeAblation(bench string, sizes []int) ([]BITSizeRow, error)
 		if err := eng.Load(entries); err != nil {
 			return BITSizeRow{}, err
 		}
-		cfg := machine(predict.AuxBimodal512())
+		cfg := s.machine(predict.AuxBimodal512())
 		cfg.Fold = eng
 		cfg.BDTUpdate = s.opt.Update
-		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
+		res, err := s.run(pa.prog, cfg, in)
 		if err != nil {
 			return BITSizeRow{}, err
 		}
@@ -180,10 +180,10 @@ func (s *Sweep) SchedulingAblation(bench string) ([]SchedulingRow, error) {
 		if err != nil {
 			return SchedulingRow{}, err
 		}
-		prof := profile.New(predict.NewBimodal(512))
-		cfg := machine(predict.BaselineBimodal())
+		prof := profile.New(predict.Must(predict.NewBimodal(512)))
+		cfg := s.machine(predict.BaselineBimodal())
 		cfg.Observer = prof
-		baseRes, err := workload.Run(prog, cfg, in, s.opt.Samples)
+		baseRes, err := s.run(prog, cfg, in)
 		if err != nil {
 			return SchedulingRow{}, err
 		}
@@ -202,10 +202,10 @@ func (s *Sweep) SchedulingAblation(bench string) ([]SchedulingRow, error) {
 		if err := eng.Load(entries); err != nil {
 			return SchedulingRow{}, err
 		}
-		cfg2 := machine(predict.AuxBimodal512())
+		cfg2 := s.machine(predict.AuxBimodal512())
 		cfg2.Fold = eng
 		cfg2.BDTUpdate = s.opt.Update
-		res, err := workload.Run(prog, cfg2, in, s.opt.Samples)
+		res, err := s.run(prog, cfg2, in)
 		if err != nil {
 			return SchedulingRow{}, err
 		}
@@ -279,10 +279,10 @@ func (s *Sweep) ValidityAblation(bench string) ([]ValidityRow, error) {
 		if err := eng.Load(entries); err != nil {
 			return ValidityRow{}, err
 		}
-		cfg := machine(predict.AuxBimodal512())
+		cfg := s.machine(predict.AuxBimodal512())
 		cfg.Fold = eng
 		cfg.BDTUpdate = s.opt.Update
-		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
+		res, err := s.run(pa.prog, cfg, in)
 		if err != nil {
 			return ValidityRow{}, err
 		}

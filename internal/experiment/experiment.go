@@ -18,6 +18,7 @@ package experiment
 
 import (
 	"fmt"
+	"time"
 
 	"asbr/internal/core"
 	"asbr/internal/cpu"
@@ -33,6 +34,14 @@ type Options struct {
 	Seed     int64     // synthetic-trace seed (default 1)
 	Update   cpu.Stage // BDT update point (default StageMEM = threshold 3)
 	Parallel int       // max concurrent simulation jobs (default GOMAXPROCS; 1 = serial)
+
+	// MaxCycles is the per-simulation watchdog budget (0 = the CPU
+	// default). A job that exceeds it fails with ErrCycleLimit instead
+	// of hanging the sweep; the table renders that cell as ERR.
+	MaxCycles uint64
+	// Timeout is the per-simulation wall-clock budget (0 = none),
+	// enforced through context cancellation.
+	Timeout time.Duration
 }
 
 func (o *Options) fill() {
@@ -99,13 +108,16 @@ func baselineUnits() []func() *predict.Unit {
 	}
 }
 
-// Fig6Row is one cell group of Figure 6.
+// Fig6Row is one cell group of Figure 6. A failed cell carries its
+// error in Err with the numeric fields zero; renderers annotate it
+// instead of dropping the table.
 type Fig6Row struct {
 	Benchmark string
 	Predictor string
 	Cycles    uint64
 	CPI       float64
 	Accuracy  float64 // conditional-branch direction accuracy
+	Err       error   // non-nil when this cell's simulation failed
 }
 
 // Fig6 reproduces Figure 6 on a fresh sweep (see Sweep.Fig6).
@@ -128,7 +140,7 @@ func (s *Sweep) Fig6() ([]Fig6Row, error) {
 			jobs = append(jobs, job{bench, mk})
 		}
 	}
-	return runner.Map(s.opt.Parallel, jobs, func(_ int, j job) (Fig6Row, error) {
+	rows, errs := runner.MapErrs(s.opt.Parallel, jobs, func(_ int, j job) (Fig6Row, error) {
 		prog, err := s.program(j.bench)
 		if err != nil {
 			return Fig6Row{}, err
@@ -138,9 +150,9 @@ func (s *Sweep) Fig6() ([]Fig6Row, error) {
 			return Fig6Row{}, err
 		}
 		unit := j.mk()
-		res, err := workload.Run(prog, machine(unit), in, s.opt.Samples)
+		res, err := s.run(prog, s.machine(unit), in)
 		if err != nil {
-			return Fig6Row{}, fmt.Errorf("%s/%s: %v", j.bench, unit.Name(), err)
+			return Fig6Row{}, fmt.Errorf("%s/%s: %w", j.bench, unit.Name(), err)
 		}
 		return Fig6Row{
 			Benchmark: j.bench,
@@ -150,6 +162,20 @@ func (s *Sweep) Fig6() ([]Fig6Row, error) {
 			Accuracy:  res.Stats.PredAccuracy(),
 		}, nil
 	})
+	// Failed cells stay in the table, labeled, so one bad job cannot
+	// hide eleven healthy ones; the first error is still returned for
+	// callers that treat any failure as fatal.
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		rows[i] = Fig6Row{Benchmark: jobs[i].bench, Predictor: jobs[i].mk().Name(), Err: err}
+		if first == nil {
+			first = err
+		}
+	}
+	return rows, first
 }
 
 // BranchRow is one selected branch's statistics (Figures 7, 9, 10).
@@ -208,7 +234,9 @@ func (s *Sweep) SelectedBranches(bench string) (BranchTable, error) {
 	return tab, nil
 }
 
-// Fig11Row is one cell group of Figure 11.
+// Fig11Row is one cell group of Figure 11. A failed cell carries its
+// error in Err with the numeric fields zero; renderers annotate it
+// instead of dropping the table.
 type Fig11Row struct {
 	Benchmark    string
 	Aux          string // auxiliary predictor used with ASBR
@@ -219,6 +247,7 @@ type Fig11Row struct {
 	Folds        uint64
 	Fallbacks    uint64
 	FoldedFrac   float64 // folded / dynamic conditional branches
+	Err          error   // non-nil when this cell's simulation failed
 }
 
 // auxUnits returns the three ASBR auxiliary configurations of Fig. 11.
@@ -262,7 +291,7 @@ func (s *Sweep) Fig11() ([]Fig11Row, error) {
 			jobs = append(jobs, job{bench, aux})
 		}
 	}
-	return runner.Map(s.opt.Parallel, jobs, func(_ int, j job) (Fig11Row, error) {
+	rows, errs := runner.MapErrs(s.opt.Parallel, jobs, func(_ int, j job) (Fig11Row, error) {
 		pa, err := s.profiledRun(j.bench)
 		if err != nil {
 			return Fig11Row{}, err
@@ -287,12 +316,12 @@ func (s *Sweep) Fig11() ([]Fig11Row, error) {
 		if err := eng.Load(entries); err != nil {
 			return Fig11Row{}, err
 		}
-		cfg := machine(j.aux.Mk())
+		cfg := s.machine(j.aux.Mk())
 		cfg.Fold = eng
 		cfg.BDTUpdate = s.opt.Update
-		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
+		res, err := s.run(pa.prog, cfg, in)
 		if err != nil {
-			return Fig11Row{}, fmt.Errorf("%s/%s: %v", j.bench, j.aux.Label, err)
+			return Fig11Row{}, fmt.Errorf("%s/%s: %w", j.bench, j.aux.Label, err)
 		}
 		base := baseRes.Stats.Cycles
 		es := eng.Stats()
@@ -313,4 +342,15 @@ func (s *Sweep) Fig11() ([]Fig11Row, error) {
 			FoldedFrac:   frac,
 		}, nil
 	})
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		rows[i] = Fig11Row{Benchmark: jobs[i].bench, Aux: jobs[i].aux.Label, Err: err}
+		if first == nil {
+			first = err
+		}
+	}
+	return rows, first
 }

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/fault"
+	"asbr/internal/isa"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/runner"
+	"asbr/internal/workload"
+)
+
+// FaultRow is one cell of the reliability table: a benchmark run under
+// one fault-injection plan, lockstep-compared against a clean baseline
+// machine. The `none` plan is the control — it must never diverge; the
+// corruption plans demonstrate that every architecturally visible
+// fault is pinned to a first divergent PC and cycle.
+type FaultRow struct {
+	Benchmark string
+	Plan      fault.Plan
+	Injected  int          // faults actually injected
+	Report    fault.Report // divergence verdict
+	Err       error        // non-nil when the pair could not run at all
+}
+
+// faultPlans returns the injection plans of the reliability table: the
+// clean control plus every corruption kind, each seeded deterministically
+// so the table is reproducible run to run.
+func faultPlans() []fault.Plan {
+	plans := make([]fault.Plan, 0, len(fault.Kinds()))
+	for _, k := range fault.Kinds() {
+		p := fault.DefaultPlan(k)
+		p.Seed = 1
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// faultEntries selects the BIT used by the reliability sweep. Unlike
+// the performance tables it selects with no distance filter (like the
+// validity ablation): the table deliberately includes stale-prone
+// branches so the validity counters are load-bearing and the
+// validity-skew fault has unresolved predicates to corrupt.
+func (s *Sweep) faultEntries(bench string) ([]core.BITEntry, error) {
+	return s.faultSel.Get(bench, func() ([]core.BITEntry, error) {
+		pa, err := s.profiledRun(bench)
+		if err != nil {
+			return nil, err
+		}
+		cands, err := profile.Select(pa.prog, pa.prof, profile.SelectOptions{
+			Aux: "bimodal-512", MinDistance: 0, K: BITSizes()[bench],
+			MinCount: uint64(s.opt.Samples / 16),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return profile.BuildBITFromCandidates(pa.prog, cands)
+	})
+}
+
+// Faults runs the reliability table on a fresh sweep (see Sweep.Faults).
+func Faults(opt Options) ([]FaultRow, error) {
+	return NewSweep(opt).Faults()
+}
+
+// Faults generates the reliability table: every benchmark under every
+// fault plan, each cell a lockstep pair (clean baseline machine vs
+// ASBR machine wrapped by the injector) on the shared compiled program
+// and input trace. Like the other tables, a failed cell is annotated
+// rather than fatal, and the first error is returned alongside the
+// complete row set.
+func (s *Sweep) Faults() ([]FaultRow, error) {
+	type job struct {
+		bench string
+		plan  fault.Plan
+	}
+	var jobs []job
+	for _, bench := range workload.Names() {
+		for _, plan := range faultPlans() {
+			jobs = append(jobs, job{bench, plan})
+		}
+	}
+	rows, errs := runner.MapErrs(s.opt.Parallel, jobs, func(_ int, j job) (FaultRow, error) {
+		pa, err := s.profiledRun(j.bench)
+		if err != nil {
+			return FaultRow{}, err
+		}
+		in, err := s.input(j.bench)
+		if err != nil {
+			return FaultRow{}, err
+		}
+		entries, err := s.faultEntries(j.bench)
+		if err != nil {
+			return FaultRow{}, err
+		}
+		eng := core.NewEngine(core.Config{TrackValidity: true})
+		if err := eng.Load(entries); err != nil {
+			return FaultRow{}, err
+		}
+		inj := fault.NewInjector(j.plan, eng)
+		baseCfg := s.machine(predict.AuxBimodal512())
+		testCfg := baseCfg
+		testCfg.Fold = inj
+		testCfg.BDTUpdate = s.opt.Update
+		rep, err := fault.RunPair(pa.prog, baseCfg, testCfg, func(c *cpu.CPU) error {
+			return pourBenchmark(c, pa.prog, in, s.opt.Samples)
+		})
+		if err != nil {
+			return FaultRow{}, err
+		}
+		return FaultRow{
+			Benchmark: j.bench,
+			Plan:      j.plan,
+			Injected:  inj.Count(),
+			Report:    rep,
+		}, nil
+	})
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		rows[i] = FaultRow{Benchmark: jobs[i].bench, Plan: jobs[i].plan, Err: err}
+		if first == nil {
+			first = err
+		}
+	}
+	return rows, first
+}
+
+// pourBenchmark loads the benchmark's input trace into a freshly built
+// machine, mirroring workload.RunContext's setup for machines that are
+// stepped externally (the lockstep pairs).
+func pourBenchmark(c *cpu.CPU, prog *isa.Program, in []int32, nSamples int) error {
+	if err := workload.Pour(c, prog, "n_samples", []int32{int32(nSamples)}); err != nil {
+		return err
+	}
+	return workload.Pour(c, prog, "input", in)
+}

@@ -67,7 +67,7 @@ type MotivationRow struct {
 
 // MotivationResult is the full §3 reproduction.
 type MotivationResult struct {
-	Rows          []MotivationRow
+	Rows           []MotivationRow
 	BaselineCycles uint64
 	ASBRCycles     uint64
 	AccMatch       bool // folded run computes the same acc
@@ -127,9 +127,12 @@ func (s *Sweep) Motivation(n int, seed int64) (*MotivationResult, error) {
 
 	// Profile with the baseline predictors.
 	prof := profile.NewStandard()
-	cfg := machine(predict.BaselineBimodal())
+	cfg := s.machine(predict.BaselineBimodal())
 	cfg.Observer = prof
-	base := cpu.New(cfg, prog)
+	base, err := cpu.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
 	if err := pour(base); err != nil {
 		return nil, err
 	}
@@ -176,9 +179,12 @@ func (s *Sweep) Motivation(n int, seed int64) (*MotivationResult, error) {
 	if err := eng.Load(entries); err != nil {
 		return nil, err
 	}
-	fcfg := machine(predict.AuxBimodal512())
+	fcfg := s.machine(predict.AuxBimodal512())
 	fcfg.Fold = eng
-	folded := cpu.New(fcfg, prog)
+	folded, err := cpu.New(fcfg, prog)
+	if err != nil {
+		return nil, err
+	}
 	if err := pour(folded); err != nil {
 		return nil, err
 	}
@@ -212,4 +218,3 @@ func (s *Sweep) Motivation(n int, seed int64) (*MotivationResult, error) {
 	}
 	return res, nil
 }
-

@@ -61,10 +61,10 @@ func (s *Sweep) PowerArea() ([]PowerRow, error) {
 		if err := eng.Load(entries); err != nil {
 			return [2]PowerRow{}, err
 		}
-		cfg := machine(predict.AuxBimodal512())
+		cfg := s.machine(predict.AuxBimodal512())
 		cfg.Fold = eng
 		cfg.BDTUpdate = s.opt.Update
-		res, err := workload.Run(pa.prog, cfg, in, s.opt.Samples)
+		res, err := s.run(pa.prog, cfg, in)
 		if err != nil {
 			return [2]PowerRow{}, err
 		}

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"asbr/internal/core"
+	"asbr/internal/cpu"
 	"asbr/internal/isa"
 	"asbr/internal/predict"
 	"asbr/internal/profile"
@@ -27,6 +29,7 @@ type Sweep struct {
 
 	profiled  runner.Cache[string, *profiledArtifact]
 	selection runner.Cache[string, []core.BITEntry]
+	faultSel  runner.Cache[string, []core.BITEntry]
 	baseline  runner.Cache[baselineKey, *workload.Result]
 	motivProg runner.Cache[string, *isa.Program]
 }
@@ -72,6 +75,29 @@ func (s *Sweep) program(bench string) (*isa.Program, error) {
 	return s.arts.ScheduledProgram(bench)
 }
 
+// machine assembles the platform config around a branch unit with the
+// sweep's watchdog budget applied.
+func (s *Sweep) machine(branch *predict.Unit) cpu.Config {
+	cfg := machine(branch)
+	cfg.MaxCycles = s.opt.MaxCycles
+	return cfg
+}
+
+// run executes one simulation job under the sweep's watchdog: the
+// cycle budget rides in cfg (via s.machine) and the wall-clock budget
+// is enforced through context cancellation. A runaway guest degrades
+// into a typed *cpu.SimError for its cell instead of hanging the
+// sweep.
+func (s *Sweep) run(prog *isa.Program, cfg cpu.Config, in []int32) (*workload.Result, error) {
+	ctx := context.Background()
+	if s.opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.Timeout)
+		defer cancel()
+	}
+	return workload.RunContext(ctx, prog, cfg, in, s.opt.Samples)
+}
+
 // input returns the benchmark's synthetic input trace for the sweep's
 // sample count and seed, generated at most once.
 func (s *Sweep) input(bench string) ([]int32, error) {
@@ -94,14 +120,14 @@ func (s *Sweep) profiledRun(bench string) (*profiledArtifact, error) {
 		}
 		prof := profile.New(
 			predict.NotTaken{},
-			predict.NewBimodal(2048),
-			predict.NewGShare(11, 2048),
-			predict.NewBimodal(512),
-			predict.NewBimodal(256),
+			predict.Must(predict.NewBimodal(2048)),
+			predict.Must(predict.NewGShare(11, 2048)),
+			predict.Must(predict.NewBimodal(512)),
+			predict.Must(predict.NewBimodal(256)),
 		)
-		cfg := machine(predict.BaselineBimodal())
+		cfg := s.machine(predict.BaselineBimodal())
 		cfg.Observer = prof
-		res, err := workload.Run(prog, cfg, in, s.opt.Samples)
+		res, err := s.run(prog, cfg, in)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +184,7 @@ func (s *Sweep) baselineRun(bench, unit string) (*workload.Result, error) {
 		default:
 			return nil, fmt.Errorf("experiment: unknown baseline unit %q", unit)
 		}
-		return workload.Run(prog, machine(u), in, s.opt.Samples)
+		return s.run(prog, s.machine(u), in)
 	})
 }
 

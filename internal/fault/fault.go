@@ -1,0 +1,165 @@
+// Package fault is the reliability harness for the ASBR engine: a
+// deterministic, seed-driven injector that corrupts the branch-
+// resolution state (BDT/BIT) mid-run, and a lockstep divergence
+// checker that compares the architectural effects of a folded run
+// against a baseline run.
+//
+// The paper's safety claim is that ASBR folding is non-speculative: a
+// branch is folded only when its BDT predicate is valid, so results
+// must be bit-identical to the unfolded machine. This package probes
+// that claim from both sides — it shows a clean run has zero
+// divergence, and that injected state corruption (the faults the
+// validity counter is supposed to guard against, and the ones it
+// cannot see) is caught at the first architecturally visible commit.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind selects which ASBR structure a fault plan corrupts.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindNone injects nothing: the control plan for a clean run.
+	KindNone Kind = iota
+	// KindBDTFlip flips the stored direction bit the branch folds on: a
+	// particle strike on a BDT direction cell. The predicate stays
+	// "valid", so the engine confidently folds the wrong way.
+	KindBDTFlip
+	// KindValiditySkew forces the validity counter of an unresolved
+	// predicate to zero (and marks it known), letting the engine fold on
+	// a stale direction — the exact failure the counter exists to
+	// prevent.
+	KindValiditySkew
+	// KindBITAlias rekeys a BIT entry onto a fetch PC that missed: a
+	// tag-cell corruption making a wrong instruction fold as if it were
+	// the branch.
+	KindBITAlias
+	// KindStaleBTI replaces a BIT entry's cached target/fall-through
+	// instruction words with nops, as if the table were loaded for a
+	// previous program version.
+	KindStaleBTI
+)
+
+// kindNames is the parse/print vocabulary of the plan grammar.
+var kindNames = map[Kind]string{
+	KindNone:         "none",
+	KindBDTFlip:      "bdt-flip",
+	KindValiditySkew: "validity-skew",
+	KindBITAlias:     "bit-alias",
+	KindStaleBTI:     "stale-bti",
+}
+
+// String names the kind as it appears in plan strings.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ParseKind resolves a kind name.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return KindNone, fmt.Errorf("fault: unknown kind %q", s)
+}
+
+// Kinds lists every kind in declaration order (for sweeps and usage
+// text).
+func Kinds() []Kind {
+	return []Kind{KindNone, KindBDTFlip, KindValiditySkew, KindBITAlias, KindStaleBTI}
+}
+
+// Plan is one parsed fault-injection configuration:
+//
+//	kind[:key=value[,key=value...]]
+//
+// with keys rate (injection probability per opportunity, default 1),
+// seed (deterministic RNG seed, default 0) and max (injection budget,
+// 0 = unlimited). Examples:
+//
+//	none
+//	validity-skew
+//	bdt-flip:rate=0.25,seed=7,max=3
+type Plan struct {
+	Kind Kind
+	Rate float64 // probability an opportunity injects, in [0,1]
+	Seed int64
+	Max  int // 0 means unlimited
+}
+
+// DefaultPlan returns the kind with rate 1, seed 0 and no budget.
+func DefaultPlan(k Kind) Plan { return Plan{Kind: k, Rate: 1} }
+
+// ParsePlan parses the plan grammar. The result is normalized so that
+// ParsePlan(p.String()) round-trips to an identical Plan.
+func ParsePlan(s string) (Plan, error) {
+	name, params, hasParams := strings.Cut(s, ":")
+	k, err := ParseKind(name)
+	if err != nil {
+		return Plan{}, err
+	}
+	p := DefaultPlan(k)
+	if !hasParams {
+		return p, nil
+	}
+	if params == "" {
+		return Plan{}, fmt.Errorf("fault: empty parameter list in %q", s)
+	}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: parameter %q is not key=value", kv)
+		}
+		switch key {
+		case "rate":
+			r, err := strconv.ParseFloat(val, 64)
+			if err != nil || r < 0 || r > 1 || r != r {
+				return Plan{}, fmt.Errorf("fault: rate %q not in [0,1]", val)
+			}
+			p.Rate = r
+		case "seed":
+			sd, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: bad seed %q", val)
+			}
+			p.Seed = sd
+		case "max":
+			m, err := strconv.Atoi(val)
+			if err != nil || m < 0 {
+				return Plan{}, fmt.Errorf("fault: bad max %q", val)
+			}
+			p.Max = m
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown parameter %q", key)
+		}
+	}
+	return p, nil
+}
+
+// String renders the canonical plan form: defaults are omitted, so
+// DefaultPlan(k).String() is just the kind name.
+func (p Plan) String() string {
+	var params []string
+	if p.Rate != 1 {
+		params = append(params, "rate="+strconv.FormatFloat(p.Rate, 'g', -1, 64))
+	}
+	if p.Seed != 0 {
+		params = append(params, "seed="+strconv.FormatInt(p.Seed, 10))
+	}
+	if p.Max != 0 {
+		params = append(params, "max="+strconv.Itoa(p.Max))
+	}
+	if len(params) == 0 {
+		return p.Kind.String()
+	}
+	return p.Kind.String() + ":" + strings.Join(params, ",")
+}

@@ -1,0 +1,45 @@
+package fault
+
+import "testing"
+
+// FuzzParsePlan checks the plan grammar never panics and that every
+// accepted plan survives a String/Parse round trip unchanged — the
+// property the CLI relies on when echoing plans back into scripts.
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"none",
+		"bdt-flip",
+		"validity-skew:rate=0.25",
+		"bit-alias:seed=-9,max=3",
+		"stale-bti:rate=1,seed=0,max=0",
+		"bdt-flip:rate=0.5,seed=42",
+		"bdt-flip:rate=2",
+		"bdt-flip:rate=",
+		"bdt-flip:",
+		":",
+		"none:max=1,max=2",
+		"bdt-flip:rate=1e-3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		if p.Rate < 0 || p.Rate > 1 || p.Rate != p.Rate {
+			t.Fatalf("accepted rate out of range: %+v from %q", p, s)
+		}
+		if p.Max < 0 {
+			t.Fatalf("accepted negative max: %+v from %q", p, s)
+		}
+		back, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not parse: %v", p.String(), s, err)
+		}
+		if back != p {
+			t.Fatalf("round trip of %q: %+v -> %q -> %+v", s, p, p.String(), back)
+		}
+	})
+}

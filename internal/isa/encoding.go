@@ -176,8 +176,10 @@ func Encode(i Inst) (uint32, error) {
 	return 0, fmt.Errorf("isa: encode: unsupported opcode %s", i.Op)
 }
 
-// MustEncode is like Encode but panics on error. It is intended for
-// statically known-good instructions (e.g. in tests and code generators).
+// MustEncode is like Encode but panics on error. It is intended only
+// for statically known-good instructions in tests and fixed tables;
+// production passes (assembler, compiler, scheduler) use Encode and
+// propagate the error through their call chain.
 func MustEncode(i Inst) uint32 {
 	w, err := Encode(i)
 	if err != nil {

@@ -4,13 +4,13 @@ import "fmt"
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {
-	Name        string // for reports ("il1", "dl1")
-	SizeBytes   int    // total capacity
-	LineBytes   int    // line size (power of two)
-	Assoc       int    // associativity (1 = direct-mapped)
-	HitCycles   int    // access latency on a hit
-	MissCycles  int    // additional penalty to fill from memory
-	WriteBack   bool   // write-back/write-allocate if true, else write-through/no-allocate
+	Name       string // for reports ("il1", "dl1")
+	SizeBytes  int    // total capacity
+	LineBytes  int    // line size (power of two)
+	Assoc      int    // associativity (1 = direct-mapped)
+	HitCycles  int    // access latency on a hit
+	MissCycles int    // additional penalty to fill from memory
+	WriteBack  bool   // write-back/write-allocate if true, else write-through/no-allocate
 }
 
 // DefaultICache mirrors the paper's platform: an 8KB instruction cache.
@@ -66,24 +66,36 @@ type Cache struct {
 	stats   CacheStats
 }
 
-// NewCache builds a cache for the given configuration. It panics if
-// the geometry is invalid (non-power-of-two sizes, capacity not
-// divisible by line*assoc) since configurations are static.
-func NewCache(cfg CacheConfig) *Cache {
+// Validate checks the cache geometry: power-of-two line size, positive
+// associativity, capacity divisible into a power-of-two number of sets.
+func (cfg CacheConfig) Validate() error {
 	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
-		panic(fmt.Sprintf("mem: cache %s: line size %d not a power of two", cfg.Name, cfg.LineBytes))
+		return fmt.Errorf("mem: cache %s: line size %d not a power of two", cfg.Name, cfg.LineBytes)
 	}
 	if cfg.Assoc <= 0 {
-		panic(fmt.Sprintf("mem: cache %s: bad associativity %d", cfg.Name, cfg.Assoc))
+		return fmt.Errorf("mem: cache %s: bad associativity %d", cfg.Name, cfg.Assoc)
 	}
 	nLines := cfg.SizeBytes / cfg.LineBytes
 	if nLines <= 0 || nLines%cfg.Assoc != 0 {
-		panic(fmt.Sprintf("mem: cache %s: %d lines not divisible by assoc %d", cfg.Name, nLines, cfg.Assoc))
+		return fmt.Errorf("mem: cache %s: %d lines not divisible by assoc %d", cfg.Name, nLines, cfg.Assoc)
 	}
 	nSets := nLines / cfg.Assoc
 	if nSets&(nSets-1) != 0 {
-		panic(fmt.Sprintf("mem: cache %s: set count %d not a power of two", cfg.Name, nSets))
+		return fmt.Errorf("mem: cache %s: set count %d not a power of two", cfg.Name, nSets)
 	}
+	return nil
+}
+
+// NewCache builds a cache for the given configuration, rejecting
+// invalid geometry (non-power-of-two sizes, capacity not divisible by
+// line*assoc) with a validation error instead of panicking, so bad
+// machine configurations surface as reportable failures at
+// construction time (cpu.New).
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nSets := cfg.SizeBytes / cfg.LineBytes / cfg.Assoc
 	shift := uint(0)
 	for 1<<shift < cfg.LineBytes {
 		shift++
@@ -96,7 +108,7 @@ func NewCache(cfg CacheConfig) *Cache {
 	for i := range sets {
 		sets[i] = make([]cacheLine, cfg.Assoc)
 	}
-	return &Cache{cfg: cfg, sets: sets, shift: shift, setBits: setBits, mask: uint32(nSets - 1)}
+	return &Cache{cfg: cfg, sets: sets, shift: shift, setBits: setBits, mask: uint32(nSets - 1)}, nil
 }
 
 // Config returns the cache's configuration.

@@ -88,14 +88,15 @@ func TestCacheGeometryValidation(t *testing.T) {
 		{SizeBytes: 192, LineBytes: 32, Assoc: 1}, // 6 sets, not power of two
 	}
 	for _, cfg := range bad {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("config %+v did not panic", cfg)
-				}
-			}()
-			NewCache(cfg)
-		}()
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v validated", cfg)
+		}
+		if _, err := NewCache(cfg); err == nil {
+			t.Errorf("config %+v constructed", cfg)
+		}
+	}
+	if _, err := NewCache(testCfg(1, false)); err != nil {
+		t.Errorf("good config rejected: %v", err)
 	}
 }
 
@@ -104,7 +105,7 @@ func testCfg(assoc int, wb bool) CacheConfig {
 }
 
 func TestCacheHitMiss(t *testing.T) {
-	c := NewCache(testCfg(1, false))
+	c, _ := NewCache(testCfg(1, false))
 	if cyc := c.Access(0, false); cyc != 11 {
 		t.Fatalf("cold miss = %d cycles, want 11", cyc)
 	}
@@ -127,8 +128,8 @@ func TestCacheHitMiss(t *testing.T) {
 }
 
 func TestCacheConflictDirectMapped(t *testing.T) {
-	c := NewCache(testCfg(1, false)) // 32 sets of 1
-	stride := uint32(1024)           // same set, different tag
+	c, _ := NewCache(testCfg(1, false)) // 32 sets of 1
+	stride := uint32(1024)              // same set, different tag
 	c.Access(0, false)
 	c.Access(stride, false) // evicts line 0
 	if cyc := c.Access(0, false); cyc != 11 {
@@ -137,12 +138,12 @@ func TestCacheConflictDirectMapped(t *testing.T) {
 }
 
 func TestCacheAssocLRU(t *testing.T) {
-	c := NewCache(testCfg(2, false)) // 16 sets of 2
-	stride := uint32(512)            // maps to same set
+	c, _ := NewCache(testCfg(2, false)) // 16 sets of 2
+	stride := uint32(512)               // maps to same set
 	c.Access(0, false)
 	c.Access(stride, false)
-	c.Access(0, false)          // touch 0: stride becomes LRU
-	c.Access(2*stride, false)   // evicts stride
+	c.Access(0, false)        // touch 0: stride becomes LRU
+	c.Access(2*stride, false) // evicts stride
 	if !c.Contains(0) {
 		t.Fatal("line 0 should still be resident (was MRU)")
 	}
@@ -155,7 +156,7 @@ func TestCacheAssocLRU(t *testing.T) {
 }
 
 func TestWriteThroughNoAllocate(t *testing.T) {
-	c := NewCache(testCfg(1, false))
+	c, _ := NewCache(testCfg(1, false))
 	c.Access(64, true) // write miss: no allocate
 	if c.Contains(64) {
 		t.Fatal("write-through no-allocate cache allocated on write miss")
@@ -171,7 +172,7 @@ func TestWriteThroughNoAllocate(t *testing.T) {
 }
 
 func TestWriteBackDirtyEviction(t *testing.T) {
-	c := NewCache(testCfg(1, true))
+	c, _ := NewCache(testCfg(1, true))
 	c.Access(0, true) // write miss, allocate, dirty
 	if !c.Contains(0) {
 		t.Fatal("write-back cache should allocate on write miss")
@@ -192,7 +193,7 @@ func TestWriteBackDirtyEviction(t *testing.T) {
 }
 
 func TestCacheReset(t *testing.T) {
-	c := NewCache(testCfg(2, true))
+	c, _ := NewCache(testCfg(2, true))
 	c.Access(0, true)
 	c.Reset()
 	if c.Contains(0) {
@@ -220,7 +221,7 @@ func TestCacheTemporalLocality(t *testing.T) {
 		if n := cfg.SizeBytes / cfg.LineBytes / cfg.Assoc; n&(n-1) != 0 {
 			continue
 		}
-		c := NewCache(cfg)
+		c, _ := NewCache(cfg)
 		for i := 0; i < 2000; i++ {
 			addr := uint32(r.Intn(1 << 16))
 			c.Access(addr, r.Intn(2) == 0)
@@ -234,7 +235,7 @@ func TestCacheTemporalLocality(t *testing.T) {
 // Property: stats counters are consistent: misses <= accesses, and
 // every access is classified exactly once.
 func TestCacheStatsConsistency(t *testing.T) {
-	c := NewCache(testCfg(2, true))
+	c, _ := NewCache(testCfg(2, true))
 	r := rand.New(rand.NewSource(4))
 	n := 10000
 	for i := 0; i < n; i++ {
@@ -253,8 +254,8 @@ func TestCacheStatsConsistency(t *testing.T) {
 }
 
 func TestDefaultConfigs(t *testing.T) {
-	ic := NewCache(DefaultICache())
-	dc := NewCache(DefaultDCache())
+	ic, _ := NewCache(DefaultICache())
+	dc, _ := NewCache(DefaultDCache())
 	if ic.Config().SizeBytes != 8<<10 || dc.Config().SizeBytes != 8<<10 {
 		t.Fatal("paper platform is 8KB I$ + 8KB D$")
 	}

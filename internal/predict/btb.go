@@ -17,16 +17,16 @@ type BTB struct {
 }
 
 // NewBTB builds a branch target buffer with entries slots (a power of two).
-func NewBTB(entries int) *BTB {
+func NewBTB(entries int) (*BTB, error) {
 	if entries <= 0 || entries&(entries-1) != 0 {
-		panic(fmt.Sprintf("predict: BTB entries %d not a power of two", entries))
+		return nil, fmt.Errorf("predict: BTB entries %d not a power of two", entries)
 	}
 	return &BTB{
 		tags:    make([]uint32, entries),
 		targets: make([]uint32, entries),
 		valid:   make([]bool, entries),
 		mask:    uint32(entries - 1),
-	}
+	}, nil
 }
 
 // Entries returns the BTB capacity.
@@ -129,11 +129,11 @@ func BaselineNotTaken() *Unit { return NewUnit(NotTaken{}, nil) }
 
 // BaselineBimodal returns the baseline bimodal predictor: 2048 2-bit
 // counters with a 2048-entry BTB.
-func BaselineBimodal() *Unit { return NewUnit(NewBimodal(2048), NewBTB(2048)) }
+func BaselineBimodal() *Unit { return NewUnit(Must(NewBimodal(2048)), Must(NewBTB(2048))) }
 
 // BaselineGShare returns the baseline gshare predictor: 11-bit global
 // history, 2048-entry pattern table, 2048-entry BTB.
-func BaselineGShare() *Unit { return NewUnit(NewGShare(11, 2048), NewBTB(2048)) }
+func BaselineGShare() *Unit { return NewUnit(Must(NewGShare(11, 2048)), Must(NewBTB(2048))) }
 
 // AuxNotTaken returns the ASBR auxiliary "not taken" configuration
 // (essentially no predictor).
@@ -141,8 +141,8 @@ func AuxNotTaken() *Unit { return NewUnit(NotTaken{}, nil) }
 
 // AuxBimodal512 returns the ASBR auxiliary bimodal-512 with the BTB
 // reduced to a quarter of the baseline (512 entries).
-func AuxBimodal512() *Unit { return NewUnit(NewBimodal(512), NewBTB(512)) }
+func AuxBimodal512() *Unit { return NewUnit(Must(NewBimodal(512)), Must(NewBTB(512))) }
 
 // AuxBimodal256 returns the ASBR auxiliary bimodal-256 with the BTB
 // reduced to a quarter of the baseline (512 entries).
-func AuxBimodal256() *Unit { return NewUnit(NewBimodal(256), NewBTB(512)) }
+func AuxBimodal256() *Unit { return NewUnit(Must(NewBimodal(256)), Must(NewBTB(512))) }

@@ -83,15 +83,25 @@ type Bimodal struct {
 	mask  uint32
 }
 
+// Must unwraps a constructor result, panicking on error. It is for
+// statically-known-valid configurations (tests, package-level
+// defaults); anything driven by user input should check the error.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // NewBimodal builds a bimodal predictor with the given number of
 // entries (a power of two).
-func NewBimodal(entries int) *Bimodal {
+func NewBimodal(entries int) (*Bimodal, error) {
 	if entries <= 0 || entries&(entries-1) != 0 {
-		panic(fmt.Sprintf("predict: bimodal entries %d not a power of two", entries))
+		return nil, fmt.Errorf("predict: bimodal entries %d not a power of two", entries)
 	}
 	b := &Bimodal{table: make([]counter2, entries), mask: uint32(entries - 1)}
 	b.Reset()
-	return b
+	return b, nil
 }
 
 func (b *Bimodal) index(pc uint32) uint32 { return (pc >> 2) & b.mask }
@@ -128,12 +138,12 @@ type GShare struct {
 
 // NewGShare builds a gshare predictor with historyBits of global
 // history and a pattern table of entries 2-bit counters.
-func NewGShare(historyBits, entries int) *GShare {
+func NewGShare(historyBits, entries int) (*GShare, error) {
 	if entries <= 0 || entries&(entries-1) != 0 {
-		panic(fmt.Sprintf("predict: gshare entries %d not a power of two", entries))
+		return nil, fmt.Errorf("predict: gshare entries %d not a power of two", entries)
 	}
 	if historyBits <= 0 || historyBits > 30 {
-		panic(fmt.Sprintf("predict: gshare history bits %d out of range", historyBits))
+		return nil, fmt.Errorf("predict: gshare history bits %d out of range", historyBits)
 	}
 	g := &GShare{
 		table:    make([]counter2, entries),
@@ -142,7 +152,7 @@ func NewGShare(historyBits, entries int) *GShare {
 		histBits: historyBits,
 	}
 	g.Reset()
-	return g
+	return g, nil
 }
 
 func (g *GShare) index(pc uint32) uint32 { return ((pc >> 2) ^ g.history) & g.mask }
@@ -186,10 +196,10 @@ type Local struct {
 // NewLocal builds a local-history predictor with histEntries local
 // history registers of histBits bits and a pattern table of
 // patEntries counters.
-func NewLocal(histEntries, histBits, patEntries int) *Local {
+func NewLocal(histEntries, histBits, patEntries int) (*Local, error) {
 	if histEntries <= 0 || histEntries&(histEntries-1) != 0 ||
 		patEntries <= 0 || patEntries&(patEntries-1) != 0 {
-		panic("predict: local predictor sizes must be powers of two")
+		return nil, fmt.Errorf("predict: local predictor sizes %d/%d must be powers of two", histEntries, patEntries)
 	}
 	l := &Local{
 		hist:     make([]uint32, histEntries),
@@ -199,7 +209,7 @@ func NewLocal(histEntries, histBits, patEntries int) *Local {
 		bits:     histBits,
 	}
 	l.Reset()
-	return l
+	return l, nil
 }
 
 func (l *Local) patIndex(pc uint32) uint32 {
@@ -244,15 +254,15 @@ type Tournament struct {
 
 // NewTournament builds a combining predictor over a and b with a
 // chooser table of entries counters.
-func NewTournament(a, b DirectionPredictor, entries int) *Tournament {
+func NewTournament(a, b DirectionPredictor, entries int) (*Tournament, error) {
 	if entries <= 0 || entries&(entries-1) != 0 {
-		panic("predict: tournament chooser entries must be a power of two")
+		return nil, fmt.Errorf("predict: tournament chooser entries %d not a power of two", entries)
 	}
 	t := &Tournament{a: a, b: b, chooser: make([]counter2, entries), mask: uint32(entries - 1)}
 	for i := range t.chooser {
 		t.chooser[i] = 2 // no initial preference, leaning to a
 	}
-	return t
+	return t, nil
 }
 
 func (t *Tournament) index(pc uint32) uint32 { return (pc >> 2) & t.mask }

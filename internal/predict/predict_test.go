@@ -53,7 +53,7 @@ func TestCounterSaturation(t *testing.T) {
 }
 
 func TestBimodalLearnsBias(t *testing.T) {
-	b := NewBimodal(2048)
+	b := Must(NewBimodal(2048))
 	pc := uint32(0x400020)
 	for i := 0; i < 4; i++ {
 		b.Update(pc, true)
@@ -68,7 +68,7 @@ func TestBimodalLearnsBias(t *testing.T) {
 }
 
 func TestBimodalAliasing(t *testing.T) {
-	b := NewBimodal(4) // tiny table: pc and pc+16 alias
+	b := Must(NewBimodal(4)) // tiny table: pc and pc+16 alias
 	pcA, pcB := uint32(0x1000), uint32(0x1010)
 	for i := 0; i < 4; i++ {
 		b.Update(pcA, true)
@@ -79,20 +79,38 @@ func TestBimodalAliasing(t *testing.T) {
 }
 
 func TestBimodalBadSize(t *testing.T) {
+	if _, err := NewBimodal(100); err == nil {
+		t.Fatal("expected error for non-power-of-two size")
+	}
+	if _, err := NewGShare(11, 100); err == nil {
+		t.Fatal("gshare: expected error for non-power-of-two entries")
+	}
+	if _, err := NewGShare(0, 1024); err == nil {
+		t.Fatal("gshare: expected error for zero history bits")
+	}
+	if _, err := NewLocal(100, 6, 64); err == nil {
+		t.Fatal("local: expected error for non-power-of-two sizes")
+	}
+	if _, err := NewTournament(Taken{}, NotTaken{}, 100); err == nil {
+		t.Fatal("tournament: expected error for non-power-of-two chooser")
+	}
+	if _, err := NewBTB(100); err == nil {
+		t.Fatal("btb: expected error for non-power-of-two entries")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for non-power-of-two size")
+			t.Fatal("Must must panic on a constructor error")
 		}
 	}()
-	NewBimodal(100)
+	Must(NewBimodal(100))
 }
 
 func TestGShareUsesHistory(t *testing.T) {
-	g := NewGShare(4, 1024)
+	g := Must(NewGShare(4, 1024))
 	pc := uint32(0x400000)
 	// Alternating pattern TNTN... is unlearnable by bimodal but
 	// learnable by gshare once history separates the contexts.
-	b := NewBimodal(1024)
+	b := Must(NewBimodal(1024))
 	correctG, correctB := 0, 0
 	taken := false
 	for i := 0; i < 2000; i++ {
@@ -117,7 +135,7 @@ func TestGShareUsesHistory(t *testing.T) {
 func TestGShareCorrelation(t *testing.T) {
 	// Branch B's outcome equals branch A's last outcome: global
 	// history captures it (the paper's Figure 1 B1->B4 correlation).
-	g := NewGShare(8, 2048)
+	g := Must(NewGShare(8, 2048))
 	pcA, pcB := uint32(0x400100), uint32(0x400200)
 	r := rand.New(rand.NewSource(11))
 	correctB, seen := 0, 0
@@ -140,7 +158,7 @@ func TestGShareCorrelation(t *testing.T) {
 }
 
 func TestLocalLearnsPeriodicPattern(t *testing.T) {
-	l := NewLocal(512, 8, 4096)
+	l := Must(NewLocal(512, 8, 4096))
 	pc := uint32(0x400300)
 	// Period-3 pattern TTN TTN ... local history nails it.
 	pattern := []bool{true, true, false}
@@ -158,7 +176,7 @@ func TestLocalLearnsPeriodicPattern(t *testing.T) {
 }
 
 func TestTournamentPicksBetterComponent(t *testing.T) {
-	tr := NewTournament(NewGShare(8, 1024), NewBimodal(1024), 1024)
+	tr := Must(NewTournament(Must(NewGShare(8, 1024)), Must(NewBimodal(1024)), 1024))
 	pc := uint32(0x400400)
 	taken := false
 	correct := 0
@@ -190,8 +208,8 @@ func TestStatic(t *testing.T) {
 
 func TestResetRestoresPowerOn(t *testing.T) {
 	preds := []DirectionPredictor{
-		NewBimodal(64), NewGShare(6, 64), NewLocal(64, 6, 64),
-		NewTournament(NewBimodal(64), NewGShare(4, 64), 64),
+		Must(NewBimodal(64)), Must(NewGShare(6, 64)), Must(NewLocal(64, 6, 64)),
+		Must(NewTournament(Must(NewBimodal(64)), Must(NewGShare(4, 64)), 64)),
 	}
 	for _, p := range preds {
 		pc := uint32(0x500000)
@@ -210,7 +228,7 @@ func TestResetRestoresPowerOn(t *testing.T) {
 }
 
 func TestBTB(t *testing.T) {
-	b := NewBTB(16)
+	b := Must(NewBTB(16))
 	if _, ok := b.Lookup(0x400000); ok {
 		t.Fatal("empty BTB hit")
 	}
@@ -239,7 +257,7 @@ func TestBTB(t *testing.T) {
 }
 
 func TestUnitRedirectNeedsBTBHit(t *testing.T) {
-	u := NewUnit(Taken{}, NewBTB(16))
+	u := NewUnit(Taken{}, Must(NewBTB(16)))
 	pc, tgt := uint32(0x400000), uint32(0x400800)
 	taken, _, redirect := u.PredictFetch(pc)
 	if !taken || redirect {
@@ -265,7 +283,7 @@ func TestUnitNoBTB(t *testing.T) {
 }
 
 func TestUnitNotTakenResolveNoBTBInsert(t *testing.T) {
-	u := NewUnit(NewBimodal(64), NewBTB(16))
+	u := NewUnit(Must(NewBimodal(64)), Must(NewBTB(16)))
 	u.Resolve(0x400000, false, 0x400100)
 	if _, ok := u.BTB.Lookup(0x400000); ok {
 		t.Fatal("not-taken resolve must not insert into BTB")
@@ -292,7 +310,7 @@ func TestBaselineConfigs(t *testing.T) {
 // stability: after 2 consistent updates the prediction matches them.
 func TestBimodalConvergence(t *testing.T) {
 	f := func(pc uint32, outcomes []bool) bool {
-		b := NewBimodal(128)
+		b := Must(NewBimodal(128))
 		for _, o := range outcomes {
 			b.Update(pc, o)
 		}
@@ -316,7 +334,7 @@ func TestBimodalConvergence(t *testing.T) {
 func TestGShareHistoryWidth(t *testing.T) {
 	k := 5
 	mk := func(prefix []bool) *GShare {
-		g := NewGShare(k, 64)
+		g := Must(NewGShare(k, 64))
 		pc := uint32(0x40)
 		for _, o := range prefix {
 			g.Update(pc, o)

@@ -57,7 +57,7 @@ func New(shadows ...predict.DirectionPredictor) *Profiler {
 // NewStandard builds a profiler with the paper's three reference
 // predictors: not-taken, bimodal-2048, and gshare-11/2048.
 func NewStandard() *Profiler {
-	return New(predict.NotTaken{}, predict.NewBimodal(2048), predict.NewGShare(11, 2048))
+	return New(predict.NotTaken{}, predict.Must(predict.NewBimodal(2048)), predict.Must(predict.NewGShare(11, 2048)))
 }
 
 // ShadowNames lists the shadow predictors in construction order.

@@ -22,7 +22,7 @@ func mustProgram(t *testing.T, src string) *isa.Program {
 func runProfiled(t *testing.T, src string, prof *Profiler) *isa.Program {
 	t.Helper()
 	p := mustProgram(t, src)
-	c := cpu.New(cpu.Config{Observer: prof}, p)
+	c := cpu.MustNew(cpu.Config{Observer: prof}, p)
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ even:	addiu	s0, s0, -1
 	bnez	s0, loop	# monotone: easy
 	jr	ra
 `
-	prof := New(predict.NewBimodal(512))
+	prof := New(predict.Must(predict.NewBimodal(512)))
 	p := runProfiled(t, src, prof)
 	cands, err := Select(p, prof, SelectOptions{Aux: "bimodal-512", MinDistance: 3, K: 16})
 	if err != nil {
@@ -308,7 +308,7 @@ func TestBuildBITFromCandidates(t *testing.T) {
 	if err := eng.Load(entries); err != nil {
 		t.Fatal(err)
 	}
-	c := cpu.New(cpu.Config{Fold: eng}, p)
+	c := cpu.MustNew(cpu.Config{Fold: eng}, p)
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ odd:	addiu	s0, s0, -1
 	bnez	s0, loop
 	jr	ra
 `
-	prof := New(predict.NewBimodal(512))
+	prof := New(predict.Must(predict.NewBimodal(512)))
 	p := runProfiled(t, src, prof)
 	cands, err := Select(p, prof, SelectOptions{Aux: "bimodal-512", MinDistance: 3, K: 16, Penalty: 5})
 	if err != nil {

@@ -1,22 +1,67 @@
 // Package runner is the concurrent experiment engine: a bounded
 // worker pool with deterministic, input-ordered result aggregation
-// (Map), a keyed once-guarded cache (Cache) and a workload artifact
-// store (Artifacts) so expensive shared inputs — compiled programs,
-// synthetic traces, golden outputs — are built exactly once per sweep
-// no matter how many simulation jobs consume them concurrently.
+// (Map, MapErrs), a keyed once-guarded cache (Cache) and a workload
+// artifact store (Artifacts) so expensive shared inputs — compiled
+// programs, synthetic traces, golden outputs — are built exactly once
+// per sweep no matter how many simulation jobs consume them
+// concurrently.
 //
 // Determinism contract: Map assigns each job a fixed output index, so
 // the result slice order — and, for deterministic job functions, every
 // value in it — is identical regardless of the worker count. The
 // experiment sweeps (internal/experiment) are built on this contract:
 // `-parallel 8` must be byte-identical to `-parallel 1`.
+//
+// Robustness contract: a job that panics does not kill the process or
+// the pool; the panic is recovered into a *PanicError recorded as that
+// job's error, and every other job still runs. A job whose error is
+// marked transient (MarkTransient) is retried once.
 package runner
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a recovered per-job panic, carrying the job's input
+// index, the panic value and the stack at the panic site.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.Index, e.Value)
+}
+
+// transientError marks an error as worth one retry.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// MarkTransient wraps err so the pool retries the job once before
+// recording the failure. Job functions use it for failures that are
+// plausibly environmental (a scratch-file collision, a cache being
+// warmed by a competing process) rather than deterministic.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err carries a MarkTransient wrapper.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
 
 // Map runs f over items with at most parallel concurrent workers and
 // returns the results in input order. parallel <= 0 means
@@ -27,11 +72,27 @@ import (
 // not leave later artifacts half-built). On failure Map returns the
 // error of the lowest-indexed failed item — so the reported error does
 // not depend on goroutine scheduling — together with the result slice,
-// in which failed items hold their zero value.
+// in which failed items hold their zero value. Callers that need every
+// job's individual outcome use MapErrs.
 func Map[T, R any](parallel int, items []T, f func(i int, item T) (R, error)) ([]R, error) {
+	out, errs := MapErrs(parallel, items, f)
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// MapErrs is Map returning the full per-item error slice instead of
+// only the first failure, so a sweep can render every healthy cell and
+// annotate the failed ones. The same determinism contract holds:
+// errs[i] is item i's outcome regardless of worker count.
+func MapErrs[T, R any](parallel int, items []T, f func(i int, item T) (R, error)) ([]R, []error) {
 	out := make([]R, len(items))
+	errs := make([]error, len(items))
 	if len(items) == 0 {
-		return out, nil
+		return out, errs
 	}
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
@@ -39,12 +100,11 @@ func Map[T, R any](parallel int, items []T, f func(i int, item T) (R, error)) ([
 	if parallel > len(items) {
 		parallel = len(items)
 	}
-	errs := make([]error, len(items))
 	if parallel == 1 {
 		for i := range items {
-			out[i], errs[i] = f(i, items[i])
+			out[i], errs[i] = runJob(i, items[i], f)
 		}
-		return finish(out, errs)
+		return out, errs
 	}
 	var next atomic.Int64
 	next.Store(-1)
@@ -58,19 +118,41 @@ func Map[T, R any](parallel int, items []T, f func(i int, item T) (R, error)) ([
 				if i >= len(items) {
 					return
 				}
-				out[i], errs[i] = f(i, items[i])
+				out[i], errs[i] = runJob(i, items[i], f)
 			}
 		}()
 	}
 	wg.Wait()
-	return finish(out, errs)
+	return out, errs
 }
 
-func finish[R any](out []R, errs []error) ([]R, error) {
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
+// runJob executes one job with panic recovery and a single bounded
+// retry for transient failures. The retry also covers a first-attempt
+// panic: a panicking simulation may have tripped over shared warm-up
+// state, and a clean second run is cheaper than a lost sweep cell.
+func runJob[T, R any](i int, item T, f func(i int, item T) (R, error)) (R, error) {
+	out, err := attempt(i, item, f)
+	if err == nil {
+		return out, nil
 	}
-	return out, nil
+	var pe *PanicError
+	if IsTransient(err) || errors.As(err, &pe) {
+		if out2, err2 := attempt(i, item, f); err2 == nil {
+			return out2, nil
+		}
+		// Report the first attempt's error: it is the deterministic one.
+	}
+	return out, err
+}
+
+// attempt runs f once, converting a panic into a *PanicError.
+func attempt[T, R any](i int, item T, f func(i int, item T) (R, error)) (out R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			var zero R
+			out = zero
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return f(i, item)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -233,5 +234,130 @@ func TestArtifactsSharedStress(t *testing.T) {
 	ser := run(1)
 	if !reflect.DeepEqual(par, ser) {
 		t.Errorf("cycle counts differ between parallel and serial runs:\n par=%v\n ser=%v", par, ser)
+	}
+}
+
+func TestMapErrsPerItemOutcomes(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4}
+	out, errs := MapErrs(2, items, func(i, v int) (int, error) {
+		if v%2 == 1 {
+			return 0, fmt.Errorf("odd %d", v)
+		}
+		return v * 10, nil
+	})
+	if len(out) != 5 || len(errs) != 5 {
+		t.Fatalf("lengths: %d, %d", len(out), len(errs))
+	}
+	for i := range items {
+		if i%2 == 1 {
+			if errs[i] == nil || errs[i].Error() != fmt.Sprintf("odd %d", i) {
+				t.Errorf("errs[%d] = %v", i, errs[i])
+			}
+			if out[i] != 0 {
+				t.Errorf("failed cell %d holds %d, want zero value", i, out[i])
+			}
+		} else {
+			if errs[i] != nil {
+				t.Errorf("errs[%d] = %v", i, errs[i])
+			}
+			if out[i] != i*10 {
+				t.Errorf("out[%d] = %d", i, out[i])
+			}
+		}
+	}
+}
+
+func TestPanicRecoveredPerJob(t *testing.T) {
+	// A deterministically panicking job must not kill the pool: the
+	// other jobs complete and the panic arrives as a *PanicError for
+	// that index only. The job panics on both attempts, so the retry
+	// does not mask it.
+	out, errs := MapErrs(4, []int{0, 1, 2, 3}, func(i, v int) (string, error) {
+		if v == 2 {
+			panic("boom")
+		}
+		return "ok", nil
+	})
+	for i, err := range errs {
+		if i == 2 {
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("errs[2] = %v, want *PanicError", err)
+			}
+			if pe.Index != 2 || pe.Value != "boom" || len(pe.Stack) == 0 {
+				t.Fatalf("panic error incomplete: %+v", pe)
+			}
+			continue
+		}
+		if err != nil || out[i] != "ok" {
+			t.Errorf("job %d: out=%q err=%v", i, out[i], err)
+		}
+	}
+	// Map surfaces the lowest-index failure.
+	if _, err := Map(4, []int{0, 1, 2, 3}, func(i, v int) (string, error) {
+		if v >= 2 {
+			panic(v)
+		}
+		return "ok", nil
+	}); err == nil || !strings.Contains(err.Error(), "job 2 panicked") {
+		t.Fatalf("Map err = %v, want job 2's panic", err)
+	}
+}
+
+func TestTransientRetriedOnce(t *testing.T) {
+	var calls [3]atomic.Int64
+	out, errs := MapErrs(1, []int{0, 1, 2}, func(i, v int) (int, error) {
+		n := calls[i].Add(1)
+		switch v {
+		case 0:
+			// Succeeds on the retry.
+			if n == 1 {
+				return 0, MarkTransient(errors.New("flaky"))
+			}
+			return 7, nil
+		case 1:
+			// Transient on every attempt: exactly one retry, and the
+			// first attempt's error is reported.
+			return 0, MarkTransient(fmt.Errorf("still flaky (attempt %d)", n))
+		default:
+			// Deterministic failure: no retry at all.
+			return 0, errors.New("hard")
+		}
+	})
+	if calls[0].Load() != 2 || errs[0] != nil || out[0] != 7 {
+		t.Errorf("flaky job: calls=%d out=%d err=%v", calls[0].Load(), out[0], errs[0])
+	}
+	if calls[1].Load() != 2 {
+		t.Errorf("persistent transient retried %d times, want 2 attempts total", calls[1].Load())
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "attempt 1") {
+		t.Errorf("persistent transient reported %v, want first attempt's error", errs[1])
+	}
+	if !IsTransient(errs[1]) {
+		t.Error("transient marker lost")
+	}
+	if calls[2].Load() != 1 {
+		t.Errorf("hard failure attempted %d times, want 1", calls[2].Load())
+	}
+	if IsTransient(errs[2]) {
+		t.Error("hard error marked transient")
+	}
+	if IsTransient(nil) || MarkTransient(nil) != nil {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestPanicRetryRecoversWarmupFlake(t *testing.T) {
+	// A job that panics once and then succeeds is healed by the single
+	// bounded retry.
+	var n atomic.Int64
+	out, errs := MapErrs(1, []int{0}, func(i, v int) (int, error) {
+		if n.Add(1) == 1 {
+			panic("cold cache")
+		}
+		return 42, nil
+	})
+	if errs[0] != nil || out[0] != 42 || n.Load() != 2 {
+		t.Fatalf("out=%d err=%v attempts=%d", out[0], errs[0], n.Load())
 	}
 }

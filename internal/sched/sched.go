@@ -14,6 +14,8 @@
 package sched
 
 import (
+	"fmt"
+
 	"asbr/internal/isa"
 )
 
@@ -36,8 +38,10 @@ type DistanceChange struct {
 const hiloReg = isa.NumRegs
 
 // Schedule returns a copy of p with each eligible basic block
-// rescheduled. The input program is not modified.
-func Schedule(p *isa.Program) (*isa.Program, Stats) {
+// rescheduled. The input program is not modified. An error means an
+// instruction that decoded cleanly failed to re-encode — a corrupt
+// program or an ISA bug — and the partial output must be discarded.
+func Schedule(p *isa.Program) (*isa.Program, Stats, error) {
 	out := &isa.Program{
 		TextBase: p.TextBase,
 		Text:     make([]uint32, len(p.Text)),
@@ -54,27 +58,29 @@ func Schedule(p *isa.Program) (*isa.Program, Stats) {
 	for i := 0; i <= len(out.Text); i++ {
 		pc := p.TextBase + uint32(i*4)
 		if i == len(out.Text) || (i > blockStart && leaders[pc]) {
-			scheduleBlock(out, blockStart, i, &st)
+			if err := scheduleBlock(out, blockStart, i, &st); err != nil {
+				return nil, st, err
+			}
 			blockStart = i
 		}
 	}
-	return out, st
+	return out, st, nil
 }
 
 // scheduleBlock reschedules instructions [start,end) of out.Text when
 // the block ends in a foldable conditional branch.
-func scheduleBlock(p *isa.Program, start, end int, st *Stats) {
+func scheduleBlock(p *isa.Program, start, end int, st *Stats) error {
 	n := end - start
 	if n < 3 {
-		return // a def, an independent instruction, and a branch at minimum
+		return nil // a def, an independent instruction, and a branch at minimum
 	}
 	last, err := isa.Decode(p.Text[end-1])
 	if err != nil || !last.IsCondBranch() {
-		return
+		return nil
 	}
 	condReg, _, ok := last.ZeroCond()
 	if !ok || condReg == isa.RegZero {
-		return
+		return nil
 	}
 	st.BlocksConsidered++
 
@@ -82,13 +88,13 @@ func scheduleBlock(p *isa.Program, start, end int, st *Stats) {
 	for i := start; i < end-1; i++ {
 		in, err := isa.Decode(p.Text[i])
 		if err != nil {
-			return // opaque word: leave the block alone
+			return nil // opaque word: leave the block alone
 		}
 		switch in.Op {
 		case isa.OpSYSCALL, isa.OpBREAK, isa.OpBITSW,
 			isa.OpJ, isa.OpJAL, isa.OpJR, isa.OpJALR,
 			isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ, isa.OpBLTZ, isa.OpBGEZ:
-			return // barriers / control flow mid-block: skip
+			return nil // barriers / control flow mid-block: skip
 		}
 		body = append(body, in)
 	}
@@ -103,7 +109,7 @@ func scheduleBlock(p *isa.Program, start, end int, st *Stats) {
 		}
 	}
 	if defIdx < 0 {
-		return // condition defined in a predecessor block
+		return nil // condition defined in a predecessor block
 	}
 	before := m - 1 - defIdx
 
@@ -150,7 +156,7 @@ func scheduleBlock(p *isa.Program, start, end int, st *Stats) {
 			}
 		}
 		if pick < 0 {
-			return // cycle: cannot happen, but fail safe
+			return nil // cycle: cannot happen, but fail safe
 		}
 		emitted[pick] = true
 		order = append(order, pick)
@@ -175,14 +181,22 @@ func scheduleBlock(p *isa.Program, start, end int, st *Stats) {
 	}
 	after := m - 1 - newDefPos
 	if after <= before {
-		return
+		return nil
 	}
+	words := make([]uint32, m)
 	for pos, idx := range order {
-		p.Text[start+pos] = isa.MustEncode(body[idx])
+		w, err := isa.Encode(body[idx])
+		if err != nil {
+			return fmt.Errorf("sched: re-encoding block at 0x%08x: %w",
+				p.TextBase+uint32(start*4), err)
+		}
+		words[pos] = w
 	}
+	copy(p.Text[start:start+m], words)
 	st.BlocksScheduled++
 	branchPC := p.TextBase + uint32((end-1)*4)
 	st.Distances[branchPC] = DistanceChange{Before: before, After: after}
+	return nil
 }
 
 // dependences builds the must-precede lists for a straight-line body:

@@ -58,7 +58,7 @@ loop:	addu	s0, s0, t0
 	if d := profile.DefDistance(p, bpc); d != 0 {
 		t.Fatalf("pre distance = %d", d)
 	}
-	p2, st := Schedule(p)
+	p2, st, _ := Schedule(p)
 	if st.BlocksScheduled != 1 {
 		t.Fatalf("scheduled %d blocks, considered %d", st.BlocksScheduled, st.BlocksConsidered)
 	}
@@ -90,12 +90,12 @@ loop:	addu	s0, s0, t0
 	jr	ra
 `
 	p := mustProgram(t, src)
-	p2, st := Schedule(p)
+	p2, st, _ := Schedule(p)
 	if st.BlocksScheduled == 0 {
 		t.Fatal("nothing scheduled")
 	}
 	run := func(pr *isa.Program) (int32, int32) {
-		c := cpu.New(cpu.Config{}, pr)
+		c := cpu.MustNew(cpu.Config{}, pr)
 		if _, err := c.Run(); err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +120,7 @@ loop:	addiu	t1, t0, 1
 	jr	ra
 `
 	p := mustProgram(t, src)
-	_, st := Schedule(p)
+	_, st, _ := Schedule(p)
 	if st.BlocksScheduled != 0 {
 		t.Fatalf("dependent chain was rescheduled: %+v", st)
 	}
@@ -143,10 +143,10 @@ loop:	sw	t0, 0(s0)
 x:	.word	0
 `
 	p := mustProgram(t, src)
-	p2, _ := Schedule(p)
+	p2, _, _ := Schedule(p)
 	// Whatever the pass did, execution must match.
 	run := func(pr *isa.Program) int32 {
-		c := cpu.New(cpu.Config{}, pr)
+		c := cpu.MustNew(cpu.Config{}, pr)
 		if _, err := c.Run(); err != nil {
 			t.Fatal(err)
 		}
@@ -183,8 +183,8 @@ loop:	mult	s0, s1
 	jr	ra
 `
 	p := mustProgram(t, src)
-	p2, _ := Schedule(p)
-	c := cpu.New(cpu.Config{}, p2)
+	p2, _, _ := Schedule(p)
+	c := cpu.MustNew(cpu.Config{}, p2)
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ loop:	addiu	t0, t0, -1
 	jr	ra
 `
 	p := mustProgram(t, src)
-	_, st := Schedule(p)
+	_, st, _ := Schedule(p)
 	if st.BlocksScheduled != 0 {
 		t.Fatal("block with syscall rescheduled")
 	}
@@ -220,7 +220,7 @@ top:	beqz	t0, out
 out:	jr	ra
 `
 	p := mustProgram(t, src)
-	p2, _ := Schedule(p)
+	p2, _, _ := Schedule(p)
 	for i := range p.Text {
 		if p.Text[i] != p2.Text[i] {
 			t.Fatal("program changed despite no in-block def")
@@ -255,9 +255,9 @@ func TestRandomBlocksEquivalent(t *testing.T) {
 		b.WriteString("\tjr ra\n")
 		src := b.String()
 		p := mustProgram(t, src)
-		p2, _ := Schedule(p)
+		p2, _, _ := Schedule(p)
 		final := func(pr *isa.Program) [24]int32 {
-			c := cpu.New(cpu.Config{}, pr)
+			c := cpu.MustNew(cpu.Config{}, pr)
 			if _, err := c.Run(); err != nil {
 				t.Fatalf("trial %d: %v\n%s", trial, err, src)
 			}
@@ -284,7 +284,7 @@ func TestDistanceNeverShrinks(t *testing.T) {
 		p := mustProgram(t, src)
 		bpc := lastCondBranch(t, p)
 		before := profile.DefDistance(p, bpc)
-		p2, _ := Schedule(p)
+		p2, _, _ := Schedule(p)
 		after := profile.DefDistance(p2, bpc)
 		if after < before {
 			t.Fatalf("distance shrank: %d -> %d\n%s", before, after, asm.Disassemble(p2))

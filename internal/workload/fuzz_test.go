@@ -131,7 +131,7 @@ func TestFuzzFoldEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
 		}
-		prog, _ = sched.Schedule(prog)
+		prog, _, _ = sched.Schedule(prog)
 
 		readGlobals := func(c *cpu.CPU) []int32 {
 			var out []int32
@@ -150,7 +150,7 @@ func TestFuzzFoldEquivalence(t *testing.T) {
 		}
 
 		run := func(fold cpu.FoldHook, up cpu.Stage) []int32 {
-			c := cpu.New(cpu.Config{
+			c := cpu.MustNew(cpu.Config{
 				ICache:    mem.DefaultICache(),
 				DCache:    mem.DefaultDCache(),
 				Branch:    predict.AuxBimodal512(),
@@ -206,11 +206,13 @@ func TestFuzzPredictorIndependence(t *testing.T) {
 		predict.BaselineNotTaken,
 		predict.BaselineBimodal,
 		predict.BaselineGShare,
-		func() *predict.Unit { return predict.NewUnit(predict.Taken{}, predict.NewBTB(64)) },
+		func() *predict.Unit { return predict.NewUnit(predict.Taken{}, predict.Must(predict.NewBTB(64))) },
 		func() *predict.Unit {
-			return predict.NewUnit(predict.NewTournament(predict.NewBimodal(128), predict.NewGShare(6, 128), 128), predict.NewBTB(128))
+			return predict.NewUnit(predict.Must(predict.NewTournament(predict.Must(predict.NewBimodal(128)), predict.Must(predict.NewGShare(6, 128)), 128)), predict.Must(predict.NewBTB(128)))
 		},
-		func() *predict.Unit { return predict.NewUnit(predict.NewLocal(64, 6, 256), predict.NewBTB(64)) },
+		func() *predict.Unit {
+			return predict.NewUnit(predict.Must(predict.NewLocal(64, 6, 256)), predict.Must(predict.NewBTB(64)))
+		},
 	}
 	for trial := 0; trial < trials; trial++ {
 		g := &progGen{r: r, vars: []string{"a", "b", "c", "d", "e"}}
@@ -221,7 +223,7 @@ func TestFuzzPredictorIndependence(t *testing.T) {
 		}
 		var ref []int32
 		for ui, mk := range units {
-			c := cpu.New(cpu.Config{Branch: mk(), MaxCycles: 50_000_000}, prog)
+			c := cpu.MustNew(cpu.Config{Branch: mk(), MaxCycles: 50_000_000}, prog)
 			if _, err := c.Run(); err != nil {
 				t.Fatalf("trial %d unit %d: %v\n%s", trial, ui, err, src)
 			}

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"asbr/internal/cc"
@@ -90,7 +91,10 @@ func BuildOpt(name string, opt BuildOptions) (*isa.Program, error) {
 		return nil, fmt.Errorf("workload: %s: %v", name, err)
 	}
 	if opt.CompilerSchedule {
-		p, _ = sched.Schedule(p)
+		p, _, err = sched.Schedule(p)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %v", name, err)
+		}
 	}
 	return p, nil
 }
@@ -172,30 +176,46 @@ type Result struct {
 // stream, producing nSamples output-governing samples, under the
 // machine configuration cfg.
 func Run(p *isa.Program, cfg cpu.Config, input []int32, nSamples int) (*Result, error) {
-	c := cpu.New(cfg, p)
-	if err := pour(c, p, "n_samples", []int32{int32(nSamples)}); err != nil {
-		return nil, err
-	}
-	if err := pour(c, p, "input", input); err != nil {
-		return nil, err
-	}
-	st, err := c.Run()
+	return RunContext(context.Background(), p, cfg, input, nSamples)
+}
+
+// RunContext is Run with cancellation: the simulation aborts with a
+// *cpu.SimError (ErrCanceled) when ctx is done, in addition to any
+// cycle budget in cfg.MaxCycles.
+func RunContext(ctx context.Context, p *isa.Program, cfg cpu.Config, input []int32, nSamples int) (*Result, error) {
+	c, err := cpu.New(cfg, p)
 	if err != nil {
 		return nil, err
 	}
-	count, err := read(c, p, "out_count", 1)
+	if err := Pour(c, p, "n_samples", []int32{int32(nSamples)}); err != nil {
+		return nil, err
+	}
+	if err := Pour(c, p, "input", input); err != nil {
+		return nil, err
+	}
+	st, err := c.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	out, err := read(c, p, "output", int(count[0]))
+	out, err := ReadOutput(c, p)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{CPU: c, Stats: st, Output: out}, nil
 }
 
-// pour writes words into the program's global array sym.
-func pour(c *cpu.CPU, p *isa.Program, sym string, vals []int32) error {
+// ReadOutput extracts the benchmark's produced output stream (the
+// out_count-governed prefix of the output array) from a finished run.
+func ReadOutput(c *cpu.CPU, p *isa.Program) ([]int32, error) {
+	count, err := read(c, p, "out_count", 1)
+	if err != nil {
+		return nil, err
+	}
+	return read(c, p, "output", int(count[0]))
+}
+
+// Pour writes words into the program's global array sym.
+func Pour(c *cpu.CPU, p *isa.Program, sym string, vals []int32) error {
 	addr, ok := p.Symbol(sym)
 	if !ok {
 		return fmt.Errorf("workload: program has no symbol %q", sym)

@@ -88,7 +88,7 @@ func TestASBREndToEnd(t *testing.T) {
 	want, _ := Expected(name, n, 1)
 
 	// Profile with the auxiliary predictor as shadow.
-	prof := profile.New(predict.NewBimodal(512))
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
 	baseCfg := cpu.Config{
 		ICache: mem.DefaultICache(),
 		DCache: mem.DefaultDCache(),
