@@ -1,13 +1,14 @@
 # Development targets for the ASBR reproduction. `make ci` is what the
 # CI workflow runs: vet, build, race-enabled tests, a 1-iteration
-# benchmark smoke, a fault-injection smoke and short fuzz smokes of the
-# assembler round-trip and the fault-plan grammar.
+# benchmark smoke, a fault-injection smoke, a serving-layer smoke and
+# load check, and short fuzz smokes of the assembler round-trip and the
+# fault-plan grammar.
 
 GO ?= go
 FUZZTIME ?= 10s
 FAULT_FUZZTIME ?= 2m
 
-.PHONY: all build vet test race bench-smoke fault-smoke fuzz-smoke fuzz-fault tables ci clean
+.PHONY: all build vet test race bench-smoke fault-smoke serve-smoke loadgen fuzz-smoke fuzz-fault tables ci clean
 
 all: build
 
@@ -34,6 +35,17 @@ bench-smoke:
 fault-smoke:
 	$(GO) run ./cmd/asbr-tables -table faults -n 512
 
+# End-to-end daemon smoke: build the real asbr-serve binary, boot it on
+# an ephemeral port, drive /v1/sim + /v1/sweep through the Go client,
+# prove request coalescing on the /metrics counters, and SIGTERM-drain.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/asbr-serve
+
+# Load check: concurrent mixed traffic against one daemon, zero 5xx
+# allowed. Run with the race detector so it doubles as a data-race net.
+loadgen:
+	$(GO) test -race -run TestLoadgenSmoke -count=1 -v ./internal/serve
+
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzAsmRoundTrip -fuzztime=$(FUZZTIME) -run '^$$' ./internal/asm
 
@@ -45,7 +57,7 @@ fuzz-fault:
 tables:
 	$(GO) run ./cmd/asbr-tables
 
-ci: vet build race bench-smoke fault-smoke fuzz-smoke fuzz-fault
+ci: vet build race bench-smoke fault-smoke serve-smoke loadgen fuzz-smoke fuzz-fault
 
 clean:
 	$(GO) clean ./...

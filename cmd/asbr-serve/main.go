@@ -1,0 +1,97 @@
+// Command asbr-serve runs the simulation-as-a-service daemon: the
+// cycle-accurate simulator and the experiment engine behind an
+// HTTP/JSON API with a bounded job queue, request coalescing, and a
+// Prometheus metrics endpoint.
+//
+//	asbr-serve                        # listen on 127.0.0.1:8344
+//	asbr-serve -addr :9000            # choose the listen address
+//	asbr-serve -addr 127.0.0.1:0      # ephemeral port (printed on stdout)
+//	asbr-serve -queue 128 -workers 8  # queue capacity and worker pool
+//	asbr-serve -addr-file /tmp/addr   # write the bound address for scripts
+//
+// Endpoints: POST /v1/sim, POST /v1/sweep, POST /v1/jobs,
+// GET /v1/jobs/{id}, GET /v1/healthz, GET /metrics. See DESIGN.md §8.
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, in-flight
+// requests finish, queued async jobs run to completion, then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asbr/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8344", "listen address (port 0 = ephemeral)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	queue := flag.Int("queue", 64, "bounded job queue capacity (429 beyond it)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "per-sweep worker cap (0 = GOMAXPROCS)")
+	samples := flag.Int("n", 4096, "default audio samples when a request leaves them unset")
+	maxCycles := flag.Uint64("max-cycles", 0, "default watchdog cycle budget (0 = 2^32)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-simulation wall-clock budget")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight HTTP requests on shutdown")
+	flag.Parse()
+
+	log.SetPrefix("asbr-serve: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	srv := serve.New(serve.Config{
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		SweepParallel:    *parallel,
+		DefaultSamples:   *samples,
+		DefaultMaxCycles: *maxCycles,
+		DefaultTimeout:   *timeout,
+		Logf:             log.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("asbr-serve: listening on http://%s\n", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			log.Fatalf("write -addr-file: %v", err)
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Graceful drain: stop the listener and wait out in-flight HTTP
+	// requests first (no handler may be mid-enqueue when the queue
+	// closes), then let the workers finish every queued job.
+	queued := srv.QueueLen()
+	log.Printf("shutdown signal: draining (%d queued jobs)", queued)
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Drain()
+	log.Printf("drained, exiting")
+}

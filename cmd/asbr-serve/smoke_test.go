@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"asbr/internal/serve"
+	"asbr/internal/serve/client"
+	"asbr/internal/workload"
+)
+
+// TestServeSmoke is the end-to-end daemon check behind `make
+// serve-smoke`: build the real binary, boot it on an ephemeral port,
+// drive it through the Go client, prove coalescing on the metrics
+// counters, prove an over-budget request fails structurally without
+// hurting the daemon, then SIGTERM it and watch the drain.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a daemon process")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "asbr-serve")
+	if out, err := exec.Command("go", "build", "-o", bin, "asbr/cmd/asbr-serve").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	addrFile := filepath.Join(dir, "addr")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-n", "512")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill() //nolint:errcheck
+			<-exited
+		}
+	}()
+
+	addr := awaitAddr(t, addrFile, exited)
+	c := client.New(addr)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	// Two identical concurrent sims must coalesce onto one simulation.
+	req := serve.SimRequest{Bench: workload.ADPCMEncode, Samples: 128}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Sim(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sim %d: %v", i, err)
+		}
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if !strings.Contains(metrics, "asbr_serve_sim_cache_builds_total 1") {
+		t.Errorf("coalescing not proven: want builds_total 1 in metrics:\n%s", grepMetrics(metrics, "sim_cache"))
+	}
+	if !strings.Contains(metrics, "asbr_serve_sim_cache_gets_total 2") {
+		t.Errorf("want gets_total 2 in metrics:\n%s", grepMetrics(metrics, "sim_cache"))
+	}
+
+	// One sweep through the client.
+	tabs, err := c.Sweep(ctx, serve.SweepRequest{Tables: []string{"fig6"}, Samples: 128})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if tabs.HasErrors() || len(tabs.Fig6) == 0 {
+		t.Fatalf("sweep result: fig6=%d errors=%v", len(tabs.Fig6), tabs.Errors)
+	}
+
+	// An over-budget request returns a structured error; the daemon
+	// itself stays healthy.
+	_, err = c.Sim(ctx, serve.SimRequest{Bench: workload.ADPCMEncode, Samples: 128, MaxCycles: 100})
+	if !client.IsCode(err, "cycle-limit") {
+		t.Fatalf("over-budget sim: err = %v, want APIError code cycle-limit", err)
+	}
+	if h, err := c.Healthz(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("daemon unhealthy after watchdog trip: %+v, %v", h, err)
+	}
+
+	// Queue an async job on a fresh key, then SIGTERM: the drain must
+	// run it to completion before the process exits 0.
+	job, err := c.Submit(ctx, serve.JobRequest{Sim: &serve.SimRequest{
+		Bench: workload.ADPCMEncode, Samples: 128, Seed: 7,
+	}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(time.Minute):
+		cmd.Process.Kill() //nolint:errcheck
+		t.Fatalf("daemon did not drain within 1m\nstderr:\n%s", stderr.String())
+	}
+
+	log := stderr.String()
+	for _, want := range []string{
+		"shutdown signal: draining",
+		fmt.Sprintf("job %s (sim) done", job.ID),
+		"drained, exiting",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("drain log missing %q:\n%s", want, log)
+		}
+	}
+	if !strings.Contains(stdout.String(), "listening on http://") {
+		t.Errorf("stdout missing listen banner: %q", stdout.String())
+	}
+}
+
+// awaitAddr waits for the daemon to publish its bound address.
+func awaitAddr(t *testing.T, path string, exited <-chan error) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		select {
+		case err := <-exited:
+			t.Fatalf("daemon exited before listening: %v", err)
+		default:
+		}
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return string(b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never wrote its address file")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// grepMetrics filters the exposition to lines mentioning substr, for
+// readable failure messages.
+func grepMetrics(metrics, substr string) string {
+	var out []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.Contains(line, substr) && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -7,6 +7,13 @@
 //	asbr-sim -asbr -profile prog.s     # profile, select, fold, re-run
 //	asbr-sim -trace prog.s             # print the disassembly first
 //	asbr-sim -parallel 4 a.s b.s c.s   # simulate several programs at once
+//	asbr-sim -remote :8344 prog.s      # run on an asbr-serve daemon
+//
+// With -remote the program source is posted to a shared asbr-serve
+// daemon's /v1/sim endpoint and the returned statistics are printed;
+// identical requests coalesce onto one simulation server-side. The
+// local-only inspection flags (-trace, -pipetrace, -fault) do not
+// combine with it.
 //
 // With several program files the simulations run concurrently on a
 // bounded worker pool (internal/runner); each program's report is
@@ -37,6 +44,8 @@ import (
 	"asbr/internal/profile"
 	"asbr/internal/runner"
 	"asbr/internal/sched"
+	"asbr/internal/serve"
+	"asbr/internal/serve/client"
 )
 
 type options struct {
@@ -50,6 +59,7 @@ type options struct {
 	maxCycles uint64
 	timeout   time.Duration
 	fault     string
+	remote    string
 }
 
 func main() {
@@ -64,6 +74,7 @@ func main() {
 	flag.Uint64Var(&opt.maxCycles, "max-cycles", 1<<32, "abort after this many cycles")
 	flag.DurationVar(&opt.timeout, "timeout", 0, "abort after this much wall-clock time (0 = none)")
 	flag.StringVar(&opt.fault, "fault", "", "with -asbr: inject faults per plan (kind[:rate=..,seed=..,max=..]; kinds none|bdt-flip|validity-skew|bit-alias|stale-bti) and lockstep-check divergence against the baseline")
+	flag.StringVar(&opt.remote, "remote", "", "run on an asbr-serve daemon at this address instead of locally")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -72,10 +83,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if opt.remote != "" && (opt.trace || opt.pipeTrace > 0 || opt.fault != "") {
+		fmt.Fprintln(os.Stderr, "asbr-sim: -trace, -pipetrace and -fault are local-only and do not combine with -remote")
+		os.Exit(2)
+	}
+
 	files := flag.Args()
+	run := simulate
+	if opt.remote != "" {
+		run = simulateRemote
+	}
 	outs, err := runner.Map(*parallel, files, func(_ int, path string) (string, error) {
 		var buf bytes.Buffer
-		if err := simulate(&buf, path, opt); err != nil {
+		if err := run(&buf, path, opt); err != nil {
 			return "", fmt.Errorf("%s: %v", path, err)
 		}
 		return buf.String(), nil
@@ -222,6 +242,52 @@ func simulate(w io.Writer, path string, opt options) error {
 	fmt.Fprintf(w, "baseline cycles: %d, ASBR cycles: %d (%.1f%% improvement)\n",
 		base.Stats().Cycles, folded.Stats().Cycles,
 		100*(1-float64(folded.Stats().Cycles)/float64(base.Stats().Cycles)))
+	return nil
+}
+
+// simulateRemote posts one program to an asbr-serve daemon and prints
+// the returned statistics. The daemon applies the same defaults the
+// local path uses; its request coalescing means N clients posting the
+// same program pay for one simulation.
+func simulateRemote(w io.Writer, path string, opt options) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	req := serve.SimRequest{
+		Source:     string(src),
+		Compile:    opt.compile,
+		Schedule:   opt.schedule,
+		Predictor:  opt.predictor,
+		ASBR:       opt.asbr,
+		BITEntries: opt.k,
+		MaxCycles:  opt.maxCycles,
+		TimeoutMS:  opt.timeout.Milliseconds(),
+	}
+	ctx := context.Background()
+	res, err := client.New(opt.remote).Sim(ctx, req)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(w, "cycles:        %d\n", st.Cycles)
+	fmt.Fprintf(w, "instructions:  %d (CPI %.2f)\n", st.Instructions, st.CPI)
+	fmt.Fprintf(w, "cond branches: %d (taken %d, accuracy %.1f%%)\n",
+		st.CondBranches, st.TakenBranches, 100*st.Accuracy)
+	fmt.Fprintf(w, "stalls:        %d load-use, %d EX, %d MEM, %d fetch\n",
+		st.LoadUseStalls, st.ExStalls, st.MemStalls, st.FetchStalls)
+	fmt.Fprintf(w, "icache:        %.2f%% miss, dcache: %.2f%% miss\n",
+		100*st.ICacheMissRate, 100*st.DCacheMissRate)
+	if res.ASBR {
+		fmt.Fprintf(w, "ASBR:          %d BIT entries, %d folds, %d fallbacks\n",
+			res.BITEntries, st.Folded, st.FoldFallbacks)
+		fmt.Fprintf(w, "baseline cycles: %d, ASBR cycles: %d (%.1f%% improvement)\n",
+			res.BaselineCycles, st.Cycles, 100*res.Improvement)
+	}
+	if len(res.Output) > 0 {
+		fmt.Fprintf(w, "output:        %v\n", res.Output)
+	}
+	fmt.Fprintf(w, "exit code:     %d\n", res.ExitCode)
 	return nil
 }
 

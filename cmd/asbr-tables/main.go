@@ -14,161 +14,191 @@
 //	asbr-tables -n 8192          # samples per benchmark
 //	asbr-tables -parallel 8      # bounded worker pool for the sweep jobs
 //	asbr-tables -max-cycles 1e6  # per-simulation watchdog budget
+//	asbr-tables -json            # machine-readable output (the /v1/sweep encoding)
+//	asbr-tables -remote :8344    # run the sweep on an asbr-serve daemon
+//
+// Local and remote runs produce the identical machine-readable sweep
+// (experiment.TablesJSON — the /v1/sweep response body); the text
+// tables and the -json dump are two renderings of that one value.
 //
 // A cell whose simulation fails (cycle budget, wall-clock timeout, a
 // guest fault) renders as ERR with its reason below the table; every
 // remaining table still prints, and the exit status is nonzero.
-//
-// All tables run on the concurrent experiment engine: independent
-// simulation jobs fan out over -parallel workers while compiled
-// programs, profiled runs and input traces are shared, built once.
-// Output is deterministic: any -parallel value prints byte-identical
-// tables.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"asbr/internal/cpu"
 	"asbr/internal/experiment"
-	"asbr/internal/workload"
+	"asbr/internal/serve"
+	"asbr/internal/serve/client"
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: fig6|fig7|fig9|fig10|fig11|power|motivation|ablations|faults|all")
+	table := flag.String("table", "all", "table to regenerate: "+strings.Join(experiment.TableNames(), "|")+"|all")
 	n := flag.Int("n", 4096, "audio samples per benchmark")
 	seed := flag.Int64("seed", 1, "synthetic input seed")
 	update := flag.String("update", "mem", "BDT update point: ex|mem|wb (paper thresholds 2|3|4)")
 	parallel := flag.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
 	maxCycles := flag.Uint64("max-cycles", 0, "per-simulation watchdog cycle budget (0 = default)")
 	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
+	asJSON := flag.Bool("json", false, "emit the machine-readable sweep (the /v1/sweep response encoding)")
+	remote := flag.String("remote", "", "run against an asbr-serve daemon at this address instead of locally")
 	flag.Parse()
 
-	opt := experiment.Options{Samples: *n, Seed: *seed, Parallel: *parallel,
-		MaxCycles: *maxCycles, Timeout: *timeout}
-	switch strings.ToLower(*update) {
-	case "ex":
-		opt.Update = cpu.StageEX
-	case "wb":
-		opt.Update = cpu.StageWB
-	default:
-		opt.Update = cpu.StageMEM
-	}
-
-	sw := experiment.NewSweep(opt)
-
-	// Every requested table prints even when an earlier one has failed
-	// cells: failures are collected and reported at the end, so one bad
-	// sweep job cannot hide the remaining results.
-	ran := false
-	var failed []string
-	run := func(name string, f func() error) {
-		if *table != "all" && *table != name {
-			return
-		}
-		ran = true
-		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "asbr-tables: %s: %v\n", name, err)
-			failed = append(failed, name)
-		}
-	}
-	run("fig6", func() error { return fig6(sw) })
-	run("fig7", func() error { return branchTable("Figure 7", workload.G721Encode, sw) })
-	run("fig9", func() error { return branchTable("Figure 9", workload.ADPCMEncode, sw) })
-	run("fig10", func() error { return branchTable("Figure 10", workload.ADPCMDecode, sw) })
-	run("fig11", func() error { return fig11(sw) })
-	run("power", func() error { return powerArea(sw) })
-	run("motivation", func() error { return motivation(sw) })
-	run("ablations", func() error { return ablations(sw) })
-	run("faults", func() error { return faults(sw) })
-	if !ran {
-		fmt.Fprintf(os.Stderr, "asbr-tables: unknown table %q\n", *table)
+	names, err := experiment.NormalizeTableNames([]string{*table})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asbr-tables: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "asbr-tables: tables with failures: %s\n", strings.Join(failed, ", "))
+
+	var tabs *experiment.TablesJSON
+	if *remote != "" {
+		tabs, err = remoteSweep(*remote, names, *n, *seed, *update, *parallel, *maxCycles, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asbr-tables: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		opt := experiment.Options{Samples: *n, Seed: *seed, Parallel: *parallel,
+			MaxCycles: *maxCycles, Timeout: *timeout}
+		switch strings.ToLower(*update) {
+		case "ex":
+			opt.Update = cpu.StageEX
+		case "wb":
+			opt.Update = cpu.StageWB
+		default:
+			opt.Update = cpu.StageMEM
+		}
+		// Tables annotates failed cells in place and reports the first
+		// failure; render everything either way and fail at the end.
+		tabs, err = experiment.NewSweep(opt).Tables(names)
+		if err != nil && tabs == nil {
+			fmt.Fprintf(os.Stderr, "asbr-tables: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tabs); err != nil {
+			fmt.Fprintf(os.Stderr, "asbr-tables: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		render(tabs)
+	}
+	if tabs.HasErrors() {
+		for _, e := range tabs.Errors {
+			fmt.Fprintf(os.Stderr, "asbr-tables: %s\n", e)
+		}
 		os.Exit(1)
 	}
 }
 
-func motivation(sw *experiment.Sweep) error {
-	opt := sw.Options()
-	fmt.Printf("Motivation (paper §3, Figure 1): data correlation vs. input dependence (n=%d)\n", opt.Samples)
-	res, err := sw.Motivation(opt.Samples, opt.Seed)
-	if err != nil {
-		return err
-	}
-	w := newTab()
-	fmt.Fprintln(w, "branch\texec #\tbimodal\tgshare\tASBR fold rate")
-	for _, r := range res.Rows {
-		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\n", r.Name, r.Exec, r.Bimodal, r.GShare, r.FoldRate)
-	}
-	w.Flush()
-	verdict := "bit-exact"
-	if !res.AccMatch {
-		verdict = "MISMATCH"
-	}
-	fmt.Printf("cycles: %d baseline -> %d with B4+B5 folded (%s)\n\n",
-		res.BaselineCycles, res.ASBRCycles, verdict)
-	return nil
+// remoteSweep runs the sweep on an asbr-serve daemon; the response is
+// the same TablesJSON a local run produces.
+func remoteSweep(addr string, names []string, n int, seed int64, update string, parallel int, maxCycles uint64, timeout time.Duration) (*experiment.TablesJSON, error) {
+	return client.New(addr).Sweep(context.Background(), serve.SweepRequest{
+		Tables:    names,
+		Samples:   n,
+		Seed:      seed,
+		Update:    update,
+		Parallel:  parallel,
+		MaxCycles: maxCycles,
+		TimeoutMS: timeout.Milliseconds(),
+	})
 }
 
-func powerArea(sw *experiment.Sweep) error {
-	fmt.Printf("Power/area model: the abstract's energy and area claims (n=%d)\n", sw.Options().Samples)
-	rows, err := sw.PowerArea()
-	if err != nil {
-		return err
+// render prints every table the sweep carries in reporting order.
+func render(t *experiment.TablesJSON) {
+	if t.Fig6 != nil {
+		fig6(t)
 	}
-	w := newTab()
-	fmt.Fprintln(w, "benchmark\tconfig\tinsts\twrong-path\tenergy\tpredictor+BTB energy\tarea (bits)")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.0f\t%.0f\t%d\n",
-			r.Benchmark, r.Config, r.Instructions, r.WrongPath,
-			r.Energy.Total(), r.Energy.Predictor+r.Energy.BTB, r.AreaBits)
+	for _, bt := range []*experiment.BranchTableJSON{t.Fig7, t.Fig9, t.Fig10} {
+		if bt != nil {
+			branchTable(bt, t.Samples)
+		}
 	}
-	w.Flush()
-	fmt.Println()
-	return nil
+	if t.Fig11 != nil {
+		fig11(t)
+	}
+	if t.Power != nil {
+		powerArea(t)
+	}
+	if t.Motivation != nil {
+		motivation(t)
+	}
+	if t.Ablations != nil {
+		ablations(t.Ablations)
+	}
+	if t.Faults != nil {
+		faults(t)
+	}
 }
 
 func newTab() *tabwriter.Writer {
 	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 }
 
-func fig6(sw *experiment.Sweep) error {
-	fmt.Printf("Figure 6: branch predictability of the benchmarks (n=%d)\n", sw.Options().Samples)
-	rows, err := sw.Fig6()
+// printCellErrors lists each failed cell's reason under the table.
+func printCellErrors(errs []*experiment.CellError) {
+	for _, e := range errs {
+		if e != nil {
+			fmt.Printf("  ERR(%s): %s\n", e.Code, e.Message)
+		}
+	}
+}
+
+func fig6(t *experiment.TablesJSON) {
+	fmt.Printf("Figure 6: branch predictability of the benchmarks (n=%d)\n", t.Samples)
 	w := newTab()
 	fmt.Fprintln(w, "benchmark\tpredictor\tCycles\tCPI\tAcc")
-	for _, r := range rows {
-		if r.Err != nil {
+	var errs []*experiment.CellError
+	for _, r := range t.Fig6 {
+		if r.Error != nil {
 			fmt.Fprintf(w, "%s\t%s\tERR\tERR\tERR\n", r.Benchmark, r.Predictor)
+			errs = append(errs, r.Error)
 			continue
 		}
 		fmt.Fprintf(w, "%s\t%s\t%d\t%.2f\t%.0f%%\n", r.Benchmark, r.Predictor, r.Cycles, r.CPI, 100*r.Accuracy)
 	}
 	w.Flush()
-	printCellErrors(rowErrs(rows, func(r experiment.Fig6Row) error { return r.Err }))
+	printCellErrors(errs)
 	fmt.Println()
-	return err
 }
 
-func branchTable(title, bench string, sw *experiment.Sweep) error {
-	fmt.Printf("%s: execution statistics for the branches selected for %s (n=%d)\n", title, bench, sw.Options().Samples)
-	tab, err := sw.SelectedBranches(bench)
-	if err != nil {
-		return err
+// figureTitle maps the wire table name onto the paper's figure label.
+func figureTitle(name string) string {
+	switch name {
+	case experiment.TableFig7:
+		return "Figure 7"
+	case experiment.TableFig9:
+		return "Figure 9"
+	case experiment.TableFig10:
+		return "Figure 10"
 	}
+	return name
+}
+
+func branchTable(bt *experiment.BranchTableJSON, samples int) {
+	fmt.Printf("%s: execution statistics for the branches selected for %s (n=%d)\n",
+		figureTitle(bt.Figure), bt.Benchmark, samples)
 	w := newTab()
 	fmt.Fprintln(w, "branch\tpc\texec #\tnot taken\tbimodal\tgshare\tdist")
-	for _, r := range tab.Rows {
+	for _, r := range bt.Rows {
 		dist := fmt.Sprintf("%d", r.Distance)
-		if r.Distance >= 1<<20 {
+		if r.CrossBlock {
 			dist = "x-blk"
 		}
 		fmt.Fprintf(w, "br%d\t0x%08x\t%d\t%.2f\t%.2f\t%.2f\t%s\n",
@@ -177,79 +207,91 @@ func branchTable(title, bench string, sw *experiment.Sweep) error {
 	}
 	w.Flush()
 	fmt.Println()
-	return nil
 }
 
-func fig11(sw *experiment.Sweep) error {
-	opt := sw.Options()
+func fig11(t *experiment.TablesJSON) {
 	fmt.Printf("Figure 11: application-specific branch resolution results (n=%d, update=%v)\n",
-		opt.Samples, opt.Update)
-	rows, err := sw.Fig11()
+		t.Samples, t.Update)
 	w := newTab()
 	fmt.Fprintln(w, "benchmark\taux predictor\tCycles\tImpr.\tvs\tfolds\tfallbacks")
-	for _, r := range rows {
-		if r.Err != nil {
+	var errs []*experiment.CellError
+	for _, r := range t.Fig11 {
+		if r.Error != nil {
 			fmt.Fprintf(w, "%s\t%s\tERR\tERR\t-\tERR\tERR\n", r.Benchmark, r.Aux)
+			errs = append(errs, r.Error)
 			continue
 		}
 		fmt.Fprintf(w, "%s\t%s\t%d\t%.0f%%\t%s\t%d\t%d\n",
 			r.Benchmark, r.Aux, r.Cycles, 100*r.Improvement, r.BaselineName, r.Folds, r.Fallbacks)
 	}
 	w.Flush()
-	printCellErrors(rowErrs(rows, func(r experiment.Fig11Row) error { return r.Err }))
+	printCellErrors(errs)
 	fmt.Println()
-	return err
 }
 
-func ablations(sw *experiment.Sweep) error {
-	fmt.Printf("Ablation: BDT update point (paper §5.2 thresholds), G.721 encode\n")
-	trs, err := sw.ThresholdAblation(workload.G721Encode)
-	if err != nil {
-		return err
+func powerArea(t *experiment.TablesJSON) {
+	fmt.Printf("Power/area model: the abstract's energy and area claims (n=%d)\n", t.Samples)
+	w := newTab()
+	fmt.Fprintln(w, "benchmark\tconfig\tinsts\twrong-path\tenergy\tpredictor+BTB energy\tarea (bits)")
+	for _, r := range t.Power {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.0f\t%.0f\t%d\n",
+			r.Benchmark, r.Config, r.Instructions, r.WrongPath,
+			r.Energy.Total, r.Energy.Predictor+r.Energy.BTB, r.AreaBits)
 	}
+	w.Flush()
+	fmt.Println()
+}
+
+func motivation(t *experiment.TablesJSON) {
+	m := t.Motivation
+	fmt.Printf("Motivation (paper §3, Figure 1): data correlation vs. input dependence (n=%d)\n", t.Samples)
+	w := newTab()
+	fmt.Fprintln(w, "branch\texec #\tbimodal\tgshare\tASBR fold rate")
+	for _, r := range m.Rows {
+		fmt.Fprintf(w, "%s\t%d\t%.2f\t%.2f\t%.2f\n", r.Name, r.Exec, r.Bimodal, r.GShare, r.FoldRate)
+	}
+	w.Flush()
+	verdict := "bit-exact"
+	if !m.AccMatch {
+		verdict = "MISMATCH"
+	}
+	fmt.Printf("cycles: %d baseline -> %d with B4+B5 folded (%s)\n\n",
+		m.BaselineCycles, m.ASBRCycles, verdict)
+}
+
+func ablations(a *experiment.AblationsJSON) {
+	fmt.Printf("Ablation: BDT update point (paper §5.2 thresholds), %s\n", a.ThresholdBench)
 	w := newTab()
 	fmt.Fprintln(w, "update\tthreshold\tCycles\tfolds\tfallbacks")
-	for _, r := range trs {
-		fmt.Fprintf(w, "%v\t%d\t%d\t%d\t%d\n", r.Update, r.Threshold, r.Cycles, r.Folds, r.Fallbacks)
+	for _, r := range a.Threshold {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\n", r.Update, r.Threshold, r.Cycles, r.Folds, r.Fallbacks)
 	}
 	w.Flush()
 	fmt.Println()
 
-	fmt.Printf("Ablation: BIT capacity sweep, G.721 encode\n")
-	brs, err := sw.BITSizeAblation(workload.G721Encode, []int{1, 2, 4, 8, 16, 32})
-	if err != nil {
-		return err
-	}
+	fmt.Printf("Ablation: BIT capacity sweep, %s\n", a.BITSizeBench)
 	w = newTab()
 	fmt.Fprintln(w, "entries\tselected\tCycles\tfolds")
-	for _, r := range brs {
+	for _, r := range a.BITSize {
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\n", r.Entries, r.K, r.Cycles, r.Folds)
 	}
 	w.Flush()
 	fmt.Println()
 
-	fmt.Printf("Ablation: §5.1 scheduling, ADPCM encode\n")
-	srs, err := sw.SchedulingAblation(workload.ADPCMEncode)
-	if err != nil {
-		return err
-	}
+	fmt.Printf("Ablation: §5.1 scheduling, %s\n", a.SchedulingBench)
 	w = newTab()
 	fmt.Fprintln(w, "scheduling\tCycles\tbaseline\tImpr.\tfolds\tcandidates")
-	for _, r := range srs {
+	for _, r := range a.Scheduling {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f%%\t%d\t%d\n",
 			r.Label, r.Cycles, r.Baseline, 100*r.Improvement, r.Folds, r.Candidates)
 	}
 	w.Flush()
 	fmt.Println()
 
-	fmt.Printf("Ablation: BDT validity counters, ADPCM encode\n")
-	vrs, err := sw.ValidityAblation(workload.ADPCMEncode)
-	if err != nil {
-		return err
-	}
+	fmt.Printf("Ablation: BDT validity counters, %s\n", a.ValidityBench)
 	w = newTab()
 	fmt.Fprintln(w, "mode\tCycles\tfolds\tfallbacks\toutput")
-	for _, r := range vrs {
+	for _, r := range a.Validity {
 		verdict := "bit-exact"
 		if !r.OutputCorrect {
 			verdict = "CORRUPTED"
@@ -258,52 +300,31 @@ func ablations(sw *experiment.Sweep) error {
 	}
 	w.Flush()
 	fmt.Println()
-	return nil
 }
 
-// faults renders the fault-injection reliability table.
-func faults(sw *experiment.Sweep) error {
-	opt := sw.Options()
-	fmt.Printf("Fault injection: lockstep divergence detection (n=%d)\n", opt.Samples)
-	rows, err := sw.Faults()
+func faults(t *experiment.TablesJSON) {
+	fmt.Printf("Fault injection: lockstep divergence detection (n=%d)\n", t.Samples)
 	w := newTab()
 	fmt.Fprintln(w, "benchmark\tplan\tinjected\tdiverged\tfirst divergent pc\tcycle\tcommits")
-	for _, r := range rows {
-		if r.Err != nil {
+	var errs []*experiment.CellError
+	for _, r := range t.Faults {
+		if r.Error != nil {
 			fmt.Fprintf(w, "%s\t%s\tERR\tERR\t-\t-\t-\n", r.Benchmark, r.Plan)
+			errs = append(errs, r.Error)
 			continue
 		}
 		diverged := "no"
 		pc := "-"
 		cyc := "-"
-		if r.Report.Diverged {
+		if r.Diverged {
 			diverged = "YES"
-			pc = fmt.Sprintf("0x%08x", r.Report.PC)
-			cyc = fmt.Sprintf("%d", r.Report.Cycle)
+			pc = fmt.Sprintf("0x%08x", r.PC)
+			cyc = fmt.Sprintf("%d", r.Cycle)
 		}
 		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%s\t%s\t%d\n",
-			r.Benchmark, r.Plan, r.Injected, diverged, pc, cyc, r.Report.Commits)
+			r.Benchmark, r.Plan, r.Injected, diverged, pc, cyc, r.Commits)
 	}
 	w.Flush()
-	printCellErrors(rowErrs(rows, func(r experiment.FaultRow) error { return r.Err }))
+	printCellErrors(errs)
 	fmt.Println()
-	return err
-}
-
-// rowErrs extracts the non-nil cell errors of a rendered table.
-func rowErrs[R any](rows []R, get func(R) error) []error {
-	var errs []error
-	for _, r := range rows {
-		if err := get(r); err != nil {
-			errs = append(errs, err)
-		}
-	}
-	return errs
-}
-
-// printCellErrors lists each failed cell's reason under the table.
-func printCellErrors(errs []error) {
-	for _, err := range errs {
-		fmt.Printf("  ERR: %v\n", err)
-	}
 }

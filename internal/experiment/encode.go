@@ -1,0 +1,543 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"asbr/internal/cpu"
+	"asbr/internal/workload"
+)
+
+// This file is the single machine-readable encoding of every table the
+// reproduction produces. `asbr-tables -json` and the serving layer's
+// /v1/sweep response both marshal a *TablesJSON, so the wire shape of
+// a sweep cannot drift between the CLI and the daemon.
+
+// Table names accepted by (*Sweep).Tables, in reporting order.
+const (
+	TableFig6       = "fig6"
+	TableFig7       = "fig7"
+	TableFig9       = "fig9"
+	TableFig10      = "fig10"
+	TableFig11      = "fig11"
+	TablePower      = "power"
+	TableMotivation = "motivation"
+	TableAblations  = "ablations"
+	TableFaults     = "faults"
+)
+
+// TableNames lists every table name, in the order Tables runs them.
+func TableNames() []string {
+	return []string{TableFig6, TableFig7, TableFig9, TableFig10, TableFig11,
+		TablePower, TableMotivation, TableAblations, TableFaults}
+}
+
+// CellError is a failed table cell in machine-readable form: the
+// *cpu.SimError code when the failure came from the simulator (so
+// clients can dispatch on it), "error" otherwise, plus the message.
+type CellError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// EncodeCellError converts a cell error. Nil maps to nil so healthy
+// cells marshal without an error field.
+func EncodeCellError(err error) *CellError {
+	if err == nil {
+		return nil
+	}
+	code := "error"
+	if c := cpu.CodeOf(err); c != cpu.ErrNone {
+		code = c.String()
+	}
+	return &CellError{Code: code, Message: err.Error()}
+}
+
+// Fig6JSON is one encoded Figure 6 cell.
+type Fig6JSON struct {
+	Benchmark string     `json:"benchmark"`
+	Predictor string     `json:"predictor"`
+	Cycles    uint64     `json:"cycles"`
+	CPI       float64    `json:"cpi"`
+	Accuracy  float64    `json:"accuracy"`
+	Error     *CellError `json:"error,omitempty"`
+}
+
+// EncodeFig6 converts Figure 6 rows to the wire form.
+func EncodeFig6(rows []Fig6Row) []Fig6JSON {
+	out := make([]Fig6JSON, len(rows))
+	for i, r := range rows {
+		out[i] = Fig6JSON{
+			Benchmark: r.Benchmark, Predictor: r.Predictor,
+			Cycles: r.Cycles, CPI: r.CPI, Accuracy: r.Accuracy,
+			Error: EncodeCellError(r.Err),
+		}
+	}
+	return out
+}
+
+// BranchJSON is one encoded selected-branch row (Figures 7/9/10).
+type BranchJSON struct {
+	Index      int                `json:"index"`
+	PC         uint32             `json:"pc"`
+	Exec       uint64             `json:"exec"`
+	Taken      float64            `json:"taken"`
+	Accuracy   map[string]float64 `json:"accuracy"`
+	Distance   int                `json:"distance"`
+	CrossBlock bool               `json:"cross_block"`
+}
+
+// BranchTableJSON is one encoded selected-branch table.
+type BranchTableJSON struct {
+	Figure    string       `json:"figure"`
+	Benchmark string       `json:"benchmark"`
+	Shadows   []string     `json:"shadows"`
+	Rows      []BranchJSON `json:"rows"`
+}
+
+// crossBlockDistance marks a selection whose defining instruction sits
+// in another basic block (rendered "x-blk" by the text tables).
+const crossBlockDistance = 1 << 20
+
+// EncodeBranchTable converts a selected-branch table to the wire form.
+func EncodeBranchTable(figure string, tab BranchTable) *BranchTableJSON {
+	out := &BranchTableJSON{Figure: figure, Benchmark: tab.Benchmark, Shadows: tab.Shadows}
+	for _, r := range tab.Rows {
+		out.Rows = append(out.Rows, BranchJSON{
+			Index: r.Index, PC: r.PC, Exec: r.Exec, Taken: r.Taken,
+			Accuracy: r.Accuracy, Distance: r.Distance,
+			CrossBlock: r.Distance >= crossBlockDistance,
+		})
+	}
+	return out
+}
+
+// Fig11JSON is one encoded Figure 11 cell.
+type Fig11JSON struct {
+	Benchmark    string     `json:"benchmark"`
+	Aux          string     `json:"aux"`
+	Cycles       uint64     `json:"cycles"`
+	Baseline     uint64     `json:"baseline"`
+	BaselineName string     `json:"baseline_name"`
+	Improvement  float64    `json:"improvement"`
+	Folds        uint64     `json:"folds"`
+	Fallbacks    uint64     `json:"fallbacks"`
+	FoldedFrac   float64    `json:"folded_frac"`
+	Error        *CellError `json:"error,omitempty"`
+}
+
+// EncodeFig11 converts Figure 11 rows to the wire form.
+func EncodeFig11(rows []Fig11Row) []Fig11JSON {
+	out := make([]Fig11JSON, len(rows))
+	for i, r := range rows {
+		out[i] = Fig11JSON{
+			Benchmark: r.Benchmark, Aux: r.Aux, Cycles: r.Cycles,
+			Baseline: r.Baseline, BaselineName: r.BaselineName,
+			Improvement: r.Improvement, Folds: r.Folds, Fallbacks: r.Fallbacks,
+			FoldedFrac: r.FoldedFrac, Error: EncodeCellError(r.Err),
+		}
+	}
+	return out
+}
+
+// EnergyJSON is the power model's per-component breakdown.
+type EnergyJSON struct {
+	Pipeline  float64 `json:"pipeline"`
+	WrongPath float64 `json:"wrong_path"`
+	Predictor float64 `json:"predictor"`
+	BTB       float64 `json:"btb"`
+	BIT       float64 `json:"bit"`
+	BDT       float64 `json:"bdt"`
+	Caches    float64 `json:"caches"`
+	Total     float64 `json:"total"`
+}
+
+// PowerJSON is one encoded power/area row.
+type PowerJSON struct {
+	Benchmark    string     `json:"benchmark"`
+	Config       string     `json:"config"`
+	Cycles       uint64     `json:"cycles"`
+	Instructions uint64     `json:"instructions"`
+	WrongPath    uint64     `json:"wrong_path"`
+	Energy       EnergyJSON `json:"energy"`
+	AreaBits     int        `json:"area_bits"`
+}
+
+// EncodePower converts power/area rows to the wire form.
+func EncodePower(rows []PowerRow) []PowerJSON {
+	out := make([]PowerJSON, len(rows))
+	for i, r := range rows {
+		out[i] = PowerJSON{
+			Benchmark: r.Benchmark, Config: r.Config, Cycles: r.Cycles,
+			Instructions: r.Instructions, WrongPath: r.WrongPath,
+			Energy: EnergyJSON{
+				Pipeline: r.Energy.Pipeline, WrongPath: r.Energy.WrongPath,
+				Predictor: r.Energy.Predictor, BTB: r.Energy.BTB,
+				BIT: r.Energy.BIT, BDT: r.Energy.BDT, Caches: r.Energy.Caches,
+				Total: r.Energy.Total(),
+			},
+			AreaBits: r.AreaBits,
+		}
+	}
+	return out
+}
+
+// MotivationRowJSON is one encoded Figure 1 branch.
+type MotivationRowJSON struct {
+	Name     string  `json:"name"`
+	PC       uint32  `json:"pc"`
+	Exec     uint64  `json:"exec"`
+	Bimodal  float64 `json:"bimodal"`
+	GShare   float64 `json:"gshare"`
+	FoldRate float64 `json:"fold_rate"`
+}
+
+// MotivationJSON is the encoded §3 reproduction.
+type MotivationJSON struct {
+	Rows           []MotivationRowJSON `json:"rows"`
+	BaselineCycles uint64              `json:"baseline_cycles"`
+	ASBRCycles     uint64              `json:"asbr_cycles"`
+	AccMatch       bool                `json:"acc_match"`
+}
+
+// EncodeMotivation converts the §3 result to the wire form.
+func EncodeMotivation(res *MotivationResult) *MotivationJSON {
+	out := &MotivationJSON{
+		BaselineCycles: res.BaselineCycles,
+		ASBRCycles:     res.ASBRCycles,
+		AccMatch:       res.AccMatch,
+	}
+	for _, r := range res.Rows {
+		out.Rows = append(out.Rows, MotivationRowJSON{
+			Name: r.Name, PC: r.PC, Exec: r.Exec,
+			Bimodal: r.Bimodal, GShare: r.GShare, FoldRate: r.FoldRate,
+		})
+	}
+	return out
+}
+
+// ThresholdJSON is one encoded BDT-update-point row.
+type ThresholdJSON struct {
+	Update    string `json:"update"`
+	Threshold int    `json:"threshold"`
+	Cycles    uint64 `json:"cycles"`
+	Folds     uint64 `json:"folds"`
+	Fallbacks uint64 `json:"fallbacks"`
+}
+
+// BITSizeJSON is one encoded BIT-capacity row.
+type BITSizeJSON struct {
+	Entries uint64 `json:"entries"`
+	K       int    `json:"k"`
+	Cycles  uint64 `json:"cycles"`
+	Folds   uint64 `json:"folds"`
+}
+
+// SchedulingJSON is one encoded §5.1 scheduling row.
+type SchedulingJSON struct {
+	Label       string  `json:"label"`
+	Cycles      uint64  `json:"cycles"`
+	Baseline    uint64  `json:"baseline"`
+	Improvement float64 `json:"improvement"`
+	Folds       uint64  `json:"folds"`
+	Candidates  int     `json:"candidates"`
+}
+
+// ValidityJSON is one encoded validity-counter row.
+type ValidityJSON struct {
+	Label         string `json:"label"`
+	Cycles        uint64 `json:"cycles"`
+	Folds         uint64 `json:"folds"`
+	Fallbacks     uint64 `json:"fallbacks"`
+	OutputCorrect bool   `json:"output_correct"`
+}
+
+// AblationsJSON bundles the four ablation studies with the benchmark
+// each one runs on.
+type AblationsJSON struct {
+	ThresholdBench  string           `json:"threshold_bench"`
+	Threshold       []ThresholdJSON  `json:"threshold"`
+	BITSizeBench    string           `json:"bit_size_bench"`
+	BITSize         []BITSizeJSON    `json:"bit_size"`
+	SchedulingBench string           `json:"scheduling_bench"`
+	Scheduling      []SchedulingJSON `json:"scheduling"`
+	ValidityBench   string           `json:"validity_bench"`
+	Validity        []ValidityJSON   `json:"validity"`
+}
+
+// FaultJSON is one encoded reliability cell.
+type FaultJSON struct {
+	Benchmark string     `json:"benchmark"`
+	Plan      string     `json:"plan"`
+	Injected  int        `json:"injected"`
+	Diverged  bool       `json:"diverged"`
+	PC        uint32     `json:"pc"`
+	Cycle     uint64     `json:"cycle"`
+	Commits   uint64     `json:"commits"`
+	BaseError *CellError `json:"base_error,omitempty"`
+	TestError *CellError `json:"test_error,omitempty"`
+	Error     *CellError `json:"error,omitempty"`
+}
+
+// EncodeFaults converts reliability rows to the wire form.
+func EncodeFaults(rows []FaultRow) []FaultJSON {
+	out := make([]FaultJSON, len(rows))
+	for i, r := range rows {
+		out[i] = FaultJSON{
+			Benchmark: r.Benchmark, Plan: r.Plan.String(), Injected: r.Injected,
+			Diverged: r.Report.Diverged, PC: r.Report.PC, Cycle: r.Report.Cycle,
+			Commits:   r.Report.Commits,
+			BaseError: EncodeCellError(r.Report.BaseErr),
+			TestError: EncodeCellError(r.Report.TestErr),
+			Error:     EncodeCellError(r.Err),
+		}
+	}
+	return out
+}
+
+// TablesJSON is a full machine-readable sweep: the options it ran
+// under plus every requested table. Absent tables marshal as absent
+// fields; a table that failed outright is reported in Errors while the
+// others still carry their rows.
+type TablesJSON struct {
+	Samples int    `json:"samples"`
+	Seed    int64  `json:"seed"`
+	Update  string `json:"update"`
+
+	Fig6       []Fig6JSON       `json:"fig6,omitempty"`
+	Fig7       *BranchTableJSON `json:"fig7,omitempty"`
+	Fig9       *BranchTableJSON `json:"fig9,omitempty"`
+	Fig10      *BranchTableJSON `json:"fig10,omitempty"`
+	Fig11      []Fig11JSON      `json:"fig11,omitempty"`
+	Power      []PowerJSON      `json:"power,omitempty"`
+	Motivation *MotivationJSON  `json:"motivation,omitempty"`
+	Ablations  *AblationsJSON   `json:"ablations,omitempty"`
+	Faults     []FaultJSON      `json:"faults,omitempty"`
+
+	// Errors lists table-level failures ("<table>: reason"). Cell-level
+	// failures live on the cells themselves.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// HasErrors reports whether the sweep carries any table- or
+// cell-level failure.
+func (t *TablesJSON) HasErrors() bool {
+	if len(t.Errors) > 0 {
+		return true
+	}
+	for _, r := range t.Fig6 {
+		if r.Error != nil {
+			return true
+		}
+	}
+	for _, r := range t.Fig11 {
+		if r.Error != nil {
+			return true
+		}
+	}
+	for _, r := range t.Faults {
+		if r.Error != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// defaultBITSweepSizes is the capacity axis of the BIT-size ablation.
+var defaultBITSweepSizes = []int{1, 2, 4, 8, 16, 32}
+
+// NormalizeTableNames expands "all"/empty to every table, lower-cases,
+// de-duplicates preserving the canonical order, and rejects unknown
+// names.
+func NormalizeTableNames(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return TableNames(), nil
+	}
+	want := make(map[string]bool)
+	for _, n := range names {
+		n = strings.ToLower(strings.TrimSpace(n))
+		if n == "all" {
+			return TableNames(), nil
+		}
+		known := false
+		for _, k := range TableNames() {
+			if n == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("experiment: unknown table %q (want %s or all)",
+				n, strings.Join(TableNames(), "|"))
+		}
+		want[n] = true
+	}
+	var out []string
+	for _, k := range TableNames() {
+		if want[k] {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Tables runs the named tables ("all" or nil = every table) on the
+// sweep and returns the machine-readable result. Table generators that
+// fail outright are recorded in Errors; generators that return
+// annotated cell errors keep their rows. The returned error is the
+// first failure (table- or cell-level) for callers that treat any
+// failure as fatal — the TablesJSON is complete either way.
+func (s *Sweep) Tables(names []string) (*TablesJSON, error) {
+	sel, err := NormalizeTableNames(names)
+	if err != nil {
+		return nil, err
+	}
+	out := &TablesJSON{
+		Samples: s.opt.Samples,
+		Seed:    s.opt.Seed,
+		Update:  s.opt.Update.String(),
+	}
+	var first error
+	fail := func(table string, err error) {
+		out.Errors = append(out.Errors, fmt.Sprintf("%s: %v", table, err))
+		if first == nil {
+			first = err
+		}
+	}
+	for _, name := range sel {
+		switch name {
+		case TableFig6:
+			rows, err := s.Fig6()
+			out.Fig6 = EncodeFig6(rows)
+			if err != nil {
+				fail(name, err)
+			}
+		case TableFig7, TableFig9, TableFig10:
+			bench := map[string]string{
+				TableFig7:  workload.G721Encode,
+				TableFig9:  workload.ADPCMEncode,
+				TableFig10: workload.ADPCMDecode,
+			}[name]
+			tab, err := s.SelectedBranches(bench)
+			if err != nil {
+				fail(name, err)
+				continue
+			}
+			enc := EncodeBranchTable(name, tab)
+			switch name {
+			case TableFig7:
+				out.Fig7 = enc
+			case TableFig9:
+				out.Fig9 = enc
+			case TableFig10:
+				out.Fig10 = enc
+			}
+		case TableFig11:
+			rows, err := s.Fig11()
+			out.Fig11 = EncodeFig11(rows)
+			if err != nil {
+				fail(name, err)
+			}
+		case TablePower:
+			rows, err := s.PowerArea()
+			if err != nil {
+				fail(name, err)
+				continue
+			}
+			out.Power = EncodePower(rows)
+		case TableMotivation:
+			res, err := s.Motivation(s.opt.Samples, s.opt.Seed)
+			if err != nil {
+				fail(name, err)
+				continue
+			}
+			out.Motivation = EncodeMotivation(res)
+		case TableAblations:
+			ab, err := s.encodeAblations()
+			out.Ablations = ab
+			if err != nil {
+				fail(name, err)
+			}
+		case TableFaults:
+			rows, err := s.Faults()
+			out.Faults = EncodeFaults(rows)
+			if err != nil {
+				fail(name, err)
+			}
+		}
+	}
+	if first == nil {
+		first = firstCellError(out)
+	}
+	return out, first
+}
+
+// encodeAblations runs the four ablation studies on their canonical
+// benchmarks. A partial failure still returns the studies that ran.
+func (s *Sweep) encodeAblations() (*AblationsJSON, error) {
+	out := &AblationsJSON{
+		ThresholdBench:  workload.G721Encode,
+		BITSizeBench:    workload.G721Encode,
+		SchedulingBench: workload.ADPCMEncode,
+		ValidityBench:   workload.ADPCMEncode,
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	trs, err := s.ThresholdAblation(out.ThresholdBench)
+	keep(err)
+	for _, r := range trs {
+		out.Threshold = append(out.Threshold, ThresholdJSON{
+			Update: r.Update.String(), Threshold: r.Threshold,
+			Cycles: r.Cycles, Folds: r.Folds, Fallbacks: r.Fallbacks,
+		})
+	}
+	brs, err := s.BITSizeAblation(out.BITSizeBench, defaultBITSweepSizes)
+	keep(err)
+	for _, r := range brs {
+		out.BITSize = append(out.BITSize, BITSizeJSON{
+			Entries: r.Entries, K: r.K, Cycles: r.Cycles, Folds: r.Folds,
+		})
+	}
+	srs, err := s.SchedulingAblation(out.SchedulingBench)
+	keep(err)
+	for _, r := range srs {
+		out.Scheduling = append(out.Scheduling, SchedulingJSON{
+			Label: r.Label, Cycles: r.Cycles, Baseline: r.Baseline,
+			Improvement: r.Improvement, Folds: r.Folds, Candidates: r.Candidates,
+		})
+	}
+	vrs, err := s.ValidityAblation(out.ValidityBench)
+	keep(err)
+	for _, r := range vrs {
+		out.Validity = append(out.Validity, ValidityJSON{
+			Label: r.Label, Cycles: r.Cycles, Folds: r.Folds,
+			Fallbacks: r.Fallbacks, OutputCorrect: r.OutputCorrect,
+		})
+	}
+	return out, first
+}
+
+// firstCellError returns an error describing the first annotated cell
+// failure, or nil when every cell is healthy.
+func firstCellError(t *TablesJSON) error {
+	for _, r := range t.Fig6 {
+		if r.Error != nil {
+			return fmt.Errorf("fig6 %s/%s: %s", r.Benchmark, r.Predictor, r.Error.Message)
+		}
+	}
+	for _, r := range t.Fig11 {
+		if r.Error != nil {
+			return fmt.Errorf("fig11 %s/%s: %s", r.Benchmark, r.Aux, r.Error.Message)
+		}
+	}
+	for _, r := range t.Faults {
+		if r.Error != nil {
+			return fmt.Errorf("faults %s/%s: %s", r.Benchmark, r.Plan, r.Error.Message)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"encoding/json"
+	"testing"
+
+	"asbr/internal/workload"
+)
+
+func TestNormalizeTableNames(t *testing.T) {
+	all := TableNames()
+	for _, names := range [][]string{nil, {}, {"all"}, {"fig6", "all"}} {
+		got, err := NormalizeTableNames(names)
+		if err != nil {
+			t.Fatalf("NormalizeTableNames(%v): %v", names, err)
+		}
+		if len(got) != len(all) {
+			t.Errorf("NormalizeTableNames(%v) = %v, want all tables", names, got)
+		}
+	}
+
+	got, err := NormalizeTableNames([]string{"POWER", " fig6 ", "fig6"})
+	if err != nil {
+		t.Fatalf("NormalizeTableNames: %v", err)
+	}
+	if len(got) != 2 || got[0] != TableFig6 || got[1] != TablePower {
+		t.Errorf("got %v, want canonical-order dedup [fig6 power]", got)
+	}
+
+	if _, err := NormalizeTableNames([]string{"fig99"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestTablesFig6(t *testing.T) {
+	tabs, err := NewSweep(Options{Samples: 256, Seed: 1}).Tables([]string{TableFig6})
+	if err != nil {
+		t.Fatalf("Tables: %v", err)
+	}
+	if tabs.HasErrors() {
+		t.Fatalf("unexpected errors: %v", tabs.Errors)
+	}
+	want := len(workload.Names()) * 3 // three baseline predictors
+	if len(tabs.Fig6) != want {
+		t.Fatalf("fig6 rows = %d, want %d", len(tabs.Fig6), want)
+	}
+	for _, r := range tabs.Fig6 {
+		if r.Cycles == 0 || r.CPI == 0 {
+			t.Errorf("empty cell %s/%s: %+v", r.Benchmark, r.Predictor, r)
+		}
+	}
+	if tabs.Fig11 != nil || tabs.Power != nil || tabs.Ablations != nil {
+		t.Error("unrequested tables were populated")
+	}
+	if tabs.Samples != 256 || tabs.Seed != 1 {
+		t.Errorf("options echo = %d/%d", tabs.Samples, tabs.Seed)
+	}
+
+	// The wire form must round-trip: this is the shape both
+	// `asbr-tables -json` and /v1/sweep emit.
+	b, err := json.Marshal(tabs)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back TablesJSON
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Fig6) != want || back.Fig6[0] != tabs.Fig6[0] {
+		t.Errorf("round-trip changed fig6: %+v vs %+v", back.Fig6[0], tabs.Fig6[0])
+	}
+}
+
+func TestTablesUnknownName(t *testing.T) {
+	if _, err := NewSweep(Options{Samples: 64, Seed: 1}).Tables([]string{"nope"}); err == nil {
+		t.Error("unknown table name accepted")
+	}
+}
+
+// TestTablesCellErrors starves the watchdog so every Figure 6 cell
+// fails, and checks the failures surface as structured per-cell errors
+// (code "cycle-limit") rather than losing the rest of the table.
+func TestTablesCellErrors(t *testing.T) {
+	tabs, err := NewSweep(Options{Samples: 256, Seed: 1, MaxCycles: 200}).Tables([]string{TableFig6})
+	if err == nil {
+		t.Fatal("want first-failure error from starved sweep")
+	}
+	if tabs == nil {
+		t.Fatal("failed sweep dropped its TablesJSON payload")
+	}
+	if !tabs.HasErrors() {
+		t.Fatal("HasErrors() = false on a starved sweep")
+	}
+	want := len(workload.Names()) * 3
+	if len(tabs.Fig6) != want {
+		t.Fatalf("fig6 rows = %d, want %d (rows must survive cell failures)", len(tabs.Fig6), want)
+	}
+	for _, r := range tabs.Fig6 {
+		if r.Error == nil {
+			t.Errorf("cell %s/%s missing its error", r.Benchmark, r.Predictor)
+			continue
+		}
+		if r.Error.Code != "cycle-limit" {
+			t.Errorf("cell %s/%s code = %q, want cycle-limit", r.Benchmark, r.Predictor, r.Error.Code)
+		}
+	}
+}

@@ -34,7 +34,7 @@ type Artifacts struct {
 // Program returns the benchmark compiled with the given scheduling
 // options, building it at most once per configuration.
 func (a *Artifacts) Program(bench string, opt workload.BuildOptions) (*isa.Program, error) {
-	key := ProgramKey{Bench: bench, Manual: opt.ManualSchedule, Compiler: opt.CompilerSchedule}
+	key := NewProgramKey(bench, opt)
 	return a.progs.Get(key, func() (*isa.Program, error) {
 		return workload.BuildOpt(bench, opt)
 	})
@@ -49,7 +49,7 @@ func (a *Artifacts) ScheduledProgram(bench string) (*isa.Program, error) {
 // Input returns the benchmark's synthetic input stream, generating it
 // at most once per (bench, samples, seed).
 func (a *Artifacts) Input(bench string, samples int, seed int64) ([]int32, error) {
-	key := TraceKey{Bench: bench, Samples: samples, Seed: seed}
+	key := NewTraceKey(bench, samples, seed)
 	return a.inputs.Get(key, func() ([]int32, error) {
 		return workload.Input(bench, samples, seed)
 	})
@@ -58,7 +58,7 @@ func (a *Artifacts) Input(bench string, samples int, seed int64) ([]int32, error
 // Expected returns the golden-model output for the benchmark on the
 // Input stream of the same samples and seed.
 func (a *Artifacts) Expected(bench string, samples int, seed int64) ([]int32, error) {
-	key := TraceKey{Bench: bench, Samples: samples, Seed: seed}
+	key := NewTraceKey(bench, samples, seed)
 	return a.expected.Get(key, func() ([]int32, error) {
 		return workload.Expected(bench, samples, seed)
 	})

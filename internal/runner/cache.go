@@ -48,6 +48,17 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 	return e.val, e.err
 }
 
+// Contains reports whether key already has an entry (built, building,
+// or failed). A Get after a true Contains joins that entry without
+// starting new work — the serving layer uses this to let coalesced
+// duplicate requests bypass the admission queue.
+func (c *Cache[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[key]
+	return ok
+}
+
 // Len returns the number of distinct keys seen.
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"asbr/internal/workload"
+)
+
+// Canonical cache keys. Every layer that caches or coalesces work on
+// an artifact — the sweep layer (Artifacts), the serving layer's
+// request coalescing (internal/serve) — must build its key through the
+// constructors below, so two subsystems can never key the same
+// artifact differently. Each key also has a canonical string form
+// (Canonical) with a strict parser (ParseProgramKey, ParseTraceKey)
+// that round-trips exactly; the string form is what composite request
+// keys embed.
+
+// NewProgramKey is the single constructor for ProgramKey: the one
+// place the (bench, build options) pair is mapped onto cache identity.
+func NewProgramKey(bench string, opt workload.BuildOptions) ProgramKey {
+	return ProgramKey{Bench: bench, Manual: opt.ManualSchedule, Compiler: opt.CompilerSchedule}
+}
+
+// NewTraceKey is the single constructor for TraceKey.
+func NewTraceKey(bench string, samples int, seed int64) TraceKey {
+	return TraceKey{Bench: bench, Samples: samples, Seed: seed}
+}
+
+// Canonical returns the key's canonical string form:
+//
+//	prog/<bench>?manual=<0|1>&sched=<0|1>
+func (k ProgramKey) Canonical() string {
+	return fmt.Sprintf("prog/%s?manual=%s&sched=%s", k.Bench, boolBit(k.Manual), boolBit(k.Compiler))
+}
+
+// ParseProgramKey parses the canonical form produced by Canonical.
+// ParseProgramKey(k.Canonical()) == k for every key.
+func ParseProgramKey(s string) (ProgramKey, error) {
+	rest, ok := strings.CutPrefix(s, "prog/")
+	if !ok {
+		return ProgramKey{}, fmt.Errorf("runner: program key %q: missing prog/ prefix", s)
+	}
+	bench, query, ok := strings.Cut(rest, "?")
+	if !ok || bench == "" {
+		return ProgramKey{}, fmt.Errorf("runner: program key %q: want prog/<bench>?manual=..&sched=..", s)
+	}
+	params, err := keyParams(s, query, "manual", "sched")
+	if err != nil {
+		return ProgramKey{}, err
+	}
+	manual, err := parseBit(s, "manual", params["manual"])
+	if err != nil {
+		return ProgramKey{}, err
+	}
+	sched, err := parseBit(s, "sched", params["sched"])
+	if err != nil {
+		return ProgramKey{}, err
+	}
+	return ProgramKey{Bench: bench, Manual: manual, Compiler: sched}, nil
+}
+
+// Canonical returns the key's canonical string form:
+//
+//	trace/<bench>?n=<samples>&seed=<seed>
+func (k TraceKey) Canonical() string {
+	return fmt.Sprintf("trace/%s?n=%d&seed=%d", k.Bench, k.Samples, k.Seed)
+}
+
+// ParseTraceKey parses the canonical form produced by Canonical.
+// ParseTraceKey(k.Canonical()) == k for every key.
+func ParseTraceKey(s string) (TraceKey, error) {
+	rest, ok := strings.CutPrefix(s, "trace/")
+	if !ok {
+		return TraceKey{}, fmt.Errorf("runner: trace key %q: missing trace/ prefix", s)
+	}
+	bench, query, ok := strings.Cut(rest, "?")
+	if !ok || bench == "" {
+		return TraceKey{}, fmt.Errorf("runner: trace key %q: want trace/<bench>?n=..&seed=..", s)
+	}
+	params, err := keyParams(s, query, "n", "seed")
+	if err != nil {
+		return TraceKey{}, err
+	}
+	n, err := strconv.Atoi(params["n"])
+	if err != nil {
+		return TraceKey{}, fmt.Errorf("runner: trace key %q: bad n: %v", s, err)
+	}
+	seed, err := strconv.ParseInt(params["seed"], 10, 64)
+	if err != nil {
+		return TraceKey{}, fmt.Errorf("runner: trace key %q: bad seed: %v", s, err)
+	}
+	return TraceKey{Bench: bench, Samples: n, Seed: seed}, nil
+}
+
+// keyParams splits "a=x&b=y" and requires exactly the named keys in
+// order — canonical strings have one spelling, so the parser accepts
+// only it.
+func keyParams(key, query string, names ...string) (map[string]string, error) {
+	parts := strings.Split(query, "&")
+	if len(parts) != len(names) {
+		return nil, fmt.Errorf("runner: key %q: want params %v", key, names)
+	}
+	out := make(map[string]string, len(names))
+	for i, p := range parts {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || k != names[i] {
+			return nil, fmt.Errorf("runner: key %q: want param %q, got %q", key, names[i], p)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+func boolBit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func parseBit(key, name, v string) (bool, error) {
+	switch v {
+	case "0":
+		return false, nil
+	case "1":
+		return true, nil
+	}
+	return false, fmt.Errorf("runner: key %q: param %s must be 0 or 1, got %q", key, name, v)
+}

@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"testing"
+
+	"asbr/internal/workload"
+)
+
+// TestProgramKeyRoundTrip proves Canonical/ParseProgramKey are exact
+// inverses over the full configuration space, and that every
+// configuration gets a distinct canonical string — the property the
+// serving layer's request coalescing relies on to never alias two
+// different builds.
+func TestProgramKeyRoundTrip(t *testing.T) {
+	seen := make(map[string]ProgramKey)
+	for _, bench := range append(workload.Names(), "fig1", "custom-bench") {
+		for _, manual := range []bool{false, true} {
+			for _, sched := range []bool{false, true} {
+				k := NewProgramKey(bench, workload.BuildOptions{ManualSchedule: manual, CompilerSchedule: sched})
+				s := k.Canonical()
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("canonical collision: %v and %v both map to %q", prev, k, s)
+				}
+				seen[s] = k
+				got, err := ParseProgramKey(s)
+				if err != nil {
+					t.Fatalf("ParseProgramKey(%q): %v", s, err)
+				}
+				if got != k {
+					t.Fatalf("round trip: %q -> %v, want %v", s, got, k)
+				}
+			}
+		}
+	}
+}
+
+// TestProgramKeyMatchesArtifacts pins the key the artifact store files
+// a build under to the exported constructor: if Artifacts.Program ever
+// keys differently from NewProgramKey, the two layers' caches diverge
+// and coalescing silently stops deduplicating.
+func TestProgramKeyMatchesArtifacts(t *testing.T) {
+	var a Artifacts
+	opt := workload.BuildOptionsFor(workload.ADPCMEncode, true)
+	if _, err := a.Program(workload.ADPCMEncode, opt); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if !a.progs.Contains(NewProgramKey(workload.ADPCMEncode, opt)) {
+		t.Fatalf("artifact store does not file programs under NewProgramKey")
+	}
+	var b Artifacts
+	if _, err := b.Input(workload.ADPCMEncode, 64, 7); err != nil {
+		t.Fatalf("Input: %v", err)
+	}
+	if !b.inputs.Contains(NewTraceKey(workload.ADPCMEncode, 64, 7)) {
+		t.Fatalf("artifact store does not file traces under NewTraceKey")
+	}
+}
+
+func TestTraceKeyRoundTrip(t *testing.T) {
+	cases := []TraceKey{
+		NewTraceKey(workload.ADPCMEncode, 4096, 1),
+		NewTraceKey(workload.G721Decode, 1, -9),
+		NewTraceKey("x", 0, 0),
+		NewTraceKey("a-b-c", 16384, 1<<40),
+	}
+	seen := make(map[string]bool)
+	for _, k := range cases {
+		s := k.Canonical()
+		if seen[s] {
+			t.Fatalf("canonical collision at %q", s)
+		}
+		seen[s] = true
+		got, err := ParseTraceKey(s)
+		if err != nil {
+			t.Fatalf("ParseTraceKey(%q): %v", s, err)
+		}
+		if got != k {
+			t.Fatalf("round trip: %q -> %v, want %v", s, got, k)
+		}
+	}
+}
+
+// TestKeyParseRejects pins the strictness of the canonical grammar:
+// near-miss spellings must not silently alias onto a valid key.
+func TestKeyParseRejects(t *testing.T) {
+	bad := []string{
+		"", "prog/", "prog/x", "prog/x?manual=1", "prog/x?sched=1&manual=0",
+		"prog/x?manual=yes&sched=0", "prog/x?manual=1&sched=0&extra=1",
+		"trace/x", "trace/x?n=1", "trace/x?seed=1&n=1", "trace/x?n=abc&seed=0",
+		"trace/?n=1&seed=1", "blob/x?n=1&seed=1",
+	}
+	for _, s := range bad {
+		if _, err := ParseProgramKey(s); err == nil {
+			t.Errorf("ParseProgramKey(%q): want error", s)
+		}
+		if _, err := ParseTraceKey(s); err == nil {
+			t.Errorf("ParseTraceKey(%q): want error", s)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON
+// daemon (stdlib only) that exposes the cycle-accurate simulator and
+// the experiment engine behind a bounded job queue with single-flight
+// request coalescing, structured *cpu.SimError reporting, Prometheus
+// text metrics, and graceful drain.
+//
+// Endpoints:
+//
+//	POST /v1/sim       assemble-or-load a program, simulate, return stats
+//	POST /v1/sweep     run experiment tables, return their JSON encoding
+//	POST /v1/jobs      async submission of a sim or sweep
+//	GET  /v1/jobs/{id} job status and result
+//	GET  /v1/healthz   liveness and queue state
+//	GET  /metrics      Prometheus text counters
+//
+// Coalescing: requests are keyed canonically (internal/runner key
+// helpers plus a source hash) and deduplicated through a keyed
+// once-cache — two identical concurrent requests run exactly one
+// simulation, and because the simulator is deterministic, completed
+// results are served from the cache forever after. Admission control
+// (the bounded queue, 429 on overflow) happens before a request may
+// start new work; a request whose key is already present joins the
+// existing entry without consuming a queue slot.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"asbr/internal/cpu"
+	"asbr/internal/experiment"
+	"asbr/internal/runner"
+	"asbr/internal/workload"
+)
+
+// Predictor names accepted by SimRequest (the asbr-sim -predictor
+// vocabulary).
+var predictorNames = []string{"nottaken", "bimodal", "gshare", "bi512", "bi256"}
+
+// SimRequest asks for one simulation. Exactly one of Bench and Source
+// must be set: Bench runs a built-in MediaBench workload over the
+// synthetic input trace (with golden-model output checking), Source
+// assembles (or, with Compile, MiniC-compiles) the posted program and
+// runs it bare.
+type SimRequest struct {
+	Bench  string `json:"bench,omitempty"`  // one of workload.Names()
+	Source string `json:"source,omitempty"` // assembly or MiniC text
+
+	Compile  bool `json:"compile,omitempty"`  // Source is MiniC, not assembly
+	Schedule bool `json:"schedule,omitempty"` // Source mode: run the §5.1 scheduling pass
+
+	Predictor  string `json:"predictor,omitempty"`   // nottaken|bimodal|gshare|bi512|bi256 (default bimodal)
+	ASBR       bool   `json:"asbr,omitempty"`        // profile, select, fold, re-run
+	BITEntries int    `json:"bit_entries,omitempty"` // BIT capacity for ASBR (0 = per-bench default)
+
+	Samples int   `json:"samples,omitempty"` // Bench mode: audio samples (default server-side)
+	Seed    int64 `json:"seed,omitempty"`    // Bench mode: synthetic-trace seed (default 1)
+
+	MaxCycles uint64 `json:"max_cycles,omitempty"` // watchdog cycle budget (default server-side)
+	TimeoutMS int64  `json:"timeout_ms,omitempty"` // wall-clock budget (default server-side)
+}
+
+// normalize fills defaults in place and validates the request.
+func (r *SimRequest) normalize(cfg Config) error {
+	if (r.Bench == "") == (r.Source == "") {
+		return badRequest("exactly one of bench and source must be set")
+	}
+	if r.Bench != "" {
+		ok := false
+		for _, n := range workload.Names() {
+			if r.Bench == n {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return badRequest("unknown bench %q (want %s)", r.Bench, strings.Join(workload.Names(), "|"))
+		}
+	}
+	if r.Predictor == "" {
+		r.Predictor = "bimodal"
+	}
+	ok := false
+	for _, n := range predictorNames {
+		if r.Predictor == n {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return badRequest("unknown predictor %q (want %s)", r.Predictor, strings.Join(predictorNames, "|"))
+	}
+	if r.Samples < 0 || r.Samples > cfg.MaxSamples {
+		return badRequest("samples %d out of range [0, %d]", r.Samples, cfg.MaxSamples)
+	}
+	if r.Samples == 0 {
+		r.Samples = cfg.DefaultSamples
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.BITEntries < 0 {
+		return badRequest("bit_entries must be >= 0")
+	}
+	if r.MaxCycles == 0 {
+		r.MaxCycles = cfg.DefaultMaxCycles
+	}
+	if r.TimeoutMS < 0 {
+		return badRequest("timeout_ms must be >= 0")
+	}
+	if r.TimeoutMS == 0 {
+		r.TimeoutMS = cfg.DefaultTimeout.Milliseconds()
+	}
+	return nil
+}
+
+// key returns the request's canonical coalescing key. Program and
+// trace identity go through the runner key helpers — the same
+// constructors the sweep layer's artifact cache uses — so the two
+// layers cannot key the same artifact differently. Every field that
+// can change the simulation's outcome is part of the key.
+func (r *SimRequest) key() string {
+	var b strings.Builder
+	b.WriteString("sim|")
+	if r.Bench != "" {
+		b.WriteString(runner.NewProgramKey(r.Bench, workload.BuildOptionsFor(r.Bench, true)).Canonical())
+		b.WriteString("|")
+		b.WriteString(runner.NewTraceKey(r.Bench, r.Samples, r.Seed).Canonical())
+	} else {
+		sum := sha256.Sum256([]byte(r.Source))
+		fmt.Fprintf(&b, "src/%s?compile=%t&sched=%t", hex.EncodeToString(sum[:]), r.Compile, r.Schedule)
+	}
+	fmt.Fprintf(&b, "|pred=%s|asbr=%t|k=%d|maxcycles=%d|timeout=%d",
+		r.Predictor, r.ASBR, r.BITEntries, r.MaxCycles, r.TimeoutMS)
+	return b.String()
+}
+
+func (r *SimRequest) timeout() time.Duration {
+	return time.Duration(r.TimeoutMS) * time.Millisecond
+}
+
+// SimStats is the wire form of the simulation statistics a client
+// typically dashboards; the full cpu.Stats stays server-side.
+type SimStats struct {
+	Cycles         uint64  `json:"cycles"`
+	Instructions   uint64  `json:"instructions"`
+	CPI            float64 `json:"cpi"`
+	CondBranches   uint64  `json:"cond_branches"`
+	TakenBranches  uint64  `json:"taken_branches"`
+	Mispredicts    uint64  `json:"mispredicts"`
+	Accuracy       float64 `json:"accuracy"`
+	Folded         uint64  `json:"folded"`
+	FoldFallbacks  uint64  `json:"fold_fallbacks"`
+	LoadUseStalls  uint64  `json:"load_use_stalls"`
+	FetchStalls    uint64  `json:"fetch_stalls"`
+	MemStalls      uint64  `json:"mem_stalls"`
+	ExStalls       uint64  `json:"ex_stalls"`
+	ICacheMissRate float64 `json:"icache_miss_rate"`
+	DCacheMissRate float64 `json:"dcache_miss_rate"`
+}
+
+func encodeStats(st cpu.Stats) SimStats {
+	return SimStats{
+		Cycles: st.Cycles, Instructions: st.Instructions, CPI: st.CPI(),
+		CondBranches: st.CondBranches, TakenBranches: st.TakenBranches,
+		Mispredicts: st.Mispredicts, Accuracy: st.PredAccuracy(),
+		Folded: st.Folded, FoldFallbacks: st.FoldFallbacks,
+		LoadUseStalls: st.LoadUseStalls, FetchStalls: st.FetchStalls,
+		MemStalls: st.MemStalls, ExStalls: st.ExStalls,
+		ICacheMissRate: st.ICache.MissRate(), DCacheMissRate: st.DCache.MissRate(),
+	}
+}
+
+// SimResponse is one finished simulation.
+type SimResponse struct {
+	Bench      string   `json:"bench,omitempty"`
+	Predictor  string   `json:"predictor"`
+	ASBR       bool     `json:"asbr,omitempty"`
+	BITEntries int      `json:"bit_entries,omitempty"` // branches actually loaded into the BIT
+	Samples    int      `json:"samples,omitempty"`
+	Seed       int64    `json:"seed,omitempty"`
+	Stats      SimStats `json:"stats"`
+
+	// ASBR mode: the profiled baseline run's cycles and the relative
+	// improvement of the folded run.
+	BaselineCycles uint64  `json:"baseline_cycles,omitempty"`
+	Improvement    float64 `json:"improvement,omitempty"`
+
+	// Bench mode: whether the simulated output matched the golden
+	// reference model bit-exactly.
+	OutputOK *bool `json:"output_ok,omitempty"`
+
+	// Source mode: the program's syscall output stream.
+	Output   []int32 `json:"output,omitempty"`
+	ExitCode int32   `json:"exit_code"`
+}
+
+// SweepRequest asks for experiment tables (the asbr-tables workload).
+type SweepRequest struct {
+	Tables    []string `json:"tables,omitempty"`     // table names, or empty/"all" for every table
+	Samples   int      `json:"samples,omitempty"`    // audio samples per benchmark
+	Seed      int64    `json:"seed,omitempty"`       // synthetic-trace seed
+	Update    string   `json:"update,omitempty"`     // BDT update point: ex|mem|wb
+	Parallel  int      `json:"parallel,omitempty"`   // worker cap (results are parallel-invariant)
+	MaxCycles uint64   `json:"max_cycles,omitempty"` // per-simulation watchdog budget
+	TimeoutMS int64    `json:"timeout_ms,omitempty"` // per-simulation wall-clock budget
+}
+
+// normalize fills defaults in place and validates the request.
+func (r *SweepRequest) normalize(cfg Config) error {
+	sel, err := experiment.NormalizeTableNames(r.Tables)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	r.Tables = sel
+	if r.Samples < 0 || r.Samples > cfg.MaxSamples {
+		return badRequest("samples %d out of range [0, %d]", r.Samples, cfg.MaxSamples)
+	}
+	if r.Samples == 0 {
+		r.Samples = cfg.DefaultSamples
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	switch strings.ToLower(r.Update) {
+	case "", "mem":
+		r.Update = "mem"
+	case "ex":
+		r.Update = "ex"
+	case "wb":
+		r.Update = "wb"
+	default:
+		return badRequest("unknown update point %q (want ex|mem|wb)", r.Update)
+	}
+	if r.Parallel < 0 {
+		return badRequest("parallel must be >= 0")
+	}
+	if r.Parallel == 0 || (cfg.SweepParallel > 0 && r.Parallel > cfg.SweepParallel) {
+		r.Parallel = cfg.SweepParallel
+	}
+	if r.MaxCycles == 0 {
+		r.MaxCycles = cfg.DefaultMaxCycles
+	}
+	if r.TimeoutMS < 0 {
+		return badRequest("timeout_ms must be >= 0")
+	}
+	if r.TimeoutMS == 0 {
+		r.TimeoutMS = cfg.DefaultTimeout.Milliseconds()
+	}
+	return nil
+}
+
+// key returns the canonical coalescing key. Parallel is deliberately
+// excluded: the experiment engine's determinism contract makes sweep
+// output invariant under the worker count, so requests that differ
+// only in parallelism coalesce onto one run.
+func (r *SweepRequest) key() string {
+	return fmt.Sprintf("sweep|tables=%s|n=%d|seed=%d|update=%s|maxcycles=%d|timeout=%d",
+		strings.Join(r.Tables, ","), r.Samples, r.Seed, r.Update, r.MaxCycles, r.TimeoutMS)
+}
+
+// options converts a normalized request into experiment options.
+func (r *SweepRequest) options() experiment.Options {
+	opt := experiment.Options{
+		Samples:   r.Samples,
+		Seed:      r.Seed,
+		Parallel:  r.Parallel,
+		MaxCycles: r.MaxCycles,
+		Timeout:   time.Duration(r.TimeoutMS) * time.Millisecond,
+	}
+	switch r.Update {
+	case "ex":
+		opt.Update = cpu.StageEX
+	case "wb":
+		opt.Update = cpu.StageWB
+	default:
+		opt.Update = cpu.StageMEM
+	}
+	return opt
+}
+
+// JobRequest is an async submission: exactly one of Sim and Sweep.
+type JobRequest struct {
+	Sim   *SimRequest   `json:"sim,omitempty"`
+	Sweep *SweepRequest `json:"sweep,omitempty"`
+}
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is an async job's state and, once finished, its result or
+// structured error.
+type JobStatus struct {
+	ID    string                 `json:"id"`
+	Kind  string                 `json:"kind"` // sim | sweep
+	State string                 `json:"state"`
+	Sim   *SimResponse           `json:"sim,omitempty"`
+	Sweep *experiment.TablesJSON `json:"sweep,omitempty"`
+	Error *ErrorBody             `json:"error,omitempty"`
+}
+
+// Healthz is the liveness response.
+type Healthz struct {
+	Status        string `json:"status"` // ok | draining
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Workers       int    `json:"workers"`
+}

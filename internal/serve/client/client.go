@@ -1,0 +1,197 @@
+// Package client is the thin Go client for the asbr-serve daemon.
+// The CLIs' -remote flags and the serve smoke tests all go through it,
+// so the wire types stay pinned to package serve and the error
+// envelope decodes into one structured type (*APIError).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"asbr/internal/experiment"
+	"asbr/internal/serve"
+)
+
+// Client talks to one asbr-serve daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a client for addr, which may be "host:port" or a full
+// "http://..." base URL. The underlying http.Client has no global
+// timeout: per-call deadlines come from the caller's context (long
+// sweeps are legitimate).
+func New(addr string) *Client {
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// APIError is a structured error response from the daemon: the HTTP
+// status plus the decoded error body. For simulation failures Code is
+// the *cpu.SimError code string (e.g. "cycle-limit").
+type APIError struct {
+	Status int
+	serve.ErrorBody
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("asbr-serve: %s (http %d): %s", e.Code, e.Status, e.Message)
+}
+
+// IsCode reports whether err is an *APIError carrying the given code.
+func IsCode(err error, code string) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == code
+}
+
+// Sim runs one synchronous simulation.
+func (c *Client) Sim(ctx context.Context, req serve.SimRequest) (*serve.SimResponse, error) {
+	var resp serve.SimResponse
+	if err := c.post(ctx, "/v1/sim", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sweep runs experiment tables synchronously and returns their
+// machine-readable encoding — the same TablesJSON asbr-tables -json
+// prints locally.
+func (c *Client) Sweep(ctx context.Context, req serve.SweepRequest) (*experiment.TablesJSON, error) {
+	var resp experiment.TablesJSON
+	if err := c.post(ctx, "/v1/sweep", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Submit enqueues an async job and returns its initial status.
+func (c *Client) Submit(ctx context.Context, req serve.JobRequest) (*serve.JobStatus, error) {
+	var resp serve.JobStatus
+	if err := c.post(ctx, "/v1/jobs", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (*serve.JobStatus, error) {
+	var resp serve.JobStatus
+	if err := c.get(ctx, "/v1/jobs/"+id, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Wait polls a job until it reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*serve.JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.State == serve.JobDone || job.State == serve.JobFailed {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) (*serve.Healthz, error) {
+	var resp serve.Healthz
+	if err := c.get(ctx, "/v1/healthz", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics scrapes the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		return "", err
+	}
+	if res.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("asbr-serve: GET /metrics: http %d", res.StatusCode)
+	}
+	return string(b), nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// do executes the request and decodes either the result or the
+// structured error envelope.
+func (c *Client) do(req *http.Request, out any) error {
+	res, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		return err
+	}
+	if res.StatusCode >= 400 {
+		var env struct {
+			Error serve.ErrorBody `json:"error"`
+		}
+		if json.Unmarshal(b, &env) == nil && env.Error.Code != "" {
+			return &APIError{Status: res.StatusCode, ErrorBody: env.Error}
+		}
+		return &APIError{Status: res.StatusCode, ErrorBody: serve.ErrorBody{
+			Code: "http-error", Message: strings.TrimSpace(string(b)),
+		}}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(b, out)
+}

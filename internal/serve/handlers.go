@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// Handler returns the daemon's full HTTP handler: the route table
+// wrapped in the metrics middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	return s.instrument(mux)
+}
+
+// statusRecorder captures the response status for the request metric.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument tracks in-flight and per-route request counters around
+// every request. The route label collapses /v1/jobs/{id} so metric
+// cardinality stays bounded by the route table.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.inFlight.Add(1)
+		defer s.met.inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		route := r.URL.Path
+		if strings.HasPrefix(route, "/v1/jobs/") {
+			route = "/v1/jobs/{id}"
+		}
+		s.met.observeRequest(route, rec.status)
+	})
+}
+
+// decode reads a bounded, strict JSON body into v.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+// errorEnvelope is the uniform error wrapper: {"error": {...}}.
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, body := toHTTP(err)
+	if status >= http.StatusInternalServerError {
+		s.logf("internal error: %v", err)
+	}
+	s.met.observeError(body.Code)
+	s.writeJSON(w, status, errorEnvelope{Error: body})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.Draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, Healthz{
+		Status:        status,
+		QueueDepth:    s.QueueLen(),
+		QueueCapacity: cap(s.tasks),
+		Workers:       s.cfg.Workers,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := req.normalize(s.cfg); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp, err := s.doSim(&req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := req.normalize(s.cfg); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	tabs, err := s.doSweep(&req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, tabs)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	job, err := s.submitJob(&req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.job(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, job)
+}
+
+// isAPIError reports whether err is a service-level error with the
+// given code (used by tests and the client's retry logic).
+func isAPIError(err error, code string) bool {
+	var ae *apiError
+	return errors.As(err, &ae) && ae.body.Code == code
+}

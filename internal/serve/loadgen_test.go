@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"asbr/internal/workload"
+)
+
+// TestLoadgenSmoke hammers one daemon with a concurrent mix —
+// identical requests (exercising coalescing), distinct requests
+// (exercising the queue), metrics scrapes and health checks — and
+// requires zero 5xx responses. `make loadgen` runs exactly this; under
+// -race it doubles as the serving layer's data-race check.
+func TestLoadgenSmoke(t *testing.T) {
+	srv, ts := testServer(t, Config{QueueDepth: 256})
+
+	const clients = 32
+	var server5xx, rejected atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var status int
+			switch i % 5 {
+			case 0: // identical sims: must coalesce onto one build
+				status, _ = post(t, ts.URL+"/v1/sim", SimRequest{Source: exitSource})
+			case 1: // distinct sims: distinct cache keys
+				src := fmt.Sprintf("# client %d\n%s", i, exitSource)
+				status, _ = post(t, ts.URL+"/v1/sim", SimRequest{Source: src})
+			case 2: // bench sims sharing one artifact set
+				status, _ = post(t, ts.URL+"/v1/sim", SimRequest{Bench: workload.ADPCMEncode, Samples: 64})
+			case 3: // async jobs
+				status, _ = post(t, ts.URL+"/v1/jobs", JobRequest{Sim: &SimRequest{Source: exitSource}})
+			case 4: // observability traffic interleaved with the load
+				status, _ = get(t, ts.URL+"/v1/healthz")
+				if s2, _ := get(t, ts.URL+"/metrics"); s2 > status {
+					status = s2
+				}
+			}
+			if status >= http.StatusInternalServerError {
+				server5xx.Add(1)
+			}
+			if status == http.StatusTooManyRequests {
+				rejected.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if n := server5xx.Load(); n != 0 {
+		t.Errorf("%d responses were 5xx, want 0", n)
+	}
+	// The queue is sized for the load: backpressure here would mean the
+	// capacity math (or Contains fast-path) regressed.
+	if n := rejected.Load(); n != 0 {
+		t.Errorf("%d requests hit backpressure despite QueueDepth=256", n)
+	}
+	// The identical group must have coalesced: far fewer builds than gets.
+	if b, g := srv.sims.Builds(), srv.sims.Gets(); b >= g {
+		t.Errorf("no coalescing under load: builds=%d gets=%d", b, g)
+	}
+}

@@ -1,0 +1,451 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asbr/internal/workload"
+)
+
+// exitSource is a tiny assembly program: print 123, exit 7. The
+// trailing self-loop keeps the fetch stage inside the text segment
+// while the exit syscall drains the pipeline.
+const exitSource = `
+main:	li	a0, 123
+	li	v0, 1
+	syscall
+	li	a0, 7
+	li	v0, 10
+	syscall
+spin:	j	spin
+`
+
+// testServer starts a server over httptest with fast test defaults and
+// registers ordered cleanup: HTTP first, then Drain — the same order
+// cmd/asbr-serve uses on SIGTERM.
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.DefaultSamples == 0 {
+		cfg.DefaultSamples = 64
+	}
+	if cfg.DefaultTimeout == 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Drain()
+	})
+	return srv, ts
+}
+
+// post sends a JSON body and returns the status plus raw response.
+func post(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if s, ok := body.(string); ok {
+		buf.WriteString(s)
+	} else if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	res, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return res.StatusCode, b
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return res.StatusCode, b
+}
+
+// decodeErr unwraps the {"error": {...}} envelope.
+func decodeErr(t *testing.T, b []byte) ErrorBody {
+	t.Helper()
+	var env struct {
+		Error ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("decode error envelope from %q: %v", b, err)
+	}
+	return env.Error
+}
+
+func TestSimSource(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	status, b := post(t, ts.URL+"/v1/sim", SimRequest{Source: exitSource})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, b)
+	}
+	var resp SimResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.ExitCode != 7 {
+		t.Errorf("exit_code = %d, want 7", resp.ExitCode)
+	}
+	if len(resp.Output) != 1 || resp.Output[0] != 123 {
+		t.Errorf("output = %v, want [123]", resp.Output)
+	}
+	if resp.Stats.Cycles == 0 || resp.Stats.Instructions == 0 {
+		t.Errorf("empty stats: %+v", resp.Stats)
+	}
+	if resp.Predictor != "bimodal" {
+		t.Errorf("predictor = %q, want default bimodal", resp.Predictor)
+	}
+}
+
+func TestSimBenchWithASBR(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	status, b := post(t, ts.URL+"/v1/sim", SimRequest{
+		Bench: workload.ADPCMEncode, Samples: 512, ASBR: true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, b)
+	}
+	var resp SimResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.OutputOK == nil || !*resp.OutputOK {
+		t.Errorf("output_ok = %v, want true (golden-model mismatch)", resp.OutputOK)
+	}
+	if resp.BaselineCycles == 0 {
+		t.Error("baseline_cycles missing from ASBR response")
+	}
+	if resp.Stats.Folded == 0 {
+		t.Error("ASBR run folded no branches")
+	}
+	if resp.Stats.Cycles >= resp.BaselineCycles {
+		t.Errorf("ASBR cycles %d not below baseline %d", resp.Stats.Cycles, resp.BaselineCycles)
+	}
+}
+
+func TestSimBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		name string
+		body any
+		code string
+	}{
+		{"malformed json", `{"bench": `, CodeBadRequest},
+		{"unknown field", `{"bench": "adpcm-enc", "nope": 1}`, CodeBadRequest},
+		{"neither bench nor source", SimRequest{}, CodeBadRequest},
+		{"both bench and source", SimRequest{Bench: workload.ADPCMEncode, Source: exitSource}, CodeBadRequest},
+		{"unknown bench", SimRequest{Bench: "mp3-enc"}, CodeBadRequest},
+		{"unknown predictor", SimRequest{Bench: workload.ADPCMEncode, Predictor: "oracle"}, CodeBadRequest},
+		{"samples out of range", SimRequest{Bench: workload.ADPCMEncode, Samples: 1 << 30}, CodeBadRequest},
+		{"unassemblable source", SimRequest{Source: "main:\tfrobnicate t0, t1\n"}, CodeBadProgram},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, b := post(t, ts.URL+"/v1/sim", tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, body %s", status, b)
+			}
+			if eb := decodeErr(t, b); eb.Code != tc.code {
+				t.Errorf("code = %q, want %q (message %q)", eb.Code, tc.code, eb.Message)
+			}
+		})
+	}
+}
+
+// TestWatchdogStructuredError proves the acceptance criterion: an
+// over-budget request comes back as structured JSON carrying the
+// *cpu.SimError code, and the daemon stays healthy.
+func TestWatchdogStructuredError(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	status, b := post(t, ts.URL+"/v1/sim", SimRequest{
+		Bench: workload.ADPCMEncode, Samples: 64, MaxCycles: 100,
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, body %s", status, b)
+	}
+	eb := decodeErr(t, b)
+	if eb.Code != "cycle-limit" {
+		t.Errorf("code = %q, want cycle-limit", eb.Code)
+	}
+	if eb.Cycle == 0 {
+		t.Error("structured error lost the failing cycle")
+	}
+
+	// The failure was the guest's, not the daemon's.
+	if status, b := get(t, ts.URL+"/v1/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz after watchdog trip: %d %s", status, b)
+	}
+}
+
+// TestBackpressure proves a full queue answers 429 immediately: one
+// worker held inside the test hook, one queued task, and the next
+// distinct request must bounce with the backpressure code.
+func TestBackpressure(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	srv, ts := testServer(t, Config{Workers: 1, QueueDepth: 1})
+	srv.testHook = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	defer unblock() // let held workers finish before cleanup drains
+
+	src := func(i int) string { return fmt.Sprintf("# v%d\n%s", i, exitSource) }
+
+	done := make(chan int, 2)
+	go func() { // occupies the single worker
+		st, _ := post(t, ts.URL+"/v1/sim", SimRequest{Source: src(0)})
+		done <- st
+	}()
+	<-entered // worker is now parked inside the hook
+
+	go func() { // occupies the single queue slot
+		st, _ := post(t, ts.URL+"/v1/sim", SimRequest{Source: src(1)})
+		done <- st
+	}()
+	waitFor(t, func() bool { return srv.QueueLen() == 1 })
+
+	status, b := post(t, ts.URL+"/v1/sim", SimRequest{Source: src(2)})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s", status, b)
+	}
+	if eb := decodeErr(t, b); eb.Code != CodeBackpressure {
+		t.Errorf("code = %q, want %q", eb.Code, CodeBackpressure)
+	}
+
+	unblock()
+	for i := 0; i < 2; i++ {
+		if st := <-done; st != http.StatusOK {
+			t.Errorf("held request %d finished with %d", i, st)
+		}
+	}
+}
+
+// TestCoalescing proves the other acceptance criterion: two identical
+// concurrent requests run exactly one simulation.
+func TestCoalescing(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+	req := SimRequest{Source: exitSource}
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, 2)
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, b := post(t, ts.URL+"/v1/sim", req)
+			if status != http.StatusOK {
+				t.Errorf("request %d: status %d, body %s", i, status, b)
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+
+	if got := srv.sims.Builds(); got != 1 {
+		t.Errorf("sim cache builds = %d, want 1 (coalescing failed)", got)
+	}
+	if got := srv.sims.Gets(); got != 2 {
+		t.Errorf("sim cache gets = %d, want 2", got)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Error("coalesced responses differ")
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	status, b := post(t, ts.URL+"/v1/sweep", SweepRequest{Tables: []string{"fig6"}, Samples: 64})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, b)
+	}
+	var tabs struct {
+		Samples int              `json:"samples"`
+		Fig6    []map[string]any `json:"fig6"`
+	}
+	if err := json.Unmarshal(b, &tabs); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if tabs.Samples != 64 {
+		t.Errorf("samples = %d, want 64", tabs.Samples)
+	}
+	if want := len(workload.Names()) * 3; len(tabs.Fig6) != want {
+		t.Errorf("fig6 rows = %d, want %d", len(tabs.Fig6), want)
+	}
+
+	status, b = post(t, ts.URL+"/v1/sweep", SweepRequest{Tables: []string{"fig99"}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown table: status = %d, body %s", status, b)
+	}
+	if eb := decodeErr(t, b); eb.Code != CodeBadRequest {
+		t.Errorf("code = %q, want %q", eb.Code, CodeBadRequest)
+	}
+}
+
+func TestJobs(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	// Exactly-one validation.
+	status, b := post(t, ts.URL+"/v1/jobs", JobRequest{})
+	if status != http.StatusBadRequest {
+		t.Fatalf("empty job: status = %d, body %s", status, b)
+	}
+
+	// Unknown job id.
+	status, b = get(t, ts.URL+"/v1/jobs/j999999")
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown job: status = %d, body %s", status, b)
+	}
+	if eb := decodeErr(t, b); eb.Code != CodeNotFound {
+		t.Errorf("code = %q, want %q", eb.Code, CodeNotFound)
+	}
+
+	// A successful async sim.
+	status, b = post(t, ts.URL+"/v1/jobs", JobRequest{Sim: &SimRequest{Source: exitSource}})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status = %d, body %s", status, b)
+	}
+	var job JobStatus
+	if err := json.Unmarshal(b, &job); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if job.ID == "" || job.Kind != "sim" {
+		t.Fatalf("job = %+v", job)
+	}
+	job = waitJob(t, ts.URL, job.ID)
+	if job.State != JobDone || job.Sim == nil || job.Sim.ExitCode != 7 {
+		t.Errorf("job finished as %+v", job)
+	}
+
+	// A failing async sim carries the structured error.
+	status, b = post(t, ts.URL+"/v1/jobs", JobRequest{
+		Sim: &SimRequest{Bench: workload.ADPCMEncode, Samples: 64, MaxCycles: 100},
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status = %d, body %s", status, b)
+	}
+	if err := json.Unmarshal(b, &job); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	job = waitJob(t, ts.URL, job.ID)
+	if job.State != JobFailed || job.Error == nil || job.Error.Code != "cycle-limit" {
+		t.Errorf("over-budget job finished as %+v (error %+v)", job.State, job.Error)
+	}
+}
+
+// waitJob polls a job until it reaches a terminal state.
+func waitJob(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	var job JobStatus
+	waitFor(t, func() bool {
+		job = JobStatus{}
+		status, b := get(t, base+"/v1/jobs/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("GET job %s: %d %s", id, status, b)
+		}
+		if err := json.Unmarshal(b, &job); err != nil {
+			t.Fatalf("decode job: %v", err)
+		}
+		return job.State == JobDone || job.State == JobFailed
+	})
+	return job
+}
+
+func TestHealthzAndDraining(t *testing.T) {
+	srv := New(Config{DefaultSamples: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status, b := get(t, ts.URL+"/v1/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz: %d %s", status, b)
+	}
+	var h Healthz
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Status != "ok" || h.QueueCapacity == 0 || h.Workers == 0 {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	srv.Drain()
+	if status, _ := get(t, ts.URL+"/v1/healthz"); status != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", status)
+	}
+	status, b = post(t, ts.URL+"/v1/sim", SimRequest{Source: exitSource})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("sim while draining = %d, body %s", status, b)
+	}
+	if eb := decodeErr(t, b); eb.Code != CodeDraining {
+		t.Errorf("code = %q, want %q", eb.Code, CodeDraining)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	if status, _ := post(t, ts.URL+"/v1/sim", SimRequest{Source: exitSource}); status != http.StatusOK {
+		t.Fatalf("sim failed: %d", status)
+	}
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	b, _ := io.ReadAll(res.Body)
+	text := string(b)
+	for _, want := range []string{
+		`asbr_serve_requests_total{path="/v1/sim",status="200"} 1`,
+		"asbr_serve_sim_cache_builds_total 1",
+		"asbr_serve_sim_cache_gets_total 1",
+		"asbr_serve_sim_runs_total 1",
+		"asbr_serve_queue_capacity",
+		"asbr_serve_in_flight",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// waitFor polls cond for a few seconds; the deadline only trips when
+// the server wedges.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,538 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asbr/internal/asm"
+	"asbr/internal/cc"
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/experiment"
+	"asbr/internal/isa"
+	"asbr/internal/mem"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/runner"
+	"asbr/internal/sched"
+	"asbr/internal/workload"
+)
+
+// Config tunes the daemon. The zero value is usable; Fill applies the
+// defaults listed per field.
+type Config struct {
+	QueueDepth int // bounded job queue capacity (default 64; 429 beyond it)
+	Workers    int // worker goroutines draining the queue (default GOMAXPROCS)
+
+	// SweepParallel caps the per-sweep worker pool a /v1/sweep request
+	// may ask for (0 = GOMAXPROCS). Sweep results are invariant under
+	// this knob (the experiment engine's determinism contract).
+	SweepParallel int
+
+	DefaultSamples   int           // samples when a request leaves them 0 (default 4096)
+	MaxSamples       int           // hard per-request cap (default workload.MaxSamples)
+	DefaultMaxCycles uint64        // watchdog budget when a request leaves it 0 (default 1<<32)
+	DefaultTimeout   time.Duration // wall-clock budget when a request leaves it 0 (default 2m)
+	MaxBodyBytes     int64         // request body cap (default 1MiB)
+
+	Logf func(format string, args ...any) // optional logger (nil = silent)
+}
+
+// Fill applies defaults in place and returns the config.
+func (c Config) Fill() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultSamples <= 0 {
+		c.DefaultSamples = 4096
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = workload.MaxSamples
+	}
+	if c.DefaultMaxCycles == 0 {
+		c.DefaultMaxCycles = 1 << 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server is the simulation service: a bounded task queue drained by a
+// fixed worker set, per-key single-flight coalescing caches for sim
+// and sweep requests, a process-wide artifact store shared by every
+// request, an async job registry, and the metrics counter set.
+type Server struct {
+	cfg Config
+
+	arts   runner.Artifacts                            // compiled programs / traces, shared across requests
+	sims   runner.Cache[string, *SimResponse]          // sim coalescing + result cache
+	sweeps runner.Cache[string, *experiment.TablesJSON] // sweep coalescing + result cache
+
+	tasks    chan func()
+	wg       sync.WaitGroup
+	draining atomic.Bool
+
+	met *metrics
+
+	jobMu  sync.Mutex
+	jobSeq int
+	jobs   map[string]*JobStatus
+
+	// testHook, when set (package tests only), runs on the worker
+	// goroutine before each task — used to hold workers busy so queue
+	// overflow is deterministic.
+	testHook func()
+}
+
+// New builds a server and starts its workers. Call Drain to stop them.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:  cfg.Fill(),
+		met:  newMetrics(),
+		jobs: make(map[string]*JobStatus),
+	}
+	s.tasks = make(chan func(), s.cfg.QueueDepth)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for run := range s.tasks {
+		if s.testHook != nil {
+			s.testHook()
+		}
+		run()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// QueueLen reports how many tasks are waiting (not yet picked up).
+func (s *Server) QueueLen() int { return len(s.tasks) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admission, lets the workers finish every queued task —
+// in-flight and queued async jobs run to completion — and returns once
+// the pool is idle. The HTTP layer must be shut down first (no handler
+// may be mid-enqueue when the queue closes); cmd/asbr-serve calls
+// http.Server.Shutdown before Drain for exactly this reason.
+func (s *Server) Drain() {
+	if s.draining.Swap(true) {
+		return
+	}
+	close(s.tasks)
+	s.wg.Wait()
+}
+
+// submit enqueues a task without blocking: a full queue is immediate
+// backpressure (429), not an unbounded wait.
+func (s *Server) submit(run func()) error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	select {
+	case s.tasks <- run:
+		return nil
+	default:
+		return errBackpressure
+	}
+}
+
+// doSim answers one /v1/sim request: coalesce onto an existing entry
+// when the key is already known (no queue slot consumed), otherwise
+// admit through the bounded queue and run on a worker. Results —
+// including deterministic simulation errors — are cached permanently,
+// so replays of a completed request never re-simulate.
+func (s *Server) doSim(req *SimRequest) (*SimResponse, error) {
+	key := req.key()
+	build := func() (*SimResponse, error) { return s.simulate(req) }
+	if s.sims.Contains(key) {
+		return s.sims.Get(key, build)
+	}
+	type out struct {
+		v   *SimResponse
+		err error
+	}
+	ch := make(chan out, 1)
+	if err := s.submit(func() {
+		v, err := s.sims.Get(key, build)
+		ch <- out{v, err}
+	}); err != nil {
+		return nil, err
+	}
+	o := <-ch
+	return o.v, o.err
+}
+
+// doSweep is doSim for /v1/sweep.
+func (s *Server) doSweep(req *SweepRequest) (*experiment.TablesJSON, error) {
+	key := req.key()
+	build := func() (*experiment.TablesJSON, error) { return s.runSweep(req) }
+	if s.sweeps.Contains(key) {
+		return s.sweeps.Get(key, build)
+	}
+	type out struct {
+		v   *experiment.TablesJSON
+		err error
+	}
+	ch := make(chan out, 1)
+	if err := s.submit(func() {
+		v, err := s.sweeps.Get(key, build)
+		ch <- out{v, err}
+	}); err != nil {
+		return nil, err
+	}
+	o := <-ch
+	return o.v, o.err
+}
+
+// runSweep executes a sweep. A sweep with annotated cell errors still
+// returns its TablesJSON (the cells carry their own structured errors)
+// — only a request-level failure is an error here.
+func (s *Server) runSweep(req *SweepRequest) (*experiment.TablesJSON, error) {
+	s.met.sweepRuns.Add(1)
+	tabs, err := experiment.NewSweep(req.options()).Tables(req.Tables)
+	if tabs != nil {
+		// Cell- and table-level failures are part of the payload;
+		// clients inspect tabs.Errors / per-cell error fields.
+		return tabs, nil
+	}
+	return nil, err
+}
+
+// simulate executes one simulation request on the calling goroutine.
+// Budgets come from the normalized request: the cycle watchdog rides
+// in the CPU config and the wall-clock budget is a context deadline
+// rooted at Background — a disconnecting HTTP client must not cancel
+// (and thereby poison the cached result of) a run that coalesced
+// requests may be waiting on.
+func (s *Server) simulate(req *SimRequest) (*SimResponse, error) {
+	s.met.simRuns.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), req.timeout())
+	defer cancel()
+
+	resp, err := s.simulateCtx(ctx, req)
+	if err != nil {
+		if code := cpu.CodeOf(err); code != cpu.ErrNone {
+			s.logf("sim %s: %s", req.key(), code)
+		}
+		return nil, err
+	}
+	s.met.simCycles.Add(resp.Stats.Cycles)
+	return resp, nil
+}
+
+func (s *Server) simulateCtx(ctx context.Context, req *SimRequest) (*SimResponse, error) {
+	if req.Bench != "" {
+		return s.simulateBench(ctx, req)
+	}
+	return s.simulateSource(ctx, req)
+}
+
+// machineFor assembles the paper's platform around the requested
+// predictor with the request's watchdog budget.
+func machineFor(req *SimRequest) cpu.Config {
+	return cpu.Config{
+		ICache:                mem.DefaultICache(),
+		DCache:                mem.DefaultDCache(),
+		Branch:                unitFor(req.Predictor),
+		ExtraMispredictCycles: experiment.ExtraMispredictCycles,
+		MaxCycles:             req.MaxCycles,
+	}
+}
+
+func unitFor(name string) *predict.Unit {
+	switch name {
+	case "nottaken":
+		return predict.BaselineNotTaken()
+	case "gshare":
+		return predict.BaselineGShare()
+	case "bi512":
+		return predict.AuxBimodal512()
+	case "bi256":
+		return predict.AuxBimodal256()
+	default:
+		return predict.BaselineBimodal()
+	}
+}
+
+// simulateBench runs a built-in benchmark over the shared artifact
+// store: the compiled program, input trace and golden output are each
+// built once per daemon no matter how many requests touch them.
+func (s *Server) simulateBench(ctx context.Context, req *SimRequest) (*SimResponse, error) {
+	prog, err := s.arts.Program(req.Bench, workload.BuildOptionsFor(req.Bench, true))
+	if err != nil {
+		return nil, fmt.Errorf("serve: build %s: %w", req.Bench, err)
+	}
+	in, err := s.arts.Input(req.Bench, req.Samples, req.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("serve: input %s: %w", req.Bench, err)
+	}
+	resp := &SimResponse{
+		Bench: req.Bench, Predictor: req.Predictor, ASBR: req.ASBR,
+		Samples: req.Samples, Seed: req.Seed,
+	}
+
+	cfg := machineFor(req)
+	if !req.ASBR {
+		res, err := workload.RunContext(ctx, prog, cfg, in, req.Samples)
+		if err != nil {
+			return nil, err
+		}
+		s.finishBench(req, resp, res)
+		return resp, nil
+	}
+
+	// ASBR flow: one profiled run on the auxiliary shadow, selection,
+	// then the folded run — both under the same budgets.
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
+	pcfg := cfg
+	pcfg.Observer = prof
+	base, err := workload.RunContext(ctx, prog, pcfg, in, req.Samples)
+	if err != nil {
+		return nil, err
+	}
+	k := req.BITEntries
+	if k == 0 {
+		if k = experiment.BITSizes()[req.Bench]; k == 0 {
+			k = core.DefaultBITEntries
+		}
+	}
+	eng, n, err := buildEngine(prog, prof, k, req.Samples)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := cfg
+	fcfg.Fold = eng
+	res, err := workload.RunContext(ctx, prog, fcfg, in, req.Samples)
+	if err != nil {
+		return nil, err
+	}
+	s.finishBench(req, resp, res)
+	resp.BITEntries = n
+	resp.BaselineCycles = base.Stats.Cycles
+	resp.Improvement = 1 - float64(res.Stats.Cycles)/float64(base.Stats.Cycles)
+	return resp, nil
+}
+
+// finishBench fills the response from a completed benchmark run,
+// including the golden-model output check.
+func (s *Server) finishBench(req *SimRequest, resp *SimResponse, res *workload.Result) {
+	resp.Stats = encodeStats(res.Stats)
+	resp.ExitCode = res.CPU.ExitCode()
+	if want, err := s.arts.Expected(req.Bench, req.Samples, req.Seed); err == nil {
+		ok := slices.Equal(res.Output, want)
+		resp.OutputOK = &ok
+	}
+}
+
+// simulateSource assembles or compiles the posted program and runs it
+// bare (no benchmark input pouring). A program that fails to build is
+// the client's error (bad-program, 400), not the simulator's.
+func (s *Server) simulateSource(ctx context.Context, req *SimRequest) (*SimResponse, error) {
+	var prog *isa.Program
+	var err error
+	if req.Compile {
+		prog, err = cc.CompileToProgram(req.Source)
+	} else {
+		prog, err = asm.Assemble(req.Source)
+	}
+	if err != nil {
+		return nil, badProgram(err)
+	}
+	if req.Schedule {
+		if prog, _, err = sched.Schedule(prog); err != nil {
+			return nil, badProgram(err)
+		}
+	}
+	cfg := machineFor(req)
+	resp := &SimResponse{Predictor: req.Predictor, ASBR: req.ASBR}
+
+	if !req.ASBR {
+		c, err := runProgram(ctx, prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		resp.Stats = encodeStats(c.Stats())
+		resp.Output = c.Output
+		resp.ExitCode = c.ExitCode()
+		return resp, nil
+	}
+
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
+	pcfg := cfg
+	pcfg.Observer = prof
+	base, err := runProgram(ctx, prog, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	k := req.BITEntries
+	if k == 0 {
+		k = core.DefaultBITEntries
+	}
+	eng, n, err := buildEngine(prog, prof, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := cfg
+	fcfg.Fold = eng
+	c, err := runProgram(ctx, prog, fcfg)
+	if err != nil {
+		return nil, err
+	}
+	resp.Stats = encodeStats(c.Stats())
+	resp.Output = c.Output
+	resp.ExitCode = c.ExitCode()
+	resp.BITEntries = n
+	resp.BaselineCycles = base.Stats().Cycles
+	resp.Improvement = 1 - float64(c.Stats().Cycles)/float64(base.Stats().Cycles)
+	return resp, nil
+}
+
+// buildEngine runs the §6 selection over a finished profile and loads
+// the chosen branches into a fresh ASBR engine.
+func buildEngine(prog *isa.Program, prof *profile.Profiler, k, samples int) (*core.Engine, int, error) {
+	opt := profile.SelectOptions{Aux: "bimodal-512", MinDistance: 3, K: k}
+	if samples > 0 {
+		opt.MinCount = uint64(samples / 16)
+		opt.Penalty = 2 + experiment.ExtraMispredictCycles
+	}
+	cands, err := profile.Select(prog, prof, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	entries, err := profile.BuildBITFromCandidates(prog, cands)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng := core.NewEngine(core.Config{BITEntries: k, TrackValidity: true})
+	if err := eng.Load(entries); err != nil {
+		return nil, 0, err
+	}
+	return eng, len(entries), nil
+}
+
+func runProgram(ctx context.Context, prog *isa.Program, cfg cpu.Config) (*cpu.CPU, error) {
+	c, err := cpu.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// submitJob validates and enqueues an async job, returning its queued
+// status. The job's task runs directly on a worker (it already holds
+// the slot), sharing the same coalescing caches as the sync endpoints.
+func (s *Server) submitJob(req *JobRequest) (*JobStatus, error) {
+	if (req.Sim == nil) == (req.Sweep == nil) {
+		return nil, badRequest("exactly one of sim and sweep must be set")
+	}
+	kind := "sim"
+	if req.Sweep != nil {
+		kind = "sweep"
+		if err := req.Sweep.normalize(s.cfg); err != nil {
+			return nil, err
+		}
+	} else if err := req.Sim.normalize(s.cfg); err != nil {
+		return nil, err
+	}
+
+	s.jobMu.Lock()
+	s.jobSeq++
+	job := &JobStatus{ID: fmt.Sprintf("j%06d", s.jobSeq), Kind: kind, State: JobQueued}
+	s.jobs[job.ID] = job
+	s.jobMu.Unlock()
+
+	run := func() {
+		s.setJobState(job.ID, JobRunning)
+		var done JobStatus
+		if kind == "sim" {
+			v, err := s.sims.Get(req.Sim.key(), func() (*SimResponse, error) { return s.simulate(req.Sim) })
+			done = jobOutcome(err)
+			done.Sim = v
+		} else {
+			v, err := s.sweeps.Get(req.Sweep.key(), func() (*experiment.TablesJSON, error) { return s.runSweep(req.Sweep) })
+			done = jobOutcome(err)
+			done.Sweep = v
+		}
+		s.finishJob(job.ID, done)
+		s.met.jobsCompleted.Add(1)
+		s.logf("job %s (%s) %s", job.ID, kind, done.State)
+	}
+	// Snapshot the queued status before the task can run: the worker
+	// owns job's mutable fields the instant submit succeeds.
+	snap := *job
+	if err := s.submit(run); err != nil {
+		s.jobMu.Lock()
+		delete(s.jobs, job.ID)
+		s.jobMu.Unlock()
+		return nil, err
+	}
+	s.met.jobsSubmitted.Add(1)
+	return &snap, nil
+}
+
+// jobOutcome maps a task result onto terminal job state + error body.
+func jobOutcome(err error) JobStatus {
+	if err == nil {
+		return JobStatus{State: JobDone}
+	}
+	_, body := toHTTP(err)
+	return JobStatus{State: JobFailed, Error: &body}
+}
+
+func (s *Server) setJobState(id, state string) {
+	s.jobMu.Lock()
+	if j := s.jobs[id]; j != nil {
+		j.State = state
+	}
+	s.jobMu.Unlock()
+}
+
+func (s *Server) finishJob(id string, done JobStatus) {
+	s.jobMu.Lock()
+	if j := s.jobs[id]; j != nil {
+		j.State = done.State
+		j.Sim = done.Sim
+		j.Sweep = done.Sweep
+		j.Error = done.Error
+	}
+	s.jobMu.Unlock()
+}
+
+// job returns a snapshot of the job's current status.
+func (s *Server) job(id string) (*JobStatus, error) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return nil, notFound("unknown job %q", id)
+	}
+	snap := *j
+	return &snap, nil
+}
