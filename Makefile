@@ -8,7 +8,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FAULT_FUZZTIME ?= 2m
 
-.PHONY: all build vet test race bench-smoke fault-smoke serve-smoke loadgen fuzz-smoke fuzz-fault tables ci clean
+.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke loadgen fuzz-smoke fuzz-fault tables ci clean
 
 all: build
 
@@ -23,6 +23,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Engine throughput over the four paper benchmarks on both cycle
+# engines: writes BENCH_cpu.json (cycles/sec, ns/instr, allocs/run,
+# fold-hit rate, fast-over-reference speedup).
+bench:
+	$(GO) run ./cmd/asbr-bench -o BENCH_cpu.json
+
+# The CI regression gate: measure, then compare the host-portable
+# metrics (speedup ratio, allocation counts, fold-hit rate) against the
+# checked-in baseline; >10% worse fails.
+bench-check:
+	$(GO) run ./cmd/asbr-bench -o BENCH_cpu.json -compare BENCH_baseline.json
 
 # One iteration of the Figure 6 benchmark suite: catches bit-rot in the
 # bench harness without paying for a full measurement run.

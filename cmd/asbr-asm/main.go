@@ -4,6 +4,7 @@
 //	asbr-asm prog.s            # listing with resolved labels
 //	asbr-asm -hex prog.s       # one instruction word per line
 //	asbr-asm -syms prog.s      # also dump the symbol table
+//	asbr-asm -predecode prog.s # static instruction mix (predecode census)
 package main
 
 import (
@@ -13,11 +14,13 @@ import (
 	"sort"
 
 	"asbr/internal/asm"
+	"asbr/internal/cpu"
 )
 
 func main() {
 	hex := flag.Bool("hex", false, "dump raw instruction words")
 	syms := flag.Bool("syms", false, "dump the symbol table")
+	predecode := flag.Bool("predecode", false, "print the fast engine's predecode census (static instruction mix)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: asbr-asm [flags] program.s")
@@ -51,5 +54,19 @@ func main() {
 			fmt.Printf("  %08x %s\n", p.Symbols[n], n)
 		}
 	}
+	if *predecode {
+		printMix(cpu.Predecode(p).Summarize())
+	}
 	fmt.Fprintf(os.Stderr, "%d instructions, %d data bytes\n", len(p.Text), len(p.Data))
+}
+
+// printMix renders the static instruction mix the fast engine's
+// predecode table carries.
+func printMix(m cpu.Mix) {
+	fmt.Println("predecode census:")
+	fmt.Printf("  text words:    %d (%d undecodable)\n", m.Words, m.Undecodable)
+	fmt.Printf("  cond branches: %d (%d foldable zero-comparisons)\n", m.CondBranches, m.Foldable)
+	fmt.Printf("  jumps:         %d\n", m.Jumps)
+	fmt.Printf("  loads/stores:  %d/%d\n", m.Loads, m.Stores)
+	fmt.Printf("  mult/div:      %d\n", m.MulDiv)
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(speedup, allocs, foldHit float64) *Report {
+	return &Report{Benchmarks: []BenchResult{{
+		Name:        "adpcm-enc",
+		Fast:        EngineResult{AllocsPerRun: allocs},
+		Speedup:     speedup,
+		FoldHitRate: foldHit,
+	}}}
+}
+
+func TestRegressionsClean(t *testing.T) {
+	base := report(2.2, 300, 0.99)
+	if regs := regressions(base, report(2.2, 300, 0.99), 0.10); len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %v", regs)
+	}
+	// Inside the threshold: 5% slower, slightly more allocs.
+	if regs := regressions(base, report(2.09, 310, 0.99), 0.10); len(regs) != 0 {
+		t.Fatalf("within-threshold drift flagged: %v", regs)
+	}
+	// Improvements never regress.
+	if regs := regressions(base, report(3.0, 100, 1.0), 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestRegressionsFlagged(t *testing.T) {
+	base := report(2.2, 300, 0.99)
+	cases := map[string]*Report{
+		"speedup":  report(1.9, 300, 0.99),    // >10% ratio drop
+		"allocs":   report(2.2, 100300, 0.99), // alloc explosion
+		"fold-hit": report(2.2, 300, 0.50),    // folding broke
+		"missing":  {Benchmarks: nil},         // benchmark vanished
+	}
+	for name, cur := range cases {
+		regs := regressions(base, cur, 0.10)
+		if len(regs) != 1 {
+			t.Errorf("%s: got %d regressions (%v), want 1", name, len(regs), regs)
+			continue
+		}
+		if name != "missing" && !strings.Contains(regs[0], name) {
+			t.Errorf("%s: message %q does not name the metric", name, regs[0])
+		}
+	}
+}

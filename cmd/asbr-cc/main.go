@@ -3,6 +3,7 @@
 //
 //	asbr-cc prog.mc            # assembly on stdout
 //	asbr-cc -sched prog.mc     # plus the §5.1 scheduling pass (as a listing)
+//	asbr-cc -stats prog.mc     # static instruction mix of the compiled code
 package main
 
 import (
@@ -12,23 +13,25 @@ import (
 
 	"asbr/internal/asm"
 	"asbr/internal/cc"
+	"asbr/internal/cpu"
 	"asbr/internal/sched"
 )
 
 func main() {
 	schedule := flag.Bool("sched", false, "apply the ASBR scheduling pass and print the scheduled listing")
+	stats := flag.Bool("stats", false, "print the compiled code's static instruction mix (predecode census) on stderr")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: asbr-cc [flags] program.mc")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *schedule); err != nil {
+	if err := run(flag.Arg(0), *schedule, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "asbr-cc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, schedule bool) error {
+func run(path string, schedule, stats bool) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -37,19 +40,25 @@ func run(path string, schedule bool) error {
 	if err != nil {
 		return err
 	}
-	if !schedule {
-		fmt.Print(text)
-		return nil
-	}
 	p, err := asm.Assemble(text)
 	if err != nil {
 		return fmt.Errorf("internal: %v", err)
 	}
-	p2, st, err := sched.Schedule(p)
-	if err != nil {
-		return err
+	if schedule {
+		var st sched.Stats
+		p, st, err = sched.Schedule(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scheduler: %d/%d blocks rescheduled\n", st.BlocksScheduled, st.BlocksConsidered)
+		fmt.Print(asm.Disassemble(p))
+	} else {
+		fmt.Print(text)
 	}
-	fmt.Fprintf(os.Stderr, "scheduler: %d/%d blocks rescheduled\n", st.BlocksScheduled, st.BlocksConsidered)
-	fmt.Print(asm.Disassemble(p2))
+	if stats {
+		m := cpu.Predecode(p).Summarize()
+		fmt.Fprintf(os.Stderr, "static mix: %d words (%d undecodable), %d cond branches (%d foldable), %d jumps, %d loads, %d stores, %d mult/div\n",
+			m.Words, m.Undecodable, m.CondBranches, m.Foldable, m.Jumps, m.Loads, m.Stores, m.MulDiv)
+	}
 	return nil
 }

@@ -10,7 +10,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +17,9 @@ import (
 
 	"asbr/internal/asm"
 	"asbr/internal/cc"
+	"asbr/internal/cliflags"
 	"asbr/internal/cpu"
 	"asbr/internal/isa"
-	"asbr/internal/mem"
-	"asbr/internal/predict"
 	"asbr/internal/profile"
 	"asbr/internal/workload"
 )
@@ -33,28 +31,24 @@ func main() {
 	k := flag.Int("k", 16, "fold candidates to select")
 	minDist := flag.Int("mindist", 3, "distance threshold (paper §5.2)")
 	top := flag.Int("top", 20, "branches to list in the profile table")
-	maxCycles := flag.Uint64("max-cycles", 1<<32, "abort after this many cycles")
-	timeout := flag.Duration("timeout", 0, "abort after this much wall-clock time (0 = none)")
+	sf := cliflags.NewSim()
+	sf.RegisterMachine(flag.CommandLine)
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := sf.Context()
+	defer cancel()
 
+	cfg, err := sf.Machine()
+	check(err)
 	prof := profile.NewStandard()
+	cfg.Observer = prof
 	var prog *isa.Program
-	var err error
 	switch {
 	case *bench != "":
 		prog, err = workload.Build(*bench, true)
 		check(err)
 		in, ierr := workload.Input(*bench, *n, 1)
 		check(ierr)
-		cfg := cpu.Config{ICache: mem.DefaultICache(), DCache: mem.DefaultDCache(),
-			Branch: predict.BaselineBimodal(), Observer: prof, MaxCycles: *maxCycles}
 		_, err = workload.RunContext(ctx, prog, cfg, in, *n)
 		check(err)
 	case flag.NArg() == 1:
@@ -66,8 +60,7 @@ func main() {
 			prog, err = asm.Assemble(string(src))
 		}
 		check(err)
-		c, cerr := cpu.New(cpu.Config{ICache: mem.DefaultICache(), DCache: mem.DefaultDCache(),
-			Branch: predict.BaselineBimodal(), Observer: prof, MaxCycles: *maxCycles}, prog)
+		c, cerr := cpu.New(cfg, prog)
 		check(cerr)
 		_, err = c.RunContext(ctx)
 		check(err)

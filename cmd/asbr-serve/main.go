@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"asbr/internal/cliflags"
 	"asbr/internal/serve"
 )
 
@@ -38,11 +39,13 @@ func main() {
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
 	queue := flag.Int("queue", 64, "bounded job queue capacity (429 beyond it)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-	parallel := flag.Int("parallel", 0, "per-sweep worker cap (0 = GOMAXPROCS)")
 	samples := flag.Int("n", 4096, "default audio samples when a request leaves them unset")
-	maxCycles := flag.Uint64("max-cycles", 0, "default watchdog cycle budget (0 = 2^32)")
-	timeout := flag.Duration("timeout", 2*time.Minute, "default per-simulation wall-clock budget")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight HTTP requests on shutdown")
+	sf := cliflags.NewSim()
+	sf.MaxCycles = 0             // 0 = the server's 2^32 default
+	sf.Timeout = 2 * time.Minute // default per-simulation wall-clock budget
+	sf.RegisterBudget(flag.CommandLine)
+	sf.RegisterParallel(flag.CommandLine)
 	flag.Parse()
 
 	log.SetPrefix("asbr-serve: ")
@@ -51,10 +54,10 @@ func main() {
 	srv := serve.New(serve.Config{
 		QueueDepth:       *queue,
 		Workers:          *workers,
-		SweepParallel:    *parallel,
+		SweepParallel:    sf.Parallel,
 		DefaultSamples:   *samples,
-		DefaultMaxCycles: *maxCycles,
-		DefaultTimeout:   *timeout,
+		DefaultMaxCycles: sf.MaxCycles,
+		DefaultTimeout:   sf.Timeout,
 		Logf:             log.Printf,
 	})
 

@@ -31,51 +31,43 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
 
 	"asbr/internal/asm"
 	"asbr/internal/cc"
+	"asbr/internal/cliflags"
 	"asbr/internal/core"
 	"asbr/internal/cpu"
 	"asbr/internal/fault"
 	"asbr/internal/isa"
-	"asbr/internal/mem"
 	"asbr/internal/predict"
 	"asbr/internal/profile"
 	"asbr/internal/runner"
 	"asbr/internal/sched"
 	"asbr/internal/serve"
-	"asbr/internal/serve/client"
 )
 
 type options struct {
 	compile   bool
-	predictor string
 	asbr      bool
 	k         int
 	schedule  bool
 	trace     bool
 	pipeTrace int
-	maxCycles uint64
-	timeout   time.Duration
-	fault     string
-	remote    string
+	sim       *cliflags.Sim
 }
 
 func main() {
-	var opt options
+	opt := options{sim: cliflags.NewSim()}
 	flag.BoolVar(&opt.compile, "c", false, "input is MiniC, not assembly")
-	flag.StringVar(&opt.predictor, "predictor", "bimodal", "branch predictor: nottaken|bimodal|gshare|bi512|bi256")
 	flag.BoolVar(&opt.asbr, "asbr", false, "enable ASBR folding (profiles first, then re-runs)")
 	flag.IntVar(&opt.k, "k", core.DefaultBITEntries, "BIT entries for -asbr")
 	flag.BoolVar(&opt.schedule, "sched", false, "run the §5.1 instruction scheduling pass")
 	flag.BoolVar(&opt.trace, "trace", false, "print the disassembly before running")
 	flag.IntVar(&opt.pipeTrace, "pipetrace", 0, "dump the first N cycles of pipeline occupancy")
-	flag.Uint64Var(&opt.maxCycles, "max-cycles", 1<<32, "abort after this many cycles")
-	flag.DurationVar(&opt.timeout, "timeout", 0, "abort after this much wall-clock time (0 = none)")
-	flag.StringVar(&opt.fault, "fault", "", "with -asbr: inject faults per plan (kind[:rate=..,seed=..,max=..]; kinds none|bdt-flip|validity-skew|bit-alias|stale-bti) and lockstep-check divergence against the baseline")
-	flag.StringVar(&opt.remote, "remote", "", "run on an asbr-serve daemon at this address instead of locally")
-	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+	opt.sim.RegisterMachine(flag.CommandLine)
+	opt.sim.RegisterFault(flag.CommandLine)
+	opt.sim.RegisterRemote(flag.CommandLine)
+	opt.sim.RegisterParallel(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: asbr-sim [flags] program.{s,mc} ...")
@@ -83,17 +75,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	if opt.remote != "" && (opt.trace || opt.pipeTrace > 0 || opt.fault != "") {
+	if opt.sim.Remote != "" && (opt.trace || opt.pipeTrace > 0 || opt.sim.Fault != "") {
 		fmt.Fprintln(os.Stderr, "asbr-sim: -trace, -pipetrace and -fault are local-only and do not combine with -remote")
 		os.Exit(2)
 	}
 
 	files := flag.Args()
 	run := simulate
-	if opt.remote != "" {
+	if opt.sim.Remote != "" {
 		run = simulateRemote
 	}
-	outs, err := runner.Map(*parallel, files, func(_ int, path string) (string, error) {
+	outs, err := runner.Map(opt.sim.Parallel, files, func(_ int, path string) (string, error) {
 		var buf bytes.Buffer
 		if err := run(&buf, path, opt); err != nil {
 			return "", fmt.Errorf("%s: %v", path, err)
@@ -150,24 +142,18 @@ func simulate(w io.Writer, path string, opt options) error {
 		fmt.Fprint(w, asm.Disassemble(prog))
 	}
 
-	cfg := cpu.Config{
-		ICache:    mem.DefaultICache(),
-		DCache:    mem.DefaultDCache(),
-		Branch:    unit(opt.predictor),
-		MaxCycles: opt.maxCycles,
+	cfg, err := opt.sim.Machine()
+	if err != nil {
+		return err
 	}
 	if opt.pipeTrace > 0 {
 		cfg.Trace = &truncWriter{w: w, lines: opt.pipeTrace}
 	}
 
-	ctx := context.Background()
-	if opt.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
-		defer cancel()
-	}
+	ctx, cancel := opt.sim.Context()
+	defer cancel()
 
-	if opt.fault != "" && !opt.asbr {
+	if opt.sim.Fault != "" && !opt.asbr {
 		return fmt.Errorf("-fault requires -asbr (faults corrupt the ASBR engine)")
 	}
 
@@ -209,8 +195,8 @@ func simulate(w io.Writer, path string, opt options) error {
 	fcfg := cfg
 	fcfg.Fold = eng
 
-	if opt.fault != "" {
-		plan, err := fault.ParsePlan(opt.fault)
+	if opt.sim.Fault != "" {
+		plan, err := fault.ParsePlan(opt.sim.Fault)
 		if err != nil {
 			return err
 		}
@@ -258,14 +244,15 @@ func simulateRemote(w io.Writer, path string, opt options) error {
 		Source:     string(src),
 		Compile:    opt.compile,
 		Schedule:   opt.schedule,
-		Predictor:  opt.predictor,
+		Predictor:  opt.sim.Predictor,
 		ASBR:       opt.asbr,
 		BITEntries: opt.k,
-		MaxCycles:  opt.maxCycles,
-		TimeoutMS:  opt.timeout.Milliseconds(),
+		MaxCycles:  opt.sim.MaxCycles,
+		TimeoutMS:  opt.sim.Timeout.Milliseconds(),
 	}
-	ctx := context.Background()
-	res, err := client.New(opt.remote).Sim(ctx, req)
+	ctx, cancel := opt.sim.Context()
+	defer cancel()
+	res, err := opt.sim.Client().Sim(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -289,21 +276,6 @@ func simulateRemote(w io.Writer, path string, opt options) error {
 	}
 	fmt.Fprintf(w, "exit code:     %d\n", res.ExitCode)
 	return nil
-}
-
-func unit(name string) *predict.Unit {
-	switch name {
-	case "nottaken":
-		return predict.BaselineNotTaken()
-	case "gshare":
-		return predict.BaselineGShare()
-	case "bi512":
-		return predict.AuxBimodal512()
-	case "bi256":
-		return predict.AuxBimodal256()
-	default:
-		return predict.BaselineBimodal()
-	}
 }
 
 func runOnce(ctx context.Context, prog *isa.Program, cfg cpu.Config) (*cpu.CPU, error) {

@@ -34,12 +34,11 @@ import (
 	"os"
 	"strings"
 	"text/tabwriter"
-	"time"
 
+	"asbr/internal/cliflags"
 	"asbr/internal/cpu"
 	"asbr/internal/experiment"
 	"asbr/internal/serve"
-	"asbr/internal/serve/client"
 )
 
 func main() {
@@ -47,11 +46,12 @@ func main() {
 	n := flag.Int("n", 4096, "audio samples per benchmark")
 	seed := flag.Int64("seed", 1, "synthetic input seed")
 	update := flag.String("update", "mem", "BDT update point: ex|mem|wb (paper thresholds 2|3|4)")
-	parallel := flag.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
-	maxCycles := flag.Uint64("max-cycles", 0, "per-simulation watchdog cycle budget (0 = default)")
-	timeout := flag.Duration("timeout", 0, "per-simulation wall-clock budget (0 = none)")
-	asJSON := flag.Bool("json", false, "emit the machine-readable sweep (the /v1/sweep response encoding)")
-	remote := flag.String("remote", "", "run against an asbr-serve daemon at this address instead of locally")
+	sf := cliflags.NewSim()
+	sf.MaxCycles = 0 // 0 = the experiment engine's default budget
+	sf.RegisterBudget(flag.CommandLine)
+	sf.RegisterRemote(flag.CommandLine)
+	sf.RegisterParallel(flag.CommandLine)
+	sf.RegisterJSON(flag.CommandLine)
 	flag.Parse()
 
 	names, err := experiment.NormalizeTableNames([]string{*table})
@@ -62,15 +62,15 @@ func main() {
 	}
 
 	var tabs *experiment.TablesJSON
-	if *remote != "" {
-		tabs, err = remoteSweep(*remote, names, *n, *seed, *update, *parallel, *maxCycles, *timeout)
+	if sf.Remote != "" {
+		tabs, err = remoteSweep(sf, names, *n, *seed, *update)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asbr-tables: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
-		opt := experiment.Options{Samples: *n, Seed: *seed, Parallel: *parallel,
-			MaxCycles: *maxCycles, Timeout: *timeout}
+		opt := experiment.Options{Samples: *n, Seed: *seed, Parallel: sf.Parallel,
+			MaxCycles: sf.MaxCycles, Timeout: sf.Timeout}
 		switch strings.ToLower(*update) {
 		case "ex":
 			opt.Update = cpu.StageEX
@@ -88,7 +88,7 @@ func main() {
 		}
 	}
 
-	if *asJSON {
+	if sf.JSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(tabs); err != nil {
@@ -108,15 +108,15 @@ func main() {
 
 // remoteSweep runs the sweep on an asbr-serve daemon; the response is
 // the same TablesJSON a local run produces.
-func remoteSweep(addr string, names []string, n int, seed int64, update string, parallel int, maxCycles uint64, timeout time.Duration) (*experiment.TablesJSON, error) {
-	return client.New(addr).Sweep(context.Background(), serve.SweepRequest{
+func remoteSweep(sf *cliflags.Sim, names []string, n int, seed int64, update string) (*experiment.TablesJSON, error) {
+	return sf.Client().Sweep(context.Background(), serve.SweepRequest{
 		Tables:    names,
 		Samples:   n,
 		Seed:      seed,
 		Update:    update,
-		Parallel:  parallel,
-		MaxCycles: maxCycles,
-		TimeoutMS: timeout.Milliseconds(),
+		Parallel:  sf.Parallel,
+		MaxCycles: sf.MaxCycles,
+		TimeoutMS: sf.Timeout.Milliseconds(),
 	})
 }
 

@@ -1,0 +1,115 @@
+// Package cliflags is the shared flag surface of the cmd/ binaries.
+// The knobs that used to be copy-pasted per binary (-predictor,
+// -engine, -max-cycles, -timeout, -fault, -remote, -parallel, -json)
+// register here exactly once, and the same struct turns them into a
+// validated cpu.Config or a daemon client — so a new simulator knob
+// lands in every binary by touching this package alone. The canonical
+// flag table lives in README.md.
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"strings"
+	"time"
+
+	"asbr/internal/cpu"
+	"asbr/internal/mem"
+	"asbr/internal/predict"
+	"asbr/internal/serve/client"
+)
+
+// Sim carries the shared simulation flags. Zero-value defaults are
+// applied by NewSim; binaries may override a default (e.g. MaxCycles)
+// before registering, and the flag help reflects the override.
+type Sim struct {
+	Predictor string        // -predictor: predict.Names() vocabulary
+	Engine    string        // -engine: cpu.EngineNames() vocabulary
+	MaxCycles uint64        // -max-cycles: watchdog cycle budget
+	Timeout   time.Duration // -timeout: wall-clock budget (0 = none)
+	Fault     string        // -fault: fault-injection plan
+	Remote    string        // -remote: asbr-serve address
+	Parallel  int           // -parallel: worker cap (0 = GOMAXPROCS)
+	JSON      bool          // -json: machine-readable output
+}
+
+// NewSim returns the flag set with the binaries' common defaults.
+func NewSim() *Sim {
+	return &Sim{Predictor: "bimodal", MaxCycles: 1 << 32}
+}
+
+// RegisterMachine registers the machine-shape flags (-predictor,
+// -engine) plus the budgets.
+func (s *Sim) RegisterMachine(fs *flag.FlagSet) {
+	fs.StringVar(&s.Predictor, "predictor", s.Predictor,
+		"branch predictor: "+strings.Join(predict.Names(), "|"))
+	fs.StringVar(&s.Engine, "engine", s.Engine,
+		"cycle engine: "+strings.Join(cpu.EngineNames(), "|")+" (auto = fast)")
+	s.RegisterBudget(fs)
+}
+
+// RegisterBudget registers -max-cycles and -timeout.
+func (s *Sim) RegisterBudget(fs *flag.FlagSet) {
+	fs.Uint64Var(&s.MaxCycles, "max-cycles", s.MaxCycles,
+		"watchdog cycle budget (0 = engine default)")
+	fs.DurationVar(&s.Timeout, "timeout", s.Timeout,
+		"wall-clock budget (0 = none)")
+}
+
+// RegisterFault registers -fault.
+func (s *Sim) RegisterFault(fs *flag.FlagSet) {
+	fs.StringVar(&s.Fault, "fault", s.Fault,
+		"inject faults per plan (kind[:rate=..,seed=..,max=..]; kinds none|bdt-flip|validity-skew|bit-alias|stale-bti) and lockstep-check divergence against the baseline")
+}
+
+// RegisterRemote registers -remote.
+func (s *Sim) RegisterRemote(fs *flag.FlagSet) {
+	fs.StringVar(&s.Remote, "remote", s.Remote,
+		"run on an asbr-serve daemon at this address instead of locally")
+}
+
+// RegisterParallel registers -parallel.
+func (s *Sim) RegisterParallel(fs *flag.FlagSet) {
+	fs.IntVar(&s.Parallel, "parallel", s.Parallel,
+		"max concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+}
+
+// RegisterJSON registers -json.
+func (s *Sim) RegisterJSON(fs *flag.FlagSet) {
+	fs.BoolVar(&s.JSON, "json", s.JSON,
+		"emit machine-readable output (the /v1 wire encoding)")
+}
+
+// Machine builds the paper's platform configuration from the parsed
+// flags: 8KB caches, the named predictor and engine, the cycle budget.
+// Flag values are validated here so a typo fails before a simulation
+// starts.
+func (s *Sim) Machine() (cpu.Config, error) {
+	eng, err := cpu.ParseEngine(s.Engine)
+	if err != nil {
+		return cpu.Config{}, err
+	}
+	if _, err := predict.ByName(s.Predictor); err != nil {
+		return cpu.Config{}, err
+	}
+	return cpu.Config{
+		ICache:    mem.DefaultICache(),
+		DCache:    mem.DefaultDCache(),
+		Predictor: s.Predictor,
+		Engine:    eng,
+		MaxCycles: s.MaxCycles,
+	}, nil
+}
+
+// Context returns the run context implied by -timeout.
+func (s *Sim) Context() (context.Context, context.CancelFunc) {
+	if s.Timeout > 0 {
+		return context.WithTimeout(context.Background(), s.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Client returns a daemon client for the -remote address.
+func (s *Sim) Client() *client.Client {
+	return client.New(s.Remote)
+}

@@ -1,0 +1,66 @@
+package cliflags
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// TestRegisterAndMachine drives the shared flag surface end to end:
+// parse a command line, then build the validated machine config.
+func TestRegisterAndMachine(t *testing.T) {
+	s := NewSim()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	s.RegisterMachine(fs)
+	s.RegisterFault(fs)
+	s.RegisterRemote(fs)
+	s.RegisterParallel(fs)
+	s.RegisterJSON(fs)
+	err := fs.Parse([]string{
+		"-predictor", "gshare", "-engine", "reference",
+		"-max-cycles", "1000", "-timeout", "2s",
+		"-fault", "bdt-flip", "-remote", ":8344", "-parallel", "3", "-json",
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s.Predictor != "gshare" || s.Engine != "reference" || s.MaxCycles != 1000 ||
+		s.Timeout != 2*time.Second || s.Fault != "bdt-flip" ||
+		s.Remote != ":8344" || s.Parallel != 3 || !s.JSON {
+		t.Fatalf("parsed flags wrong: %+v", s)
+	}
+	cfg, err := s.Machine()
+	if err != nil {
+		t.Fatalf("Machine: %v", err)
+	}
+	if cfg.Predictor != "gshare" || cfg.MaxCycles != 1000 {
+		t.Fatalf("config wrong: %+v", cfg)
+	}
+}
+
+// TestMachineDefaults pins the binaries' common defaults.
+func TestMachineDefaults(t *testing.T) {
+	s := NewSim()
+	cfg, err := s.Machine()
+	if err != nil {
+		t.Fatalf("Machine: %v", err)
+	}
+	if cfg.Predictor != "bimodal" || cfg.MaxCycles != 1<<32 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+// TestMachineRejectsTypos requires validation to fail before a
+// simulation would.
+func TestMachineRejectsTypos(t *testing.T) {
+	s := NewSim()
+	s.Predictor = "gshere"
+	if _, err := s.Machine(); err == nil {
+		t.Fatal("bad predictor accepted")
+	}
+	s = NewSim()
+	s.Engine = "warp"
+	if _, err := s.Machine(); err == nil {
+		t.Fatal("bad engine accepted")
+	}
+}

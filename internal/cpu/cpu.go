@@ -68,6 +68,53 @@ func (s Stage) String() string {
 	return fmt.Sprintf("Stage(%d)", int(s))
 }
 
+// Engine selects the step-loop implementation of a machine.
+type Engine int
+
+const (
+	// EngineAuto picks the default engine (currently EngineFast).
+	EngineAuto Engine = iota
+	// EngineFast predecodes the text segment once into a flat table,
+	// dispatches through the dense opcode jump table, and recycles
+	// pipeline slots through a freelist — the zero-allocation hot loop.
+	EngineFast
+	// EngineReference decodes at every fetch and allocates a fresh
+	// pipeline slot per instruction — the pre-fast-path cost profile.
+	// It is kept as the lockstep-equivalence baseline and the anchor
+	// the benchmark harness measures speedups against; both engines
+	// share the stage semantics, so their cycle counts are identical.
+	EngineReference
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineFast:
+		return "fast"
+	case EngineReference:
+		return "reference"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// EngineNames lists the engine names ParseEngine accepts.
+func EngineNames() []string { return []string{"auto", "fast", "reference"} }
+
+// ParseEngine resolves an engine name from a CLI flag or API field.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "auto":
+		return EngineAuto, nil
+	case "fast":
+		return EngineFast, nil
+	case "reference", "ref":
+		return EngineReference, nil
+	}
+	return EngineAuto, fmt.Errorf("cpu: unknown engine %q (want auto|fast|reference)", name)
+}
+
 // Fold describes a successful ASBR branch fold returned by a FoldHook:
 // the fetched branch is replaced in the fetch slot by the instruction
 // word Word whose architectural address is PC, and fetch continues at
@@ -145,6 +192,24 @@ type Config struct {
 	// Branch is the fetch-stage branch unit. Nil means always
 	// not-taken with no BTB (the paper's predictor-less baseline).
 	Branch *predict.Unit
+	// Predictor names a branch-unit configuration (predict.Names) to
+	// build instead of supplying Branch directly. It is how every CLI
+	// and API caller selects a predictor; setting both Predictor and
+	// Branch is an ErrBadConfig.
+	Predictor string
+	// Engine selects the step-loop implementation: EngineAuto (the
+	// default, currently the fast path), EngineFast, or
+	// EngineReference (decode-per-fetch baseline).
+	Engine Engine
+	// Predecoded, when non-nil, supplies a shared predecode table for
+	// the program (built once by Predecode, validated against the
+	// program in New). Nil makes New build a private one. Ignored by
+	// EngineReference.
+	Predecoded *Predecoded
+	// PollStride is how many cycles RunContext batches between
+	// context/watchdog polls (default 1024). Larger strides keep the
+	// hot loop tighter; cancellation latency grows accordingly.
+	PollStride int
 	// RAS, when non-nil, predicts `jr ra` targets at fetch (calls push
 	// their return address, returns pop it). An extension beyond the
 	// paper's platform; disabled by default.
@@ -213,6 +278,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.BDTUpdate != StageEX && c.BDTUpdate != StageWB {
 		c.BDTUpdate = StageMEM
+	}
+	if c.PollStride <= 0 {
+		c.PollStride = 1024
 	}
 	if c.Branch == nil {
 		c.Branch = predict.BaselineNotTaken()
@@ -295,6 +363,12 @@ type slot struct {
 	hasDest bool
 	counted bool // OnIssue fired
 
+	// Predecoded source registers (fast engine); pdec marks them (and
+	// dest/hasDest) as filled at fetch from the predecode table.
+	src  [2]isa.Reg
+	nsrc uint8
+	pdec bool
+
 	result    int32  // value to write at WB
 	memAddr   uint32 // effective address for loads/stores
 	storeVal  int32
@@ -309,6 +383,14 @@ type CPU struct {
 	cfg  Config
 	prog *isa.Program
 	mem  *mem.Memory
+
+	// Fast engine state: the predecode table, the recycled pipeline
+	// slots, and the reusable trace line buffer. pre is nil (and fast
+	// false) on the reference engine.
+	pre      *Predecoded
+	fast     bool
+	slotFree []*slot
+	traceBuf []byte
 
 	icache *mem.Cache // nil if disabled
 	dcache *mem.Cache
@@ -364,8 +446,34 @@ func New(cfg Config, prog *isa.Program) (*CPU, error) {
 	if prog == nil {
 		return nil, &SimError{Code: ErrBadConfig, Detail: "nil program"}
 	}
+	if cfg.Predictor != "" {
+		if cfg.Branch != nil {
+			return nil, &SimError{Code: ErrBadConfig, Detail: "both Branch and Predictor set"}
+		}
+		u, err := predict.ByName(cfg.Predictor)
+		if err != nil {
+			return nil, &SimError{Code: ErrBadConfig, Detail: err.Error()}
+		}
+		cfg.Branch = u
+	}
+	switch cfg.Engine {
+	case EngineAuto, EngineFast, EngineReference:
+	default:
+		return nil, &SimError{Code: ErrBadConfig, Detail: fmt.Sprintf("unknown engine %d", cfg.Engine)}
+	}
 	cfg.fillDefaults()
 	c := &CPU{cfg: cfg, prog: prog, mem: mem.NewMemory()}
+	if cfg.Engine != EngineReference {
+		c.fast = true
+		if cfg.Predecoded != nil {
+			if !cfg.Predecoded.Matches(prog) {
+				return nil, &SimError{Code: ErrBadConfig, Detail: "Predecoded table does not match program"}
+			}
+			c.pre = cfg.Predecoded
+		} else {
+			c.pre = Predecode(prog)
+		}
+	}
 	if cfg.ICache.SizeBytes > 0 {
 		ic, err := mem.NewCache(cfg.ICache)
 		if err != nil {
@@ -446,27 +554,38 @@ func (c *CPU) Run() (Stats, error) {
 	return c.RunContext(context.Background())
 }
 
-// cancelCheckInterval is how many cycles pass between context polls in
-// RunContext: frequent enough that a watchdog timeout bites within
-// microseconds of simulated work, rare enough to stay off the profile.
-const cancelCheckInterval = 1024
-
 // RunContext steps the machine until it halts, errors, exhausts the
 // MaxCycles budget (ErrCycleLimit), or ctx is done (ErrCanceled). The
 // machine is left exactly at the cycle it stopped on, so a watchdog
 // trip still yields the full statistics and architectural state up to
 // that point.
+//
+// Context and watchdog checks run once per PollStride cycles (default
+// 1024): the inner loop is a bare Step batch whose length is clamped
+// to the remaining MaxCycles budget, so ErrCycleLimit still fires at
+// exactly Cycle == MaxCycles while the hot path pays no per-cycle
+// poll.
 func (c *CPU) RunContext(ctx context.Context) (Stats, error) {
-	countdown := cancelCheckInterval
+	stride := uint64(c.cfg.PollStride)
+	if stride == 0 {
+		stride = 1024 // machine built before fillDefaults learned PollStride
+	}
 	for !c.halted && c.err == nil {
-		if countdown--; countdown <= 0 {
-			countdown = cancelCheckInterval
-			if err := ctx.Err(); err != nil {
-				c.fail(ErrCanceled, c.pc, "%v", err)
-				break
-			}
+		if err := ctx.Err(); err != nil {
+			c.fail(ErrCanceled, c.pc, "%v", err)
+			break
 		}
-		c.StepWatchdog()
+		if c.stats.Cycles >= c.cfg.MaxCycles {
+			c.fail(ErrCycleLimit, c.pc, "exceeded MaxCycles=%d", c.cfg.MaxCycles)
+			break
+		}
+		n := stride
+		if left := c.cfg.MaxCycles - c.stats.Cycles; left < n {
+			n = left
+		}
+		for i := uint64(0); i < n && !c.halted && c.err == nil; i++ {
+			c.Step()
+		}
 	}
 	return c.Stats(), c.err
 }
@@ -505,7 +624,9 @@ func (c *CPU) Step() {
 	c.doEX()
 	c.doID()
 	c.doIF()
-	c.flushValues()
+	if len(c.pendingVals) > 0 {
+		c.flushValues()
+	}
 	if c.cfg.Trace != nil {
 		c.traceCycle(c.cfg.Trace)
 	}

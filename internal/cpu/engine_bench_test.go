@@ -1,0 +1,60 @@
+package cpu_test
+
+import (
+	"context"
+	"testing"
+
+	"asbr/internal/cpu"
+	"asbr/internal/workload"
+)
+
+const benchSamples = 1024
+
+// BenchmarkEngine measures simulator throughput over the four paper
+// benchmarks on both engines. The custom metrics are the ones
+// BENCH_cpu.json tracks: simulated cycles per wall-clock second and
+// host nanoseconds per committed guest instruction.
+//
+//	go test -bench Engine -run '^$' ./internal/cpu
+func BenchmarkEngine(b *testing.B) {
+	for _, name := range workload.Names() {
+		for _, eng := range []cpu.Engine{cpu.EngineFast, cpu.EngineReference} {
+			b.Run(name+"/"+eng.String(), func(b *testing.B) {
+				benchEngine(b, name, eng)
+			})
+		}
+	}
+}
+
+func benchEngine(b *testing.B, name string, eng cpu.Engine) {
+	prog, err := workload.Build(name, true)
+	if err != nil {
+		b.Fatalf("build: %v", err)
+	}
+	in, err := workload.Input(name, benchSamples, 1)
+	if err != nil {
+		b.Fatalf("input: %v", err)
+	}
+	pre := cpu.Predecode(prog) // shared, as the runner cache shares it
+	b.ReportAllocs()
+	var cycles, instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := engCfg(eng)
+		if eng != cpu.EngineReference {
+			cfg.Predecoded = pre
+		}
+		res, err := workload.RunContext(context.Background(), prog, cfg, in, benchSamples)
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		cycles += res.Stats.Cycles
+		instrs += res.Stats.Instructions
+	}
+	b.StopTimer()
+	if instrs == 0 {
+		b.Fatal("no instructions committed")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+}

@@ -1,0 +1,225 @@
+// Lockstep equivalence gate for the fast engine: the predecoded step
+// loop must be architecturally indistinguishable from the reference
+// engine on every paper benchmark — same commit stream, same cycle
+// counts, same statistics, same fold decisions, same final register
+// file. A fast path that changes any of these is a bug, not an
+// optimization.
+package cpu_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/fault"
+	"asbr/internal/isa"
+	"asbr/internal/mem"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/workload"
+)
+
+const equivSamples = 512
+
+func buildBench(t *testing.T, name string) (*isa.Program, []int32) {
+	t.Helper()
+	prog, err := workload.Build(name, true)
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	in, err := workload.Input(name, equivSamples, 1)
+	if err != nil {
+		t.Fatalf("input %s: %v", name, err)
+	}
+	return prog, in
+}
+
+func engCfg(e cpu.Engine) cpu.Config {
+	return cpu.Config{
+		ICache:    mem.DefaultICache(),
+		DCache:    mem.DefaultDCache(),
+		Predictor: "bimodal",
+		Engine:    e,
+		MaxCycles: 1 << 30,
+	}
+}
+
+// pour preps a machine the way workload.RunContext does, so the
+// lockstep pair sees the benchmark's real input.
+func pour(prog *isa.Program, in []int32) func(*cpu.CPU) error {
+	return func(c *cpu.CPU) error {
+		if err := workload.Pour(c, prog, "n_samples", []int32{int32(equivSamples)}); err != nil {
+			return err
+		}
+		return workload.Pour(c, prog, "input", in)
+	}
+}
+
+// TestEngineLockstepEquivalence compares the reference and fast
+// engines commit by commit on all four benchmarks via the fault
+// harness's divergence checker (with no faults injected).
+func TestEngineLockstepEquivalence(t *testing.T) {
+	for _, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			prog, in := buildBench(t, name)
+			rep, err := fault.RunPair(prog,
+				engCfg(cpu.EngineReference), engCfg(cpu.EngineFast), pour(prog, in))
+			if err != nil {
+				t.Fatalf("RunPair: %v", err)
+			}
+			if rep.BaseErr != nil || rep.TestErr != nil {
+				t.Fatalf("simulation errors: reference %v, fast %v", rep.BaseErr, rep.TestErr)
+			}
+			if rep.Diverged {
+				t.Fatalf("engines diverged: %s", rep)
+			}
+			if rep.Commits == 0 {
+				t.Fatal("no commits compared")
+			}
+		})
+	}
+}
+
+// TestEngineStatsEquivalence requires bit-identical statistics (every
+// counter, including cycles and stall breakdowns), outputs, and final
+// register files from independent reference and fast runs.
+func TestEngineStatsEquivalence(t *testing.T) {
+	for _, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			prog, in := buildBench(t, name)
+			ref, err := workload.RunContext(context.Background(), prog, engCfg(cpu.EngineReference), in, equivSamples)
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			fast, err := workload.RunContext(context.Background(), prog, engCfg(cpu.EngineFast), in, equivSamples)
+			if err != nil {
+				t.Fatalf("fast run: %v", err)
+			}
+			if !reflect.DeepEqual(ref.Stats, fast.Stats) {
+				t.Errorf("stats mismatch:\nreference %+v\nfast      %+v", ref.Stats, fast.Stats)
+			}
+			if !reflect.DeepEqual(ref.Output, fast.Output) {
+				t.Errorf("output mismatch: %d vs %d words", len(ref.Output), len(fast.Output))
+			}
+			for r := 0; r < isa.NumRegs; r++ {
+				if rv, fv := ref.CPU.Reg(isa.Reg(r)), fast.CPU.Reg(isa.Reg(r)); rv != fv {
+					t.Errorf("final $%d: reference %d, fast %d", r, rv, fv)
+				}
+			}
+			if ref.CPU.ExitCode() != fast.CPU.ExitCode() {
+				t.Errorf("exit code: reference %d, fast %d", ref.CPU.ExitCode(), fast.CPU.ExitCode())
+			}
+		})
+	}
+}
+
+// TestEngineFoldEquivalence runs the full ASBR flow (profile, select,
+// fold) on both engines and requires identical fold decisions: the
+// same Folded/FoldedTaken/FoldFallbacks counters and the same core
+// engine statistics, on top of lockstep-clean commit streams.
+func TestEngineFoldEquivalence(t *testing.T) {
+	for _, name := range workload.Names() {
+		t.Run(name, func(t *testing.T) {
+			prog, in := buildBench(t, name)
+
+			// Profile once to pick the fold set, as asbr-sim -asbr does.
+			prof := profile.New(predict.Must(predict.NewBimodal(512)))
+			pcfg := engCfg(cpu.EngineFast)
+			pcfg.Observer = prof
+			if _, err := workload.RunContext(context.Background(), prog, pcfg, in, equivSamples); err != nil {
+				t.Fatalf("profile run: %v", err)
+			}
+			cands, err := profile.Select(prog, prof, profile.SelectOptions{
+				Aux: "bimodal-512", MinDistance: 3, K: core.DefaultBITEntries,
+			})
+			if err != nil {
+				t.Fatalf("select: %v", err)
+			}
+			entries, err := profile.BuildBITFromCandidates(prog, cands)
+			if err != nil {
+				t.Fatalf("build BIT: %v", err)
+			}
+			if len(entries) == 0 {
+				t.Skipf("%s selected no fold candidates at n=%d", name, equivSamples)
+			}
+
+			foldEng := func() *core.Engine {
+				e := core.NewEngine(core.Config{BITEntries: core.DefaultBITEntries, TrackValidity: true})
+				if err := e.Load(entries); err != nil {
+					t.Fatalf("load BIT: %v", err)
+				}
+				return e
+			}
+
+			refEng, fastEng := foldEng(), foldEng()
+			refCfg := engCfg(cpu.EngineReference)
+			refCfg.Fold = refEng
+			fastCfg := engCfg(cpu.EngineFast)
+			fastCfg.Fold = fastEng
+
+			rep, err := fault.RunPair(prog, refCfg, fastCfg, pour(prog, in))
+			if err != nil {
+				t.Fatalf("RunPair: %v", err)
+			}
+			if rep.Diverged || rep.BaseErr != nil || rep.TestErr != nil {
+				t.Fatalf("folded engines diverged: %s (base %v, test %v)", rep, rep.BaseErr, rep.TestErr)
+			}
+			if !reflect.DeepEqual(refEng.Stats(), fastEng.Stats()) {
+				t.Errorf("fold decisions differ:\nreference %+v\nfast      %+v", refEng.Stats(), fastEng.Stats())
+			}
+			// Lockstep consumed both machines; rerun independently for the
+			// CPU-side fold counters.
+			refEng2, fastEng2 := foldEng(), foldEng()
+			refCfg.Fold, fastCfg.Fold = refEng2, fastEng2
+			refRes, err := workload.RunContext(context.Background(), prog, refCfg, in, equivSamples)
+			if err != nil {
+				t.Fatalf("reference folded run: %v", err)
+			}
+			fastRes, err := workload.RunContext(context.Background(), prog, fastCfg, in, equivSamples)
+			if err != nil {
+				t.Fatalf("fast folded run: %v", err)
+			}
+			if !reflect.DeepEqual(refRes.Stats, fastRes.Stats) {
+				t.Errorf("folded stats mismatch:\nreference %+v\nfast      %+v", refRes.Stats, fastRes.Stats)
+			}
+			if refRes.Stats.Folded == 0 {
+				t.Errorf("folded run performed no folds (entries=%d)", len(entries))
+			}
+		})
+	}
+}
+
+// TestEngineSharedPredecode pins the sharing contract: one Predecoded
+// table may back any number of machines, including mixed with machines
+// that build their own, without changing results.
+func TestEngineSharedPredecode(t *testing.T) {
+	prog, in := buildBench(t, workload.ADPCMEncode)
+	shared := cpu.Predecode(prog)
+
+	own, err := workload.RunContext(context.Background(), prog, engCfg(cpu.EngineFast), in, equivSamples)
+	if err != nil {
+		t.Fatalf("own-table run: %v", err)
+	}
+	cfg := engCfg(cpu.EngineFast)
+	cfg.Predecoded = shared
+	sharedRes, err := workload.RunContext(context.Background(), prog, cfg, in, equivSamples)
+	if err != nil {
+		t.Fatalf("shared-table run: %v", err)
+	}
+	if !reflect.DeepEqual(own.Stats, sharedRes.Stats) {
+		t.Errorf("shared predecode changed stats:\nown    %+v\nshared %+v", own.Stats, sharedRes.Stats)
+	}
+
+	// A table from a different program must be rejected up front.
+	other, err := workload.Build(workload.ADPCMDecode, true)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	bad := engCfg(cpu.EngineFast)
+	bad.Predecoded = cpu.Predecode(other)
+	if _, err := cpu.New(bad, prog); err == nil {
+		t.Fatal("mismatched Predecoded table accepted")
+	}
+}

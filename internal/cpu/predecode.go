@@ -1,0 +1,143 @@
+package cpu
+
+import (
+	"asbr/internal/isa"
+)
+
+// DecodedInst is one predecoded text-segment word: the decoded
+// instruction plus every derived fact the pipeline would otherwise
+// recompute on each fetch — destination register, source registers,
+// instruction-class flags, and the resolved branch target. Entries are
+// immutable after Predecode returns.
+type DecodedInst struct {
+	In   isa.Inst
+	Word uint32
+	OK   bool // decode succeeded
+
+	Dest    isa.Reg
+	HasDest bool
+	Src     [2]isa.Reg
+	NSrc    uint8
+
+	CondBranch bool
+	Load       bool
+	Store      bool
+	// BranchTarget is the taken-path address of a conditional branch
+	// (In.BranchTarget at this entry's own PC), zero otherwise.
+	BranchTarget uint32
+}
+
+// Predecoded is a program's text segment decoded once into a flat
+// table indexed by word. It is read-only after construction, so one
+// table may back any number of concurrently running machines — the
+// runner artifact cache shares it across sweep cells.
+type Predecoded struct {
+	textBase uint32
+	insts    []DecodedInst
+}
+
+// Predecode builds the flat decode table for prog's text segment.
+// Undecodable words keep OK=false and fault only if they reach
+// execute, exactly like the per-fetch decode path.
+func Predecode(prog *isa.Program) *Predecoded {
+	p := &Predecoded{
+		textBase: prog.TextBase,
+		insts:    make([]DecodedInst, len(prog.Text)),
+	}
+	for i, w := range prog.Text {
+		d := &p.insts[i]
+		d.Word = w
+		in, err := isa.Decode(w)
+		d.In, d.OK = in, err == nil
+		if !d.OK {
+			continue
+		}
+		if r, ok := in.DestReg(); ok {
+			d.Dest, d.HasDest = r, true
+		}
+		for _, r := range in.SrcRegs() {
+			if d.NSrc < 2 {
+				d.Src[d.NSrc] = r
+				d.NSrc++
+			}
+		}
+		d.CondBranch = in.IsCondBranch()
+		d.Load = in.IsLoad()
+		d.Store = in.IsStore()
+		if d.CondBranch {
+			pc := prog.TextBase + uint32(i)*isa.InstructionBytes
+			d.BranchTarget = in.BranchTarget(pc)
+		}
+	}
+	return p
+}
+
+// Len returns the number of predecoded instruction words.
+func (p *Predecoded) Len() int { return len(p.insts) }
+
+// TextBase returns the byte address of the first predecoded word.
+func (p *Predecoded) TextBase() uint32 { return p.textBase }
+
+// at returns the entry for text address pc. The caller guarantees pc
+// is a word-aligned text address (the fetch stage checks InText first).
+func (p *Predecoded) at(pc uint32) *DecodedInst {
+	return &p.insts[(pc-p.textBase)/4]
+}
+
+// Matches reports whether the table was predecoded from a program with
+// the same text placement and contents — the validation cpu.New runs
+// on a caller-supplied shared table.
+func (p *Predecoded) Matches(prog *isa.Program) bool {
+	if p.textBase != prog.TextBase || len(p.insts) != len(prog.Text) {
+		return false
+	}
+	for i, w := range prog.Text {
+		if p.insts[i].Word != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Mix is an instruction-class census of a predecoded text segment: the
+// static instruction mix asbr-asm -predecode and asbr-cc -stats print.
+type Mix struct {
+	Words        int // text words
+	Undecodable  int
+	CondBranches int
+	Foldable     int // zero-comparison branches a BDT entry could fold
+	Jumps        int
+	Loads        int
+	Stores       int
+	MulDiv       int
+}
+
+// Summarize computes the static instruction mix of the table.
+func (p *Predecoded) Summarize() Mix {
+	m := Mix{Words: len(p.insts)}
+	for i := range p.insts {
+		d := &p.insts[i]
+		if !d.OK {
+			m.Undecodable++
+			continue
+		}
+		switch {
+		case d.CondBranch:
+			m.CondBranches++
+			if _, _, ok := d.In.ZeroCond(); ok {
+				m.Foldable++
+			}
+		case d.In.IsJump():
+			m.Jumps++
+		case d.Load:
+			m.Loads++
+		case d.Store:
+			m.Stores++
+		}
+		switch d.In.Op {
+		case isa.OpMULT, isa.OpMULTU, isa.OpDIV, isa.OpDIVU:
+			m.MulDiv++
+		}
+	}
+	return m
+}

@@ -48,6 +48,7 @@ func (c *CPU) doWB() {
 		}
 		c.cfg.Commits.OnCommit(cm)
 	}
+	c.freeSlot(s)
 }
 
 // syscall implements the tiny OS surface: exit, print-int, print-char.
@@ -176,6 +177,15 @@ func (c *CPU) loadUseHazard(s *slot) bool {
 	if w == nil || !w.in.IsLoad() || !w.hasDest {
 		return false
 	}
+	if s.pdec {
+		// Fast engine: source registers were resolved at predecode.
+		for i := uint8(0); i < s.nsrc; i++ {
+			if s.src[i] == w.dest {
+				return true
+			}
+		}
+		return false
+	}
 	for _, r := range s.in.SrcRegs() {
 		if r == w.dest {
 			return true
@@ -236,101 +246,27 @@ func (c *CPU) doEX() {
 	c.sEX = nil
 }
 
-// execute computes the functional result of s in EX.
-func (c *CPU) execute(s *slot) {
-	in := s.in
-	rs := c.readReg(in.Rs)
-	rt := c.readReg(in.Rt)
-	switch in.Op {
-	case isa.OpADD, isa.OpADDU:
-		s.result = rs + rt
-	case isa.OpSUB, isa.OpSUBU:
-		s.result = rs - rt
-	case isa.OpAND:
-		s.result = rs & rt
-	case isa.OpOR:
-		s.result = rs | rt
-	case isa.OpXOR:
-		s.result = rs ^ rt
-	case isa.OpNOR:
-		s.result = ^(rs | rt)
-	case isa.OpSLT:
-		s.result = b2i(rs < rt)
-	case isa.OpSLTU:
-		s.result = b2i(uint32(rs) < uint32(rt))
-	case isa.OpSLL:
-		s.result = rt << uint(in.Imm&31)
-	case isa.OpSRL:
-		s.result = int32(uint32(rt) >> uint(in.Imm&31))
-	case isa.OpSRA:
-		s.result = rt >> uint(in.Imm&31)
-	case isa.OpSLLV:
-		s.result = rt << uint(rs&31)
-	case isa.OpSRLV:
-		s.result = int32(uint32(rt) >> uint(rs&31))
-	case isa.OpSRAV:
-		s.result = rt >> uint(rs&31)
-	case isa.OpMULT:
-		p := int64(rs) * int64(rt)
-		c.lo, c.hi = int32(p), int32(p>>32)
-	case isa.OpMULTU:
-		p := uint64(uint32(rs)) * uint64(uint32(rt))
-		c.lo, c.hi = int32(uint32(p)), int32(uint32(p>>32))
-	case isa.OpDIV:
-		if rt == 0 {
-			c.fail(ErrDivideByZero, s.pc, "divide by zero")
-			return
+// allocSlot returns a zeroed pipeline slot. The fast engine recycles
+// slots through a freelist so the steady-state hot loop allocates
+// nothing; the reference engine keeps the historical fresh-allocation
+// cost profile.
+func (c *CPU) allocSlot() *slot {
+	if c.fast {
+		if n := len(c.slotFree); n > 0 {
+			s := c.slotFree[n-1]
+			c.slotFree = c.slotFree[:n-1]
+			*s = slot{}
+			return s
 		}
-		c.lo, c.hi = rs/rt, rs%rt
-	case isa.OpDIVU:
-		if rt == 0 {
-			c.fail(ErrDivideByZero, s.pc, "divide by zero (divu)")
-			return
-		}
-		c.lo = int32(uint32(rs) / uint32(rt))
-		c.hi = int32(uint32(rs) % uint32(rt))
-	case isa.OpMFHI:
-		s.result = c.hi
-	case isa.OpMFLO:
-		s.result = c.lo
-	case isa.OpMTHI:
-		c.hi = rs
-	case isa.OpMTLO:
-		c.lo = rs
-	case isa.OpADDI, isa.OpADDIU:
-		s.result = rs + in.Imm
-	case isa.OpSLTI:
-		s.result = b2i(rs < in.Imm)
-	case isa.OpSLTIU:
-		s.result = b2i(uint32(rs) < uint32(in.Imm))
-	case isa.OpANDI:
-		s.result = rs & in.Imm
-	case isa.OpORI:
-		s.result = rs | in.Imm
-	case isa.OpXORI:
-		s.result = rs ^ in.Imm
-	case isa.OpLUI:
-		s.result = in.Imm << 16
-	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW:
-		s.memAddr = uint32(rs + in.Imm)
-	case isa.OpSB, isa.OpSH, isa.OpSW:
-		s.memAddr = uint32(rs + in.Imm)
-		s.storeVal = rt
-	case isa.OpJAL:
-		s.result = int32(s.pc + 4)
-	case isa.OpJALR:
-		s.result = int32(s.pc + 4)
-	case isa.OpJ, isa.OpJR, isa.OpSYSCALL, isa.OpBREAK, isa.OpBITSW,
-		isa.OpBEQ, isa.OpBNE, isa.OpBLEZ, isa.OpBGTZ, isa.OpBLTZ, isa.OpBGEZ:
-		// Control flow handled in resolve; no register result.
 	}
-	// Branch operand values are needed at resolve time; latch them.
-	if in.IsCondBranch() {
-		s.result = rs // condition register value
-		s.storeVal = rt
-	}
-	if in.Op == isa.OpJR || in.Op == isa.OpJALR {
-		s.memAddr = uint32(rs) // jump target
+	return &slot{}
+}
+
+// freeSlot returns a slot to the freelist once nothing references it
+// (after commit, or when a wrong-path slot is squashed).
+func (c *CPU) freeSlot(s *slot) {
+	if c.fast && s != nil {
+		c.slotFree = append(c.slotFree, s)
 	}
 }
 
@@ -406,6 +342,7 @@ func (c *CPU) resolve(s *slot) {
 func (c *CPU) squashFrontend(next uint32) {
 	if c.sID != nil {
 		c.stats.WrongPath++
+		c.freeSlot(c.sID)
 	}
 	c.sID = nil
 	c.fetching = false
@@ -432,12 +369,17 @@ func (c *CPU) doID() {
 	c.sID = nil
 	c.sEX = s
 	if s.ok {
-		if r, ok := s.in.DestReg(); ok {
-			s.dest, s.hasDest = r, true
-			if c.cfg.Fold != nil {
-				c.cfg.Fold.OnIssue(r)
-				s.counted = true
+		if !s.pdec {
+			// Reference engine: resolve the destination register here;
+			// the fast engine filled it at fetch from the predecode
+			// table.
+			if r, ok := s.in.DestReg(); ok {
+				s.dest, s.hasDest = r, true
 			}
+		}
+		if s.hasDest && c.cfg.Fold != nil {
+			c.cfg.Fold.OnIssue(s.dest)
+			s.counted = true
 		}
 		switch s.in.Op {
 		case isa.OpJ, isa.OpJAL:
@@ -491,7 +433,9 @@ func (c *CPU) doIF() {
 		// Possibly a wrong-path overrun (e.g. sequential fetch past a
 		// jr at the end of the text segment). Deliver a poison slot:
 		// it only faults if it survives to execute.
-		c.sID = &slot{pc: pc, poison: true}
+		s := c.allocSlot()
+		s.pc, s.poison = pc, true
+		c.sID = s
 		c.pc = pc + 4
 		return
 	}
@@ -522,8 +466,21 @@ func (c *CPU) deliver(pc uint32) {
 			if c.cfg.Observer != nil {
 				c.cfg.Observer.OnBranch(pc, f.Taken, true)
 			}
-			in, err := isa.Decode(f.Word)
-			s := &slot{pc: f.PC, word: f.Word, in: in, ok: err == nil, folded: true}
+			s := c.allocSlot()
+			s.pc, s.word, s.folded = f.PC, f.Word, true
+			if c.pre != nil && c.prog.InText(f.PC) && c.pre.at(f.PC).Word == f.Word {
+				// The injected word is the program's own instruction at
+				// f.PC (the common case): reuse its predecoded entry.
+				d := c.pre.at(f.PC)
+				s.in, s.ok = d.In, d.OK
+				s.dest, s.hasDest = d.Dest, d.HasDest
+				s.src, s.nsrc, s.pdec = d.Src, d.NSrc, true
+			} else {
+				// A fault plan (or an exotic hook) injected a word that
+				// is not in the text image; decode it directly.
+				in, err := isa.Decode(f.Word)
+				s.in, s.ok = in, err == nil
+			}
 			c.sID = s
 			c.pc = f.Next
 			if f.Next == HaltAddress {
@@ -532,6 +489,11 @@ func (c *CPU) deliver(pc uint32) {
 			return
 		}
 	}
+	if c.pre != nil {
+		c.deliverFast(pc)
+		return
+	}
+	// Reference engine: decode the word on every fetch.
 	word, err := c.prog.WordAt(pc)
 	if err != nil {
 		c.fail(ErrFetchFault, pc, "fetch: %v", err)
@@ -553,6 +515,44 @@ func (c *CPU) deliver(pc uint32) {
 			// Calls push their return address speculatively at fetch.
 			c.cfg.RAS.Push(pc + 4)
 		case in.Op == isa.OpJR && in.Rs == isa.RegRA:
+			s.predicted = true
+			if target, ok := c.cfg.RAS.Pop(); ok {
+				s.predTarget, s.predRedirect = target, true
+				next = target
+			}
+		}
+	}
+	c.sID = s
+	c.pc = next
+	if next == HaltAddress {
+		c.halting = true
+	}
+}
+
+// deliverFast is the fast engine's fetch completion: the decoded
+// instruction and its derived facts come straight from the predecode
+// table; nothing is decoded or allocated. doIF guarantees pc is a text
+// address before calling deliver.
+func (c *CPU) deliverFast(pc uint32) {
+	d := c.pre.at(pc)
+	s := c.allocSlot()
+	s.pc, s.word = pc, d.Word
+	s.in, s.ok = d.In, d.OK
+	s.dest, s.hasDest = d.Dest, d.HasDest
+	s.src, s.nsrc, s.pdec = d.Src, d.NSrc, true
+	next := pc + 4
+	if d.CondBranch {
+		taken, target, redirect := c.cfg.Branch.PredictFetch(pc)
+		s.predTaken, s.predTarget, s.predRedirect, s.predicted = taken, target, redirect, true
+		if redirect {
+			next = target
+		}
+	}
+	if d.OK && c.cfg.RAS != nil {
+		switch {
+		case d.In.Op == isa.OpJAL || d.In.Op == isa.OpJALR:
+			c.cfg.RAS.Push(pc + 4)
+		case d.In.Op == isa.OpJR && d.In.Rs == isa.RegRA:
 			s.predicted = true
 			if target, ok := c.cfg.RAS.Pop(); ok {
 				s.predTarget, s.predRedirect = target, true

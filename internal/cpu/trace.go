@@ -27,6 +27,9 @@ func (c *CPU) traceCycle(w io.Writer) {
 		}
 		return fmt.Sprintf("%s%08x %s", mark, s.pc, s.in)
 	}
-	fmt.Fprintf(w, "cyc %6d | IF %-32s | EX %-32s | MEM %-32s | WB %-32s\n",
+	// The line buffer is owned by the CPU and reused across cycles (and
+	// runs), so tracing costs one Write per cycle, not one allocation.
+	c.traceBuf = fmt.Appendf(c.traceBuf[:0], "cyc %6d | IF %-32s | EX %-32s | MEM %-32s | WB %-32s\n",
 		c.stats.Cycles, render(c.sID), render(c.sEX), render(c.sMEM), render(c.sWB))
+	w.Write(c.traceBuf)
 }

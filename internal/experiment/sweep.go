@@ -95,6 +95,11 @@ func (s *Sweep) run(prog *isa.Program, cfg cpu.Config, in []int32) (*workload.Re
 		ctx, cancel = context.WithTimeout(ctx, s.opt.Timeout)
 		defer cancel()
 	}
+	if cfg.Predecoded == nil {
+		// Every cell simulating the same compiled artifact shares one
+		// immutable decode table instead of predecoding per machine.
+		cfg.Predecoded = s.arts.Predecode(prog)
+	}
 	return workload.RunContext(ctx, prog, cfg, in, s.opt.Samples)
 }
 

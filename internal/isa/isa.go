@@ -160,6 +160,10 @@ const (
 	opMax
 )
 
+// NumOps is the number of opcode values (including OpInvalid): the
+// size of dense per-opcode dispatch tables.
+const NumOps = int(opMax)
+
 var opNames = [...]string{
 	OpInvalid: "invalid",
 	OpADD:     "add", OpADDU: "addu", OpSUB: "sub", OpSUBU: "subu",

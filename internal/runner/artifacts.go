@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"asbr/internal/cpu"
 	"asbr/internal/isa"
 	"asbr/internal/workload"
 )
@@ -29,6 +30,7 @@ type Artifacts struct {
 	progs    Cache[ProgramKey, *isa.Program]
 	inputs   Cache[TraceKey, []int32]
 	expected Cache[TraceKey, []int32]
+	predec   Cache[*isa.Program, *cpu.Predecoded]
 }
 
 // Program returns the benchmark compiled with the given scheduling
@@ -64,25 +66,41 @@ func (a *Artifacts) Expected(bench string, samples int, seed int64) ([]int32, er
 	})
 }
 
+// Predecode returns the fast-engine decode table for prog, building it
+// at most once per program. Programs handed out by this cache are
+// shared (pointer-identical) across sweep cells, so keying on the
+// pointer dedupes exactly: every machine simulating the same compiled
+// artifact shares one immutable table.
+func (a *Artifacts) Predecode(prog *isa.Program) *cpu.Predecoded {
+	p, _ := a.predec.Get(prog, func() (*cpu.Predecoded, error) {
+		return cpu.Predecode(prog), nil
+	})
+	return p
+}
+
 // Stats reports how many artifacts were actually built versus
 // requested — the sweep-level cache effectiveness.
 type Stats struct {
-	ProgramBuilds  uint64
-	ProgramGets    uint64
-	InputBuilds    uint64
-	InputGets      uint64
-	ExpectedBuilds uint64
-	ExpectedGets   uint64
+	ProgramBuilds   uint64
+	ProgramGets     uint64
+	InputBuilds     uint64
+	InputGets       uint64
+	ExpectedBuilds  uint64
+	ExpectedGets    uint64
+	PredecodeBuilds uint64
+	PredecodeGets   uint64
 }
 
 // Stats returns the current artifact-cache counters.
 func (a *Artifacts) Stats() Stats {
 	return Stats{
-		ProgramBuilds:  a.progs.Builds(),
-		ProgramGets:    a.progs.Gets(),
-		InputBuilds:    a.inputs.Builds(),
-		InputGets:      a.inputs.Gets(),
-		ExpectedBuilds: a.expected.Builds(),
-		ExpectedGets:   a.expected.Gets(),
+		ProgramBuilds:   a.progs.Builds(),
+		ProgramGets:     a.progs.Gets(),
+		InputBuilds:     a.inputs.Builds(),
+		InputGets:       a.inputs.Gets(),
+		ExpectedBuilds:  a.expected.Builds(),
+		ExpectedGets:    a.expected.Gets(),
+		PredecodeBuilds: a.predec.Builds(),
+		PredecodeGets:   a.predec.Gets(),
 	}
 }

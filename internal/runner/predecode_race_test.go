@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"asbr/internal/cpu"
+	"asbr/internal/mem"
+	"asbr/internal/workload"
+)
+
+// TestPredecodeSharingConcurrent hammers the predecode artifact cache
+// from many goroutines that simultaneously fetch the shared table and
+// simulate with it. Run under -race this proves the sharing contract:
+// one immutable Predecoded may back any number of concurrent machines.
+func TestPredecodeSharingConcurrent(t *testing.T) {
+	var arts Artifacts
+	prog, err := arts.ScheduledProgram(workload.ADPCMEncode)
+	if err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	const samples = 256
+	in, err := arts.Input(workload.ADPCMEncode, samples, 1)
+	if err != nil {
+		t.Fatalf("input: %v", err)
+	}
+
+	const workers = 8
+	cycles := make([]uint64, workers)
+	tables := make([]*cpu.Predecoded, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pre := arts.Predecode(prog)
+			tables[i] = pre
+			cfg := cpu.Config{
+				ICache: mem.DefaultICache(), DCache: mem.DefaultDCache(),
+				Predictor: "bimodal", Predecoded: pre, MaxCycles: 1 << 30,
+			}
+			res, err := workload.RunContext(context.Background(), prog, cfg, in, samples)
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			cycles[i] = res.Stats.Cycles
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < workers; i++ {
+		if tables[i] != tables[0] {
+			t.Fatalf("worker %d got a different table: cache did not share", i)
+		}
+		if cycles[i] != cycles[0] {
+			t.Fatalf("worker %d: %d cycles, worker 0: %d", i, cycles[i], cycles[0])
+		}
+	}
+	if st := arts.Stats(); st.PredecodeBuilds != 1 || st.PredecodeGets != uint64(workers) {
+		t.Fatalf("predecode cache stats: %+v, want 1 build / %d gets", st, workers)
+	}
+}

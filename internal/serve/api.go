@@ -21,50 +21,48 @@
 // (the bounded queue, 429 on overflow) happens before a request may
 // start new work; a request whose key is already present joins the
 // existing entry without consuming a queue slot.
+//
+// The wire structs live in internal/serve/apitypes under versioned V1
+// names; this package aliases them, so the server, the Go client and
+// the type definitions cannot drift apart. Request normalization
+// (defaults + validation against the server's limits) stays here —
+// it needs the server Config and the service error vocabulary.
 package serve
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
 	"strings"
-	"time"
 
-	"asbr/internal/cpu"
 	"asbr/internal/experiment"
-	"asbr/internal/runner"
+	"asbr/internal/serve/apitypes"
 	"asbr/internal/workload"
 )
 
-// Predictor names accepted by SimRequest (the asbr-sim -predictor
-// vocabulary).
-var predictorNames = []string{"nottaken", "bimodal", "gshare", "bi512", "bi256"}
+// Wire types, aliased from the versioned protocol package.
+type (
+	SimRequest   = apitypes.SimRequestV1
+	SimStats     = apitypes.SimStatsV1
+	SimResponse  = apitypes.SimResponseV1
+	SweepRequest = apitypes.SweepRequestV1
+	JobRequest   = apitypes.JobRequestV1
+	JobStatus    = apitypes.JobStatusV1
+	Healthz      = apitypes.HealthzV1
+	ErrorBody    = apitypes.ErrorBodyV1
+)
 
-// SimRequest asks for one simulation. Exactly one of Bench and Source
-// must be set: Bench runs a built-in MediaBench workload over the
-// synthetic input trace (with golden-model output checking), Source
-// assembles (or, with Compile, MiniC-compiles) the posted program and
-// runs it bare.
-type SimRequest struct {
-	Bench  string `json:"bench,omitempty"`  // one of workload.Names()
-	Source string `json:"source,omitempty"` // assembly or MiniC text
+// Job states.
+const (
+	JobQueued  = apitypes.JobQueued
+	JobRunning = apitypes.JobRunning
+	JobDone    = apitypes.JobDone
+	JobFailed  = apitypes.JobFailed
+)
 
-	Compile  bool `json:"compile,omitempty"`  // Source is MiniC, not assembly
-	Schedule bool `json:"schedule,omitempty"` // Source mode: run the §5.1 scheduling pass
+// encodeStats projects cpu.Stats onto the wire statistics.
+var encodeStats = apitypes.EncodeStats
 
-	Predictor  string `json:"predictor,omitempty"`   // nottaken|bimodal|gshare|bi512|bi256 (default bimodal)
-	ASBR       bool   `json:"asbr,omitempty"`        // profile, select, fold, re-run
-	BITEntries int    `json:"bit_entries,omitempty"` // BIT capacity for ASBR (0 = per-bench default)
-
-	Samples int   `json:"samples,omitempty"` // Bench mode: audio samples (default server-side)
-	Seed    int64 `json:"seed,omitempty"`    // Bench mode: synthetic-trace seed (default 1)
-
-	MaxCycles uint64 `json:"max_cycles,omitempty"` // watchdog cycle budget (default server-side)
-	TimeoutMS int64  `json:"timeout_ms,omitempty"` // wall-clock budget (default server-side)
-}
-
-// normalize fills defaults in place and validates the request.
-func (r *SimRequest) normalize(cfg Config) error {
+// normalizeSim fills defaults in place and validates the request
+// against the server's limits.
+func normalizeSim(r *SimRequest, cfg Config) error {
 	if (r.Bench == "") == (r.Source == "") {
 		return badRequest("exactly one of bench and source must be set")
 	}
@@ -84,14 +82,14 @@ func (r *SimRequest) normalize(cfg Config) error {
 		r.Predictor = "bimodal"
 	}
 	ok := false
-	for _, n := range predictorNames {
+	for _, n := range apitypes.PredictorNames() {
 		if r.Predictor == n {
 			ok = true
 			break
 		}
 	}
 	if !ok {
-		return badRequest("unknown predictor %q (want %s)", r.Predictor, strings.Join(predictorNames, "|"))
+		return badRequest("unknown predictor %q (want %s)", r.Predictor, strings.Join(apitypes.PredictorNames(), "|"))
 	}
 	if r.Samples < 0 || r.Samples > cfg.MaxSamples {
 		return badRequest("samples %d out of range [0, %d]", r.Samples, cfg.MaxSamples)
@@ -117,100 +115,9 @@ func (r *SimRequest) normalize(cfg Config) error {
 	return nil
 }
 
-// key returns the request's canonical coalescing key. Program and
-// trace identity go through the runner key helpers — the same
-// constructors the sweep layer's artifact cache uses — so the two
-// layers cannot key the same artifact differently. Every field that
-// can change the simulation's outcome is part of the key.
-func (r *SimRequest) key() string {
-	var b strings.Builder
-	b.WriteString("sim|")
-	if r.Bench != "" {
-		b.WriteString(runner.NewProgramKey(r.Bench, workload.BuildOptionsFor(r.Bench, true)).Canonical())
-		b.WriteString("|")
-		b.WriteString(runner.NewTraceKey(r.Bench, r.Samples, r.Seed).Canonical())
-	} else {
-		sum := sha256.Sum256([]byte(r.Source))
-		fmt.Fprintf(&b, "src/%s?compile=%t&sched=%t", hex.EncodeToString(sum[:]), r.Compile, r.Schedule)
-	}
-	fmt.Fprintf(&b, "|pred=%s|asbr=%t|k=%d|maxcycles=%d|timeout=%d",
-		r.Predictor, r.ASBR, r.BITEntries, r.MaxCycles, r.TimeoutMS)
-	return b.String()
-}
-
-func (r *SimRequest) timeout() time.Duration {
-	return time.Duration(r.TimeoutMS) * time.Millisecond
-}
-
-// SimStats is the wire form of the simulation statistics a client
-// typically dashboards; the full cpu.Stats stays server-side.
-type SimStats struct {
-	Cycles         uint64  `json:"cycles"`
-	Instructions   uint64  `json:"instructions"`
-	CPI            float64 `json:"cpi"`
-	CondBranches   uint64  `json:"cond_branches"`
-	TakenBranches  uint64  `json:"taken_branches"`
-	Mispredicts    uint64  `json:"mispredicts"`
-	Accuracy       float64 `json:"accuracy"`
-	Folded         uint64  `json:"folded"`
-	FoldFallbacks  uint64  `json:"fold_fallbacks"`
-	LoadUseStalls  uint64  `json:"load_use_stalls"`
-	FetchStalls    uint64  `json:"fetch_stalls"`
-	MemStalls      uint64  `json:"mem_stalls"`
-	ExStalls       uint64  `json:"ex_stalls"`
-	ICacheMissRate float64 `json:"icache_miss_rate"`
-	DCacheMissRate float64 `json:"dcache_miss_rate"`
-}
-
-func encodeStats(st cpu.Stats) SimStats {
-	return SimStats{
-		Cycles: st.Cycles, Instructions: st.Instructions, CPI: st.CPI(),
-		CondBranches: st.CondBranches, TakenBranches: st.TakenBranches,
-		Mispredicts: st.Mispredicts, Accuracy: st.PredAccuracy(),
-		Folded: st.Folded, FoldFallbacks: st.FoldFallbacks,
-		LoadUseStalls: st.LoadUseStalls, FetchStalls: st.FetchStalls,
-		MemStalls: st.MemStalls, ExStalls: st.ExStalls,
-		ICacheMissRate: st.ICache.MissRate(), DCacheMissRate: st.DCache.MissRate(),
-	}
-}
-
-// SimResponse is one finished simulation.
-type SimResponse struct {
-	Bench      string   `json:"bench,omitempty"`
-	Predictor  string   `json:"predictor"`
-	ASBR       bool     `json:"asbr,omitempty"`
-	BITEntries int      `json:"bit_entries,omitempty"` // branches actually loaded into the BIT
-	Samples    int      `json:"samples,omitempty"`
-	Seed       int64    `json:"seed,omitempty"`
-	Stats      SimStats `json:"stats"`
-
-	// ASBR mode: the profiled baseline run's cycles and the relative
-	// improvement of the folded run.
-	BaselineCycles uint64  `json:"baseline_cycles,omitempty"`
-	Improvement    float64 `json:"improvement,omitempty"`
-
-	// Bench mode: whether the simulated output matched the golden
-	// reference model bit-exactly.
-	OutputOK *bool `json:"output_ok,omitempty"`
-
-	// Source mode: the program's syscall output stream.
-	Output   []int32 `json:"output,omitempty"`
-	ExitCode int32   `json:"exit_code"`
-}
-
-// SweepRequest asks for experiment tables (the asbr-tables workload).
-type SweepRequest struct {
-	Tables    []string `json:"tables,omitempty"`     // table names, or empty/"all" for every table
-	Samples   int      `json:"samples,omitempty"`    // audio samples per benchmark
-	Seed      int64    `json:"seed,omitempty"`       // synthetic-trace seed
-	Update    string   `json:"update,omitempty"`     // BDT update point: ex|mem|wb
-	Parallel  int      `json:"parallel,omitempty"`   // worker cap (results are parallel-invariant)
-	MaxCycles uint64   `json:"max_cycles,omitempty"` // per-simulation watchdog budget
-	TimeoutMS int64    `json:"timeout_ms,omitempty"` // per-simulation wall-clock budget
-}
-
-// normalize fills defaults in place and validates the request.
-func (r *SweepRequest) normalize(cfg Config) error {
+// normalizeSweep fills defaults in place and validates the request
+// against the server's limits.
+func normalizeSweep(r *SweepRequest, cfg Config) error {
 	sel, err := experiment.NormalizeTableNames(r.Tables)
 	if err != nil {
 		return badRequest("%v", err)
@@ -251,66 +158,4 @@ func (r *SweepRequest) normalize(cfg Config) error {
 		r.TimeoutMS = cfg.DefaultTimeout.Milliseconds()
 	}
 	return nil
-}
-
-// key returns the canonical coalescing key. Parallel is deliberately
-// excluded: the experiment engine's determinism contract makes sweep
-// output invariant under the worker count, so requests that differ
-// only in parallelism coalesce onto one run.
-func (r *SweepRequest) key() string {
-	return fmt.Sprintf("sweep|tables=%s|n=%d|seed=%d|update=%s|maxcycles=%d|timeout=%d",
-		strings.Join(r.Tables, ","), r.Samples, r.Seed, r.Update, r.MaxCycles, r.TimeoutMS)
-}
-
-// options converts a normalized request into experiment options.
-func (r *SweepRequest) options() experiment.Options {
-	opt := experiment.Options{
-		Samples:   r.Samples,
-		Seed:      r.Seed,
-		Parallel:  r.Parallel,
-		MaxCycles: r.MaxCycles,
-		Timeout:   time.Duration(r.TimeoutMS) * time.Millisecond,
-	}
-	switch r.Update {
-	case "ex":
-		opt.Update = cpu.StageEX
-	case "wb":
-		opt.Update = cpu.StageWB
-	default:
-		opt.Update = cpu.StageMEM
-	}
-	return opt
-}
-
-// JobRequest is an async submission: exactly one of Sim and Sweep.
-type JobRequest struct {
-	Sim   *SimRequest   `json:"sim,omitempty"`
-	Sweep *SweepRequest `json:"sweep,omitempty"`
-}
-
-// Job states.
-const (
-	JobQueued  = "queued"
-	JobRunning = "running"
-	JobDone    = "done"
-	JobFailed  = "failed"
-)
-
-// JobStatus is an async job's state and, once finished, its result or
-// structured error.
-type JobStatus struct {
-	ID    string                 `json:"id"`
-	Kind  string                 `json:"kind"` // sim | sweep
-	State string                 `json:"state"`
-	Sim   *SimResponse           `json:"sim,omitempty"`
-	Sweep *experiment.TablesJSON `json:"sweep,omitempty"`
-	Error *ErrorBody             `json:"error,omitempty"`
-}
-
-// Healthz is the liveness response.
-type Healthz struct {
-	Status        string `json:"status"` // ok | draining
-	QueueDepth    int    `json:"queue_depth"`
-	QueueCapacity int    `json:"queue_capacity"`
-	Workers       int    `json:"workers"`
 }

@@ -1,0 +1,220 @@
+// Package apitypes is the single source of truth for the serve
+// daemon's wire protocol. Every request/response struct carries an
+// explicit V1 suffix — the JSON shapes are frozen per version, so the
+// server (internal/serve), the Go client (internal/serve/client) and
+// any external consumer marshal exactly the same bytes. internal/serve
+// aliases these types under their unversioned names; a future v2 adds
+// new types here instead of mutating these.
+package apitypes
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"asbr/internal/cpu"
+	"asbr/internal/experiment"
+	"asbr/internal/predict"
+	"asbr/internal/runner"
+	"asbr/internal/workload"
+)
+
+// PredictorNames is the predictor vocabulary every API field and CLI
+// flag accepts — delegated to the predict package so a new
+// configuration lands in the protocol automatically.
+func PredictorNames() []string { return predict.Names() }
+
+// SimRequestV1 asks for one simulation. Exactly one of Bench and
+// Source must be set: Bench runs a built-in MediaBench workload over
+// the synthetic input trace (with golden-model output checking),
+// Source assembles (or, with Compile, MiniC-compiles) the posted
+// program and runs it bare.
+type SimRequestV1 struct {
+	Bench  string `json:"bench,omitempty"`  // one of workload.Names()
+	Source string `json:"source,omitempty"` // assembly or MiniC text
+
+	Compile  bool `json:"compile,omitempty"`  // Source is MiniC, not assembly
+	Schedule bool `json:"schedule,omitempty"` // Source mode: run the §5.1 scheduling pass
+
+	Predictor  string `json:"predictor,omitempty"`   // predict.Names() vocabulary (default bimodal)
+	ASBR       bool   `json:"asbr,omitempty"`        // profile, select, fold, re-run
+	BITEntries int    `json:"bit_entries,omitempty"` // BIT capacity for ASBR (0 = per-bench default)
+
+	Samples int   `json:"samples,omitempty"` // Bench mode: audio samples (default server-side)
+	Seed    int64 `json:"seed,omitempty"`    // Bench mode: synthetic-trace seed (default 1)
+
+	MaxCycles uint64 `json:"max_cycles,omitempty"` // watchdog cycle budget (default server-side)
+	TimeoutMS int64  `json:"timeout_ms,omitempty"` // wall-clock budget (default server-side)
+}
+
+// Key returns the request's canonical coalescing key. Program and
+// trace identity go through the runner key helpers — the same
+// constructors the sweep layer's artifact cache uses — so the two
+// layers cannot key the same artifact differently. Every field that
+// can change the simulation's outcome is part of the key.
+func (r *SimRequestV1) Key() string {
+	var b strings.Builder
+	b.WriteString("sim|")
+	if r.Bench != "" {
+		b.WriteString(runner.NewProgramKey(r.Bench, workload.BuildOptionsFor(r.Bench, true)).Canonical())
+		b.WriteString("|")
+		b.WriteString(runner.NewTraceKey(r.Bench, r.Samples, r.Seed).Canonical())
+	} else {
+		sum := sha256.Sum256([]byte(r.Source))
+		fmt.Fprintf(&b, "src/%s?compile=%t&sched=%t", hex.EncodeToString(sum[:]), r.Compile, r.Schedule)
+	}
+	fmt.Fprintf(&b, "|pred=%s|asbr=%t|k=%d|maxcycles=%d|timeout=%d",
+		r.Predictor, r.ASBR, r.BITEntries, r.MaxCycles, r.TimeoutMS)
+	return b.String()
+}
+
+// Timeout returns the request's wall-clock budget.
+func (r *SimRequestV1) Timeout() time.Duration {
+	return time.Duration(r.TimeoutMS) * time.Millisecond
+}
+
+// SimStatsV1 is the wire form of the simulation statistics a client
+// typically dashboards; the full cpu.Stats stays server-side.
+type SimStatsV1 struct {
+	Cycles         uint64  `json:"cycles"`
+	Instructions   uint64  `json:"instructions"`
+	CPI            float64 `json:"cpi"`
+	CondBranches   uint64  `json:"cond_branches"`
+	TakenBranches  uint64  `json:"taken_branches"`
+	Mispredicts    uint64  `json:"mispredicts"`
+	Accuracy       float64 `json:"accuracy"`
+	Folded         uint64  `json:"folded"`
+	FoldFallbacks  uint64  `json:"fold_fallbacks"`
+	LoadUseStalls  uint64  `json:"load_use_stalls"`
+	FetchStalls    uint64  `json:"fetch_stalls"`
+	MemStalls      uint64  `json:"mem_stalls"`
+	ExStalls       uint64  `json:"ex_stalls"`
+	ICacheMissRate float64 `json:"icache_miss_rate"`
+	DCacheMissRate float64 `json:"dcache_miss_rate"`
+}
+
+// EncodeStats projects the simulator's full counter set onto the wire
+// statistics.
+func EncodeStats(st cpu.Stats) SimStatsV1 {
+	return SimStatsV1{
+		Cycles: st.Cycles, Instructions: st.Instructions, CPI: st.CPI(),
+		CondBranches: st.CondBranches, TakenBranches: st.TakenBranches,
+		Mispredicts: st.Mispredicts, Accuracy: st.PredAccuracy(),
+		Folded: st.Folded, FoldFallbacks: st.FoldFallbacks,
+		LoadUseStalls: st.LoadUseStalls, FetchStalls: st.FetchStalls,
+		MemStalls: st.MemStalls, ExStalls: st.ExStalls,
+		ICacheMissRate: st.ICache.MissRate(), DCacheMissRate: st.DCache.MissRate(),
+	}
+}
+
+// SimResponseV1 is one finished simulation.
+type SimResponseV1 struct {
+	Bench      string     `json:"bench,omitempty"`
+	Predictor  string     `json:"predictor"`
+	ASBR       bool       `json:"asbr,omitempty"`
+	BITEntries int        `json:"bit_entries,omitempty"` // branches actually loaded into the BIT
+	Samples    int        `json:"samples,omitempty"`
+	Seed       int64      `json:"seed,omitempty"`
+	Stats      SimStatsV1 `json:"stats"`
+
+	// ASBR mode: the profiled baseline run's cycles and the relative
+	// improvement of the folded run.
+	BaselineCycles uint64  `json:"baseline_cycles,omitempty"`
+	Improvement    float64 `json:"improvement,omitempty"`
+
+	// Bench mode: whether the simulated output matched the golden
+	// reference model bit-exactly.
+	OutputOK *bool `json:"output_ok,omitempty"`
+
+	// Source mode: the program's syscall output stream.
+	Output   []int32 `json:"output,omitempty"`
+	ExitCode int32   `json:"exit_code"`
+}
+
+// SweepRequestV1 asks for experiment tables (the asbr-tables workload).
+type SweepRequestV1 struct {
+	Tables    []string `json:"tables,omitempty"`     // table names, or empty/"all" for every table
+	Samples   int      `json:"samples,omitempty"`    // audio samples per benchmark
+	Seed      int64    `json:"seed,omitempty"`       // synthetic-trace seed
+	Update    string   `json:"update,omitempty"`     // BDT update point: ex|mem|wb
+	Parallel  int      `json:"parallel,omitempty"`   // worker cap (results are parallel-invariant)
+	MaxCycles uint64   `json:"max_cycles,omitempty"` // per-simulation watchdog budget
+	TimeoutMS int64    `json:"timeout_ms,omitempty"` // per-simulation wall-clock budget
+}
+
+// Key returns the canonical coalescing key. Parallel is deliberately
+// excluded: the experiment engine's determinism contract makes sweep
+// output invariant under the worker count, so requests that differ
+// only in parallelism coalesce onto one run.
+func (r *SweepRequestV1) Key() string {
+	return fmt.Sprintf("sweep|tables=%s|n=%d|seed=%d|update=%s|maxcycles=%d|timeout=%d",
+		strings.Join(r.Tables, ","), r.Samples, r.Seed, r.Update, r.MaxCycles, r.TimeoutMS)
+}
+
+// Options converts a normalized request into experiment options.
+func (r *SweepRequestV1) Options() experiment.Options {
+	opt := experiment.Options{
+		Samples:   r.Samples,
+		Seed:      r.Seed,
+		Parallel:  r.Parallel,
+		MaxCycles: r.MaxCycles,
+		Timeout:   time.Duration(r.TimeoutMS) * time.Millisecond,
+	}
+	switch r.Update {
+	case "ex":
+		opt.Update = cpu.StageEX
+	case "wb":
+		opt.Update = cpu.StageWB
+	default:
+		opt.Update = cpu.StageMEM
+	}
+	return opt
+}
+
+// JobRequestV1 is an async submission: exactly one of Sim and Sweep.
+type JobRequestV1 struct {
+	Sim   *SimRequestV1   `json:"sim,omitempty"`
+	Sweep *SweepRequestV1 `json:"sweep,omitempty"`
+}
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatusV1 is an async job's state and, once finished, its result
+// or structured error.
+type JobStatusV1 struct {
+	ID    string                 `json:"id"`
+	Kind  string                 `json:"kind"` // sim | sweep
+	State string                 `json:"state"`
+	Sim   *SimResponseV1         `json:"sim,omitempty"`
+	Sweep *experiment.TablesJSON `json:"sweep,omitempty"`
+	Error *ErrorBodyV1           `json:"error,omitempty"`
+}
+
+// HealthzV1 is the liveness response.
+type HealthzV1 struct {
+	Status        string `json:"status"` // ok | draining
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Workers       int    `json:"workers"`
+}
+
+// ErrorBodyV1 is the structured error every endpoint returns, wrapped
+// in an {"error": ...} envelope. Code is stable: for simulation
+// failures it is the *cpu.SimError code string (cycle-limit,
+// bad-opcode, ...) so clients dispatch on the failure class without
+// parsing messages; service-level failures use the serve package's
+// codes.
+type ErrorBodyV1 struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	PC      uint32 `json:"pc,omitempty"`    // faulting address (simulation errors)
+	Cycle   uint64 `json:"cycle,omitempty"` // cycle at the failure (simulation errors)
+}

@@ -1,0 +1,106 @@
+package apitypes
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"asbr/internal/cpu"
+	"asbr/internal/predict"
+)
+
+// roundTrip marshals v, unmarshals into a fresh value of the same
+// type, and requires bit-exact equality — the versioned wire structs
+// must survive a marshal/unmarshal cycle without losing or mutating
+// any field.
+func roundTrip(t *testing.T, v any) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", v, err)
+	}
+	out := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(out); err != nil {
+		t.Fatalf("unmarshal %T: %v", v, err)
+	}
+	if !reflect.DeepEqual(v, out) {
+		t.Fatalf("%T round trip mismatch:\n sent %+v\n got  %+v\n wire %s", v, v, out, b)
+	}
+}
+
+func TestRoundTripSimRequest(t *testing.T) {
+	roundTrip(t, &SimRequestV1{
+		Bench: "adpcm-enc", Predictor: "gshare", ASBR: true, BITEntries: 8,
+		Samples: 2048, Seed: 7, MaxCycles: 1 << 30, TimeoutMS: 1500,
+	})
+	roundTrip(t, &SimRequestV1{
+		Source: "add $t0, $t1, $t2", Compile: false, Schedule: true,
+		Predictor: "bimodal",
+	})
+}
+
+func TestRoundTripSimResponse(t *testing.T) {
+	ok := true
+	roundTrip(t, &SimResponseV1{
+		Bench: "g721-dec", Predictor: "bi512", ASBR: true, BITEntries: 12,
+		Samples: 4096, Seed: 1,
+		Stats: SimStatsV1{
+			Cycles: 123456, Instructions: 100000, CPI: 1.23456,
+			CondBranches: 9000, TakenBranches: 5000, Mispredicts: 700,
+			Accuracy: 0.92, Folded: 1500, FoldFallbacks: 40,
+			LoadUseStalls: 300, FetchStalls: 2000, MemStalls: 900,
+			ExStalls: 1200, ICacheMissRate: 0.01, DCacheMissRate: 0.03,
+		},
+		BaselineCycles: 140000, Improvement: 0.118,
+		OutputOK: &ok, Output: []int32{1, -2, 3}, ExitCode: 0,
+	})
+}
+
+func TestRoundTripSweepRequest(t *testing.T) {
+	roundTrip(t, &SweepRequestV1{
+		Tables: []string{"fig6", "fig7"}, Samples: 1024, Seed: 3,
+		Update: "ex", Parallel: 4, MaxCycles: 1 << 28, TimeoutMS: 60000,
+	})
+}
+
+func TestRoundTripJobAndErrors(t *testing.T) {
+	roundTrip(t, &JobRequestV1{Sim: &SimRequestV1{Bench: "adpcm-dec", Predictor: "nottaken"}})
+	roundTrip(t, &JobStatusV1{
+		ID: "j000001", Kind: "sim", State: JobFailed,
+		Error: &ErrorBodyV1{Code: "cycle-limit", Message: "exceeded MaxCycles", PC: 0x400010, Cycle: 999},
+	})
+	roundTrip(t, &HealthzV1{Status: "ok", QueueDepth: 1, QueueCapacity: 64, Workers: 8})
+}
+
+// TestEncodeStats pins the projection from the simulator's counters to
+// the wire statistics.
+func TestEncodeStats(t *testing.T) {
+	st := cpu.Stats{Cycles: 200, Instructions: 100, CondBranches: 10, DirMispredicts: 2, Folded: 5}
+	ws := EncodeStats(st)
+	if ws.Cycles != 200 || ws.Instructions != 100 || ws.CPI != 2.0 {
+		t.Fatalf("EncodeStats basic fields wrong: %+v", ws)
+	}
+	if ws.Accuracy != 0.8 {
+		t.Fatalf("Accuracy = %v, want 0.8", ws.Accuracy)
+	}
+	if ws.Folded != 5 {
+		t.Fatalf("Folded = %d, want 5", ws.Folded)
+	}
+}
+
+// TestPredictorNames requires the protocol vocabulary to stay in sync
+// with the predict package's registry.
+func TestPredictorNames(t *testing.T) {
+	names := PredictorNames()
+	if len(names) == 0 {
+		t.Fatal("no predictor names")
+	}
+	for _, n := range names {
+		if _, err := predict.ByName(n); err != nil {
+			t.Fatalf("predictor %q in names but not resolvable: %v", n, err)
+		}
+	}
+}

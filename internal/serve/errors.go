@@ -8,17 +8,9 @@ import (
 	"asbr/internal/cpu"
 )
 
-// ErrorBody is the structured error every endpoint returns, wrapped in
-// an {"error": ...} envelope. Code is stable: for simulation failures
-// it is the *cpu.SimError code string (cycle-limit, bad-opcode, ...)
-// so clients dispatch on the failure class without parsing messages;
-// service-level failures use the codes below.
-type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	PC      uint32 `json:"pc,omitempty"`    // faulting address (simulation errors)
-	Cycle   uint64 `json:"cycle,omitempty"` // cycle at the failure (simulation errors)
-}
+// ErrorBody (an alias of apitypes.ErrorBodyV1, see api.go) is the
+// structured error every endpoint returns, wrapped in an
+// {"error": ...} envelope.
 
 // Service-level error codes.
 const (

@@ -107,7 +107,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	if err := req.normalize(s.cfg); err != nil {
+	if err := normalizeSim(&req, s.cfg); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -125,7 +125,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	if err := req.normalize(s.cfg); err != nil {
+	if err := normalizeSweep(&req, s.cfg); err != nil {
 		s.writeError(w, err)
 		return
 	}

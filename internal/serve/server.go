@@ -76,8 +76,8 @@ func (c Config) Fill() Config {
 type Server struct {
 	cfg Config
 
-	arts   runner.Artifacts                            // compiled programs / traces, shared across requests
-	sims   runner.Cache[string, *SimResponse]          // sim coalescing + result cache
+	arts   runner.Artifacts                             // compiled programs / traces, shared across requests
+	sims   runner.Cache[string, *SimResponse]           // sim coalescing + result cache
 	sweeps runner.Cache[string, *experiment.TablesJSON] // sweep coalescing + result cache
 
 	tasks    chan func()
@@ -166,7 +166,7 @@ func (s *Server) submit(run func()) error {
 // including deterministic simulation errors — are cached permanently,
 // so replays of a completed request never re-simulate.
 func (s *Server) doSim(req *SimRequest) (*SimResponse, error) {
-	key := req.key()
+	key := req.Key()
 	build := func() (*SimResponse, error) { return s.simulate(req) }
 	if s.sims.Contains(key) {
 		return s.sims.Get(key, build)
@@ -188,7 +188,7 @@ func (s *Server) doSim(req *SimRequest) (*SimResponse, error) {
 
 // doSweep is doSim for /v1/sweep.
 func (s *Server) doSweep(req *SweepRequest) (*experiment.TablesJSON, error) {
-	key := req.key()
+	key := req.Key()
 	build := func() (*experiment.TablesJSON, error) { return s.runSweep(req) }
 	if s.sweeps.Contains(key) {
 		return s.sweeps.Get(key, build)
@@ -213,7 +213,7 @@ func (s *Server) doSweep(req *SweepRequest) (*experiment.TablesJSON, error) {
 // — only a request-level failure is an error here.
 func (s *Server) runSweep(req *SweepRequest) (*experiment.TablesJSON, error) {
 	s.met.sweepRuns.Add(1)
-	tabs, err := experiment.NewSweep(req.options()).Tables(req.Tables)
+	tabs, err := experiment.NewSweep(req.Options()).Tables(req.Tables)
 	if tabs != nil {
 		// Cell- and table-level failures are part of the payload;
 		// clients inspect tabs.Errors / per-cell error fields.
@@ -230,13 +230,13 @@ func (s *Server) runSweep(req *SweepRequest) (*experiment.TablesJSON, error) {
 // requests may be waiting on.
 func (s *Server) simulate(req *SimRequest) (*SimResponse, error) {
 	s.met.simRuns.Add(1)
-	ctx, cancel := context.WithTimeout(context.Background(), req.timeout())
+	ctx, cancel := context.WithTimeout(context.Background(), req.Timeout())
 	defer cancel()
 
 	resp, err := s.simulateCtx(ctx, req)
 	if err != nil {
 		if code := cpu.CodeOf(err); code != cpu.ErrNone {
-			s.logf("sim %s: %s", req.key(), code)
+			s.logf("sim %s: %s", req.Key(), code)
 		}
 		return nil, err
 	}
@@ -252,29 +252,16 @@ func (s *Server) simulateCtx(ctx context.Context, req *SimRequest) (*SimResponse
 }
 
 // machineFor assembles the paper's platform around the requested
-// predictor with the request's watchdog budget.
+// predictor with the request's watchdog budget. The predictor rides by
+// name in cpu.Config — cpu.New resolves it through predict.ByName, the
+// same vocabulary normalizeSim validated against.
 func machineFor(req *SimRequest) cpu.Config {
 	return cpu.Config{
 		ICache:                mem.DefaultICache(),
 		DCache:                mem.DefaultDCache(),
-		Branch:                unitFor(req.Predictor),
+		Predictor:             req.Predictor,
 		ExtraMispredictCycles: experiment.ExtraMispredictCycles,
 		MaxCycles:             req.MaxCycles,
-	}
-}
-
-func unitFor(name string) *predict.Unit {
-	switch name {
-	case "nottaken":
-		return predict.BaselineNotTaken()
-	case "gshare":
-		return predict.BaselineGShare()
-	case "bi512":
-		return predict.AuxBimodal512()
-	case "bi256":
-		return predict.AuxBimodal256()
-	default:
-		return predict.BaselineBimodal()
 	}
 }
 
@@ -296,6 +283,9 @@ func (s *Server) simulateBench(ctx context.Context, req *SimRequest) (*SimRespon
 	}
 
 	cfg := machineFor(req)
+	// Requests simulating the same compiled benchmark share one decode
+	// table via the artifact store.
+	cfg.Predecoded = s.arts.Predecode(prog)
 	if !req.ASBR {
 		res, err := workload.RunContext(ctx, prog, cfg, in, req.Samples)
 		if err != nil {
@@ -455,10 +445,10 @@ func (s *Server) submitJob(req *JobRequest) (*JobStatus, error) {
 	kind := "sim"
 	if req.Sweep != nil {
 		kind = "sweep"
-		if err := req.Sweep.normalize(s.cfg); err != nil {
+		if err := normalizeSweep(req.Sweep, s.cfg); err != nil {
 			return nil, err
 		}
-	} else if err := req.Sim.normalize(s.cfg); err != nil {
+	} else if err := normalizeSim(req.Sim, s.cfg); err != nil {
 		return nil, err
 	}
 
@@ -472,11 +462,11 @@ func (s *Server) submitJob(req *JobRequest) (*JobStatus, error) {
 		s.setJobState(job.ID, JobRunning)
 		var done JobStatus
 		if kind == "sim" {
-			v, err := s.sims.Get(req.Sim.key(), func() (*SimResponse, error) { return s.simulate(req.Sim) })
+			v, err := s.sims.Get(req.Sim.Key(), func() (*SimResponse, error) { return s.simulate(req.Sim) })
 			done = jobOutcome(err)
 			done.Sim = v
 		} else {
-			v, err := s.sweeps.Get(req.Sweep.key(), func() (*experiment.TablesJSON, error) { return s.runSweep(req.Sweep) })
+			v, err := s.sweeps.Get(req.Sweep.Key(), func() (*experiment.TablesJSON, error) { return s.runSweep(req.Sweep) })
 			done = jobOutcome(err)
 			done.Sweep = v
 		}
