@@ -8,7 +8,7 @@ GO ?= go
 FUZZTIME ?= 10s
 FAULT_FUZZTIME ?= 2m
 
-.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke loadgen fuzz-smoke fuzz-fault tables ci clean
+.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke trace-smoke loadgen fuzz-smoke fuzz-fault tables ci clean
 
 all: build
 
@@ -53,6 +53,14 @@ fault-smoke:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/asbr-serve
 
+# Observability smoke: run asbr-sim with -trace (plain and -asbr),
+# validate the JSONL against the asbr-trace/v1 schema and the
+# chrome://tracing twin against the trace_event shape. The disabled-
+# observer overhead gate is bench-check: the fast engine must stay
+# within 10% of BENCH_baseline.json with no observer attached.
+trace-smoke:
+	$(GO) test -run TestTraceSmoke -count=1 -v ./cmd/asbr-sim
+
 # Load check: concurrent mixed traffic against one daemon, zero 5xx
 # allowed. Run with the race detector so it doubles as a data-race net.
 loadgen:
@@ -69,7 +77,7 @@ fuzz-fault:
 tables:
 	$(GO) run ./cmd/asbr-tables
 
-ci: vet build race bench-smoke fault-smoke serve-smoke loadgen fuzz-smoke fuzz-fault
+ci: vet build race bench-smoke fault-smoke serve-smoke trace-smoke loadgen fuzz-smoke fuzz-fault
 
 clean:
 	$(GO) clean ./...

@@ -33,6 +33,7 @@ func main() {
 	top := flag.Int("top", 20, "branches to list in the profile table")
 	sf := cliflags.NewSim()
 	sf.RegisterMachine(flag.CommandLine)
+	sf.RegisterObs(flag.CommandLine)
 	flag.Parse()
 
 	ctx, cancel := sf.Context()
@@ -42,6 +43,12 @@ func main() {
 	check(err)
 	prof := profile.NewStandard()
 	cfg.Observer = prof
+	// -trace on the profiled run: the profiler (legacy hook) and the
+	// tracer compose through the observer chain in cpu.New.
+	tr := sf.NewTracer()
+	if tr != nil {
+		cfg.Obs = tr
+	}
 	var prog *isa.Program
 	switch {
 	case *bench != "":
@@ -106,6 +113,14 @@ func main() {
 		fmt.Fprintf(w, "%d\t0x%08x\t%.0f\t%d\t%.2f\t%s\n", i, c.PC, c.Score, c.Count, c.AuxAccuracy, dist)
 	}
 	w.Flush()
+
+	if tr != nil {
+		chrome, terr := tr.WriteFiles(sf.Trace)
+		check(terr)
+		fmt.Printf("\ntrace: %d events (%d retained) -> %s, %s\n",
+			tr.Total(), tr.Retained(), sf.Trace, chrome)
+	}
+	check(sf.DumpMetrics())
 }
 
 func check(err error) {

@@ -10,7 +10,9 @@
 //	asbr-serve -addr-file /tmp/addr   # write the bound address for scripts
 //
 // Endpoints: POST /v1/sim, POST /v1/sweep, POST /v1/jobs,
-// GET /v1/jobs/{id}, GET /v1/healthz, GET /metrics. See DESIGN.md §8.
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/trace, GET /v1/stats,
+// GET /v1/healthz, GET /metrics, GET /debug/pprof/. See DESIGN.md §8
+// and §10 (observability).
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight
 // requests finish, queued async jobs run to completion, then the

@@ -110,6 +110,36 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("daemon unhealthy after watchdog trip: %+v, %v", h, err)
 	}
 
+	// A traced async job: the trace endpoint must hand back an event
+	// stream whose exact commit count matches the job's statistics, and
+	// /v1/stats must have accumulated every run so far.
+	traced, err := c.Submit(ctx, serve.JobRequest{
+		Sim:   &serve.SimRequest{Bench: workload.ADPCMEncode, Samples: 128, Seed: 3},
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatalf("submit traced: %v", err)
+	}
+	traced, err = c.Wait(ctx, traced.ID, 20*time.Millisecond)
+	if err != nil || traced.State != serve.JobDone {
+		t.Fatalf("traced job: %+v, %v", traced, err)
+	}
+	tr, err := c.JobTrace(ctx, traced.ID)
+	if err != nil {
+		t.Fatalf("job trace: %v", err)
+	}
+	if tr.Counts["commit"] != traced.Sim.Stats.Instructions || len(tr.Events) == 0 {
+		t.Errorf("trace/stats mismatch: %d commit events, %d instructions, %d retained",
+			tr.Counts["commit"], traced.Sim.Stats.Instructions, len(tr.Events))
+	}
+	svc, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if svc.SimRuns < 2 || svc.Totals.Instructions == 0 || svc.Totals.FoldCoverage != 0 {
+		t.Errorf("service stats = %+v (want ≥2 sim runs, nonzero totals, zero fold coverage)", svc)
+	}
+
 	// Queue an async job on a fresh key, then SIGTERM: the drain must
 	// run it to completion before the process exits 0.
 	job, err := c.Submit(ctx, serve.JobRequest{Sim: &serve.SimRequest{

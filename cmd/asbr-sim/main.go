@@ -5,15 +5,22 @@
 //	asbr-sim -c prog.mc                # compile MiniC and run
 //	asbr-sim -predictor gshare prog.s  # choose the branch predictor
 //	asbr-sim -asbr -profile prog.s     # profile, select, fold, re-run
-//	asbr-sim -trace prog.s             # print the disassembly first
+//	asbr-sim -disasm prog.s            # print the disassembly first
+//	asbr-sim -trace t.jsonl prog.s     # record a pipeline event trace
 //	asbr-sim -parallel 4 a.s b.s c.s   # simulate several programs at once
 //	asbr-sim -remote :8344 prog.s      # run on an asbr-serve daemon
 //
 // With -remote the program source is posted to a shared asbr-serve
 // daemon's /v1/sim endpoint and the returned statistics are printed;
 // identical requests coalesce onto one simulation server-side. The
-// local-only inspection flags (-trace, -pipetrace, -fault) do not
-// combine with it.
+// local-only inspection flags (-disasm, -pipetrace, -fault, -trace)
+// do not combine with it.
+//
+// -trace records every pipeline event (fetch, fold, issue, branch,
+// mispredict, commit, plus the ASBR core's BIT/BDT events under -asbr)
+// as asbr-trace/v1 JSONL and writes a chrome://tracing twin next to
+// it. Before writing, the run self-checks that the trace's exact
+// per-kind totals bit-match the simulator's counters.
 //
 // With several program files the simulations run concurrently on a
 // bounded worker pool (internal/runner); each program's report is
@@ -39,6 +46,7 @@ import (
 	"asbr/internal/cpu"
 	"asbr/internal/fault"
 	"asbr/internal/isa"
+	"asbr/internal/obs"
 	"asbr/internal/predict"
 	"asbr/internal/profile"
 	"asbr/internal/runner"
@@ -51,7 +59,7 @@ type options struct {
 	asbr      bool
 	k         int
 	schedule  bool
-	trace     bool
+	disasm    bool
 	pipeTrace int
 	sim       *cliflags.Sim
 }
@@ -62,12 +70,13 @@ func main() {
 	flag.BoolVar(&opt.asbr, "asbr", false, "enable ASBR folding (profiles first, then re-runs)")
 	flag.IntVar(&opt.k, "k", core.DefaultBITEntries, "BIT entries for -asbr")
 	flag.BoolVar(&opt.schedule, "sched", false, "run the §5.1 instruction scheduling pass")
-	flag.BoolVar(&opt.trace, "trace", false, "print the disassembly before running")
+	flag.BoolVar(&opt.disasm, "disasm", false, "print the disassembly before running")
 	flag.IntVar(&opt.pipeTrace, "pipetrace", 0, "dump the first N cycles of pipeline occupancy")
 	opt.sim.RegisterMachine(flag.CommandLine)
 	opt.sim.RegisterFault(flag.CommandLine)
 	opt.sim.RegisterRemote(flag.CommandLine)
 	opt.sim.RegisterParallel(flag.CommandLine)
+	opt.sim.RegisterObs(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: asbr-sim [flags] program.{s,mc} ...")
@@ -75,8 +84,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	if opt.sim.Remote != "" && (opt.trace || opt.pipeTrace > 0 || opt.sim.Fault != "") {
-		fmt.Fprintln(os.Stderr, "asbr-sim: -trace, -pipetrace and -fault are local-only and do not combine with -remote")
+	if opt.sim.Remote != "" && (opt.disasm || opt.pipeTrace > 0 || opt.sim.Fault != "" || opt.sim.Trace != "") {
+		fmt.Fprintln(os.Stderr, "asbr-sim: -disasm, -pipetrace, -fault and -trace are local-only and do not combine with -remote")
+		os.Exit(2)
+	}
+	if opt.sim.Trace != "" && opt.sim.Fault != "" {
+		fmt.Fprintln(os.Stderr, "asbr-sim: -trace does not combine with -fault (the lockstep pair runs two machines)")
+		os.Exit(2)
+	}
+	if opt.sim.Trace != "" && flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "asbr-sim: -trace records one run; pass a single program file")
 		os.Exit(2)
 	}
 
@@ -110,6 +127,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "asbr-sim:", err)
 		os.Exit(1)
 	}
+	if err := opt.sim.DumpMetrics(); err != nil {
+		fmt.Fprintln(os.Stderr, "asbr-sim: -metrics:", err)
+		os.Exit(1)
+	}
 }
 
 // simulate loads, optionally schedules, and runs one program, writing
@@ -138,7 +159,7 @@ func simulate(w io.Writer, path string, opt options) error {
 		}
 		fmt.Fprintf(w, "scheduler: %d/%d blocks rescheduled\n", st.BlocksScheduled, st.BlocksConsidered)
 	}
-	if opt.trace {
+	if opt.disasm {
 		fmt.Fprint(w, asm.Disassemble(prog))
 	}
 
@@ -149,6 +170,7 @@ func simulate(w io.Writer, path string, opt options) error {
 	if opt.pipeTrace > 0 {
 		cfg.Trace = &truncWriter{w: w, lines: opt.pipeTrace}
 	}
+	tr := opt.sim.NewTracer()
 
 	ctx, cancel := opt.sim.Context()
 	defer cancel()
@@ -158,12 +180,15 @@ func simulate(w io.Writer, path string, opt options) error {
 	}
 
 	if !opt.asbr {
+		if tr != nil {
+			cfg.Obs = tr
+		}
 		c, err := runOnce(ctx, prog, cfg)
 		if err != nil {
 			return err
 		}
 		report(w, c, nil)
-		return nil
+		return finishTrace(w, tr, c.Stats(), opt.sim.Trace)
 	}
 
 	// ASBR flow: profile -> select -> build BIT -> fold.
@@ -201,7 +226,8 @@ func simulate(w io.Writer, path string, opt options) error {
 			return err
 		}
 		inj := fault.NewInjector(plan, eng)
-		fcfg.Fold = inj
+		fcfg.Fold = nil
+		fcfg.Obs = inj.Chain()
 		rep, err := fault.RunPair(prog, cfg, fcfg, nil)
 		if err != nil {
 			return err
@@ -220,6 +246,12 @@ func simulate(w io.Writer, path string, opt options) error {
 		return nil
 	}
 
+	if tr != nil {
+		// Trace the measured (folded) run only, never the profile run,
+		// with the engine's BIT/BDT events flowing into the same sink.
+		fcfg.Obs = tr
+		eng.SetEventSink(tr)
+	}
 	folded, err := runOnce(ctx, prog, fcfg)
 	if err != nil {
 		return err
@@ -228,6 +260,29 @@ func simulate(w io.Writer, path string, opt options) error {
 	fmt.Fprintf(w, "baseline cycles: %d, ASBR cycles: %d (%.1f%% improvement)\n",
 		base.Stats().Cycles, folded.Stats().Cycles,
 		100*(1-float64(folded.Stats().Cycles)/float64(base.Stats().Cycles)))
+	return finishTrace(w, tr, folded.Stats(), opt.sim.Trace)
+}
+
+// finishTrace self-checks the recorded event stream against the
+// simulator's own counters — the tracer counts every event before
+// sampling, so the totals must bit-match — then writes the JSONL trace
+// and its chrome://tracing twin. A nil tracer is a no-op.
+func finishTrace(w io.Writer, tr *obs.Tracer, st cpu.Stats, path string) error {
+	if tr == nil {
+		return nil
+	}
+	if got, want := tr.Count(obs.EvCommit), st.Instructions; got != want {
+		return fmt.Errorf("trace self-check: %d commit events, simulator counted %d instructions", got, want)
+	}
+	if got, want := tr.Count(obs.EvFold), st.Folded; got != want {
+		return fmt.Errorf("trace self-check: %d fold events, simulator counted %d folds", got, want)
+	}
+	chrome, err := tr.WriteFiles(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trace:         %d events (%d retained) -> %s, %s\n",
+		tr.Total(), tr.Retained(), path, chrome)
 	return nil
 }
 

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asbr/internal/cliflags"
+	"asbr/internal/obs"
+)
+
+// loopSource counts down through a zero-comparing branch whose
+// condition register is defined four instructions earlier — exactly
+// what the §5.2 selection pass folds under -asbr.
+const loopSource = `
+main:	li	t0, 100
+loop:	addiu	t0, t0, -1
+	addu	t2, zero, zero
+	addu	t2, zero, zero
+	addu	t2, zero, zero
+	bnez	t0, loop
+	li	a0, 0
+	li	v0, 10
+	syscall
+spin:	j	spin
+`
+
+// TestTraceSmoke is the check behind `make trace-smoke`: a -trace run
+// must produce schema-valid asbr-trace/v1 JSONL, a well-formed
+// chrome://tracing twin, and pass the in-run self-check that event
+// totals bit-match the simulator's counters — plain and with ASBR
+// folding.
+func TestTraceSmoke(t *testing.T) {
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "loop.s")
+	if err := os.WriteFile(prog, []byte(loopSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		asbr bool
+	}{
+		{"plain", false},
+		{"asbr", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := options{sim: cliflags.NewSim(), asbr: tc.asbr, k: 16}
+			opt.sim.Trace = filepath.Join(dir, tc.name+".jsonl")
+
+			var buf bytes.Buffer
+			if err := simulate(&buf, prog, opt); err != nil {
+				t.Fatalf("simulate: %v\n%s", err, buf.String())
+			}
+			if !strings.Contains(buf.String(), "trace:") {
+				t.Errorf("report has no trace line:\n%s", buf.String())
+			}
+
+			f, err := os.Open(opt.sim.Trace)
+			if err != nil {
+				t.Fatalf("open trace: %v", err)
+			}
+			defer f.Close()
+			sum, err := obs.ValidateJSONL(f)
+			if err != nil {
+				t.Fatalf("trace fails schema validation: %v", err)
+			}
+			if sum.Counts["commit"] == 0 || sum.Counts["fetch"] == 0 {
+				t.Errorf("summary missing core kinds: %+v", sum.Counts)
+			}
+			if tc.asbr {
+				// A folded branch leaves the branch stream and shows up
+				// as fold + bit_hit instead.
+				if sum.Counts["fold"] == 0 || sum.Counts["bit_hit"] == 0 {
+					t.Errorf("ASBR trace recorded no folds: %+v", sum.Counts)
+				}
+			} else if sum.Counts["branch"] == 0 {
+				t.Errorf("plain trace recorded no branch events: %+v", sum.Counts)
+			}
+
+			chrome, err := os.ReadFile(obs.ChromeTracePath(opt.sim.Trace))
+			if err != nil {
+				t.Fatalf("chrome twin: %v", err)
+			}
+			var ct struct {
+				TraceEvents []json.RawMessage `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(chrome, &ct); err != nil {
+				t.Fatalf("chrome twin is not trace_event JSON: %v", err)
+			}
+			if len(ct.TraceEvents) == 0 {
+				t.Error("chrome twin has no events")
+			}
+		})
+	}
+}

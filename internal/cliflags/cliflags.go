@@ -10,11 +10,14 @@ package cliflags
 import (
 	"context"
 	"flag"
+	"io"
+	"os"
 	"strings"
 	"time"
 
 	"asbr/internal/cpu"
 	"asbr/internal/mem"
+	"asbr/internal/obs"
 	"asbr/internal/predict"
 	"asbr/internal/serve/client"
 )
@@ -31,6 +34,10 @@ type Sim struct {
 	Remote    string        // -remote: asbr-serve address
 	Parallel  int           // -parallel: worker cap (0 = GOMAXPROCS)
 	JSON      bool          // -json: machine-readable output
+
+	Trace       string // -trace: pipeline event trace JSONL path ("" = off)
+	TraceSample uint64 // -trace-sample: keep every Nth event
+	Metrics     string // -metrics: dump the process metrics registry ("-" = stdout)
 }
 
 // NewSim returns the flag set with the binaries' common defaults.
@@ -99,6 +106,47 @@ func (s *Sim) Machine() (cpu.Config, error) {
 		Engine:    eng,
 		MaxCycles: s.MaxCycles,
 	}, nil
+}
+
+// RegisterObs registers the observability flags (-trace, -trace-sample,
+// -metrics).
+func (s *Sim) RegisterObs(fs *flag.FlagSet) {
+	fs.StringVar(&s.Trace, "trace", s.Trace,
+		"record a pipeline event trace to this JSONL path (a chrome://tracing twin is written next to it)")
+	fs.Uint64Var(&s.TraceSample, "trace-sample", s.TraceSample,
+		"with -trace, retain every Nth event (0/1 = all; per-kind totals stay exact)")
+	fs.StringVar(&s.Metrics, "metrics", s.Metrics,
+		"dump the process metrics registry (Prometheus text) to this path on exit (\"-\" = stdout)")
+}
+
+// NewTracer builds the tracer implied by -trace, or nil when tracing
+// is off. Attach it via cpu.Config.Obs (and core.Engine.SetEventSink
+// for ASBR runs) and finish with WriteFiles.
+func (s *Sim) NewTracer() *obs.Tracer {
+	if s.Trace == "" {
+		return nil
+	}
+	return obs.NewTracer(obs.TracerConfig{Sample: s.TraceSample})
+}
+
+// DumpMetrics honours -metrics: it renders the process-wide registry
+// to the named file or, for "-", stdout. A no-op when the flag is
+// unset.
+func (s *Sim) DumpMetrics() error {
+	if s.Metrics == "" {
+		return nil
+	}
+	var w io.Writer = os.Stdout
+	if s.Metrics != "-" {
+		f, err := os.Create(s.Metrics)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	obs.Default().WritePrometheus(w)
+	return nil
 }
 
 // Context returns the run context implied by -timeout.

@@ -35,6 +35,7 @@ import (
 
 	"asbr/internal/cpu"
 	"asbr/internal/isa"
+	"asbr/internal/obs"
 )
 
 // BITEntry is one Branch Identification Table row (paper §7).
@@ -191,11 +192,11 @@ func DefaultConfig() Config {
 
 // Stats counts engine activity.
 type Stats struct {
-	Lookups   uint64 // fetches checked against the BIT
-	Hits      uint64 // BIT matches
-	Folds     uint64 // successful folds
-	FoldsTaken uint64
-	Fallbacks uint64 // BIT hit but predicate invalid: auxiliary predictor used
+	Lookups      uint64 // fetches checked against the BIT
+	Hits         uint64 // BIT matches
+	Folds        uint64 // successful folds
+	FoldsTaken   uint64
+	Fallbacks    uint64 // BIT hit but predicate invalid: auxiliary predictor used
 	BankSwitches uint64
 }
 
@@ -207,18 +208,35 @@ func (s Stats) FoldRate() float64 {
 	return float64(s.Folds) / float64(s.Hits)
 }
 
-// Engine is the ASBR unit: it implements cpu.FoldHook and plugs into
-// the simulator's fetch stage.
+// Engine is the ASBR unit: it implements cpu.FoldHook (and, via the
+// embedded obs.Base, the full obs.Observer) and plugs into the
+// simulator's fetch stage — either through cpu.Config.Fold or as a
+// member of an obs.NewChain attached to cpu.Config.Obs.
 type Engine struct {
+	obs.Base
 	cfg    Config
 	banks  []*BIT
 	active int
 	bdt    BDT
 	stats  Stats
 	perPC  map[uint32]uint64 // folds per branch
+	sink   obs.EventSink     // nil unless SetEventSink was called
 }
 
-var _ cpu.FoldHook = (*Engine)(nil)
+var (
+	_ cpu.FoldHook = (*Engine)(nil)
+	_ obs.Observer = (*Engine)(nil)
+)
+
+// SetEventSink attaches a pipeline event sink (typically an
+// obs.Tracer): the engine then emits EvBITHit, EvFoldFallback,
+// EvBDTValid/EvBDTInvalid transition and EvBankSwitch events. Events
+// carry no cycle; a Clocked sink installed into the CPU stamps them.
+func (e *Engine) SetEventSink(s obs.EventSink) { e.sink = s }
+
+// Sink returns the attached event sink, if any (so collaborators like
+// the fault injector can emit into the same stream).
+func (e *Engine) Sink() (obs.EventSink, bool) { return e.sink, e.sink != nil }
 
 // NewEngine builds an engine with empty BIT banks.
 func NewEngine(cfg Config) *Engine {
@@ -289,8 +307,14 @@ func (e *Engine) TryFold(pc uint32) (cpu.Fold, bool) {
 		return cpu.Fold{}, false
 	}
 	e.stats.Hits++
+	if e.sink != nil {
+		e.sink.OnEvent(obs.Event{Kind: obs.EvBITHit, PC: pc, Arg: uint64(en.Reg)})
+	}
 	if e.cfg.TrackValidity && !e.bdt.Valid(en.Reg) {
 		e.stats.Fallbacks++
+		if e.sink != nil {
+			e.sink.OnEvent(obs.Event{Kind: obs.EvFoldFallback, PC: pc, Arg: uint64(en.Reg)})
+		}
 		return cpu.Fold{}, false
 	}
 	taken := e.bdt.Holds(en.Reg, en.Cond)
@@ -306,17 +330,40 @@ func (e *Engine) TryFold(pc uint32) (cpu.Fold, bool) {
 }
 
 // OnIssue implements cpu.FoldHook.
-func (e *Engine) OnIssue(rd isa.Reg) { e.bdt.OnIssue(rd) }
+func (e *Engine) OnIssue(rd isa.Reg) {
+	if e.sink == nil {
+		e.bdt.OnIssue(rd)
+		return
+	}
+	was := e.bdt.Valid(rd)
+	e.bdt.OnIssue(rd)
+	if was && !e.bdt.Valid(rd) {
+		e.sink.OnEvent(obs.Event{Kind: obs.EvBDTInvalid, Arg: uint64(rd)})
+	}
+}
 
 // OnValue implements cpu.FoldHook: the paper's Early Condition
 // Evaluation (Figure 3) — "every time a register is being committed,
 // all possible conditions associated with this register are updated".
-func (e *Engine) OnValue(rd isa.Reg, v int32) { e.bdt.OnValue(rd, v) }
+func (e *Engine) OnValue(rd isa.Reg, v int32) {
+	if e.sink == nil {
+		e.bdt.OnValue(rd, v)
+		return
+	}
+	was := e.bdt.Valid(rd)
+	e.bdt.OnValue(rd, v)
+	if !was && e.bdt.Valid(rd) {
+		e.sink.OnEvent(obs.Event{Kind: obs.EvBDTValid, Arg: uint64(rd)})
+	}
+}
 
 // OnBankSwitch implements cpu.FoldHook (bitsw commit).
 func (e *Engine) OnBankSwitch(bank int) {
 	e.stats.BankSwitches++
 	if bank >= 0 && bank < len(e.banks) {
 		e.active = bank
+	}
+	if e.sink != nil {
+		e.sink.OnEvent(obs.Event{Kind: obs.EvBankSwitch, Arg: uint64(bank)})
 	}
 }

@@ -35,6 +35,7 @@ import (
 
 	"asbr/internal/isa"
 	"asbr/internal/mem"
+	"asbr/internal/obs"
 	"asbr/internal/predict"
 )
 
@@ -119,15 +120,18 @@ func ParseEngine(name string) (Engine, error) {
 // the fetched branch is replaced in the fetch slot by the instruction
 // word Word whose architectural address is PC, and fetch continues at
 // Next (paper Figure 4: BTA+4 when taken, branch PC+8 when not).
-type Fold struct {
-	Word  uint32 // replacement instruction (BTI or BFI)
-	PC    uint32 // architectural address of the replacement instruction
-	Next  uint32 // next fetch address
-	Taken bool   // folded direction (for statistics/observers)
-}
+//
+// Fold is an alias of obs.Fold — the architectural hook types live in
+// the observability layer so an obs.Observer satisfies FoldHook without
+// conversion.
+type Fold = obs.Fold
 
 // FoldHook is the microarchitectural customization interface the ASBR
 // engine (internal/core) plugs into the fetch stage.
+//
+// Deprecated: new code should implement obs.Observer (which subsumes
+// this interface) and attach it via Config.Obs; FoldHook remains for
+// existing callers and is composed with Config.Obs when both are set.
 //
 // Call-ordering invariant maintained by the CPU: OnIssue(rd) fires
 // exactly once when a register-writing instruction enters decode, and
@@ -160,21 +164,9 @@ type BranchObserver interface {
 // divergence checker compares across machines, so it carries everything
 // architecturally observable about the instruction — register write and
 // store effect — but not timing.
-type Commit struct {
-	PC    uint32
-	Cycle uint64
-	Op    isa.Op
-
-	HasDest bool
-	Dest    isa.Reg
-	Value   int32
-
-	Store    bool
-	Addr     uint32
-	StoreVal int32
-
-	Branch bool // conditional branch (absent from a run that folded it)
-}
+//
+// Commit is an alias of obs.Commit (see Fold).
+type Commit = obs.Commit
 
 // CommitObserver receives every committed instruction in program order.
 // It is the architectural tap the divergence checker (internal/fault)
@@ -246,6 +238,14 @@ type Config struct {
 	// Commits, when non-nil, sees every committed instruction (the
 	// divergence-checker tap; see the Commit type).
 	Commits CommitObserver
+	// Obs, when non-nil, is the unified observer (obs.Observer): it
+	// subsumes Fold, Observer and Commits and additionally receives the
+	// typed pipeline event stream. When legacy hooks are set alongside
+	// Obs they compose — legacy hooks are notified first, and a fold
+	// from a legacy Fold hook wins over one from Obs. If Obs implements
+	// obs.Clocked, New installs the machine's cycle counter as its
+	// clock. Use obs.NewChain to attach several observers at once.
+	Obs obs.Observer
 	// Trace, when non-nil, receives a per-cycle pipeline-occupancy
 	// row (a textbook pipeline diagram; ASBR-injected instructions
 	// are starred). Expensive; for debugging and teaching.
@@ -344,6 +344,26 @@ func (s Stats) PredAccuracy() float64 {
 // folded or not.
 func (s Stats) DynamicCondBranches() uint64 { return s.CondBranches + s.Folded }
 
+// Snapshot projects the full counter set onto the canonical
+// cross-layer statistics record (obs.Snapshot): the shape the serve
+// wire protocol and the experiment tables consume.
+func (s Stats) Snapshot() obs.Snapshot {
+	sn := obs.Snapshot{
+		Cycles: s.Cycles, Instructions: s.Instructions, CPI: s.CPI(),
+		CondBranches: s.CondBranches, TakenBranches: s.TakenBranches,
+		Mispredicts: s.Mispredicts, DirMispredicts: s.DirMispredicts,
+		Accuracy: s.PredAccuracy(),
+		Folded:   s.Folded, FoldedTaken: s.FoldedTaken, FoldFallbacks: s.FoldFallbacks,
+		LoadUseStalls: s.LoadUseStalls, FetchStalls: s.FetchStalls,
+		MemStalls: s.MemStalls, ExStalls: s.ExStalls,
+		ICacheMissRate: s.ICache.MissRate(), DCacheMissRate: s.DCache.MissRate(),
+	}
+	if dyn := s.DynamicCondBranches(); dyn > 0 {
+		sn.FoldCoverage = float64(s.Folded) / float64(dyn)
+	}
+	return sn
+}
+
 // slot is one in-flight instruction.
 type slot struct {
 	pc   uint32
@@ -383,6 +403,15 @@ type CPU struct {
 	cfg  Config
 	prog *isa.Program
 	mem  *mem.Memory
+
+	// Resolved observability hooks: the legacy Config hooks composed
+	// with Config.Obs by New. The stage code consults only these; all
+	// four are nil when observability is disabled, so the hot loop pays
+	// one predictable branch per site.
+	fold  FoldHook
+	brObs BranchObserver
+	cmObs CommitObserver
+	ev    obs.EventSink
 
 	// Fast engine state: the predecode table, the recycled pipeline
 	// slots, and the reusable trace line buffer. pre is nil (and fast
@@ -463,6 +492,7 @@ func New(cfg Config, prog *isa.Program) (*CPU, error) {
 	}
 	cfg.fillDefaults()
 	c := &CPU{cfg: cfg, prog: prog, mem: mem.NewMemory()}
+	c.resolveObservers()
 	if cfg.Engine != EngineReference {
 		c.fast = true
 		if cfg.Predecoded != nil {
@@ -647,12 +677,12 @@ func (c *CPU) queueValue(r isa.Reg, v int32) {
 
 // flushValues delivers this cycle's produced values to the fold hook.
 func (c *CPU) flushValues() {
-	if c.cfg.Fold == nil {
+	if c.fold == nil {
 		c.pendingVals = c.pendingVals[:0]
 		return
 	}
 	for _, pv := range c.pendingVals {
-		c.cfg.Fold.OnValue(pv.reg, pv.val)
+		c.fold.OnValue(pv.reg, pv.val)
 	}
 	c.pendingVals = c.pendingVals[:0]
 }

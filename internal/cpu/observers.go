@@ -1,0 +1,90 @@
+package cpu
+
+import (
+	"asbr/internal/isa"
+	"asbr/internal/obs"
+)
+
+// resolveObservers composes the legacy per-aspect hooks (Config.Fold,
+// Config.Observer, Config.Commits) with the unified Config.Obs into the
+// machine's resolved hook fields. Legacy hooks run first in every
+// composition, so existing behaviour — including a legacy fold hook's
+// precedence — is unchanged by attaching an Obs. When Obs is Clocked it
+// receives the machine's cycle counter, so events emitted by chained
+// components (the ASBR core, the fault injector) get stamped with the
+// cycle they occurred in.
+func (c *CPU) resolveObservers() {
+	c.fold = c.cfg.Fold
+	c.brObs = c.cfg.Observer
+	c.cmObs = c.cfg.Commits
+	o := c.cfg.Obs
+	if o == nil {
+		return
+	}
+	c.ev = o
+	if cl, ok := o.(obs.Clocked); ok {
+		cl.SetClock(func() uint64 { return c.stats.Cycles })
+	}
+	if c.fold == nil {
+		c.fold = o
+	} else {
+		c.fold = foldPair{c.fold, o}
+	}
+	if c.brObs == nil {
+		c.brObs = o
+	} else {
+		c.brObs = branchPair{c.brObs, o}
+	}
+	if c.cmObs == nil {
+		c.cmObs = o
+	} else {
+		c.cmObs = commitPair{c.cmObs, o}
+	}
+}
+
+// emit sends one pipeline event, stamped with the current cycle. Call
+// sites guard on c.ev != nil so the disabled path costs one branch.
+func (c *CPU) emit(k obs.EventKind, pc uint32, arg uint64, taken bool) {
+	c.ev.OnEvent(obs.Event{Cycle: c.stats.Cycles, Kind: k, PC: pc, Arg: arg, Taken: taken})
+}
+
+// foldPair consults a before b; a successful fold from a wins.
+type foldPair struct{ a, b FoldHook }
+
+func (p foldPair) TryFold(pc uint32) (Fold, bool) {
+	if f, ok := p.a.TryFold(pc); ok {
+		return f, true
+	}
+	return p.b.TryFold(pc)
+}
+
+func (p foldPair) OnIssue(rd isa.Reg) {
+	p.a.OnIssue(rd)
+	p.b.OnIssue(rd)
+}
+
+func (p foldPair) OnValue(rd isa.Reg, v int32) {
+	p.a.OnValue(rd, v)
+	p.b.OnValue(rd, v)
+}
+
+func (p foldPair) OnBankSwitch(bank int) {
+	p.a.OnBankSwitch(bank)
+	p.b.OnBankSwitch(bank)
+}
+
+// branchPair fans branch outcomes out to both observers, a first.
+type branchPair struct{ a, b BranchObserver }
+
+func (p branchPair) OnBranch(pc uint32, taken, folded bool) {
+	p.a.OnBranch(pc, taken, folded)
+	p.b.OnBranch(pc, taken, folded)
+}
+
+// commitPair fans commits out to both observers, a first.
+type commitPair struct{ a, b CommitObserver }
+
+func (p commitPair) OnCommit(cm Commit) {
+	p.a.OnCommit(cm)
+	p.b.OnCommit(cm)
+}

@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"asbr/internal/isa"
+	"asbr/internal/obs"
 )
 
 // doWB commits the instruction in WB: architectural register write,
@@ -14,7 +15,7 @@ func (c *CPU) doWB() {
 	c.sWB = nil
 	if s.hasDest {
 		c.regs[s.dest] = s.result
-		if c.cfg.Fold != nil && s.counted && !s.valueSent {
+		if c.fold != nil && s.counted && !s.valueSent {
 			if c.cfg.BDTUpdate == StageWB {
 				c.queueValue(s.dest, s.result)
 				s.valueSent = true
@@ -26,14 +27,17 @@ func (c *CPU) doWB() {
 		c.stats.Syscalls++
 		c.syscall(s.pc)
 	case isa.OpBITSW:
-		if c.cfg.Fold != nil {
-			c.cfg.Fold.OnBankSwitch(int(s.in.Imm))
+		if c.fold != nil {
+			c.fold.OnBankSwitch(int(s.in.Imm))
 		}
 	case isa.OpBREAK:
 		c.fail(ErrBreak, s.pc, "break instruction")
 	}
 	c.stats.Instructions++
-	if c.cfg.Commits != nil {
+	if c.ev != nil {
+		c.emit(obs.EvCommit, s.pc, 0, false)
+	}
+	if c.cmObs != nil {
 		cm := Commit{
 			PC:     s.pc,
 			Cycle:  c.stats.Cycles,
@@ -46,7 +50,7 @@ func (c *CPU) doWB() {
 		if s.in.IsStore() {
 			cm.Store, cm.Addr, cm.StoreVal = true, s.memAddr, s.storeVal
 		}
-		c.cfg.Commits.OnCommit(cm)
+		c.cmObs.OnCommit(cm)
 	}
 	c.freeSlot(s)
 }
@@ -97,7 +101,7 @@ func (c *CPU) doMEM() {
 		}
 	}
 	// Leave MEM.
-	if c.cfg.Fold != nil && s.hasDest && s.counted && !s.valueSent && c.cfg.BDTUpdate != StageWB {
+	if c.fold != nil && s.hasDest && s.counted && !s.valueSent && c.cfg.BDTUpdate != StageWB {
 		// StageMEM mode delivers everything here; StageEX mode
 		// delivers loads here (their value exists only now).
 		if c.cfg.BDTUpdate == StageMEM || s.in.IsLoad() {
@@ -237,7 +241,7 @@ func (c *CPU) doEX() {
 	}
 	// End of EX: resolve control flow.
 	c.resolve(s)
-	if c.cfg.Fold != nil && s.hasDest && s.counted && !s.valueSent &&
+	if c.fold != nil && s.hasDest && s.counted && !s.valueSent &&
 		c.cfg.BDTUpdate == StageEX && !s.in.IsLoad() {
 		c.queueValue(s.dest, s.result)
 		s.valueSent = true
@@ -298,8 +302,11 @@ func (c *CPU) resolve(s *slot) {
 		if taken {
 			c.stats.TakenBranches++
 		}
-		if c.cfg.Observer != nil {
-			c.cfg.Observer.OnBranch(s.pc, taken, false)
+		if c.brObs != nil {
+			c.brObs.OnBranch(s.pc, taken, false)
+		}
+		if c.ev != nil {
+			c.emit(obs.EvBranch, s.pc, 0, taken)
 		}
 		actualNext := s.pc + 4
 		if taken {
@@ -319,6 +326,9 @@ func (c *CPU) resolve(s *slot) {
 		c.cfg.Branch.Resolve(s.pc, taken, target)
 		if actualNext != predictedNext {
 			c.stats.Mispredicts++
+			if c.ev != nil {
+				c.emit(obs.EvMispredict, s.pc, uint64(actualNext), taken)
+			}
 			c.squashFrontend(actualNext)
 			c.redirectHold = c.cfg.ExtraMispredictCycles
 		}
@@ -377,9 +387,14 @@ func (c *CPU) doID() {
 				s.dest, s.hasDest = r, true
 			}
 		}
-		if s.hasDest && c.cfg.Fold != nil {
-			c.cfg.Fold.OnIssue(s.dest)
-			s.counted = true
+		if s.hasDest {
+			if c.fold != nil {
+				c.fold.OnIssue(s.dest)
+				s.counted = true
+			}
+			if c.ev != nil {
+				c.emit(obs.EvIssue, s.pc, uint64(s.dest), false)
+			}
 		}
 		switch s.in.Op {
 		case isa.OpJ, isa.OpJAL:
@@ -457,14 +472,20 @@ func (c *CPU) doIF() {
 // miss the word is decoded and conditional branches are predicted.
 func (c *CPU) deliver(pc uint32) {
 	c.stats.Fetches++
-	if c.cfg.Fold != nil {
-		if f, ok := c.cfg.Fold.TryFold(pc); ok {
+	if c.ev != nil {
+		c.emit(obs.EvFetch, pc, 0, false)
+	}
+	if c.fold != nil {
+		if f, ok := c.fold.TryFold(pc); ok {
 			c.stats.Folded++
 			if f.Taken {
 				c.stats.FoldedTaken++
 			}
-			if c.cfg.Observer != nil {
-				c.cfg.Observer.OnBranch(pc, f.Taken, true)
+			if c.brObs != nil {
+				c.brObs.OnBranch(pc, f.Taken, true)
+			}
+			if c.ev != nil {
+				c.emit(obs.EvFold, pc, uint64(f.Next), f.Taken)
 			}
 			s := c.allocSlot()
 			s.pc, s.word, s.folded = f.PC, f.Word, true

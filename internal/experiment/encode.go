@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"asbr/internal/cpu"
+	"asbr/internal/obs"
 	"asbr/internal/workload"
 )
 
@@ -53,14 +54,14 @@ func EncodeCellError(err error) *CellError {
 	return &CellError{Code: code, Message: err.Error()}
 }
 
-// Fig6JSON is one encoded Figure 6 cell.
+// Fig6JSON is one encoded Figure 6 cell: the embedded canonical
+// snapshot flattens to the historical cycles/cpi/accuracy keys plus
+// the full counter set. The struct stays comparable (all scalars).
 type Fig6JSON struct {
-	Benchmark string     `json:"benchmark"`
-	Predictor string     `json:"predictor"`
-	Cycles    uint64     `json:"cycles"`
-	CPI       float64    `json:"cpi"`
-	Accuracy  float64    `json:"accuracy"`
-	Error     *CellError `json:"error,omitempty"`
+	Benchmark string `json:"benchmark"`
+	Predictor string `json:"predictor"`
+	obs.Snapshot
+	Error *CellError `json:"error,omitempty"`
 }
 
 // EncodeFig6 converts Figure 6 rows to the wire form.
@@ -69,8 +70,8 @@ func EncodeFig6(rows []Fig6Row) []Fig6JSON {
 	for i, r := range rows {
 		out[i] = Fig6JSON{
 			Benchmark: r.Benchmark, Predictor: r.Predictor,
-			Cycles: r.Cycles, CPI: r.CPI, Accuracy: r.Accuracy,
-			Error: EncodeCellError(r.Err),
+			Snapshot: r.Snapshot,
+			Error:    EncodeCellError(r.Err),
 		}
 	}
 	return out
@@ -112,11 +113,14 @@ func EncodeBranchTable(figure string, tab BranchTable) *BranchTableJSON {
 	return out
 }
 
-// Fig11JSON is one encoded Figure 11 cell.
+// Fig11JSON is one encoded Figure 11 cell. The embedded snapshot
+// provides the folded run's full statistics (including the historical
+// cycles key); folds/fallbacks/folded_frac remain the ASBR engine's
+// own counters, distinct from the snapshot's CPU-side folded keys.
 type Fig11JSON struct {
-	Benchmark    string     `json:"benchmark"`
-	Aux          string     `json:"aux"`
-	Cycles       uint64     `json:"cycles"`
+	Benchmark string `json:"benchmark"`
+	Aux       string `json:"aux"`
+	obs.Snapshot
 	Baseline     uint64     `json:"baseline"`
 	BaselineName string     `json:"baseline_name"`
 	Improvement  float64    `json:"improvement"`
@@ -131,7 +135,7 @@ func EncodeFig11(rows []Fig11Row) []Fig11JSON {
 	out := make([]Fig11JSON, len(rows))
 	for i, r := range rows {
 		out[i] = Fig11JSON{
-			Benchmark: r.Benchmark, Aux: r.Aux, Cycles: r.Cycles,
+			Benchmark: r.Benchmark, Aux: r.Aux, Snapshot: r.Snapshot,
 			Baseline: r.Baseline, BaselineName: r.BaselineName,
 			Improvement: r.Improvement, Folds: r.Folds, Fallbacks: r.Fallbacks,
 			FoldedFrac: r.FoldedFrac, Error: EncodeCellError(r.Err),

@@ -23,6 +23,7 @@ import (
 	"asbr/internal/core"
 	"asbr/internal/cpu"
 	"asbr/internal/mem"
+	"asbr/internal/obs"
 	"asbr/internal/predict"
 	"asbr/internal/runner"
 	"asbr/internal/workload"
@@ -108,16 +109,16 @@ func baselineUnits() []func() *predict.Unit {
 	}
 }
 
-// Fig6Row is one cell group of Figure 6. A failed cell carries its
-// error in Err with the numeric fields zero; renderers annotate it
-// instead of dropping the table.
+// Fig6Row is one cell group of Figure 6: the run's full canonical
+// statistics (embedded obs.Snapshot — Cycles, CPI, Accuracy and the
+// rest promote as before) labelled by benchmark and predictor. A
+// failed cell carries its error in Err with the numeric fields zero;
+// renderers annotate it instead of dropping the table.
 type Fig6Row struct {
 	Benchmark string
 	Predictor string
-	Cycles    uint64
-	CPI       float64
-	Accuracy  float64 // conditional-branch direction accuracy
-	Err       error   // non-nil when this cell's simulation failed
+	obs.Snapshot
+	Err error // non-nil when this cell's simulation failed
 }
 
 // Fig6 reproduces Figure 6 on a fresh sweep (see Sweep.Fig6).
@@ -157,9 +158,7 @@ func (s *Sweep) Fig6() ([]Fig6Row, error) {
 		return Fig6Row{
 			Benchmark: j.bench,
 			Predictor: unit.Name(),
-			Cycles:    res.Stats.Cycles,
-			CPI:       res.Stats.CPI(),
-			Accuracy:  res.Stats.PredAccuracy(),
+			Snapshot:  res.Stats.Snapshot(),
 		}, nil
 	})
 	// Failed cells stay in the table, labeled, so one bad job cannot
@@ -234,13 +233,15 @@ func (s *Sweep) SelectedBranches(bench string) (BranchTable, error) {
 	return tab, nil
 }
 
-// Fig11Row is one cell group of Figure 11. A failed cell carries its
-// error in Err with the numeric fields zero; renderers annotate it
-// instead of dropping the table.
+// Fig11Row is one cell group of Figure 11: the folded run's canonical
+// statistics (embedded obs.Snapshot; Cycles promotes as before) plus
+// the row's baseline comparison and the ASBR engine's own counters. A
+// failed cell carries its error in Err with the numeric fields zero;
+// renderers annotate it instead of dropping the table.
 type Fig11Row struct {
-	Benchmark    string
-	Aux          string // auxiliary predictor used with ASBR
-	Cycles       uint64
+	Benchmark string
+	Aux       string // auxiliary predictor used with ASBR
+	obs.Snapshot
 	Baseline     uint64 // the paper's comparison base for this row
 	BaselineName string
 	Improvement  float64 // 1 - Cycles/Baseline
@@ -333,7 +334,7 @@ func (s *Sweep) Fig11() ([]Fig11Row, error) {
 		return Fig11Row{
 			Benchmark:    j.bench,
 			Aux:          j.aux.Label,
-			Cycles:       res.Stats.Cycles,
+			Snapshot:     res.Stats.Snapshot(),
 			Baseline:     base,
 			BaselineName: baseName,
 			Improvement:  1 - float64(res.Stats.Cycles)/float64(base),

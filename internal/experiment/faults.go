@@ -101,7 +101,7 @@ func (s *Sweep) Faults() ([]FaultRow, error) {
 		inj := fault.NewInjector(j.plan, eng)
 		baseCfg := s.machine(predict.AuxBimodal512())
 		testCfg := baseCfg
-		testCfg.Fold = inj
+		testCfg.Obs = inj.Chain()
 		testCfg.BDTUpdate = s.opt.Update
 		rep, err := fault.RunPair(pa.prog, baseCfg, testCfg, func(c *cpu.CPU) error {
 			return pourBenchmark(c, pa.prog, in, s.opt.Samples)

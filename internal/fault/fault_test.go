@@ -151,7 +151,7 @@ func runSkew(t *testing.T, plan Plan) (Report, *Injector) {
 	inj := NewInjector(plan, eng)
 	baseCfg := machineCfg()
 	testCfg := machineCfg()
-	testCfg.Fold = inj
+	testCfg.Obs = inj.Chain()
 	rep, err := RunPair(prog, baseCfg, testCfg, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -243,7 +243,7 @@ func runFlip(t *testing.T, plan Plan) (Report, []Event) {
 	}
 	inj := NewInjector(plan, eng)
 	testCfg := machineCfg()
-	testCfg.Fold = inj
+	testCfg.Obs = inj.Chain()
 	rep, err := RunPair(p, machineCfg(), testCfg, nil)
 	if err != nil {
 		t.Fatal(err)

@@ -7,7 +7,12 @@ import (
 	"asbr/internal/core"
 	"asbr/internal/cpu"
 	"asbr/internal/isa"
+	"asbr/internal/obs"
 )
+
+// injections counts injected faults process-wide, by kind, in the
+// default metrics registry.
+var injections = obs.Default().CounterVec("asbr_fault_injections_total", "faults injected into ASBR state, by kind.", "kind")
 
 // Event records one injected fault.
 type Event struct {
@@ -22,20 +27,40 @@ func (e Event) String() string {
 	return fmt.Sprintf("%s at pc=0x%08x: %s", e.Kind, e.PC, e.Detail)
 }
 
-// Injector wraps an ASBR engine with seed-driven state corruption. It
-// implements cpu.FoldHook, so it stands in for the engine in
-// cpu.Config.Fold: every fetch-time fold consultation first gives the
-// injector a chance to corrupt the engine's BDT/BIT state, then
-// delegates to the real engine — the CPU and engine code paths are
-// exactly those of a clean run, only the stored state differs.
+// Injector pairs an ASBR engine with seed-driven state corruption. It
+// is an obs.Observer whose only active method is TryFold: every
+// fetch-time fold consultation gives the injector a chance to corrupt
+// the engine's BDT/BIT state, after which it declines the fold so the
+// engine — next in the observer chain — makes the real decision. The
+// CPU and engine code paths are exactly those of a clean run, only the
+// stored state differs.
+//
+// Attach it via Chain (cpu.Config.Obs = inj.Chain()): the chain places
+// the injector before the engine, preserving the historical
+// corrupt-then-delegate order. The bare injector deliberately does not
+// forward OnIssue/OnValue/OnBankSwitch — the chain delivers those to
+// the engine directly — so installing the injector alone would silently
+// disable BDT updates; always install the chain.
 type Injector struct {
+	obs.Base
 	plan   Plan
 	eng    *core.Engine
 	rng    *rand.Rand
 	events []Event
 }
 
-var _ cpu.FoldHook = (*Injector)(nil)
+var _ obs.Observer = (*Injector)(nil)
+
+// Chain returns the observer chain [injector, engine]: the injector
+// corrupts state at each fold point, the engine folds and receives the
+// BDT update stream. This is the one supported way to attach an
+// injector to a machine.
+func (j *Injector) Chain() obs.Observer { return obs.NewChain(j, j.eng) }
+
+// Hook adapts the chain to the legacy cpu.FoldHook interface.
+//
+// Deprecated: set cpu.Config.Obs = j.Chain() instead.
+func (j *Injector) Hook() cpu.FoldHook { return j.Chain() }
 
 // NewInjector wraps eng according to plan. The same plan (kind, rate,
 // seed, max) over the same program run injects the identical fault
@@ -60,20 +85,12 @@ func (j *Injector) Events() []Event {
 // Count returns how many faults have been injected.
 func (j *Injector) Count() int { return len(j.events) }
 
-// TryFold implements cpu.FoldHook: corrupt, then delegate.
+// TryFold implements obs.Observer: corrupt engine state at this fold
+// point, then decline — the engine, next in the chain, decides.
 func (j *Injector) TryFold(pc uint32) (cpu.Fold, bool) {
 	j.maybeInject(pc)
-	return j.eng.TryFold(pc)
+	return cpu.Fold{}, false
 }
-
-// OnIssue implements cpu.FoldHook.
-func (j *Injector) OnIssue(rd isa.Reg) { j.eng.OnIssue(rd) }
-
-// OnValue implements cpu.FoldHook.
-func (j *Injector) OnValue(rd isa.Reg, v int32) { j.eng.OnValue(rd, v) }
-
-// OnBankSwitch implements cpu.FoldHook.
-func (j *Injector) OnBankSwitch(bank int) { j.eng.OnBankSwitch(bank) }
 
 // roll decides one injection opportunity.
 func (j *Injector) roll() bool {
@@ -152,4 +169,10 @@ func (j *Injector) record(pc uint32, r isa.Reg, format string, args ...any) {
 		Reg:    r,
 		Detail: fmt.Sprintf(format, args...),
 	})
+	injections.With(j.plan.Kind.String()).Inc()
+	if j.plan.Kind == KindBITAlias {
+		if sink, ok := j.eng.Sink(); ok {
+			sink.OnEvent(obs.Event{Kind: obs.EvBITAlias, PC: pc, Arg: uint64(r)})
+		}
+	}
 }

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+)
+
+// EventKind identifies one pipeline event class. The numeric values are
+// internal (array indices in the tracer); the wire form is the string
+// name, so reordering kinds does not break recorded traces.
+type EventKind uint8
+
+// Pipeline event kinds, covering the fetch/fold/issue/commit path plus
+// the ASBR core's BDT/BIT state transitions.
+const (
+	// EvFetch: an instruction word was delivered by the fetch stage.
+	EvFetch EventKind = iota
+	// EvFold: a conditional branch was folded out of the fetch stream
+	// (Arg = redirected next-fetch address, Taken = folded direction).
+	EvFold
+	// EvIssue: a register-writing instruction entered decode
+	// (Arg = destination register).
+	EvIssue
+	// EvBranch: a conditional branch resolved (Taken = outcome).
+	EvBranch
+	// EvMispredict: a resolved branch redirected the frontend
+	// (Arg = correct next PC).
+	EvMispredict
+	// EvCommit: an instruction committed at write-back.
+	EvCommit
+	// EvBITHit: a fetch address hit the active BIT bank
+	// (Arg = the entry's condition register).
+	EvBITHit
+	// EvBITAlias: a BIT entry was re-aliased onto a different address
+	// (fault injection; Arg = victim entry index).
+	EvBITAlias
+	// EvFoldFallback: a BIT hit declined to fold because the condition
+	// register's BDT entry was invalid (Arg = condition register).
+	EvFoldFallback
+	// EvBDTValid: a BDT entry transitioned invalid→valid
+	// (Arg = register).
+	EvBDTValid
+	// EvBDTInvalid: a BDT entry transitioned valid→invalid
+	// (Arg = register).
+	EvBDTInvalid
+	// EvBankSwitch: the active BIT bank changed (Arg = new bank).
+	EvBankSwitch
+
+	evKinds // sentinel: number of kinds
+)
+
+var kindNames = [evKinds]string{
+	EvFetch:        "fetch",
+	EvFold:         "fold",
+	EvIssue:        "issue",
+	EvBranch:       "branch",
+	EvMispredict:   "mispredict",
+	EvCommit:       "commit",
+	EvBITHit:       "bit_hit",
+	EvBITAlias:     "bit_alias",
+	EvFoldFallback: "fold_fallback",
+	EvBDTValid:     "bdt_valid",
+	EvBDTInvalid:   "bdt_invalid",
+	EvBankSwitch:   "bank_switch",
+}
+
+// String returns the kind's stable wire name.
+func (k EventKind) String() string {
+	if k < evKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind resolves a wire name back to its kind.
+func ParseKind(s string) (EventKind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return EventKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown event kind %q", s)
+}
+
+// KindNames returns every kind's wire name, in kind order.
+func KindNames() []string {
+	out := make([]string, evKinds)
+	copy(out, kindNames[:])
+	return out
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	if k >= evKinds {
+		return nil, fmt.Errorf("cannot marshal event kind %d", uint8(k))
+	}
+	return []byte(`"` + kindNames[k] + `"`), nil
+}
+
+// UnmarshalJSON decodes a string kind name.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("event kind must be a JSON string, got %s", b)
+	}
+	got, err := ParseKind(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*k = got
+	return nil
+}
+
+// Event is one pipeline event. Seq is the tracer-assigned global
+// sequence number (pre-sampling, so retained events keep their true
+// position); Cycle is the machine cycle the event occurred in; Arg is a
+// kind-specific operand documented on each EventKind constant.
+type Event struct {
+	Seq   uint64    `json:"seq"`
+	Cycle uint64    `json:"cycle"`
+	Kind  EventKind `json:"kind"`
+	PC    uint32    `json:"pc,omitempty"`
+	Arg   uint64    `json:"arg,omitempty"`
+	Taken bool      `json:"taken,omitempty"`
+}

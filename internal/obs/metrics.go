@@ -1,0 +1,28 @@
+package obs
+
+// Metrics is an Observer that mirrors the pipeline event stream into a
+// registry as asbr_cpu_events_total{kind=...}. Chain it after a fold
+// engine (or alone) to get counter-level observability without
+// retaining events.
+type Metrics struct {
+	Base
+	counters [evKinds]*Counter
+}
+
+// NewMetrics registers the event counter family in r and returns the
+// mirroring observer.
+func NewMetrics(r *Registry) *Metrics {
+	vec := r.CounterVec("asbr_cpu_events_total", "pipeline events observed, by kind.", "kind")
+	m := &Metrics{}
+	for k := EventKind(0); k < evKinds; k++ {
+		m.counters[k] = vec.With(kindNames[k])
+	}
+	return m
+}
+
+// OnEvent implements Observer.
+func (m *Metrics) OnEvent(e Event) {
+	if e.Kind < evKinds {
+		m.counters[e.Kind].Inc()
+	}
+}

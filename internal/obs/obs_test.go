@@ -1,0 +1,382 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"asbr/internal/isa"
+	"asbr/internal/obs"
+	"asbr/internal/runner"
+)
+
+// recorder notes every notification it receives, in order.
+type recorder struct {
+	obs.Base
+	name string
+	log  *[]string
+}
+
+func (r *recorder) OnIssue(rd isa.Reg) {
+	*r.log = append(*r.log, fmt.Sprintf("%s:issue:%d", r.name, rd))
+}
+func (r *recorder) OnValue(rd isa.Reg, v int32) {
+	*r.log = append(*r.log, fmt.Sprintf("%s:value:%d=%d", r.name, rd, v))
+}
+func (r *recorder) OnBranch(pc uint32, taken, folded bool) {
+	*r.log = append(*r.log, fmt.Sprintf("%s:branch:%#x:%t:%t", r.name, pc, taken, folded))
+}
+func (r *recorder) OnEvent(e obs.Event) {
+	*r.log = append(*r.log, fmt.Sprintf("%s:event:%s", r.name, e.Kind))
+}
+
+// folder folds a fixed address.
+type folder struct {
+	obs.Base
+	pc   uint32
+	next uint32
+}
+
+func (f *folder) TryFold(pc uint32) (obs.Fold, bool) {
+	if pc == f.pc {
+		return obs.Fold{PC: pc, Next: f.next, Taken: true}, true
+	}
+	return obs.Fold{}, false
+}
+
+func TestChainFanOutOrder(t *testing.T) {
+	var log []string
+	ch := obs.NewChain(nil, &recorder{name: "a", log: &log}, nil, &recorder{name: "b", log: &log})
+	ch.OnIssue(3)
+	ch.OnBranch(0x40, true, false)
+	ch.OnEvent(obs.Event{Kind: obs.EvCommit})
+	want := []string{"a:issue:3", "b:issue:3", "a:branch:0x40:true:false",
+		"b:branch:0x40:true:false", "a:event:commit", "b:event:commit"}
+	if strings.Join(log, " ") != strings.Join(want, " ") {
+		t.Errorf("fan-out order:\ngot  %v\nwant %v", log, want)
+	}
+}
+
+func TestChainFirstFoldWins(t *testing.T) {
+	first := &folder{pc: 0x100, next: 0x200}
+	second := &folder{pc: 0x100, next: 0x300}
+	ch := obs.NewChain(first, second)
+	f, ok := ch.TryFold(0x100)
+	if !ok || f.Next != 0x200 {
+		t.Errorf("TryFold = %+v, %t; want first member's fold (next 0x200)", f, ok)
+	}
+	if _, ok := ch.TryFold(0x104); ok {
+		t.Error("chain folded an address no member folds")
+	}
+}
+
+func TestNewChainCollapses(t *testing.T) {
+	if got := obs.NewChain(nil, nil); got != nil {
+		t.Errorf("empty chain = %T, want nil", got)
+	}
+	one := &folder{pc: 1}
+	if got := obs.NewChain(nil, one); got != obs.Observer(one) {
+		t.Errorf("single-member chain = %T, want the member itself", got)
+	}
+}
+
+func TestChainSetClockReachesClockedMembers(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{})
+	ch := obs.NewChain(&folder{pc: 1}, tr)
+	cl, ok := ch.(obs.Clocked)
+	if !ok {
+		t.Fatal("chain with a Clocked member does not implement Clocked")
+	}
+	cl.SetClock(func() uint64 { return 77 })
+	ch.OnEvent(obs.Event{Kind: obs.EvBITHit})
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Cycle != 77 {
+		t.Errorf("clock not installed through the chain: %+v", evs)
+	}
+}
+
+func TestTracerSamplingKeepsExactCounts(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{Sample: 10})
+	const n = 1005
+	for i := 0; i < n; i++ {
+		tr.OnEvent(obs.Event{Kind: obs.EvFetch, Cycle: uint64(i + 1)})
+	}
+	if got := tr.Total(); got != n {
+		t.Errorf("Total = %d, want %d", got, n)
+	}
+	if got := tr.Count(obs.EvFetch); got != n {
+		t.Errorf("Count(fetch) = %d, want %d (pre-sampling)", got, n)
+	}
+	if got := tr.Retained(); got != 101 {
+		t.Errorf("Retained = %d, want 101 (every 10th of %d)", got, n)
+	}
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events not seq-ordered at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestTracerCapDropsButCounts(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{Cap: 8})
+	for i := 0; i < 20; i++ {
+		tr.OnEvent(obs.Event{Kind: obs.EvCommit, Cycle: uint64(i + 1)})
+	}
+	if got := tr.Retained(); got != 8 {
+		t.Errorf("Retained = %d, want 8", got)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Errorf("Dropped = %d, want 12", got)
+	}
+	if got := tr.Count(obs.EvCommit); got != 20 {
+		t.Errorf("Count(commit) = %d, want 20", got)
+	}
+}
+
+func TestTracerIgnoresUnknownKinds(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{})
+	tr.OnEvent(obs.Event{Kind: obs.EventKind(200)})
+	if tr.Total() != 0 || tr.Retained() != 0 {
+		t.Errorf("out-of-range kind recorded: total %d retained %d", tr.Total(), tr.Retained())
+	}
+}
+
+func TestWriteJSONLRoundTripsThroughValidate(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{})
+	tr.SetClock(func() uint64 { return 5 })
+	tr.OnEvent(obs.Event{Kind: obs.EvFetch, Cycle: 1, PC: 0x40})
+	tr.OnEvent(obs.Event{Kind: obs.EvFold, Cycle: 1, PC: 0x44, Arg: 0x60, Taken: true})
+	tr.OnEvent(obs.Event{Kind: obs.EvBITHit, PC: 0x44}) // cycle-less: stamped by the clock
+	tr.OnEvent(obs.Event{Kind: obs.EvCommit, Cycle: 3, PC: 0x40})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	sum, err := obs.ValidateJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ValidateJSONL: %v\n%s", err, buf.String())
+	}
+	if sum.Total != 4 || sum.Counts["fetch"] != 1 || sum.Counts["fold"] != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if !strings.Contains(buf.String(), `"cycle":5,"kind":"bit_hit"`) {
+		t.Errorf("clock stamp missing from bit_hit line:\n%s", buf.String())
+	}
+}
+
+func TestValidateJSONLRejectsCorruption(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{})
+	tr.OnEvent(obs.Event{Kind: obs.EvFetch, Cycle: 1})
+	tr.OnEvent(obs.Event{Kind: obs.EvCommit, Cycle: 2})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n") // header, fetch, commit, trailer, ""
+	for name, bad := range map[string]string{
+		"missing header":  strings.Join(lines[1:], ""),
+		"missing trailer": strings.Join(lines[:3], ""),
+		// An unsampled trace must account for every counted event.
+		"dropped event": lines[0] + strings.Join(lines[2:], ""),
+	} {
+		if _, err := obs.ValidateJSONL(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestWriteFilesProducesChromeTwin(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{})
+	tr.OnEvent(obs.Event{Kind: obs.EvFold, Cycle: 9, PC: 0x44, Arg: 0x60, Taken: true})
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	chrome, err := tr.WriteFiles(path)
+	if err != nil {
+		t.Fatalf("WriteFiles: %v", err)
+	}
+	if want := filepath.Join(filepath.Dir(path), "run.trace.json"); chrome != want {
+		t.Errorf("chrome path = %s, want %s", chrome, want)
+	}
+	b := readFile(t, chrome)
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 1 || out.TraceEvents[0]["name"] != "fold" || out.TraceEvents[0]["ts"] != float64(9) {
+		t.Errorf("chrome events = %+v", out.TraceEvents)
+	}
+	if _, err := obs.ValidateJSONL(bytes.NewReader(readFile(t, path))); err != nil {
+		t.Errorf("JSONL twin invalid: %v", err)
+	}
+}
+
+// TestTracerConcurrentFlush hammers one tracer from a runner pool while
+// readers snapshot and serialize it concurrently — the -race gate for
+// the lock-free slot protocol.
+func TestTracerConcurrentFlush(t *testing.T) {
+	tr := obs.NewTracer(obs.TracerConfig{Cap: 1 << 12})
+	const workers, perWorker = 8, 2000
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	stop := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Events()
+				var buf bytes.Buffer
+				if err := tr.WriteJSONL(&buf); err != nil {
+					t.Errorf("concurrent WriteJSONL: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	jobs := make([]int, workers)
+	_, err := runner.Map(workers, jobs, func(i int, _ int) (struct{}, error) {
+		for j := 0; j < perWorker; j++ {
+			tr.OnEvent(obs.Event{Kind: obs.EvCommit, Cycle: uint64(j + 1), PC: uint32(i)})
+		}
+		return struct{}{}, nil
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("runner.Map: %v", err)
+	}
+	if got, want := tr.Total(), uint64(workers*perWorker); got != want {
+		t.Errorf("Total = %d, want %d", got, want)
+	}
+	if got := tr.Count(obs.EvCommit); got != uint64(workers*perWorker) {
+		t.Errorf("Count(commit) = %d, want %d", got, workers*perWorker)
+	}
+	evs := tr.Events()
+	if len(evs) != 1<<12 {
+		t.Errorf("Retained = %d, want full buffer %d", len(evs), 1<<12)
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("test_total", "a counter.")
+	c.Add(3)
+	g := r.Gauge("test_gauge", "a gauge.")
+	g.Set(2.5)
+	v := r.CounterVec("test_labeled_total", "a vec.", "path", "status")
+	v.With("/v1/sim", "200").Inc()
+	v.With("/v1/sim", "400").Add(2)
+	r.GaugeFunc("test_live", "live gauge.", func() float64 { return 7 })
+	h := r.Histogram("test_seconds", "a histogram.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP test_total a counter.\n# TYPE test_total counter\ntest_total 3\n",
+		"test_gauge 2.5\n",
+		`test_labeled_total{path="/v1/sim",status="200"} 1`,
+		`test_labeled_total{path="/v1/sim",status="400"} 2`,
+		"test_live 7\n",
+		`test_seconds_bucket{le="1"} 1`,
+		`test_seconds_bucket{le="10"} 2`,
+		`test_seconds_bucket{le="+Inf"} 3`,
+		"test_seconds_sum 55.5\n",
+		"test_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in registration order.
+	if strings.Index(out, "test_total") > strings.Index(out, "test_gauge") {
+		t.Error("families not in registration order")
+	}
+}
+
+func TestRegistryIdempotentAndConflicts(t *testing.T) {
+	r := obs.NewRegistry()
+	a := r.Counter("dup_total", "first.")
+	b := r.Counter("dup_total", "second.")
+	if a != b {
+		t.Error("re-registering the same shape returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape conflict did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "now a gauge.")
+}
+
+func TestSnapshotAccumulate(t *testing.T) {
+	var s obs.Snapshot
+	s.Accumulate(obs.Snapshot{
+		Cycles: 100, Instructions: 50, CondBranches: 10, DirMispredicts: 2,
+		Folded: 10, ICacheMissRate: 0.1,
+	})
+	s.Accumulate(obs.Snapshot{
+		Cycles: 300, Instructions: 150, CondBranches: 30, DirMispredicts: 2,
+		ICacheMissRate: 0.2,
+	})
+	if s.Cycles != 400 || s.Instructions != 200 {
+		t.Errorf("counters: %+v", s)
+	}
+	if got, want := s.CPI, 2.0; got != want {
+		t.Errorf("CPI = %g, want %g", got, want)
+	}
+	if got, want := s.Accuracy, 0.9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Accuracy = %g, want %g", got, want)
+	}
+	if got, want := s.FoldCoverage, 0.2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("FoldCoverage = %g, want %g", got, want)
+	}
+	if got, want := s.ICacheMissRate, 0.175; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ICacheMissRate = %g, want %g (cycle-weighted)", got, want)
+	}
+}
+
+func TestEventKindJSONRoundTrip(t *testing.T) {
+	for _, name := range obs.KindNames() {
+		k, err := obs.ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%s): %v", name, err)
+		}
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", name, err)
+		}
+		var back obs.EventKind
+		if err := json.Unmarshal(b, &back); err != nil || back != k {
+			t.Errorf("%s: round-trip %s -> %v (%v)", name, b, back, err)
+		}
+	}
+	if _, err := obs.ParseKind("nonsense"); err == nil {
+		t.Error("ParseKind accepted an unknown name")
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return b
+}

@@ -1,0 +1,323 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a zero-dependency metrics registry rendering the
+// Prometheus text exposition format (version 0.0.4). Families are
+// emitted in registration order; labelled series within a family are
+// sorted by label values, so output is deterministic. Registration is
+// idempotent: re-registering a name with the same shape returns the
+// existing instrument (so package-level metrics tolerate multiple
+// initialisation paths), while a shape conflict panics — that is a
+// programming error.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+type metricKind uint8
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name, help string
+	kind       metricKind
+	keys       []string // label keys (nil = scalar)
+
+	mu     sync.Mutex
+	series map[string]*Counter // labelled counters by joined values
+	order  []string
+
+	counter *Counter   // scalar counter
+	gauge   *Gauge     // scalar gauge
+	hist    *Histogram // scalar histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Library code (the runner
+// pool, the fault injector) registers here; binaries dump it with
+// -metrics and the serve daemon appends it to /metrics.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) family(name, help string, kind metricKind, keys ...string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || len(f.keys) != len(keys) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as a different shape", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, keys: keys}
+	if len(keys) > 0 {
+		f.series = make(map[string]*Counter)
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter is a monotonically increasing uint64, optionally backed by a
+// read function instead of its own cell.
+type Counter struct {
+	v  atomic.Uint64
+	fn func() uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c.fn != nil {
+		return c.fn()
+	}
+	return c.v.Load()
+}
+
+// Counter registers (or returns) a scalar counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, counterKind)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.counter == nil {
+		f.counter = &Counter{}
+	}
+	return f.counter
+}
+
+// CounterFunc registers a scalar counter whose value is read from fn at
+// scrape time — for counts that already live in another structure.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	f := r.family(name, help, counterKind)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counter = &Counter{fn: fn}
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec registers (or returns) a labelled counter family with the
+// given label keys.
+func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, counterKind, keys...)}
+}
+
+func (v *CounterVec) at(vals []string) *Counter {
+	if len(vals) != len(v.f.keys) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", v.f.name, len(v.f.keys), len(vals)))
+	}
+	key := strings.Join(vals, "\x00")
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	c, ok := v.f.series[key]
+	if !ok {
+		c = &Counter{}
+		v.f.series[key] = c
+		v.f.order = append(v.f.order, key)
+	}
+	return c
+}
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(vals ...string) *Counter { return v.at(vals) }
+
+// WithFunc binds the series for the given label values to a read
+// function evaluated at scrape time.
+func (v *CounterVec) WithFunc(fn func() uint64, vals ...string) {
+	c := v.at(vals)
+	c.fn = fn
+}
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+	fn   func() float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge registers (or returns) a scalar gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, gaugeKind)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.gauge == nil {
+		f.gauge = &Gauge{}
+	}
+	return f.gauge
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, gaugeKind)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gauge = &Gauge{fn: fn}
+}
+
+// Histogram is a fixed-bucket cumulative histogram with explicit upper
+// bounds (a +Inf bucket is implicit).
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []uint64 // len(bounds)+1, last = +Inf
+	sum     float64
+	count   uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Histogram registers (or returns) a histogram with the given upper
+// bounds (ascending; must be non-empty).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs explicit buckets", name))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+	}
+	f := r.family(name, help, histogramKind)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hist == nil {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		f.hist = &Histogram{bounds: b, buckets: make([]uint64, len(b)+1)}
+	}
+	return f.hist
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func labelString(keys, vals []string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, vals[i])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders every family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+func (f *family) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case f.keys != nil:
+		keys := make([]string, len(f.order))
+		copy(keys, f.order)
+		sort.Strings(keys)
+		for _, key := range keys {
+			vals := strings.Split(key, "\x00")
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.keys, vals), f.series[key].Value())
+		}
+	case f.kind == counterKind:
+		var v uint64
+		if f.counter != nil {
+			v = f.counter.Value()
+		}
+		fmt.Fprintf(w, "%s %d\n", f.name, v)
+	case f.kind == gaugeKind:
+		var v float64
+		if f.gauge != nil {
+			v = f.gauge.Value()
+		}
+		fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(v))
+	case f.kind == histogramKind:
+		h := f.hist
+		h.mu.Lock()
+		cum := uint64(0)
+		for i, ub := range h.bounds {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, formatFloat(ub), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, h.count)
+		fmt.Fprintf(w, "%s_sum %s\n", f.name, formatFloat(h.sum))
+		fmt.Fprintf(w, "%s_count %d\n", f.name, h.count)
+		h.mu.Unlock()
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+// Snapshot is the canonical simulation statistics record shared across
+// layers: cpu.Stats projects onto it (cpu.Stats.Snapshot), the
+// experiment rows embed it, and the serve wire protocol aliases it as
+// apitypes.SimStatsV1 — so a counter added here lands in tables, job
+// results and /v1/stats at once. All fields are scalars, keeping the
+// struct comparable; JSON tags are frozen by the apitypes round-trip
+// suite.
+type Snapshot struct {
+	Cycles         uint64  `json:"cycles"`
+	Instructions   uint64  `json:"instructions"`
+	CPI            float64 `json:"cpi"`
+	CondBranches   uint64  `json:"cond_branches"`
+	TakenBranches  uint64  `json:"taken_branches"`
+	Mispredicts    uint64  `json:"mispredicts"`
+	DirMispredicts uint64  `json:"dir_mispredicts,omitempty"`
+	Accuracy       float64 `json:"accuracy"`
+	Folded         uint64  `json:"folded"`
+	FoldedTaken    uint64  `json:"folded_taken,omitempty"`
+	FoldFallbacks  uint64  `json:"fold_fallbacks"`
+	FoldCoverage   float64 `json:"fold_coverage,omitempty"`
+	LoadUseStalls  uint64  `json:"load_use_stalls"`
+	FetchStalls    uint64  `json:"fetch_stalls"`
+	MemStalls      uint64  `json:"mem_stalls"`
+	ExStalls       uint64  `json:"ex_stalls"`
+	ICacheMissRate float64 `json:"icache_miss_rate"`
+	DCacheMissRate float64 `json:"dcache_miss_rate"`
+}
+
+// Accumulate folds another run's snapshot into s: counters add, cache
+// miss rates combine cycle-weighted, and the derived ratios (CPI,
+// Accuracy, FoldCoverage) are recomputed from the accumulated counters.
+// The serve daemon uses this to maintain its service-lifetime totals.
+func (s *Snapshot) Accumulate(o Snapshot) {
+	if tc := s.Cycles + o.Cycles; tc > 0 {
+		s.ICacheMissRate = (s.ICacheMissRate*float64(s.Cycles) + o.ICacheMissRate*float64(o.Cycles)) / float64(tc)
+		s.DCacheMissRate = (s.DCacheMissRate*float64(s.Cycles) + o.DCacheMissRate*float64(o.Cycles)) / float64(tc)
+	}
+	s.Cycles += o.Cycles
+	s.Instructions += o.Instructions
+	s.CondBranches += o.CondBranches
+	s.TakenBranches += o.TakenBranches
+	s.Mispredicts += o.Mispredicts
+	s.DirMispredicts += o.DirMispredicts
+	s.Folded += o.Folded
+	s.FoldedTaken += o.FoldedTaken
+	s.FoldFallbacks += o.FoldFallbacks
+	s.LoadUseStalls += o.LoadUseStalls
+	s.FetchStalls += o.FetchStalls
+	s.MemStalls += o.MemStalls
+	s.ExStalls += o.ExStalls
+
+	s.CPI = 0
+	if s.Instructions > 0 {
+		s.CPI = float64(s.Cycles) / float64(s.Instructions)
+	}
+	s.Accuracy = 0
+	if s.CondBranches > 0 {
+		s.Accuracy = 1 - float64(s.DirMispredicts)/float64(s.CondBranches)
+	}
+	s.FoldCoverage = 0
+	if dyn := s.CondBranches + s.Folded; dyn > 0 {
+		s.FoldCoverage = float64(s.Folded) / float64(dyn)
+	}
+}

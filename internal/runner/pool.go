@@ -25,6 +25,17 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"asbr/internal/obs"
+)
+
+// Pool activity counters in the process-wide metrics registry
+// (asbr-sim -metrics dumps them; the serve daemon appends them to
+// /metrics).
+var (
+	poolJobs    = obs.Default().Counter("asbr_runner_jobs_total", "pool job attempts executed (retries count again).")
+	poolRetries = obs.Default().Counter("asbr_runner_retries_total", "pool jobs retried after a transient failure or panic.")
+	poolPanics  = obs.Default().Counter("asbr_runner_panics_total", "pool job attempts that panicked (recovered into PanicError).")
 )
 
 // PanicError is a recovered per-job panic, carrying the job's input
@@ -137,6 +148,7 @@ func runJob[T, R any](i int, item T, f func(i int, item T) (R, error)) (R, error
 	}
 	var pe *PanicError
 	if IsTransient(err) || errors.As(err, &pe) {
+		poolRetries.Inc()
 		if out2, err2 := attempt(i, item, f); err2 == nil {
 			return out2, nil
 		}
@@ -147,8 +159,10 @@ func runJob[T, R any](i int, item T, f func(i int, item T) (R, error)) (R, error
 
 // attempt runs f once, converting a panic into a *PanicError.
 func attempt[T, R any](i int, item T, f func(i int, item T) (R, error)) (out R, err error) {
+	poolJobs.Inc()
 	defer func() {
 		if v := recover(); v != nil {
+			poolPanics.Inc()
 			var zero R
 			out = zero
 			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}

@@ -6,12 +6,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/sim       assemble-or-load a program, simulate, return stats
-//	POST /v1/sweep     run experiment tables, return their JSON encoding
-//	POST /v1/jobs      async submission of a sim or sweep
-//	GET  /v1/jobs/{id} job status and result
-//	GET  /v1/healthz   liveness and queue state
-//	GET  /metrics      Prometheus text counters
+//	POST /v1/sim             assemble-or-load a program, simulate, return stats
+//	POST /v1/sweep           run experiment tables, return their JSON encoding
+//	POST /v1/jobs            async submission of a sim or sweep (trace opt-in)
+//	GET  /v1/jobs/{id}       job status and result
+//	GET  /v1/jobs/{id}/trace recorded pipeline event trace of a traced job
+//	GET  /v1/stats           service-lifetime simulation totals (obs.Snapshot)
+//	GET  /v1/healthz         liveness and queue state
+//	GET  /metrics            Prometheus text counters (obs registry)
+//	GET  /debug/pprof/       runtime profiling endpoints
 //
 // Coalescing: requests are keyed canonically (internal/runner key
 // helpers plus a source hash) and deduplicated through a keyed
@@ -47,6 +50,8 @@ type (
 	JobStatus    = apitypes.JobStatusV1
 	Healthz      = apitypes.HealthzV1
 	ErrorBody    = apitypes.ErrorBodyV1
+	Trace        = apitypes.TraceV1
+	ServiceStats = apitypes.StatsV1
 )
 
 // Job states.

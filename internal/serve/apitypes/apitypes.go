@@ -16,6 +16,7 @@ import (
 
 	"asbr/internal/cpu"
 	"asbr/internal/experiment"
+	"asbr/internal/obs"
 	"asbr/internal/predict"
 	"asbr/internal/runner"
 	"asbr/internal/workload"
@@ -76,38 +77,19 @@ func (r *SimRequestV1) Timeout() time.Duration {
 }
 
 // SimStatsV1 is the wire form of the simulation statistics a client
-// typically dashboards; the full cpu.Stats stays server-side.
-type SimStatsV1 struct {
-	Cycles         uint64  `json:"cycles"`
-	Instructions   uint64  `json:"instructions"`
-	CPI            float64 `json:"cpi"`
-	CondBranches   uint64  `json:"cond_branches"`
-	TakenBranches  uint64  `json:"taken_branches"`
-	Mispredicts    uint64  `json:"mispredicts"`
-	Accuracy       float64 `json:"accuracy"`
-	Folded         uint64  `json:"folded"`
-	FoldFallbacks  uint64  `json:"fold_fallbacks"`
-	LoadUseStalls  uint64  `json:"load_use_stalls"`
-	FetchStalls    uint64  `json:"fetch_stalls"`
-	MemStalls      uint64  `json:"mem_stalls"`
-	ExStalls       uint64  `json:"ex_stalls"`
-	ICacheMissRate float64 `json:"icache_miss_rate"`
-	DCacheMissRate float64 `json:"dcache_miss_rate"`
-}
+// typically dashboards; the full cpu.Stats stays server-side. It is an
+// alias of the canonical cross-layer record obs.Snapshot — the same
+// shape the experiment rows embed and GET /v1/stats aggregates — so
+// the three historical per-layer stats structs stay collapsed into
+// one. The original V1 field set and tags are frozen by the round-trip
+// suite; fields added since (dir_mispredicts, folded_taken,
+// fold_coverage) are omitempty, so V1 payloads are unchanged when they
+// are zero.
+type SimStatsV1 = obs.Snapshot
 
 // EncodeStats projects the simulator's full counter set onto the wire
 // statistics.
-func EncodeStats(st cpu.Stats) SimStatsV1 {
-	return SimStatsV1{
-		Cycles: st.Cycles, Instructions: st.Instructions, CPI: st.CPI(),
-		CondBranches: st.CondBranches, TakenBranches: st.TakenBranches,
-		Mispredicts: st.Mispredicts, Accuracy: st.PredAccuracy(),
-		Folded: st.Folded, FoldFallbacks: st.FoldFallbacks,
-		LoadUseStalls: st.LoadUseStalls, FetchStalls: st.FetchStalls,
-		MemStalls: st.MemStalls, ExStalls: st.ExStalls,
-		ICacheMissRate: st.ICache.MissRate(), DCacheMissRate: st.DCache.MissRate(),
-	}
-}
+func EncodeStats(st cpu.Stats) SimStatsV1 { return st.Snapshot() }
 
 // SimResponseV1 is one finished simulation.
 type SimResponseV1 struct {
@@ -174,9 +156,17 @@ func (r *SweepRequestV1) Options() experiment.Options {
 }
 
 // JobRequestV1 is an async submission: exactly one of Sim and Sweep.
+// Trace (sim jobs only) additionally records a pipeline event trace,
+// retrievable at GET /v1/jobs/{id}/trace once the job finishes; traced
+// runs bypass the coalescing cache so the trace belongs to this
+// submission's own execution. Trace fields are deliberately NOT part
+// of SimRequestV1.Key: tracing must never change what coalesces.
 type JobRequestV1 struct {
 	Sim   *SimRequestV1   `json:"sim,omitempty"`
 	Sweep *SweepRequestV1 `json:"sweep,omitempty"`
+
+	Trace       bool   `json:"trace,omitempty"`
+	TraceSample uint64 `json:"trace_sample,omitempty"` // keep every Nth event (0/1 = all)
 }
 
 // Job states.
@@ -204,6 +194,39 @@ type HealthzV1 struct {
 	QueueDepth    int    `json:"queue_depth"`
 	QueueCapacity int    `json:"queue_capacity"`
 	Workers       int    `json:"workers"`
+}
+
+// TraceEventV1 is one pipeline event on the wire — an alias of
+// obs.Event, whose JSON shape (string kind names, omitempty operands)
+// is the same asbr-trace/v1 schema the CLI's JSONL files use.
+type TraceEventV1 = obs.Event
+
+// TraceV1 is a finished job's recorded pipeline event trace
+// (GET /v1/jobs/{id}/trace). Counts and Total are exact pre-sampling
+// figures; Events holds the retained (possibly sampled) stream.
+type TraceV1 struct {
+	JobID   string            `json:"job_id"`
+	Sample  uint64            `json:"sample"`
+	Total   uint64            `json:"total"`
+	Dropped uint64            `json:"dropped,omitempty"`
+	Counts  map[string]uint64 `json:"counts"`
+	Events  []TraceEventV1    `json:"events"`
+}
+
+// StatsV1 is the service-lifetime statistics response
+// (GET /v1/stats): the accumulated Snapshot over every simulation the
+// daemon executed (coalesced cache hits count once, at build time),
+// plus service-level counters. Fold coverage — the paper's central §4
+// metric — is Totals.FoldCoverage.
+type StatsV1 struct {
+	Totals        obs.Snapshot `json:"totals"`
+	SimRuns       uint64       `json:"sim_runs"`
+	SweepRuns     uint64       `json:"sweep_runs"`
+	JobsSubmitted uint64       `json:"jobs_submitted"`
+	JobsCompleted uint64       `json:"jobs_completed"`
+	QueueDepth    int          `json:"queue_depth"`
+	QueueCapacity int          `json:"queue_capacity"`
+	Workers       int          `json:"workers"`
 }
 
 // ErrorBodyV1 is the structured error every endpoint returns, wrapped

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"asbr/internal/cpu"
+	"asbr/internal/obs"
 	"asbr/internal/predict"
 )
 
@@ -68,11 +69,35 @@ func TestRoundTripSweepRequest(t *testing.T) {
 
 func TestRoundTripJobAndErrors(t *testing.T) {
 	roundTrip(t, &JobRequestV1{Sim: &SimRequestV1{Bench: "adpcm-dec", Predictor: "nottaken"}})
+	roundTrip(t, &JobRequestV1{
+		Sim: &SimRequestV1{Bench: "adpcm-dec"}, Trace: true, TraceSample: 64,
+	})
 	roundTrip(t, &JobStatusV1{
 		ID: "j000001", Kind: "sim", State: JobFailed,
 		Error: &ErrorBodyV1{Code: "cycle-limit", Message: "exceeded MaxCycles", PC: 0x400010, Cycle: 999},
 	})
 	roundTrip(t, &HealthzV1{Status: "ok", QueueDepth: 1, QueueCapacity: 64, Workers: 8})
+}
+
+func TestRoundTripTraceAndStats(t *testing.T) {
+	fetch, _ := obs.ParseKind("fetch")
+	fold, _ := obs.ParseKind("fold")
+	roundTrip(t, &TraceV1{
+		JobID: "j000003", Sample: 16, Total: 4096, Dropped: 12,
+		Counts: map[string]uint64{"fetch": 2048, "fold": 128},
+		Events: []TraceEventV1{
+			{Seq: 0, Cycle: 1, Kind: fetch, PC: 0x400000},
+			{Seq: 16, Cycle: 40, Kind: fold, PC: 0x400010, Arg: 0x400030, Taken: true},
+		},
+	})
+	roundTrip(t, &StatsV1{
+		Totals: obs.Snapshot{
+			Cycles: 9999, Instructions: 8000, CPI: 1.249875,
+			CondBranches: 700, Folded: 120, FoldCoverage: 0.146,
+		},
+		SimRuns: 4, SweepRuns: 1, JobsSubmitted: 3, JobsCompleted: 3,
+		QueueDepth: 1, QueueCapacity: 64, Workers: 8,
+	})
 }
 
 // TestEncodeStats pins the projection from the simulator's counters to

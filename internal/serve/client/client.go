@@ -116,6 +116,25 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*serv
 	}
 }
 
+// JobTrace fetches a finished traced job's recorded pipeline event
+// stream (the job must have been submitted with Trace set).
+func (c *Client) JobTrace(ctx context.Context, id string) (*serve.Trace, error) {
+	var resp serve.Trace
+	if err := c.get(ctx, "/v1/jobs/"+id+"/trace", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the daemon's service-lifetime simulation totals.
+func (c *Client) Stats(ctx context.Context) (*serve.ServiceStats, error) {
+	var resp serve.ServiceStats
+	if err := c.get(ctx, "/v1/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Healthz checks liveness.
 func (c *Client) Healthz(ctx context.Context) (*serve.Healthz, error) {
 	var resp serve.Healthz

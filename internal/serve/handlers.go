@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 )
 
@@ -17,6 +18,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleGetJobTrace)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s.instrument(mux)
 }
 
@@ -41,8 +49,13 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		route := r.URL.Path
-		if strings.HasPrefix(route, "/v1/jobs/") {
+		switch {
+		case strings.HasPrefix(route, "/v1/jobs/") && strings.HasSuffix(route, "/trace"):
+			route = "/v1/jobs/{id}/trace"
+		case strings.HasPrefix(route, "/v1/jobs/"):
 			route = "/v1/jobs/{id}"
+		case strings.HasPrefix(route, "/debug/pprof/"):
+			route = "/debug/pprof/"
 		}
 		s.met.observeRequest(route, rec.status)
 	})
@@ -158,6 +171,19 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleGetJobTrace(w http.ResponseWriter, r *http.Request) {
+	t, err := s.jobTrace(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, t)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.serviceStats())
 }
 
 // isAPIError reports whether err is a service-level error with the

@@ -1,21 +1,35 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
+	"strconv"
 	"sync/atomic"
+
+	"asbr/internal/obs"
 )
 
-// metrics is the daemon's counter set, rendered in Prometheus text
-// exposition format by writeMetrics. Everything is hand-rolled on
-// stdlib primitives: label cardinality is bounded (fixed route set,
-// fixed error-code vocabulary), so a mutex-guarded map is plenty.
+// simDurationBuckets are the upper bounds (seconds) of the simulation
+// wall-clock histogram: sub-millisecond unit programs up to the 2m
+// default timeout.
+var simDurationBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120,
+}
+
+// metrics is the daemon's instrument set on a per-server obs.Registry
+// (so concurrent servers in tests do not share counters). Families are
+// registered in the historical exposition order, which keeps scrape
+// output stable; /metrics appends the process-wide obs.Default()
+// registry (runner pool, fault injector, cpu event counters) after the
+// serve families.
+//
+// Hot-path counts the handlers bump per request stay plain atomics
+// here and are exposed through scrape-time read functions; queue and
+// cache state is read live from the server the same way.
 type metrics struct {
-	mu       sync.Mutex
-	requests map[[2]string]uint64 // {route, status} -> count
-	errors   map[string]uint64    // error-body code -> count
+	reg *obs.Registry
+
+	requests *obs.CounterVec // {path, status}
+	errors   *obs.CounterVec // {code}
 
 	inFlight      atomic.Int64
 	simRuns       atomic.Uint64 // simulations actually executed (post-coalescing)
@@ -23,88 +37,85 @@ type metrics struct {
 	sweepRuns     atomic.Uint64
 	jobsSubmitted atomic.Uint64
 	jobsCompleted atomic.Uint64
+
+	simDuration *obs.Histogram
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		requests: make(map[[2]string]uint64),
-		errors:   make(map[string]uint64),
-	}
+// newMetrics builds the server's registry. The server's task queue and
+// caches must already exist: the gauge and counter read functions
+// capture them.
+func newMetrics(s *Server) *metrics {
+	m := &metrics{reg: obs.NewRegistry()}
+	r := m.reg
+
+	m.requests = r.CounterVec("asbr_serve_requests_total",
+		"HTTP requests by route and status.", "path", "status")
+	m.errors = r.CounterVec("asbr_serve_errors_total",
+		"error responses by structured error code.", "code")
+
+	r.GaugeFunc("asbr_serve_in_flight",
+		"HTTP requests currently being handled.",
+		func() float64 { return float64(m.inFlight.Load()) })
+	r.GaugeFunc("asbr_serve_queue_depth",
+		"tasks waiting in the bounded job queue.",
+		func() float64 { return float64(len(s.tasks)) })
+	r.GaugeFunc("asbr_serve_queue_capacity",
+		"job queue capacity (429 beyond this).",
+		func() float64 { return float64(cap(s.tasks)) })
+	r.GaugeFunc("asbr_serve_workers",
+		"worker goroutines executing queued tasks.",
+		func() float64 { return float64(s.cfg.Workers) })
+
+	r.CounterFunc("asbr_serve_sim_cache_gets_total",
+		"sim requests keyed into the coalescing cache.", s.sims.Gets)
+	r.CounterFunc("asbr_serve_sim_cache_builds_total",
+		"sim cache misses, i.e. simulations actually started (gets - builds = coalesced hits).", s.sims.Builds)
+	r.CounterFunc("asbr_serve_sweep_cache_gets_total",
+		"sweep requests keyed into the coalescing cache.", s.sweeps.Gets)
+	r.CounterFunc("asbr_serve_sweep_cache_builds_total",
+		"sweep cache misses, i.e. sweeps actually started.", s.sweeps.Builds)
+
+	r.CounterFunc("asbr_serve_sim_runs_total",
+		"simulations executed to completion (success or simulation error).", m.simRuns.Load)
+	r.CounterFunc("asbr_serve_sim_cycles_total",
+		"total simulated cycles across executed sim requests.", m.simCycles.Load)
+	r.CounterFunc("asbr_serve_sweep_runs_total",
+		"sweeps executed to completion.", m.sweepRuns.Load)
+	r.CounterFunc("asbr_serve_jobs_submitted_total",
+		"async jobs accepted via POST /v1/jobs.", m.jobsSubmitted.Load)
+	r.CounterFunc("asbr_serve_jobs_completed_total",
+		"async jobs finished (done or failed).", m.jobsCompleted.Load)
+
+	builds := r.CounterVec("asbr_serve_artifact_builds_total",
+		"shared artifacts built, by kind.", "kind")
+	gets := r.CounterVec("asbr_serve_artifact_gets_total",
+		"shared artifact lookups, by kind.", "kind")
+	builds.WithFunc(func() uint64 { return s.arts.Stats().ProgramBuilds }, "program")
+	builds.WithFunc(func() uint64 { return s.arts.Stats().InputBuilds }, "input")
+	builds.WithFunc(func() uint64 { return s.arts.Stats().ExpectedBuilds }, "expected")
+	builds.WithFunc(func() uint64 { return s.arts.Stats().PredecodeBuilds }, "predecode")
+	gets.WithFunc(func() uint64 { return s.arts.Stats().ProgramGets }, "program")
+	gets.WithFunc(func() uint64 { return s.arts.Stats().InputGets }, "input")
+	gets.WithFunc(func() uint64 { return s.arts.Stats().ExpectedGets }, "expected")
+	gets.WithFunc(func() uint64 { return s.arts.Stats().PredecodeGets }, "predecode")
+
+	m.simDuration = r.Histogram("asbr_serve_sim_duration_seconds",
+		"wall-clock duration of executed simulations.", simDurationBuckets)
+	return m
 }
 
 func (m *metrics) observeRequest(route string, status int) {
-	m.mu.Lock()
-	m.requests[[2]string{route, fmt.Sprint(status)}]++
-	m.mu.Unlock()
+	m.requests.With(route, strconv.Itoa(status)).Inc()
 }
 
 func (m *metrics) observeError(code string) {
-	m.mu.Lock()
-	m.errors[code]++
-	m.mu.Unlock()
+	m.errors.With(code).Inc()
 }
 
-// writeMetrics renders the full exposition: request counters, queue
-// and coalescing state pulled live from the server, and simulation
-// totals. Map iteration is sorted so scrapes are deterministic.
+// writeMetrics renders the full exposition: the server's own registry
+// followed by the process-wide default registry (runner pool, fault
+// injector, cpu pipeline event counters).
 func (s *Server) writeMetrics(w io.Writer) {
-	m := s.met
-	gauge := func(name, help string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
-	}
-
-	m.mu.Lock()
-	reqKeys := make([][2]string, 0, len(m.requests))
-	for k := range m.requests {
-		reqKeys = append(reqKeys, k)
-	}
-	sort.Slice(reqKeys, func(i, j int) bool {
-		if reqKeys[i][0] != reqKeys[j][0] {
-			return reqKeys[i][0] < reqKeys[j][0]
-		}
-		return reqKeys[i][1] < reqKeys[j][1]
-	})
-	fmt.Fprintf(w, "# HELP asbr_serve_requests_total HTTP requests by route and status.\n# TYPE asbr_serve_requests_total counter\n")
-	for _, k := range reqKeys {
-		fmt.Fprintf(w, "asbr_serve_requests_total{path=%q,status=%q} %d\n", k[0], k[1], m.requests[k])
-	}
-	errKeys := make([]string, 0, len(m.errors))
-	for k := range m.errors {
-		errKeys = append(errKeys, k)
-	}
-	sort.Strings(errKeys)
-	fmt.Fprintf(w, "# HELP asbr_serve_errors_total error responses by structured error code.\n# TYPE asbr_serve_errors_total counter\n")
-	for _, k := range errKeys {
-		fmt.Fprintf(w, "asbr_serve_errors_total{code=%q} %d\n", k, m.errors[k])
-	}
-	m.mu.Unlock()
-
-	gauge("asbr_serve_in_flight", "HTTP requests currently being handled.", m.inFlight.Load())
-	gauge("asbr_serve_queue_depth", "tasks waiting in the bounded job queue.", len(s.tasks))
-	gauge("asbr_serve_queue_capacity", "job queue capacity (429 beyond this).", cap(s.tasks))
-	gauge("asbr_serve_workers", "worker goroutines executing queued tasks.", s.cfg.Workers)
-
-	counter("asbr_serve_sim_cache_gets_total", "sim requests keyed into the coalescing cache.", s.sims.Gets())
-	counter("asbr_serve_sim_cache_builds_total", "sim cache misses, i.e. simulations actually started (gets - builds = coalesced hits).", s.sims.Builds())
-	counter("asbr_serve_sweep_cache_gets_total", "sweep requests keyed into the coalescing cache.", s.sweeps.Gets())
-	counter("asbr_serve_sweep_cache_builds_total", "sweep cache misses, i.e. sweeps actually started.", s.sweeps.Builds())
-
-	counter("asbr_serve_sim_runs_total", "simulations executed to completion (success or simulation error).", m.simRuns.Load())
-	counter("asbr_serve_sim_cycles_total", "total simulated cycles across executed sim requests.", m.simCycles.Load())
-	counter("asbr_serve_sweep_runs_total", "sweeps executed to completion.", m.sweepRuns.Load())
-	counter("asbr_serve_jobs_submitted_total", "async jobs accepted via POST /v1/jobs.", m.jobsSubmitted.Load())
-	counter("asbr_serve_jobs_completed_total", "async jobs finished (done or failed).", m.jobsCompleted.Load())
-
-	ast := s.arts.Stats()
-	fmt.Fprintf(w, "# HELP asbr_serve_artifact_builds_total shared artifacts built, by kind.\n# TYPE asbr_serve_artifact_builds_total counter\n")
-	fmt.Fprintf(w, "asbr_serve_artifact_builds_total{kind=\"program\"} %d\n", ast.ProgramBuilds)
-	fmt.Fprintf(w, "asbr_serve_artifact_builds_total{kind=\"input\"} %d\n", ast.InputBuilds)
-	fmt.Fprintf(w, "asbr_serve_artifact_builds_total{kind=\"expected\"} %d\n", ast.ExpectedBuilds)
-	fmt.Fprintf(w, "# HELP asbr_serve_artifact_gets_total shared artifact lookups, by kind.\n# TYPE asbr_serve_artifact_gets_total counter\n")
-	fmt.Fprintf(w, "asbr_serve_artifact_gets_total{kind=\"program\"} %d\n", ast.ProgramGets)
-	fmt.Fprintf(w, "asbr_serve_artifact_gets_total{kind=\"input\"} %d\n", ast.InputGets)
-	fmt.Fprintf(w, "asbr_serve_artifact_gets_total{kind=\"expected\"} %d\n", ast.ExpectedGets)
+	s.met.reg.WritePrometheus(w)
+	obs.Default().WritePrometheus(w)
 }

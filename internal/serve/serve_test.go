@@ -437,6 +437,127 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsEndpoint proves GET /v1/stats aggregates the canonical
+// Snapshot across runs: two distinct sims accumulate, and the
+// service-level counters line up with what actually executed.
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{})
+
+	status, b := get(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats before any run: %d %s", status, b)
+	}
+	var st ServiceStats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.SimRuns != 0 || st.Totals.Cycles != 0 {
+		t.Errorf("fresh server reports prior work: %+v", st)
+	}
+	if st.QueueCapacity == 0 || st.Workers == 0 {
+		t.Errorf("static config missing from stats: %+v", st)
+	}
+
+	var first SimResponse
+	if status, b := post(t, ts.URL+"/v1/sim", SimRequest{Source: exitSource}); status != http.StatusOK {
+		t.Fatalf("sim: %d %s", status, b)
+	} else if err := json.Unmarshal(b, &first); err != nil {
+		t.Fatalf("decode sim: %v", err)
+	}
+	// Same request again: coalesced from the cache, counted once.
+	if status, _ := post(t, ts.URL+"/v1/sim", SimRequest{Source: exitSource}); status != http.StatusOK {
+		t.Fatalf("cached sim: %d", status)
+	}
+	status, b = get(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, b)
+	}
+	st = ServiceStats{}
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.SimRuns != 1 {
+		t.Errorf("sim_runs = %d, want 1 (cache hit must not re-count)", st.SimRuns)
+	}
+	if st.Totals.Cycles != first.Stats.Cycles || st.Totals.Instructions != first.Stats.Instructions {
+		t.Errorf("totals %+v do not match the single run %+v", st.Totals, first.Stats)
+	}
+	if st.Totals.CPI == 0 {
+		t.Error("accumulated snapshot lost its derived CPI")
+	}
+}
+
+// TestJobTraceEndpoint proves the traced-job flow: a job submitted with
+// trace=true yields a retrievable event stream whose exact per-kind
+// counts bit-match the job's own statistics, while untraced and unknown
+// jobs 404.
+func TestJobTraceEndpoint(t *testing.T) {
+	srv, ts := testServer(t, Config{})
+
+	// Warm the coalescing cache with the same request untraced: the
+	// traced run below must bypass it and still produce events.
+	if status, _ := post(t, ts.URL+"/v1/sim", SimRequest{Source: exitSource}); status != http.StatusOK {
+		t.Fatal("warmup sim failed")
+	}
+	builds := srv.sims.Builds()
+
+	status, b := post(t, ts.URL+"/v1/jobs", JobRequest{
+		Sim: &SimRequest{Source: exitSource}, Trace: true,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit traced job: %d %s", status, b)
+	}
+	var job JobStatus
+	if err := json.Unmarshal(b, &job); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	job = waitJob(t, ts.URL, job.ID)
+	if job.State != JobDone || job.Sim == nil {
+		t.Fatalf("traced job finished as %+v", job)
+	}
+	if got := srv.sims.Builds(); got != builds {
+		t.Errorf("traced run went through the coalescing cache (builds %d -> %d)", builds, got)
+	}
+
+	status, b = get(t, ts.URL+"/v1/jobs/"+job.ID+"/trace")
+	if status != http.StatusOK {
+		t.Fatalf("GET trace: %d %s", status, b)
+	}
+	var tr Trace
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	if tr.JobID != job.ID || tr.Sample != 1 {
+		t.Errorf("trace header = %+v", tr)
+	}
+	if tr.Counts["commit"] != job.Sim.Stats.Instructions {
+		t.Errorf("trace counted %d commits, job stats say %d instructions",
+			tr.Counts["commit"], job.Sim.Stats.Instructions)
+	}
+	if len(tr.Events) == 0 || tr.Total == 0 {
+		t.Errorf("trace retained no events: %+v", tr)
+	}
+
+	// An untraced job has no trace; an unknown job has no anything.
+	status, b = post(t, ts.URL+"/v1/jobs", JobRequest{Sim: &SimRequest{Source: exitSource}})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit untraced job: %d %s", status, b)
+	}
+	if err := json.Unmarshal(b, &job); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	waitJob(t, ts.URL, job.ID)
+	for _, id := range []string{job.ID, "j999999"} {
+		status, b := get(t, ts.URL+"/v1/jobs/"+id+"/trace")
+		if status != http.StatusNotFound {
+			t.Errorf("trace of %s: %d %s, want 404", id, status, b)
+		}
+		if eb := decodeErr(t, b); eb.Code != CodeNotFound {
+			t.Errorf("trace of %s: code %q, want %q", id, eb.Code, CodeNotFound)
+		}
+	}
+}
+
 // waitFor polls cond for a few seconds; the deadline only trips when
 // the server wedges.
 func waitFor(t *testing.T, cond func() bool) {

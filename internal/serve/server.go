@@ -16,6 +16,7 @@ import (
 	"asbr/internal/experiment"
 	"asbr/internal/isa"
 	"asbr/internal/mem"
+	"asbr/internal/obs"
 	"asbr/internal/predict"
 	"asbr/internal/profile"
 	"asbr/internal/runner"
@@ -86,9 +87,16 @@ type Server struct {
 
 	met *metrics
 
+	// totals is the service-lifetime aggregate Snapshot over every
+	// simulation actually executed (coalesced replays count once, at
+	// build time) — the GET /v1/stats payload.
+	statMu sync.Mutex
+	totals obs.Snapshot
+
 	jobMu  sync.Mutex
 	jobSeq int
 	jobs   map[string]*JobStatus
+	traces map[string]*Trace // finished traced jobs, by job ID
 
 	// testHook, when set (package tests only), runs on the worker
 	// goroutine before each task — used to hold workers busy so queue
@@ -99,11 +107,12 @@ type Server struct {
 // New builds a server and starts its workers. Call Drain to stop them.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:  cfg.Fill(),
-		met:  newMetrics(),
-		jobs: make(map[string]*JobStatus),
+		cfg:    cfg.Fill(),
+		jobs:   make(map[string]*JobStatus),
+		traces: make(map[string]*Trace),
 	}
 	s.tasks = make(chan func(), s.cfg.QueueDepth)
+	s.met = newMetrics(s) // after tasks: the registry reads queue state live
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -167,7 +176,7 @@ func (s *Server) submit(run func()) error {
 // so replays of a completed request never re-simulate.
 func (s *Server) doSim(req *SimRequest) (*SimResponse, error) {
 	key := req.Key()
-	build := func() (*SimResponse, error) { return s.simulate(req) }
+	build := func() (*SimResponse, error) { return s.simulate(req, nil) }
 	if s.sims.Contains(key) {
 		return s.sims.Get(key, build)
 	}
@@ -227,13 +236,17 @@ func (s *Server) runSweep(req *SweepRequest) (*experiment.TablesJSON, error) {
 // in the CPU config and the wall-clock budget is a context deadline
 // rooted at Background — a disconnecting HTTP client must not cancel
 // (and thereby poison the cached result of) a run that coalesced
-// requests may be waiting on.
-func (s *Server) simulate(req *SimRequest) (*SimResponse, error) {
+// requests may be waiting on. A non-nil tr records the measured run's
+// pipeline event stream (traced jobs only; such runs bypass the
+// coalescing cache so the trace belongs to this execution).
+func (s *Server) simulate(req *SimRequest, tr *obs.Tracer) (*SimResponse, error) {
 	s.met.simRuns.Add(1)
 	ctx, cancel := context.WithTimeout(context.Background(), req.Timeout())
 	defer cancel()
 
-	resp, err := s.simulateCtx(ctx, req)
+	start := time.Now()
+	resp, err := s.simulateCtx(ctx, req, tr)
+	s.met.simDuration.Observe(time.Since(start).Seconds())
 	if err != nil {
 		if code := cpu.CodeOf(err); code != cpu.ErrNone {
 			s.logf("sim %s: %s", req.Key(), code)
@@ -241,14 +254,17 @@ func (s *Server) simulate(req *SimRequest) (*SimResponse, error) {
 		return nil, err
 	}
 	s.met.simCycles.Add(resp.Stats.Cycles)
+	s.statMu.Lock()
+	s.totals.Accumulate(resp.Stats)
+	s.statMu.Unlock()
 	return resp, nil
 }
 
-func (s *Server) simulateCtx(ctx context.Context, req *SimRequest) (*SimResponse, error) {
+func (s *Server) simulateCtx(ctx context.Context, req *SimRequest, tr *obs.Tracer) (*SimResponse, error) {
 	if req.Bench != "" {
-		return s.simulateBench(ctx, req)
+		return s.simulateBench(ctx, req, tr)
 	}
-	return s.simulateSource(ctx, req)
+	return s.simulateSource(ctx, req, tr)
 }
 
 // machineFor assembles the paper's platform around the requested
@@ -268,7 +284,7 @@ func machineFor(req *SimRequest) cpu.Config {
 // simulateBench runs a built-in benchmark over the shared artifact
 // store: the compiled program, input trace and golden output are each
 // built once per daemon no matter how many requests touch them.
-func (s *Server) simulateBench(ctx context.Context, req *SimRequest) (*SimResponse, error) {
+func (s *Server) simulateBench(ctx context.Context, req *SimRequest, tr *obs.Tracer) (*SimResponse, error) {
 	prog, err := s.arts.Program(req.Bench, workload.BuildOptionsFor(req.Bench, true))
 	if err != nil {
 		return nil, fmt.Errorf("serve: build %s: %w", req.Bench, err)
@@ -287,6 +303,9 @@ func (s *Server) simulateBench(ctx context.Context, req *SimRequest) (*SimRespon
 	// table via the artifact store.
 	cfg.Predecoded = s.arts.Predecode(prog)
 	if !req.ASBR {
+		if tr != nil {
+			cfg.Obs = tr
+		}
 		res, err := workload.RunContext(ctx, prog, cfg, in, req.Samples)
 		if err != nil {
 			return nil, err
@@ -316,6 +335,12 @@ func (s *Server) simulateBench(ctx context.Context, req *SimRequest) (*SimRespon
 	}
 	fcfg := cfg
 	fcfg.Fold = eng
+	if tr != nil {
+		// Trace the measured (folded) run only, never the profile run,
+		// and let the engine report BIT/BDT events through the same sink.
+		fcfg.Obs = tr
+		eng.SetEventSink(tr)
+	}
 	res, err := workload.RunContext(ctx, prog, fcfg, in, req.Samples)
 	if err != nil {
 		return nil, err
@@ -341,7 +366,7 @@ func (s *Server) finishBench(req *SimRequest, resp *SimResponse, res *workload.R
 // simulateSource assembles or compiles the posted program and runs it
 // bare (no benchmark input pouring). A program that fails to build is
 // the client's error (bad-program, 400), not the simulator's.
-func (s *Server) simulateSource(ctx context.Context, req *SimRequest) (*SimResponse, error) {
+func (s *Server) simulateSource(ctx context.Context, req *SimRequest, tr *obs.Tracer) (*SimResponse, error) {
 	var prog *isa.Program
 	var err error
 	if req.Compile {
@@ -361,6 +386,9 @@ func (s *Server) simulateSource(ctx context.Context, req *SimRequest) (*SimRespo
 	resp := &SimResponse{Predictor: req.Predictor, ASBR: req.ASBR}
 
 	if !req.ASBR {
+		if tr != nil {
+			cfg.Obs = tr
+		}
 		c, err := runProgram(ctx, prog, cfg)
 		if err != nil {
 			return nil, err
@@ -388,6 +416,10 @@ func (s *Server) simulateSource(ctx context.Context, req *SimRequest) (*SimRespo
 	}
 	fcfg := cfg
 	fcfg.Fold = eng
+	if tr != nil {
+		fcfg.Obs = tr
+		eng.SetEventSink(tr)
+	}
 	c, err := runProgram(ctx, prog, fcfg)
 	if err != nil {
 		return nil, err
@@ -461,8 +493,19 @@ func (s *Server) submitJob(req *JobRequest) (*JobStatus, error) {
 	run := func() {
 		s.setJobState(job.ID, JobRunning)
 		var done JobStatus
-		if kind == "sim" {
-			v, err := s.sims.Get(req.Sim.Key(), func() (*SimResponse, error) { return s.simulate(req.Sim) })
+		if kind == "sim" && req.Trace {
+			// Traced runs bypass the coalescing cache: the recorded
+			// event stream must belong to this submission's own
+			// execution, not a cached replay's.
+			tr := obs.NewTracer(obs.TracerConfig{Sample: req.TraceSample})
+			v, err := s.simulate(req.Sim, tr)
+			done = jobOutcome(err)
+			done.Sim = v
+			if err == nil {
+				s.storeTrace(job.ID, tr)
+			}
+		} else if kind == "sim" {
+			v, err := s.sims.Get(req.Sim.Key(), func() (*SimResponse, error) { return s.simulate(req.Sim, nil) })
 			done = jobOutcome(err)
 			done.Sim = v
 		} else {
@@ -525,4 +568,52 @@ func (s *Server) job(id string) (*JobStatus, error) {
 	}
 	snap := *j
 	return &snap, nil
+}
+
+// storeTrace encodes a finished traced job's event stream for
+// GET /v1/jobs/{id}/trace.
+func (s *Server) storeTrace(id string, tr *obs.Tracer) {
+	t := &Trace{
+		JobID:   id,
+		Sample:  tr.Sample(),
+		Total:   tr.Total(),
+		Dropped: tr.Dropped(),
+		Counts:  tr.CountsByKind(),
+		Events:  tr.Events(),
+	}
+	s.jobMu.Lock()
+	s.traces[id] = t
+	s.jobMu.Unlock()
+}
+
+// jobTrace returns a finished traced job's recorded event stream.
+func (s *Server) jobTrace(id string) (*Trace, error) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	if s.jobs[id] == nil {
+		return nil, notFound("unknown job %q", id)
+	}
+	t := s.traces[id]
+	if t == nil {
+		return nil, notFound("job %q has no trace (submit with \"trace\": true and wait for it to finish)", id)
+	}
+	return t, nil
+}
+
+// serviceStats assembles the GET /v1/stats payload: the lifetime
+// Snapshot aggregate plus service-level counters and queue state.
+func (s *Server) serviceStats() *ServiceStats {
+	s.statMu.Lock()
+	totals := s.totals
+	s.statMu.Unlock()
+	return &ServiceStats{
+		Totals:        totals,
+		SimRuns:       s.met.simRuns.Load(),
+		SweepRuns:     s.met.sweepRuns.Load(),
+		JobsSubmitted: s.met.jobsSubmitted.Load(),
+		JobsCompleted: s.met.jobsCompleted.Load(),
+		QueueDepth:    len(s.tasks),
+		QueueCapacity: cap(s.tasks),
+		Workers:       s.cfg.Workers,
+	}
 }
