@@ -1,14 +1,17 @@
 # Development targets for the ASBR reproduction. `make ci` is what the
 # CI workflow runs: vet, build, race-enabled tests, a 1-iteration
 # benchmark smoke, a fault-injection smoke, a serving-layer smoke and
-# load check, and short fuzz smokes of the assembler round-trip and the
-# fault-plan grammar.
+# load check, the corpus differential-replay gate, and short fuzz
+# smokes of the assembler round-trip, the fault-plan grammar and the
+# corpus generator.
 
 GO ?= go
 FUZZTIME ?= 10s
 FAULT_FUZZTIME ?= 2m
+CORPUS_FUZZTIME ?= 2m
+CORPUS_ENTRIES ?= 30
 
-.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke trace-smoke loadgen fuzz-smoke fuzz-fault tables ci clean
+.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus tables ci clean
 
 all: build
 
@@ -61,6 +64,18 @@ serve-smoke:
 trace-smoke:
 	$(GO) test -run TestTraceSmoke -count=1 -v ./cmd/asbr-sim
 
+# Corpus differential-replay gate: regenerate a seeded corpus of
+# control-dominated MiniC programs from seeds alone and replay every
+# entry through the fast and reference engines in lockstep — plus a
+# live /v1/jobs round-trip through an in-process daemon — failing on
+# the first snapshot divergence with the generating seed pinned. The
+# second (inverted) run proves the harness actually catches a fault:
+# an injected BDT corruption must make it fail.
+corpus-check:
+	$(GO) run ./cmd/asbr-corpus check -entries $(CORPUS_ENTRIES) -q -serve
+	@echo "corpus-check: injected-fault run follows; it MUST fail (the ! inverts it)"
+	! $(GO) run ./cmd/asbr-corpus check -entries $(CORPUS_ENTRIES) -q -fault bdt-flip:rate=1
+
 # Load check: concurrent mixed traffic against one daemon, zero 5xx
 # allowed. Run with the race detector so it doubles as a data-race net.
 loadgen:
@@ -73,11 +88,17 @@ fuzz-smoke:
 fuzz-fault:
 	$(GO) test -fuzz=FuzzParsePlan -fuzztime=$(FAULT_FUZZTIME) -run '^$$' ./internal/fault
 
+# Fuzz the corpus generator: every (seed, knobs) pair must generate
+# deterministically and produce a program the compiler and scheduler
+# accept.
+fuzz-corpus:
+	$(GO) test -fuzz=FuzzCorpusGen -fuzztime=$(CORPUS_FUZZTIME) -run '^$$' ./internal/corpus
+
 # Regenerate every table of the paper at the default sample count.
 tables:
 	$(GO) run ./cmd/asbr-tables
 
-ci: vet build race bench-smoke fault-smoke serve-smoke trace-smoke loadgen fuzz-smoke fuzz-fault
+ci: vet build race bench-smoke fault-smoke serve-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus
 
 clean:
 	$(GO) clean ./...

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"asbr/internal/cliflags"
+	"asbr/internal/corpus"
 	"asbr/internal/serve"
 )
 
@@ -48,12 +49,13 @@ func main() {
 	sf.Timeout = 2 * time.Minute // default per-simulation wall-clock budget
 	sf.RegisterBudget(flag.CommandLine)
 	sf.RegisterParallel(flag.CommandLine)
+	sf.RegisterRecord(flag.CommandLine)
 	flag.Parse()
 
 	log.SetPrefix("asbr-serve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		QueueDepth:       *queue,
 		Workers:          *workers,
 		SweepParallel:    sf.Parallel,
@@ -61,7 +63,29 @@ func main() {
 		DefaultMaxCycles: sf.MaxCycles,
 		DefaultTimeout:   sf.Timeout,
 		Logf:             log.Printf,
-	})
+	}
+	if sf.Record != "" {
+		// Truncate: a replay log has exactly one header line, so each
+		// daemon run owns its file whole.
+		f, err := os.Create(sf.Record)
+		if err != nil {
+			log.Fatalf("open -record: %v", err)
+		}
+		defer f.Close()
+		lw := corpus.NewLogWriter(f)
+		defer func() {
+			if err := lw.Flush(); err != nil {
+				log.Printf("flush -record: %v", err)
+			}
+			log.Printf("recorded %d jobs to %s", lw.Count(), sf.Record)
+		}()
+		cfg.Record = func(rec corpus.Record) {
+			if err := lw.Append(rec); err != nil {
+				log.Printf("record %s: %v", rec.Key, err)
+			}
+		}
+	}
+	srv := serve.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -38,6 +38,7 @@ type Sim struct {
 	Trace       string // -trace: pipeline event trace JSONL path ("" = off)
 	TraceSample uint64 // -trace-sample: keep every Nth event
 	Metrics     string // -metrics: dump the process metrics registry ("-" = stdout)
+	Record      string // -record: replay-record JSONL path ("" = off)
 }
 
 // NewSim returns the flag set with the binaries' common defaults.
@@ -117,6 +118,12 @@ func (s *Sim) RegisterObs(fs *flag.FlagSet) {
 		"with -trace, retain every Nth event (0/1 = all; per-kind totals stay exact)")
 	fs.StringVar(&s.Metrics, "metrics", s.Metrics,
 		"dump the process metrics registry (Prometheus text) to this path on exit (\"-\" = stdout)")
+}
+
+// RegisterRecord registers -record.
+func (s *Sim) RegisterRecord(fs *flag.FlagSet) {
+	fs.StringVar(&s.Record, "record", s.Record,
+		"append an asbr-replay/v1 record for every executed simulation to this JSONL path (replay with asbr-corpus replay)")
 }
 
 // NewTracer builds the tracer implied by -trace, or nil when tracing

@@ -1,0 +1,263 @@
+package corpus
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"asbr/internal/cc"
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/fault"
+	"asbr/internal/obs"
+	"asbr/internal/sched"
+)
+
+// CheckOptions configures a differential corpus run.
+type CheckOptions struct {
+	// Entries is the corpus size (default 30). Entry i is generated
+	// from seed BaseSeed+i, so the whole corpus reproduces from
+	// (BaseSeed, Knobs) alone.
+	Entries  int
+	BaseSeed int64 // default 2001
+	Knobs    Knobs
+
+	Predictor string // machine predictor (default bimodal)
+	MaxCycles uint64 // per-run watchdog (default 50M)
+
+	// Fault, when its kind is not KindNone, corrupts the fast leg's
+	// ASBR engine through the internal/fault injector. A correct
+	// harness must then FAIL: the injected corruption shows up as a
+	// snapshot divergence with the generating seed pinned.
+	Fault fault.Plan
+
+	// Serve, when non-nil, adds a service round-trip leg per entry:
+	// the entry is packaged as a replay Record, handed to the hook
+	// (cmd/asbr-corpus posts it through /v1/jobs), and the returned
+	// snapshot must match the local fast-engine run byte-for-byte.
+	Serve func(Record) (obs.Snapshot, error)
+
+	Logf func(format string, args ...any) // optional progress logger
+}
+
+func (o CheckOptions) fill() CheckOptions {
+	if o.Entries <= 0 {
+		o.Entries = 30
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 2001
+	}
+	if o.Predictor == "" {
+		o.Predictor = "bimodal"
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 50_000_000
+	}
+	return o
+}
+
+func (o CheckOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// CheckResult summarizes a passed differential run.
+type CheckResult struct {
+	Entries []Entry // manifest-ready: seeds, knobs, keys, digests
+
+	ASBRPrograms int    // entries with at least one foldable branch
+	Folds        uint64 // total folds across the clean reference legs
+	ServeChecked int    // entries that also passed the serve leg
+}
+
+// DivergenceError is the harness's failure: one corpus entry whose
+// snapshots differ between two legs. The generating seed is pinned so
+// the failure reproduces in one line.
+type DivergenceError struct {
+	Name  string
+	Seed  int64
+	Knobs Knobs
+	Leg   string // fast-vs-reference | asbr-fast-vs-reference | serve-vs-local
+	Diffs []obs.FieldDiff
+}
+
+func (e *DivergenceError) Error() string {
+	kb, _ := json.Marshal(e.Knobs)
+	msg := fmt.Sprintf("corpus: entry %s DIVERGED (%s): seed %d pinned — repro: asbr-corpus check -entries 1 -seed %d (knobs %s)",
+		e.Name, e.Leg, e.Seed, e.Seed, kb)
+	for _, d := range e.Diffs {
+		msg += "\n  " + d.String()
+	}
+	return msg
+}
+
+// Check regenerates the corpus from seeds alone and replays every
+// entry differentially: fast vs reference engine on the plain run,
+// fast vs reference on the ASBR (folded) run when the program has
+// foldable branches, and optionally through a serving round-trip. It
+// fails on the first snapshot divergence. A corpus in which no entry
+// ever folds a branch is an error too — the ASBR leg would be vacuous.
+func Check(ctx context.Context, opt CheckOptions) (*CheckResult, error) {
+	opt = opt.fill()
+	knobs, err := opt.Knobs.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	res := &CheckResult{}
+	for i := 0; i < opt.Entries; i++ {
+		seed := opt.BaseSeed + int64(i)
+		entry, err := checkOne(ctx, opt, knobs, seed, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Entries = append(res.Entries, entry)
+	}
+	if res.Folds == 0 {
+		return nil, fmt.Errorf("corpus: no entry folded a branch across %d programs; the ASBR differential leg is vacuous (raise fold_density or entries)", opt.Entries)
+	}
+	opt.logf("corpus: %d entries OK (%d with ASBR leg, %d folds, %d serve round-trips)",
+		len(res.Entries), res.ASBRPrograms, res.Folds, res.ServeChecked)
+	return res, nil
+}
+
+// checkOne generates, compiles and differentially replays one entry.
+func checkOne(ctx context.Context, opt CheckOptions, knobs Knobs, seed int64, res *CheckResult) (Entry, error) {
+	name := fmt.Sprintf("corpus-%d", seed)
+	diverged := func(leg string, a, b obs.Snapshot) error {
+		return &DivergenceError{Name: name, Seed: seed, Knobs: knobs, Leg: leg, Diffs: a.Diff(b)}
+	}
+
+	src, err := Generate(seed, knobs)
+	if err != nil {
+		return Entry{}, err
+	}
+	prog, err := cc.CompileToProgram(src)
+	if err != nil {
+		return Entry{}, fmt.Errorf("corpus: entry %s (seed %d): compile: %v\n%s", name, seed, err, src)
+	}
+	prog, _, err = sched.Schedule(prog)
+	if err != nil {
+		return Entry{}, fmt.Errorf("corpus: entry %s (seed %d): schedule: %v", name, seed, err)
+	}
+
+	run := func(engine cpu.Engine, mutate func(*cpu.Config)) (obs.Snapshot, error) {
+		cfg := Machine(opt.Predictor, engine, opt.MaxCycles)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		c, err := runProgram(ctx, prog, cfg)
+		if err != nil {
+			return obs.Snapshot{}, fmt.Errorf("corpus: entry %s (seed %d): %v", name, seed, err)
+		}
+		return c.Stats().Snapshot(), nil
+	}
+
+	// Leg 1: plain run, fast vs reference.
+	ref, err := run(cpu.EngineReference, nil)
+	if err != nil {
+		return Entry{}, err
+	}
+	fast, err := run(cpu.EngineFast, nil)
+	if err != nil {
+		return Entry{}, err
+	}
+	if ref != fast {
+		return Entry{}, diverged("fast-vs-reference", fast, ref)
+	}
+
+	// Leg 2: ASBR run with every foldable branch loaded, fast vs
+	// reference. The fast side optionally runs under the fault
+	// injector — state corruption must surface as divergence here.
+	bits, err := core.BuildBIT(prog, core.FoldableBranches(prog))
+	if err != nil {
+		return Entry{}, fmt.Errorf("corpus: entry %s (seed %d): %v", name, seed, err)
+	}
+	if len(bits) > 0 {
+		res.ASBRPrograms++
+		newEngine := func() (*core.Engine, error) {
+			eng := core.NewEngine(core.Config{BITEntries: len(bits), TrackValidity: true})
+			if err := eng.Load(bits); err != nil {
+				return nil, fmt.Errorf("corpus: entry %s (seed %d): %v", name, seed, err)
+			}
+			return eng, nil
+		}
+		engRef, err := newEngine()
+		if err != nil {
+			return Entry{}, err
+		}
+		asbrRef, err := run(cpu.EngineReference, func(cfg *cpu.Config) { cfg.Fold = engRef })
+		if err != nil {
+			return Entry{}, err
+		}
+		engFast, err := newEngine()
+		if err != nil {
+			return Entry{}, err
+		}
+		asbrFast, err := run(cpu.EngineFast, func(cfg *cpu.Config) {
+			if opt.Fault.Kind != fault.KindNone {
+				cfg.Obs = fault.NewInjector(opt.Fault, engFast).Chain()
+			} else {
+				cfg.Fold = engFast
+			}
+		})
+		if err != nil {
+			return Entry{}, err
+		}
+		res.Folds += engRef.Stats().Folds
+		if asbrRef != asbrFast {
+			return Entry{}, diverged("asbr-fast-vs-reference", asbrFast, asbrRef)
+		}
+	}
+
+	// Leg 3: serving round-trip. The record carries the raw source —
+	// the service compiles and schedules it itself — and the returned
+	// snapshot must equal the local fast run (the daemon's engine).
+	if opt.Serve != nil {
+		rec := Record{
+			Key: SourceKey(src), Source: src, Compile: true, Schedule: true,
+			Config: ReplayConfig{Predictor: opt.Predictor, MaxCycles: opt.MaxCycles},
+		}
+		served, err := opt.Serve(rec)
+		if err != nil {
+			return Entry{}, fmt.Errorf("corpus: entry %s (seed %d): serve leg: %v", name, seed, err)
+		}
+		if served != fast {
+			return Entry{}, diverged("serve-vs-local", served, fast)
+		}
+		res.ServeChecked++
+	}
+
+	opt.logf("corpus: %s ok (bit=%d)", name, len(bits))
+	return Entry{
+		Name: name, Seed: seed, Knobs: knobs,
+		ProgramKey:     SourceKey(src),
+		SnapshotDigest: SnapshotDigest(ref),
+	}, nil
+}
+
+// VerifyManifest compares a regenerated corpus against a previously
+// written manifest: entry-by-entry identity of names, seeds, knobs,
+// program keys (generator drift) and snapshot digests (behavior
+// drift).
+func VerifyManifest(manifest, got []Entry) error {
+	if len(manifest) != len(got) {
+		return fmt.Errorf("corpus: manifest has %d entries, regeneration produced %d", len(manifest), len(got))
+	}
+	for i, want := range manifest {
+		g := got[i]
+		if g.Name != want.Name || g.Seed != want.Seed || g.Knobs != want.Knobs {
+			return fmt.Errorf("corpus: entry %d: regenerated identity (%s, seed %d) does not match manifest (%s, seed %d)",
+				i, g.Name, g.Seed, want.Name, want.Seed)
+		}
+		if g.ProgramKey != want.ProgramKey {
+			return fmt.Errorf("corpus: entry %s (seed %d): program key drifted: generator now produces %s, manifest pinned %s",
+				want.Name, want.Seed, g.ProgramKey, want.ProgramKey)
+		}
+		if want.SnapshotDigest != "" && g.SnapshotDigest != want.SnapshotDigest {
+			return fmt.Errorf("corpus: entry %s (seed %d): snapshot digest drifted: reference run now yields %s, manifest pinned %s",
+				want.Name, want.Seed, g.SnapshotDigest, want.SnapshotDigest)
+		}
+	}
+	return nil
+}

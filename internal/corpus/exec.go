@@ -1,0 +1,214 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+
+	"asbr/internal/asm"
+	"asbr/internal/cc"
+	"asbr/internal/core"
+	"asbr/internal/cpu"
+	"asbr/internal/experiment"
+	"asbr/internal/isa"
+	"asbr/internal/mem"
+	"asbr/internal/obs"
+	"asbr/internal/predict"
+	"asbr/internal/profile"
+	"asbr/internal/runner"
+	"asbr/internal/sched"
+	"asbr/internal/workload"
+)
+
+// Machine assembles the standard serving/replay platform around a
+// predictor name: the paper's 8KB caches and calibrated mispredict
+// penalty. The serve daemon builds its per-request machines through
+// this helper, so replaying a record reconstructs the exact
+// configuration the recorded run used.
+func Machine(predictor string, engine cpu.Engine, maxCycles uint64) cpu.Config {
+	return cpu.Config{
+		ICache:                mem.DefaultICache(),
+		DCache:                mem.DefaultDCache(),
+		Predictor:             predictor,
+		Engine:                engine,
+		ExtraMispredictCycles: experiment.ExtraMispredictCycles,
+		MaxCycles:             maxCycles,
+	}
+}
+
+// ResolveBITEntries maps a request's BIT capacity onto the effective
+// one: an explicit request wins, then the paper's per-benchmark
+// selected-branch count, then the paper's default BIT size.
+func ResolveBITEntries(bench string, requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	if bench != "" {
+		if k := experiment.BITSizes()[bench]; k > 0 {
+			return k
+		}
+	}
+	return core.DefaultBITEntries
+}
+
+// BuildEngine runs the §6 selection over a finished profile and loads
+// the chosen branches into a fresh ASBR engine, returning the engine
+// and how many branches were actually loaded. Shared by the serve
+// daemon and record replay (identical selection is what makes an ASBR
+// replay byte-identical).
+func BuildEngine(prog *isa.Program, prof *profile.Profiler, k, samples int) (*core.Engine, int, error) {
+	cands, err := profile.Select(prog, prof, experiment.SelectOptionsFor(k, samples))
+	if err != nil {
+		return nil, 0, err
+	}
+	entries, err := profile.BuildBITFromCandidates(prog, cands)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng := core.NewEngine(core.Config{BITEntries: k, TrackValidity: true})
+	if err := eng.Load(entries); err != nil {
+		return nil, 0, err
+	}
+	return eng, len(entries), nil
+}
+
+// Run replays one record and returns the snapshot its program
+// produces under the record's configuration.
+func Run(rec Record) (obs.Snapshot, error) {
+	return RunContext(context.Background(), rec)
+}
+
+// RunContext is Run with cancellation. The record is validated first;
+// the engine may be overridden per replay by mutating
+// rec.Config.Engine before the call (the point of a differential
+// replay).
+func RunContext(ctx context.Context, rec Record) (obs.Snapshot, error) {
+	if err := rec.Validate(); err != nil {
+		return obs.Snapshot{}, err
+	}
+	eng, err := cpu.ParseEngine(rec.Config.Engine)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	cfg := Machine(rec.Config.Predictor, eng, rec.Config.MaxCycles)
+	if cfg.Predictor == "" {
+		cfg.Predictor = "bimodal"
+	}
+	if rec.Bench != "" {
+		return runBench(ctx, rec, cfg)
+	}
+	return runSource(ctx, rec, cfg)
+}
+
+// runBench rebuilds a benchmark record's program from its parsed
+// canonical key (the manual/compiler scheduling bits ride in the key)
+// and replays it over the regenerated input trace.
+func runBench(ctx context.Context, rec Record, cfg cpu.Config) (obs.Snapshot, error) {
+	pk, err := runner.ParseProgramKey(rec.Key)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	prog, err := workload.BuildOpt(rec.Bench, workload.BuildOptions{
+		ManualSchedule:   pk.Manual,
+		CompilerSchedule: pk.Compiler,
+	})
+	if err != nil {
+		return obs.Snapshot{}, fmt.Errorf("corpus: build %s: %w", rec.Bench, err)
+	}
+	in, err := workload.Input(rec.Bench, rec.Config.Samples, rec.Config.Seed)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	if !rec.Config.ASBR {
+		res, err := workload.RunContext(ctx, prog, cfg, in, rec.Config.Samples)
+		if err != nil {
+			return obs.Snapshot{}, err
+		}
+		return res.Stats.Snapshot(), nil
+	}
+
+	// ASBR flow, mirroring the serve daemon: one profiled run on the
+	// auxiliary shadow, §6 selection, then the folded (measured) run.
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
+	pcfg := cfg
+	pcfg.Observer = prof
+	if _, err := workload.RunContext(ctx, prog, pcfg, in, rec.Config.Samples); err != nil {
+		return obs.Snapshot{}, err
+	}
+	eng, _, err := BuildEngine(prog, prof, ResolveBITEntries(rec.Bench, rec.Config.BITEntries), rec.Config.Samples)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	fcfg := cfg
+	fcfg.Fold = eng
+	res, err := workload.RunContext(ctx, prog, fcfg, in, rec.Config.Samples)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	return res.Stats.Snapshot(), nil
+}
+
+// runSource rebuilds a source record's program (assemble or compile,
+// optional scheduling pass) and replays it bare.
+func runSource(ctx context.Context, rec Record, cfg cpu.Config) (obs.Snapshot, error) {
+	prog, err := BuildSource(rec.Source, rec.Compile, rec.Schedule)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	if !rec.Config.ASBR {
+		c, err := runProgram(ctx, prog, cfg)
+		if err != nil {
+			return obs.Snapshot{}, err
+		}
+		return c.Stats().Snapshot(), nil
+	}
+
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
+	pcfg := cfg
+	pcfg.Observer = prof
+	if _, err := runProgram(ctx, prog, pcfg); err != nil {
+		return obs.Snapshot{}, err
+	}
+	eng, _, err := BuildEngine(prog, prof, ResolveBITEntries("", rec.Config.BITEntries), 0)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	fcfg := cfg
+	fcfg.Fold = eng
+	c, err := runProgram(ctx, prog, fcfg)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	return c.Stats().Snapshot(), nil
+}
+
+// BuildSource builds a program from posted text: MiniC compilation or
+// assembly, plus the optional §5.1 scheduling pass.
+func BuildSource(src string, compile, schedule bool) (*isa.Program, error) {
+	var prog *isa.Program
+	var err error
+	if compile {
+		prog, err = cc.CompileToProgram(src)
+	} else {
+		prog, err = asm.Assemble(src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if schedule {
+		if prog, _, err = sched.Schedule(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func runProgram(ctx context.Context, prog *isa.Program, cfg cpu.Config) (*cpu.CPU, error) {
+	c, err := cpu.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

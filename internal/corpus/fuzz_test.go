@@ -1,0 +1,41 @@
+package corpus
+
+import (
+	"testing"
+
+	"asbr/internal/cc"
+	"asbr/internal/sched"
+)
+
+// FuzzCorpusGen drives the generator across the seed/knob space: every
+// (seed, knobs) pair must generate deterministically and produce a
+// program the full toolchain accepts. This is the corpus's foundation —
+// if generation is flaky or emits uncompilable MiniC, every manifest
+// and differential run built on it is unsound.
+func FuzzCorpusGen(f *testing.F) {
+	f.Add(int64(1), 12, 3, 0.5, 0.35, 0.1)
+	f.Add(int64(2001), 16, 2, 0.9, 0.9, 0.0)
+	f.Add(int64(-7), 4, 1, 0.0, 0.0, 0.5)
+	f.Add(int64(1<<40), 64, 6, 1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, seed int64, stmts, depth int, taken, foldd, calld float64) {
+		knobs := Knobs{Stmts: stmts, LoopDepth: depth, TakenBias: taken, FoldDensity: foldd, CallDensity: calld}
+		src, err := Generate(seed, knobs)
+		if err != nil {
+			t.Skip() // out-of-range knobs are rejected, not generated around
+		}
+		again, err := Generate(seed, knobs)
+		if err != nil {
+			t.Fatalf("second generation errored: %v", err)
+		}
+		if src != again {
+			t.Fatalf("seed %d knobs %+v: generation is not deterministic", seed, knobs)
+		}
+		prog, err := cc.CompileToProgram(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not compile: %v\n%s", seed, err, src)
+		}
+		if _, _, err := sched.Schedule(prog); err != nil {
+			t.Fatalf("seed %d: generated program does not schedule: %v", seed, err)
+		}
+	})
+}

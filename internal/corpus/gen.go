@@ -1,0 +1,337 @@
+// Package corpus is the workload-at-scale layer: a seeded, versioned
+// generator of control-dominated MiniC programs with target branch-mix
+// knobs, a reproducible corpus manifest format (asbr-corpus/v1 JSONL),
+// a record/replay format for served simulation jobs (asbr-replay/v1
+// JSONL), and a differential-replay harness that runs every corpus
+// entry through the fast and reference cycle engines in lockstep and
+// fails on the first obs.Snapshot divergence with the generating seed
+// pinned.
+//
+// A corpus is fully reproducible from seeds alone: (seed, Knobs)
+// determines the program source byte-for-byte, so a manifest carries
+// only seeds, knobs and integrity digests — never program text. The
+// generator grew out of the system-level fuzz tests in
+// internal/workload, which now draw their programs from here.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Knobs shape the statistical mix of a generated program. The zero
+// value of any field selects its default; Normalize applies defaults
+// and rejects out-of-range values. Knobs ride in corpus manifests, so
+// their JSON shape is part of the asbr-corpus/v1 format.
+type Knobs struct {
+	// Stmts bounds the top-level statement count of main: each program
+	// draws uniformly from [max(1, Stmts/2), Stmts]. Default 12.
+	Stmts int `json:"stmts,omitempty"`
+	// LoopDepth is the maximum control-structure nesting depth
+	// (loops and conditionals). Default 3.
+	LoopDepth int `json:"loop_depth,omitempty"`
+	// TakenBias biases generated loop-indexed conditions toward truth:
+	// a condition shaped on a loop counter's low bits is true with
+	// dynamic frequency ~TakenBias. Must be in [0,1]. Default 0.5.
+	TakenBias float64 `json:"taken_bias,omitempty"`
+	// FoldDensity is the probability a generated conditional takes the
+	// fold-eligible hoisted-predicate shape (predicate defined several
+	// statements before the branch that tests it — the paper's §5.1
+	// scheduling idiom, which makes the branch a BIT candidate). Must
+	// be in [0,1]. Default 0.35.
+	FoldDensity float64 `json:"fold_density,omitempty"`
+	// CallDensity is the probability a statement is a helper-function
+	// call, exercising call/return control flow. Must be in [0,1].
+	// Default 0.1.
+	CallDensity float64 `json:"call_density,omitempty"`
+	// Vars is the number of global scalar variables (1..8). Default 5.
+	Vars int `json:"vars,omitempty"`
+	// Helpers is the number of generated helper functions callable
+	// from main (0..4). Default 2.
+	Helpers int `json:"helpers,omitempty"`
+}
+
+// DefaultKnobs returns the default branch mix.
+func DefaultKnobs() Knobs { return Knobs{}.withDefaults() }
+
+func (k Knobs) withDefaults() Knobs {
+	if k.Stmts == 0 {
+		k.Stmts = 12
+	}
+	if k.LoopDepth == 0 {
+		k.LoopDepth = 3
+	}
+	if k.TakenBias == 0 {
+		k.TakenBias = 0.5
+	}
+	if k.FoldDensity == 0 {
+		k.FoldDensity = 0.35
+	}
+	if k.CallDensity == 0 {
+		k.CallDensity = 0.1
+	}
+	if k.Vars == 0 {
+		k.Vars = 5
+	}
+	if k.Helpers == 0 {
+		k.Helpers = 2
+	}
+	return k
+}
+
+// varPool is the global scalar vocabulary; Knobs.Vars takes a prefix.
+var varPool = []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+
+// Normalize applies defaults to zero fields and validates ranges. The
+// returned Knobs are what a manifest entry should carry: Normalize is
+// idempotent, so knobs read back from a manifest normalize to
+// themselves.
+func (k Knobs) Normalize() (Knobs, error) {
+	k = k.withDefaults()
+	if k.Stmts < 0 || k.Stmts > 64 {
+		return Knobs{}, fmt.Errorf("corpus: stmts %d out of range [1,64]", k.Stmts)
+	}
+	if k.LoopDepth < 0 || k.LoopDepth > 6 {
+		return Knobs{}, fmt.Errorf("corpus: loop_depth %d out of range [1,6]", k.LoopDepth)
+	}
+	if k.TakenBias < 0 || k.TakenBias > 1 || k.TakenBias != k.TakenBias {
+		return Knobs{}, fmt.Errorf("corpus: taken_bias %v not in [0,1]", k.TakenBias)
+	}
+	if k.FoldDensity < 0 || k.FoldDensity > 1 || k.FoldDensity != k.FoldDensity {
+		return Knobs{}, fmt.Errorf("corpus: fold_density %v not in [0,1]", k.FoldDensity)
+	}
+	if k.CallDensity < 0 || k.CallDensity > 1 || k.CallDensity != k.CallDensity {
+		return Knobs{}, fmt.Errorf("corpus: call_density %v not in [0,1]", k.CallDensity)
+	}
+	if k.Vars < 1 || k.Vars > len(varPool) {
+		return Knobs{}, fmt.Errorf("corpus: vars %d out of range [1,%d]", k.Vars, len(varPool))
+	}
+	if k.Helpers < 0 || k.Helpers > 4 {
+		return Knobs{}, fmt.Errorf("corpus: helpers %d out of range [0,4]", k.Helpers)
+	}
+	return k, nil
+}
+
+// Gen generates random control-dominated MiniC programs: global
+// scalars and one array mutated by nested loops, conditionals, helper
+// calls and arithmetic. Programs are constructed to terminate (loops
+// are bounded counters) and avoid division (no fault paths). The
+// sequence of programs a Gen produces is a pure function of (seed,
+// Knobs): same seed, same knobs — byte-identical sources, on any
+// machine, at any parallelism (a Gen owns its RNG and shares nothing).
+type Gen struct {
+	r     *rand.Rand
+	k     Knobs
+	seed  int64
+	vars  []string
+	sb    strings.Builder
+	loop  int      // loop-variable counter (L1, L2, ...)
+	pred  int      // hoisted-predicate counter (p1, p2, ...)
+	loops []string // enclosing loop variables, innermost last
+}
+
+// NewGen builds a generator. The knobs are normalized; out-of-range
+// values are an error.
+func NewGen(seed int64, knobs Knobs) (*Gen, error) {
+	k, err := knobs.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Gen{
+		r:    rand.New(rand.NewSource(seed)),
+		k:    k,
+		seed: seed,
+		vars: varPool[:k.Vars],
+	}, nil
+}
+
+// MustGen is NewGen for callers with known-good knobs (tests).
+func MustGen(seed int64, knobs Knobs) *Gen {
+	g, err := NewGen(seed, knobs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Generate returns the first program of NewGen(seed, knobs): the
+// one-shot form used to rebuild a corpus entry from its manifest line.
+func Generate(seed int64, knobs Knobs) (string, error) {
+	g, err := NewGen(seed, knobs)
+	if err != nil {
+		return "", err
+	}
+	return g.Program(), nil
+}
+
+// Seed returns the generator's seed.
+func (g *Gen) Seed() int64 { return g.seed }
+
+// Knobs returns the generator's normalized knobs.
+func (g *Gen) Knobs() Knobs { return g.k }
+
+// Program generates the next program in the seeded sequence.
+func (g *Gen) Program() string {
+	g.sb.Reset()
+	g.loop, g.pred = 0, 0
+	g.loops = g.loops[:0]
+
+	g.sb.WriteString("int arr[8] = {3, -1, 4, -1, 5, -9, 2, 6};\n")
+	for _, v := range g.vars {
+		fmt.Fprintf(&g.sb, "int %s = %d;\n", v, g.r.Intn(21)-10)
+	}
+	for i := 1; i <= g.k.Helpers; i++ {
+		g.helper(i)
+	}
+	g.sb.WriteString("void main() {\n")
+	lo := g.k.Stmts / 2
+	if lo < 1 {
+		lo = 1
+	}
+	n := lo + g.r.Intn(g.k.Stmts-lo+1)
+	for i := 0; i < n; i++ {
+		g.stmt(g.k.LoopDepth, 1)
+	}
+	g.sb.WriteString("}\n")
+	return g.sb.String()
+}
+
+// expr builds a bounded arithmetic expression over the given variable
+// vocabulary.
+func (g *Gen) expr(depth int, vars []string) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprint(g.r.Intn(201) - 100)
+		case 1:
+			return vars[g.r.Intn(len(vars))]
+		default:
+			return fmt.Sprintf("arr[%d]", g.r.Intn(8))
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>", "<", ">", "==", "!=", "<=", ">="}
+	op := ops[g.r.Intn(len(ops))]
+	l, r := g.expr(depth-1, vars), g.expr(depth-1, vars)
+	if op == "<<" || op == ">>" {
+		r = fmt.Sprint(g.r.Intn(8)) // bounded shift
+	}
+	if op == "*" {
+		// Keep magnitudes bounded-ish; wrapping is fine (both sides
+		// use the same 32-bit semantics) but avoid deep mult chains.
+		r = fmt.Sprint(g.r.Intn(13) - 6)
+	}
+	return "(" + l + " " + op + " " + r + ")"
+}
+
+// cond builds a branch condition. Inside a loop, the TakenBias knob
+// applies: with probability 0.6 the condition tests the low bits of an
+// enclosing loop counter against a bias-derived threshold, so its
+// dynamic truth rate tracks the knob as the counter sweeps.
+func (g *Gen) cond() string {
+	if len(g.loops) > 0 && g.r.Float64() < 0.6 {
+		lv := g.loops[g.r.Intn(len(g.loops))]
+		t := int(math.Round(g.k.TakenBias * 8))
+		return fmt.Sprintf("(%s & 7) < %d", lv, t)
+	}
+	v := g.vars[g.r.Intn(len(g.vars))]
+	switch g.r.Intn(6) {
+	case 0:
+		return v + " < 0"
+	case 1:
+		return v + " >= 0"
+	case 2:
+		return "(" + v + " & " + fmt.Sprint(1+g.r.Intn(7)) + ") != 0"
+	case 3:
+		return v + " == 0"
+	case 4:
+		return g.expr(1, g.vars) + " < " + g.expr(1, g.vars)
+	default:
+		return v + " != 0"
+	}
+}
+
+// stmt emits one statement at the given nesting budget.
+func (g *Gen) stmt(depth, indent int) {
+	pad := strings.Repeat("  ", indent)
+	roll := g.r.Float64()
+	switch {
+	case g.k.Helpers > 0 && roll < g.k.CallDensity:
+		// Helper call: v = hN(e, e);
+		v := g.vars[g.r.Intn(len(g.vars))]
+		h := 1 + g.r.Intn(g.k.Helpers)
+		fmt.Fprintf(&g.sb, "%s%s = h%d(%s, %s);\n",
+			pad, v, h, g.expr(1, g.vars), g.expr(1, g.vars))
+	case depth > 0 && roll < g.k.CallDensity+0.35:
+		g.branch(depth, indent)
+	case depth > 0 && roll < g.k.CallDensity+0.50:
+		// Bounded counter loop.
+		g.loop++
+		lv := fmt.Sprintf("L%d", g.loop)
+		fmt.Fprintf(&g.sb, "%sint %s;\n", pad, lv)
+		fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s++) {\n", pad, lv, lv, 2+g.r.Intn(30), lv)
+		g.loops = append(g.loops, lv)
+		g.stmt(depth-1, indent+1)
+		g.stmt(depth-1, indent+1)
+		g.loops = g.loops[:len(g.loops)-1]
+		fmt.Fprintf(&g.sb, "%s}\n", pad)
+	case roll < g.k.CallDensity+0.60:
+		// Array store.
+		fmt.Fprintf(&g.sb, "%sarr[%d] = %s;\n", pad, g.r.Intn(8), g.expr(2, g.vars))
+	case roll < g.k.CallDensity+0.80:
+		// Plain assignment.
+		v := g.vars[g.r.Intn(len(g.vars))]
+		fmt.Fprintf(&g.sb, "%s%s = %s;\n", pad, v, g.expr(2, g.vars))
+	default:
+		// Compound update.
+		v := g.vars[g.r.Intn(len(g.vars))]
+		ops := []string{"+=", "-=", "^=", "|=", "&="}
+		fmt.Fprintf(&g.sb, "%s%s %s %s;\n", pad, v, ops[g.r.Intn(len(ops))], g.expr(1, g.vars))
+	}
+}
+
+// branch emits a conditional. With probability FoldDensity it takes
+// the fold-eligible shape: the predicate is computed into a dedicated
+// variable several statements before the branch that tests it, giving
+// the scheduler the def-to-branch distance the BIT selection requires.
+func (g *Gen) branch(depth, indent int) {
+	pad := strings.Repeat("  ", indent)
+	if g.r.Float64() < g.k.FoldDensity {
+		g.pred++
+		pv := fmt.Sprintf("p%d", g.pred)
+		fmt.Fprintf(&g.sb, "%sint %s;\n", pad, pv)
+		fmt.Fprintf(&g.sb, "%s%s = %s;\n", pad, pv, g.cond())
+		for i, n := 0, 1+g.r.Intn(2); i < n; i++ {
+			v := g.vars[g.r.Intn(len(g.vars))]
+			fmt.Fprintf(&g.sb, "%s%s = %s;\n", pad, v, g.expr(1, g.vars))
+		}
+		fmt.Fprintf(&g.sb, "%sif (%s) {\n", pad, pv)
+	} else {
+		fmt.Fprintf(&g.sb, "%sif (%s) {\n", pad, g.cond())
+	}
+	g.stmt(depth-1, indent+1)
+	if g.r.Intn(2) == 0 {
+		fmt.Fprintf(&g.sb, "%s} else {\n", pad)
+		g.stmt(depth-1, indent+1)
+	}
+	fmt.Fprintf(&g.sb, "%s}\n", pad)
+}
+
+// helper emits helper function hN: pure arithmetic plus one branch
+// over its two parameters, so calls contribute call/return control
+// flow without touching global state.
+func (g *Gen) helper(n int) {
+	params := []string{"x", "y"}
+	fmt.Fprintf(&g.sb, "int h%d(int x, int y) {\n", n)
+	g.sb.WriteString("  int t;\n")
+	fmt.Fprintf(&g.sb, "  t = %s;\n", g.expr(2, params))
+	fmt.Fprintf(&g.sb, "  if ((x & %d) != 0) {\n", 1+g.r.Intn(7))
+	fmt.Fprintf(&g.sb, "    t += %s;\n", g.expr(1, params))
+	g.sb.WriteString("  } else {\n")
+	fmt.Fprintf(&g.sb, "    t -= %s;\n", g.expr(1, params))
+	g.sb.WriteString("  }\n")
+	ops := []string{"+", "^", "-", "|"}
+	fmt.Fprintf(&g.sb, "  return (t %s %s);\n", ops[g.r.Intn(len(ops))], params[g.r.Intn(2)])
+	g.sb.WriteString("}\n")
+}

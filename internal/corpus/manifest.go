@@ -1,0 +1,170 @@
+package corpus
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"asbr/internal/obs"
+)
+
+// ManifestSchema identifies the corpus manifest JSONL format: a schema
+// header line, one Entry per line. A manifest carries no program text
+// — every entry is rebuilt from (seed, knobs) alone, and the program
+// key plus snapshot digest pin what the rebuild must produce.
+const ManifestSchema = "asbr-corpus/v1"
+
+// Entry is one corpus program, identified entirely by its seed and
+// knobs.
+type Entry struct {
+	// Name is the entry's human handle (unique within a manifest).
+	Name string `json:"name"`
+	// Seed regenerates the program source via Generate(Seed, Knobs).
+	Seed int64 `json:"seed"`
+	// Knobs are the normalized generator knobs.
+	Knobs Knobs `json:"knobs"`
+	// ProgramKey is the canonical content key of the generated source
+	// (SourceKey): a regeneration that produces a different key means
+	// the generator drifted and the manifest is stale.
+	ProgramKey string `json:"program_key"`
+	// SnapshotDigest pins the obs.Snapshot of the entry's reference-
+	// engine run under the standard corpus machine (SnapshotDigest
+	// helper). Empty when the manifest was written without running.
+	SnapshotDigest string `json:"snapshot_digest,omitempty"`
+}
+
+// Validate checks one entry's invariants.
+func (e Entry) Validate() error {
+	if e.Name == "" {
+		return fmt.Errorf("corpus: entry with empty name (seed %d)", e.Seed)
+	}
+	if e.ProgramKey == "" {
+		return fmt.Errorf("corpus: entry %s: empty program key", e.Name)
+	}
+	if _, err := e.Knobs.Normalize(); err != nil {
+		return fmt.Errorf("corpus: entry %s: %v", e.Name, err)
+	}
+	return nil
+}
+
+// SourceKey returns the canonical content key of a program source:
+// src/<sha256 hex>. It is the same spelling the serving layer's
+// coalescing keys embed for posted sources.
+func SourceKey(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return "src/" + hex.EncodeToString(sum[:])
+}
+
+// SnapshotDigest returns the sha256 hex digest of a snapshot's
+// canonical JSON encoding — the manifest's integrity pin for a
+// reference run.
+func SnapshotDigest(sn obs.Snapshot) string {
+	b, err := json.Marshal(sn)
+	if err != nil {
+		// obs.Snapshot is a flat struct of scalars; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// schemaHeader is the first line of every corpus-owned JSONL file.
+type schemaHeader struct {
+	Schema string `json:"schema"`
+}
+
+// WriteManifest writes entries as asbr-corpus/v1 JSONL.
+func WriteManifest(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(schemaHeader{Schema: ManifestSchema}); err != nil {
+		return err
+	}
+	for i, e := range entries {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("corpus: manifest entry %d: %v", i, err)
+		}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadManifest parses asbr-corpus/v1 JSONL: the schema header must
+// come first (any other version string is rejected — a future v2 gets
+// its own reader), every line must decode strictly (unknown fields are
+// format errors, not extensions), entries must validate, and names
+// must be unique.
+func ReadManifest(r io.Reader) ([]Entry, error) {
+	sc := newLineScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("corpus: empty manifest")
+	}
+	if err := checkSchema(sc.Bytes(), ManifestSchema); err != nil {
+		return nil, err
+	}
+	var out []Entry
+	names := make(map[string]bool)
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var e Entry
+		if err := strictUnmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("corpus: manifest line %d: %v", line, err)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("corpus: manifest line %d: %v", line, err)
+		}
+		if names[e.Name] {
+			return nil, fmt.Errorf("corpus: manifest line %d: duplicate entry name %q", line, e.Name)
+		}
+		names[e.Name] = true
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: %v", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("corpus: manifest has no entries")
+	}
+	return out, nil
+}
+
+// newLineScanner returns a scanner sized for long JSONL lines
+// (recorded sources can be large).
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	return sc
+}
+
+// checkSchema verifies the header line names exactly the wanted
+// schema.
+func checkSchema(b []byte, want string) error {
+	var hdr schemaHeader
+	if err := json.Unmarshal(b, &hdr); err != nil || hdr.Schema == "" {
+		return fmt.Errorf("corpus: missing %s header (line 1: %.80s)", want, b)
+	}
+	if hdr.Schema != want {
+		return fmt.Errorf("corpus: unsupported schema %q (want %s)", hdr.Schema, want)
+	}
+	return nil
+}
+
+// strictUnmarshal decodes one JSONL line rejecting unknown fields.
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the checked-in golden files from the current
+// writers. Run `go test ./internal/corpus -run Golden -update` after an
+// intentional format change — any unintentional drift fails the plain
+// run.
+var update = flag.Bool("update", false, "rewrite golden testdata files")
+
+// goldenEntries is a fixed corpus whose serialized form is frozen in
+// testdata/corpus_v1.jsonl.
+func goldenEntries(t *testing.T) []Entry {
+	t.Helper()
+	knobs, err := DefaultKnobs().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Entry
+	for _, seed := range []int64{2001, 2002} {
+		src, err := Generate(seed, knobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Entry{
+			Name: fmt.Sprintf("corpus-%d", seed),
+			Seed: seed, Knobs: knobs, ProgramKey: SourceKey(src),
+		})
+	}
+	return out
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file; rerun with -update if the format change is intentional\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestManifestGolden freezes the asbr-corpus/v1 wire format: the
+// writer's output for a fixed entry set must match the checked-in
+// fixture byte-for-byte, and the fixture must read back losslessly.
+func TestManifestGolden(t *testing.T) {
+	entries := goldenEntries(t)
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "corpus_v1.jsonl"), buf.Bytes())
+
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("read back %d entries, wrote %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Errorf("entry %d: round-trip mismatch:\n got %+v\nwant %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestManifestRejects(t *testing.T) {
+	entries := goldenEntries(t)
+	var good bytes.Buffer
+	if err := WriteManifest(&good, entries); err != nil {
+		t.Fatal(err)
+	}
+	goodLines := strings.SplitAfter(good.String(), "\n")
+
+	cases := map[string]string{
+		"empty input":       "",
+		"missing header":    goodLines[1],
+		"unknown version":   strings.Replace(good.String(), "asbr-corpus/v1", "asbr-corpus/v2", 1),
+		"unknown field":     goodLines[0] + strings.Replace(goodLines[1], `"seed"`, `"seeed"`, 1),
+		"duplicate name":    good.String() + goodLines[1],
+		"no entries":        goodLines[0],
+		"entry not json":    goodLines[0] + "not json\n",
+		"entry empty name":  goodLines[0] + strings.Replace(goodLines[1], entries[0].Name, "", 1),
+		"entry bad knobs":   goodLines[0] + strings.Replace(goodLines[1], `"stmts":12`, `"stmts":900`, 1),
+		"replay-log header": strings.Replace(good.String(), "asbr-corpus/v1", "asbr-replay/v1", 1),
+	}
+	for name, in := range cases {
+		if _, err := ReadManifest(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadManifest accepted invalid input", name)
+		}
+	}
+
+	// Blank lines between records are tolerated, like the replay log.
+	withBlank := goodLines[0] + "\n" + strings.Join(goodLines[1:], "")
+	if _, err := ReadManifest(strings.NewReader(withBlank)); err != nil {
+		t.Errorf("blank line: %v", err)
+	}
+}
+
+// TestBadVersionFixture keeps a concrete future-versioned file on disk
+// so the rejection path is exercised against bytes no writer in this
+// tree can produce.
+func TestBadVersionFixture(t *testing.T) {
+	path := filepath.Join("testdata", "bad_version.jsonl")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bytes.NewReader(b)); err == nil {
+		t.Error("ReadManifest accepted v2 fixture")
+	}
+	if _, err := ReadLog(bytes.NewReader(b)); err == nil {
+		t.Error("ReadLog accepted v2 fixture")
+	}
+}
+
+func TestSourceKeyShape(t *testing.T) {
+	k := SourceKey("void main() {}\n")
+	if !strings.HasPrefix(k, "src/") || len(k) != len("src/")+64 {
+		t.Fatalf("SourceKey shape: %q", k)
+	}
+	if k == SourceKey("void main() { a = 1; }\n") {
+		t.Error("distinct sources share a key")
+	}
+}

@@ -1,0 +1,193 @@
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"asbr/internal/cpu"
+	"asbr/internal/obs"
+	"asbr/internal/predict"
+	"asbr/internal/runner"
+
+	"encoding/json"
+)
+
+// ReplaySchema identifies the record/replay JSONL format: a schema
+// header line, one Record per line. The serving layer appends a record
+// for every simulation it executes (serve.Config.Record), turning a
+// day's served traffic into a replayable regression suite.
+const ReplaySchema = "asbr-replay/v1"
+
+// ReplayConfig is the machine/run configuration a record replays
+// under: every field that can change the resulting obs.Snapshot.
+// Wall-clock timeouts are deliberately absent — they cannot change a
+// deterministic result, only abort it.
+type ReplayConfig struct {
+	Predictor  string `json:"predictor,omitempty"`   // predict.Names() vocabulary ("" = bimodal)
+	Engine     string `json:"engine,omitempty"`      // cpu.EngineNames() vocabulary ("" = auto)
+	ASBR       bool   `json:"asbr,omitempty"`        // profile, select, fold, re-run
+	BITEntries int    `json:"bit_entries,omitempty"` // requested BIT capacity (0 = default)
+	Samples    int    `json:"samples,omitempty"`     // bench records: input trace length
+	Seed       int64  `json:"seed,omitempty"`        // bench records: input trace seed
+	MaxCycles  uint64 `json:"max_cycles,omitempty"`  // watchdog budget (0 = engine default)
+}
+
+// Record is one captured simulation job: program identity (canonical
+// key plus how to rebuild it), run configuration, and the resulting
+// snapshot. Exactly one of Bench and Source is set.
+type Record struct {
+	// Key is the canonical program key: runner.ProgramKey.Canonical()
+	// for bench records, SourceKey(Source) for source records. Replay
+	// re-derives it and rejects records whose key does not match.
+	Key string `json:"key"`
+
+	Bench string `json:"bench,omitempty"` // built-in benchmark name
+
+	Source   string `json:"source,omitempty"`   // posted program text
+	Compile  bool   `json:"compile,omitempty"`  // Source is MiniC, not assembly
+	Schedule bool   `json:"schedule,omitempty"` // run the §5.1 scheduling pass
+
+	Config   ReplayConfig `json:"config"`
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// Validate checks the record's structural invariants, including that
+// the canonical key matches the program identity it claims.
+func (r Record) Validate() error {
+	if (r.Bench == "") == (r.Source == "") {
+		return fmt.Errorf("corpus: record %q: exactly one of bench and source must be set", r.Key)
+	}
+	if r.Key == "" {
+		return fmt.Errorf("corpus: record with empty key")
+	}
+	if r.Bench != "" {
+		pk, err := runner.ParseProgramKey(r.Key)
+		if err != nil {
+			return fmt.Errorf("corpus: record %q: %v", r.Key, err)
+		}
+		if pk.Bench != r.Bench {
+			return fmt.Errorf("corpus: record %q: key names bench %q, record says %q", r.Key, pk.Bench, r.Bench)
+		}
+		if r.Config.Samples < 0 {
+			return fmt.Errorf("corpus: record %q: negative samples", r.Key)
+		}
+	} else {
+		if want := SourceKey(r.Source); r.Key != want {
+			return fmt.Errorf("corpus: record %q: key does not match source content (want %s)", r.Key, want)
+		}
+	}
+	if r.Config.Predictor != "" {
+		if _, err := predict.ByName(r.Config.Predictor); err != nil {
+			return fmt.Errorf("corpus: record %q: %v", r.Key, err)
+		}
+	}
+	if _, err := cpu.ParseEngine(r.Config.Engine); err != nil {
+		return fmt.Errorf("corpus: record %q: %v", r.Key, err)
+	}
+	return nil
+}
+
+// WriteLog writes records as asbr-replay/v1 JSONL.
+func WriteLog(w io.Writer, recs []Record) error {
+	lw := NewLogWriter(w)
+	for i, r := range recs {
+		if err := lw.Append(r); err != nil {
+			return fmt.Errorf("corpus: replay record %d: %v", i, err)
+		}
+	}
+	return lw.Flush()
+}
+
+// ReadLog parses asbr-replay/v1 JSONL with the same strictness as
+// ReadManifest: header first, unknown versions rejected, strict
+// per-line decoding, validated records.
+func ReadLog(r io.Reader) ([]Record, error) {
+	sc := newLineScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("corpus: empty replay log")
+	}
+	if err := checkSchema(sc.Bytes(), ReplaySchema); err != nil {
+		return nil, err
+	}
+	var out []Record
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(string(sc.Bytes()))) == 0 {
+			continue
+		}
+		var rec Record
+		if err := strictUnmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("corpus: replay line %d: %v", line, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("corpus: replay line %d: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: %v", err)
+	}
+	return out, nil
+}
+
+// LogWriter appends validated records to an asbr-replay/v1 stream. It
+// is safe for concurrent use — the serving layer records from multiple
+// worker goroutines. The header is written lazily before the first
+// record.
+type LogWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	enc    *json.Encoder
+	opened bool
+	n      int
+}
+
+// NewLogWriter wraps w. Callers owning a file should call Flush (and
+// close the file) when done; Append writes through unbuffered.
+func NewLogWriter(w io.Writer) *LogWriter {
+	return &LogWriter{w: w, enc: json.NewEncoder(w)}
+}
+
+// Append validates and writes one record.
+func (lw *LogWriter) Append(rec Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if !lw.opened {
+		if err := lw.enc.Encode(schemaHeader{Schema: ReplaySchema}); err != nil {
+			return err
+		}
+		lw.opened = true
+	}
+	if err := lw.enc.Encode(rec); err != nil {
+		return err
+	}
+	lw.n++
+	return nil
+}
+
+// Count returns how many records have been appended.
+func (lw *LogWriter) Count() int {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.n
+}
+
+// Flush writes the header even if no record was ever appended, so an
+// empty log is still a valid (zero-record) asbr-replay/v1 file.
+func (lw *LogWriter) Flush() error {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if !lw.opened {
+		if err := lw.enc.Encode(schemaHeader{Schema: ReplaySchema}); err != nil {
+			return err
+		}
+		lw.opened = true
+	}
+	return nil
+}

@@ -140,15 +140,28 @@ func (s *Sweep) profiledRun(bench string) (*profiledArtifact, error) {
 	})
 }
 
-// selectBranches runs the paper's §6 selection for a benchmark.
+// SelectOptionsFor returns the §6 selection options for a one-off
+// ASBR run outside a sweep: BIT capacity k, and — when the run has a
+// meaningful input-trace length — the sample-scaled profitability
+// thresholds. The serving layer and the corpus replay harness both
+// build their engines through this helper, so a served job and its
+// cold replay can never select branches differently.
+func SelectOptionsFor(k, samples int) profile.SelectOptions {
+	opt := profile.SelectOptions{Aux: "bimodal-512", MinDistance: 3, K: k}
+	if samples > 0 {
+		opt.MinCount = uint64(samples / 16)
+		opt.Penalty = 2 + ExtraMispredictCycles // the platform's flush cost
+	}
+	return opt
+}
+
+// selectBranches runs the paper's §6 selection for a benchmark: the
+// shared one-off options with the sweep's update-point-derived
+// distance threshold.
 func selectBranches(bench string, prog *isa.Program, prof *profile.Profiler, opt Options) ([]profile.Candidate, error) {
-	return profile.Select(prog, prof, profile.SelectOptions{
-		Aux:         "bimodal-512",
-		MinDistance: opt.MinDistance(),
-		K:           BITSizes()[bench],
-		MinCount:    uint64(opt.Samples / 16),
-		Penalty:     2 + ExtraMispredictCycles, // the platform's flush cost
-	})
+	o := SelectOptionsFor(BITSizes()[bench], opt.Samples)
+	o.MinDistance = opt.MinDistance()
+	return profile.Select(prog, prof, o)
 }
 
 // bitEntries returns the benchmark's selected, pre-decoded BIT rows

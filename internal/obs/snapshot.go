@@ -1,5 +1,11 @@
 package obs
 
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
 // Snapshot is the canonical simulation statistics record shared across
 // layers: cpu.Stats projects onto it (cpu.Stats.Snapshot), the
 // experiment rows embed it, and the serve wire protocol aliases it as
@@ -26,6 +32,41 @@ type Snapshot struct {
 	ExStalls       uint64  `json:"ex_stalls"`
 	ICacheMissRate float64 `json:"icache_miss_rate"`
 	DCacheMissRate float64 `json:"dcache_miss_rate"`
+}
+
+// FieldDiff is one differing Snapshot cell, named by the field's wire
+// (JSON) name so reports match what replay logs and /v1 payloads show.
+type FieldDiff struct {
+	Field string
+	A, B  string
+}
+
+// String renders the diff as "field: a != b".
+func (d FieldDiff) String() string { return fmt.Sprintf("%s: %s != %s", d.Field, d.A, d.B) }
+
+// Diff compares two snapshots cell-by-cell and returns the differing
+// fields in declaration order (empty = byte-identical). The
+// differential-replay harness uses it to name exactly which counters a
+// candidate engine or configuration perturbed.
+func (s Snapshot) Diff(o Snapshot) []FieldDiff {
+	if s == o {
+		return nil
+	}
+	var out []FieldDiff
+	av, bv := reflect.ValueOf(s), reflect.ValueOf(o)
+	t := av.Type()
+	for i := 0; i < t.NumField(); i++ {
+		a, b := av.Field(i).Interface(), bv.Field(i).Interface()
+		if a == b {
+			continue
+		}
+		name, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if name == "" {
+			name = t.Field(i).Name
+		}
+		out = append(out, FieldDiff{Field: name, A: fmt.Sprint(a), B: fmt.Sprint(b)})
+	}
+	return out
 }
 
 // Accumulate folds another run's snapshot into s: counters add, cache

@@ -85,11 +85,11 @@ func ParseTraceKey(s string) (TraceKey, error) {
 	}
 	n, err := strconv.Atoi(params["n"])
 	if err != nil {
-		return TraceKey{}, fmt.Errorf("runner: trace key %q: bad n: %v", s, err)
+		return TraceKey{}, fmt.Errorf("runner: trace key %q: param n must be an integer, got %q", s, params["n"])
 	}
 	seed, err := strconv.ParseInt(params["seed"], 10, 64)
 	if err != nil {
-		return TraceKey{}, fmt.Errorf("runner: trace key %q: bad seed: %v", s, err)
+		return TraceKey{}, fmt.Errorf("runner: trace key %q: param seed must be an integer, got %q", s, params["seed"])
 	}
 	return TraceKey{Bench: bench, Samples: n, Seed: seed}, nil
 }
@@ -100,7 +100,7 @@ func ParseTraceKey(s string) (TraceKey, error) {
 func keyParams(key, query string, names ...string) (map[string]string, error) {
 	parts := strings.Split(query, "&")
 	if len(parts) != len(names) {
-		return nil, fmt.Errorf("runner: key %q: want params %v", key, names)
+		return nil, fmt.Errorf("runner: key %q: want params %v, got %q", key, names, query)
 	}
 	out := make(map[string]string, len(names))
 	for i, p := range parts {

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"strings"
 	"testing"
 
 	"asbr/internal/workload"
@@ -98,3 +99,88 @@ func TestKeyParseRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestKeyParseErrorMessages pins what a parse error tells the caller:
+// the full key, and the specific offending fragment — not just "bad
+// key". These strings surface verbatim in corpus-manifest validation
+// failures and serve's 400 responses, so a human must be able to see
+// what was wrong without re-deriving the grammar.
+func TestKeyParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		name  string
+		parse func(string) error
+		key   string
+		want  []string // every substring the error must contain
+	}{
+		{
+			name:  "program wrong prefix",
+			parse: parseProgErr,
+			key:   "trace/x?manual=1&sched=0",
+			want:  []string{`"trace/x?manual=1&sched=0"`, "prog/ prefix"},
+		},
+		{
+			name:  "program missing query",
+			parse: parseProgErr,
+			key:   "prog/adpcm-enc",
+			want:  []string{`"prog/adpcm-enc"`, "prog/<bench>?manual=..&sched=.."},
+		},
+		{
+			name:  "program param count",
+			parse: parseProgErr,
+			key:   "prog/x?manual=1",
+			want:  []string{`"prog/x?manual=1"`, "[manual sched]", `got "manual=1"`},
+		},
+		{
+			name:  "program params out of order",
+			parse: parseProgErr,
+			key:   "prog/x?sched=1&manual=0",
+			want:  []string{`want param "manual"`, `got "sched=1"`},
+		},
+		{
+			name:  "program non-bit value",
+			parse: parseProgErr,
+			key:   "prog/x?manual=yes&sched=0",
+			want:  []string{"manual must be 0 or 1", `got "yes"`},
+		},
+		{
+			name:  "trace wrong prefix",
+			parse: parseTraceErr,
+			key:   "prog/x?n=1&seed=1",
+			want:  []string{`"prog/x?n=1&seed=1"`, "trace/ prefix"},
+		},
+		{
+			name:  "trace param count",
+			parse: parseTraceErr,
+			key:   "trace/x?n=1&seed=1&extra=2",
+			want:  []string{"[n seed]", `got "n=1&seed=1&extra=2"`},
+		},
+		{
+			name:  "trace non-integer n",
+			parse: parseTraceErr,
+			key:   "trace/x?n=abc&seed=0",
+			want:  []string{"n must be an integer", `got "abc"`},
+		},
+		{
+			name:  "trace non-integer seed",
+			parse: parseTraceErr,
+			key:   "trace/x?n=1&seed=1.5",
+			want:  []string{"seed must be an integer", `got "1.5"`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.parse(tc.key)
+			if err == nil {
+				t.Fatalf("parse(%q): want error", tc.key)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("parse(%q) error %q does not mention %q", tc.key, err, w)
+				}
+			}
+		})
+	}
+}
+
+func parseProgErr(s string) error  { _, err := ParseProgramKey(s); return err }
+func parseTraceErr(s string) error { _, err := ParseTraceKey(s); return err }

@@ -1,0 +1,37 @@
+package serve
+
+import (
+	"asbr/internal/corpus"
+	"asbr/internal/runner"
+	"asbr/internal/workload"
+)
+
+// recordFor maps one executed simulation onto its replay record: the
+// program's canonical identity, the configuration fields that can
+// change the snapshot, and the snapshot itself. Replaying the record
+// through corpus.Run rebuilds the machine via the same corpus.Machine /
+// corpus.BuildEngine helpers the daemon just used, so the replayed
+// snapshot is byte-identical to Record.Snapshot.
+func recordFor(req *SimRequest, resp *SimResponse) corpus.Record {
+	rec := corpus.Record{
+		Config: corpus.ReplayConfig{
+			Predictor:  req.Predictor,
+			ASBR:       req.ASBR,
+			BITEntries: req.BITEntries,
+			MaxCycles:  req.MaxCycles,
+		},
+		Snapshot: resp.Stats,
+	}
+	if req.Bench != "" {
+		rec.Bench = req.Bench
+		rec.Key = runner.NewProgramKey(req.Bench, workload.BuildOptionsFor(req.Bench, true)).Canonical()
+		rec.Config.Samples = req.Samples
+		rec.Config.Seed = req.Seed
+	} else {
+		rec.Source = req.Source
+		rec.Compile = req.Compile
+		rec.Schedule = req.Schedule
+		rec.Key = corpus.SourceKey(req.Source)
+	}
+	return rec
+}

@@ -11,11 +11,10 @@ import (
 
 	"asbr/internal/asm"
 	"asbr/internal/cc"
-	"asbr/internal/core"
+	"asbr/internal/corpus"
 	"asbr/internal/cpu"
 	"asbr/internal/experiment"
 	"asbr/internal/isa"
-	"asbr/internal/mem"
 	"asbr/internal/obs"
 	"asbr/internal/predict"
 	"asbr/internal/profile"
@@ -40,6 +39,15 @@ type Config struct {
 	DefaultMaxCycles uint64        // watchdog budget when a request leaves it 0 (default 1<<32)
 	DefaultTimeout   time.Duration // wall-clock budget when a request leaves it 0 (default 2m)
 	MaxBodyBytes     int64         // request body cap (default 1MiB)
+
+	// Record, when non-nil, receives a replay record for every
+	// simulation the daemon actually executes (coalesced replays are
+	// served from cache and recorded once, at build time; traced jobs
+	// bypass the cache and record per execution). The callback must be
+	// safe for concurrent use — corpus.LogWriter.Append is the intended
+	// sink, turning served traffic into an asbr-replay/v1 regression
+	// suite for `asbr-corpus replay`.
+	Record func(corpus.Record)
 
 	Logf func(format string, args ...any) // optional logger (nil = silent)
 }
@@ -257,6 +265,9 @@ func (s *Server) simulate(req *SimRequest, tr *obs.Tracer) (*SimResponse, error)
 	s.statMu.Lock()
 	s.totals.Accumulate(resp.Stats)
 	s.statMu.Unlock()
+	if s.cfg.Record != nil {
+		s.cfg.Record(recordFor(req, resp))
+	}
 	return resp, nil
 }
 
@@ -268,17 +279,13 @@ func (s *Server) simulateCtx(ctx context.Context, req *SimRequest, tr *obs.Trace
 }
 
 // machineFor assembles the paper's platform around the requested
-// predictor with the request's watchdog budget. The predictor rides by
-// name in cpu.Config — cpu.New resolves it through predict.ByName, the
-// same vocabulary normalizeSim validated against.
+// predictor with the request's watchdog budget, through the shared
+// corpus.Machine constructor — the same one record replay uses, so a
+// served job and its cold replay cannot configure differently. The
+// predictor rides by name in cpu.Config — cpu.New resolves it through
+// predict.ByName, the same vocabulary normalizeSim validated against.
 func machineFor(req *SimRequest) cpu.Config {
-	return cpu.Config{
-		ICache:                mem.DefaultICache(),
-		DCache:                mem.DefaultDCache(),
-		Predictor:             req.Predictor,
-		ExtraMispredictCycles: experiment.ExtraMispredictCycles,
-		MaxCycles:             req.MaxCycles,
-	}
+	return corpus.Machine(req.Predictor, cpu.EngineAuto, req.MaxCycles)
 }
 
 // simulateBench runs a built-in benchmark over the shared artifact
@@ -323,13 +330,7 @@ func (s *Server) simulateBench(ctx context.Context, req *SimRequest, tr *obs.Tra
 	if err != nil {
 		return nil, err
 	}
-	k := req.BITEntries
-	if k == 0 {
-		if k = experiment.BITSizes()[req.Bench]; k == 0 {
-			k = core.DefaultBITEntries
-		}
-	}
-	eng, n, err := buildEngine(prog, prof, k, req.Samples)
+	eng, n, err := corpus.BuildEngine(prog, prof, corpus.ResolveBITEntries(req.Bench, req.BITEntries), req.Samples)
 	if err != nil {
 		return nil, err
 	}
@@ -406,11 +407,7 @@ func (s *Server) simulateSource(ctx context.Context, req *SimRequest, tr *obs.Tr
 	if err != nil {
 		return nil, err
 	}
-	k := req.BITEntries
-	if k == 0 {
-		k = core.DefaultBITEntries
-	}
-	eng, n, err := buildEngine(prog, prof, k, 0)
+	eng, n, err := corpus.BuildEngine(prog, prof, corpus.ResolveBITEntries("", req.BITEntries), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -431,29 +428,6 @@ func (s *Server) simulateSource(ctx context.Context, req *SimRequest, tr *obs.Tr
 	resp.BaselineCycles = base.Stats().Cycles
 	resp.Improvement = 1 - float64(c.Stats().Cycles)/float64(base.Stats().Cycles)
 	return resp, nil
-}
-
-// buildEngine runs the §6 selection over a finished profile and loads
-// the chosen branches into a fresh ASBR engine.
-func buildEngine(prog *isa.Program, prof *profile.Profiler, k, samples int) (*core.Engine, int, error) {
-	opt := profile.SelectOptions{Aux: "bimodal-512", MinDistance: 3, K: k}
-	if samples > 0 {
-		opt.MinCount = uint64(samples / 16)
-		opt.Penalty = 2 + experiment.ExtraMispredictCycles
-	}
-	cands, err := profile.Select(prog, prof, opt)
-	if err != nil {
-		return nil, 0, err
-	}
-	entries, err := profile.BuildBITFromCandidates(prog, cands)
-	if err != nil {
-		return nil, 0, err
-	}
-	eng := core.NewEngine(core.Config{BITEntries: k, TrackValidity: true})
-	if err := eng.Load(entries); err != nil {
-		return nil, 0, err
-	}
-	return eng, len(entries), nil
 }
 
 func runProgram(ctx context.Context, prog *isa.Program, cfg cpu.Config) (*cpu.CPU, error) {

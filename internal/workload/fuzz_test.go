@@ -1,119 +1,24 @@
-package workload
+// System-level fuzz over generated MiniC programs. The program
+// generator lives in internal/corpus (it grew out of this file's
+// ad-hoc progGen); these tests draw from its seeded sequence, so a
+// failure here reproduces with `asbr-corpus gen -seed <seed> -dump -`.
+// The external test package breaks the import cycle: corpus imports
+// workload for record replay.
+package workload_test
 
 import (
-	"fmt"
-	"math/rand"
-	"strings"
 	"testing"
 
 	"asbr/internal/cc"
 	"asbr/internal/core"
+	"asbr/internal/corpus"
 	"asbr/internal/cpu"
 	"asbr/internal/mem"
 	"asbr/internal/predict"
 	"asbr/internal/sched"
 )
 
-// progGen generates random MiniC programs: a handful of global scalars
-// and one array, mutated by nested loops, conditionals and arithmetic.
-// Programs are constructed to terminate (loops are bounded counters)
-// and avoid division (no fault paths).
-type progGen struct {
-	r    *rand.Rand
-	vars []string
-	sb   strings.Builder
-	loop int
-}
-
-func (g *progGen) expr(depth int) string {
-	if depth <= 0 || g.r.Intn(3) == 0 {
-		switch g.r.Intn(3) {
-		case 0:
-			return fmt.Sprint(g.r.Intn(201) - 100)
-		case 1:
-			return g.vars[g.r.Intn(len(g.vars))]
-		default:
-			return fmt.Sprintf("arr[%d]", g.r.Intn(8))
-		}
-	}
-	ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>", "<", ">", "==", "!=", "<=", ">="}
-	op := ops[g.r.Intn(len(ops))]
-	l, r := g.expr(depth-1), g.expr(depth-1)
-	if op == "<<" || op == ">>" {
-		r = fmt.Sprint(g.r.Intn(8)) // bounded shift
-	}
-	if op == "*" {
-		// Keep magnitudes bounded-ish; wrapping is fine (both sides
-		// use the same 32-bit semantics) but avoid deep mult chains.
-		r = fmt.Sprint(g.r.Intn(13) - 6)
-	}
-	return "(" + l + " " + op + " " + r + ")"
-}
-
-func (g *progGen) cond() string {
-	v := g.vars[g.r.Intn(len(g.vars))]
-	switch g.r.Intn(6) {
-	case 0:
-		return v + " < 0"
-	case 1:
-		return v + " >= 0"
-	case 2:
-		return "(" + v + " & " + fmt.Sprint(1+g.r.Intn(7)) + ") != 0"
-	case 3:
-		return v + " == 0"
-	case 4:
-		return g.expr(1) + " < " + g.expr(1)
-	default:
-		return v + " != 0"
-	}
-}
-
-func (g *progGen) stmt(depth, indent int) {
-	pad := strings.Repeat("  ", indent)
-	switch n := g.r.Intn(10); {
-	case n < 4: // assignment
-		v := g.vars[g.r.Intn(len(g.vars))]
-		fmt.Fprintf(&g.sb, "%s%s = %s;\n", pad, v, g.expr(2))
-	case n < 5: // array store
-		fmt.Fprintf(&g.sb, "%sarr[%d] = %s;\n", pad, g.r.Intn(8), g.expr(2))
-	case n < 8 && depth > 0: // if / if-else
-		fmt.Fprintf(&g.sb, "%sif (%s) {\n", pad, g.cond())
-		g.stmt(depth-1, indent+1)
-		if g.r.Intn(2) == 0 {
-			fmt.Fprintf(&g.sb, "%s} else {\n", pad)
-			g.stmt(depth-1, indent+1)
-		}
-		fmt.Fprintf(&g.sb, "%s}\n", pad)
-	case n < 9 && depth > 0: // bounded loop
-		g.loop++
-		lv := fmt.Sprintf("L%d", g.loop)
-		fmt.Fprintf(&g.sb, "%sint %s;\n", pad, lv)
-		fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s++) {\n", pad, lv, lv, 2+g.r.Intn(30), lv)
-		g.stmt(depth-1, indent+1)
-		g.stmt(depth-1, indent+1)
-		fmt.Fprintf(&g.sb, "%s}\n", pad)
-	default: // compound update
-		v := g.vars[g.r.Intn(len(g.vars))]
-		ops := []string{"+=", "-=", "^=", "|=", "&="}
-		fmt.Fprintf(&g.sb, "%s%s %s %s;\n", pad, v, ops[g.r.Intn(len(ops))], g.expr(1))
-	}
-}
-
-func (g *progGen) generate(nStmts int) string {
-	g.sb.Reset()
-	g.sb.WriteString("int arr[8] = {3, -1, 4, -1, 5, -9, 2, 6};\n")
-	for _, v := range g.vars {
-		fmt.Fprintf(&g.sb, "int %s = %d;\n", v, g.r.Intn(21)-10)
-	}
-	g.sb.WriteString("void main() {\n")
-	for i := 0; i < nStmts; i++ {
-		g.stmt(3, 1)
-	}
-	g.sb.WriteString("}\n")
-	return g.sb.String()
-}
-
-// TestFuzzFoldEquivalence is the system-level fuzz: random MiniC
+// TestFuzzFoldEquivalence is the system-level fuzz: generated MiniC
 // programs are compiled, scheduled, and run three ways — baseline,
 // ASBR with every foldable branch loaded, ASBR at each update point —
 // and the final global state must be identical in all of them.
@@ -122,11 +27,10 @@ func TestFuzzFoldEquivalence(t *testing.T) {
 	if testing.Short() {
 		trials = 10
 	}
-	r := rand.New(rand.NewSource(2001))
+	gen := corpus.MustGen(2001, corpus.Knobs{})
 	var totalFolds uint64
 	for trial := 0; trial < trials; trial++ {
-		g := &progGen{r: r, vars: []string{"a", "b", "c", "d", "e"}}
-		src := g.generate(6 + r.Intn(10))
+		src := gen.Program()
 		prog, err := cc.CompileToProgram(src)
 		if err != nil {
 			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
@@ -201,7 +105,7 @@ func TestFuzzPredictorIndependence(t *testing.T) {
 	if testing.Short() {
 		trials = 5
 	}
-	r := rand.New(rand.NewSource(77))
+	gen := corpus.MustGen(77, corpus.Knobs{Stmts: 8})
 	units := []func() *predict.Unit{
 		predict.BaselineNotTaken,
 		predict.BaselineBimodal,
@@ -215,8 +119,7 @@ func TestFuzzPredictorIndependence(t *testing.T) {
 		},
 	}
 	for trial := 0; trial < trials; trial++ {
-		g := &progGen{r: r, vars: []string{"a", "b", "c", "d", "e"}}
-		src := g.generate(3 + r.Intn(6))
+		src := gen.Program()
 		prog, err := cc.CompileToProgram(src)
 		if err != nil {
 			t.Fatalf("trial %d: %v\n%s", trial, err, src)
