@@ -11,7 +11,7 @@ FAULT_FUZZTIME ?= 2m
 CORPUS_FUZZTIME ?= 2m
 CORPUS_ENTRIES ?= 30
 
-.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus tables ci clean
+.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke cluster-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus tables ci clean
 
 all: build
 
@@ -56,6 +56,13 @@ fault-smoke:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count=1 -v ./cmd/asbr-serve
 
+# Distributed-serve smoke: boot a three-worker asbr-serve fleet, run a
+# consistent-hash distributed fig6+fig11 sweep through asbr-cluster,
+# SIGKILL a worker mid-sweep, and require the rebalanced merge to stay
+# byte-identical to a single-process run.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 -v ./cmd/asbr-cluster
+
 # Observability smoke: run asbr-sim with -trace (plain and -asbr),
 # validate the JSONL against the asbr-trace/v1 schema and the
 # chrome://tracing twin against the trace_event shape. The disabled-
@@ -98,7 +105,7 @@ fuzz-corpus:
 tables:
 	$(GO) run ./cmd/asbr-tables
 
-ci: vet build race bench-smoke fault-smoke serve-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus
+ci: vet build race bench-smoke fault-smoke serve-smoke cluster-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus
 
 clean:
 	$(GO) clean ./...

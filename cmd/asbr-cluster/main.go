@@ -1,0 +1,130 @@
+// Command asbr-cluster coordinates a fleet of asbr-serve worker
+// daemons: it decomposes the requested experiment tables into
+// (table, benchmark) cells, routes each cell to the worker owning its
+// canonical key on a consistent-hash ring, and merges the results into
+// the exact bytes a single-process `asbr-tables -json` run produces.
+//
+//	asbr-cluster -workers 127.0.0.1:8344,127.0.0.1:8345 -tables fig6,fig11
+//	asbr-cluster -workers ... -tables all -n 4096 -report
+//
+// Fault tolerance: transient worker failures (backpressure, connection
+// refused, timeouts) retry under a jittered exponential backoff
+// budget; a worker that exhausts its budget is marked dead and its key
+// ranges rebalance to the ring's next live owner. Deterministic
+// simulation errors are never retried — they surface as annotated
+// cells with provenance. When every live worker is gone the run
+// degrades gracefully: the merged tables stay partial and each missing
+// cell says why (-report prints the full per-cell provenance).
+//
+// Exit status: 0 on a complete merge, 1 on a partial (degraded) one,
+// 2 on usage errors. See DESIGN.md §12.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"asbr/internal/cliflags"
+	"asbr/internal/cluster"
+	"asbr/internal/experiment"
+	"asbr/internal/serve"
+	"asbr/internal/workload"
+)
+
+func main() {
+	cf := cliflags.NewCluster()
+	cf.Register(flag.CommandLine)
+	tables := flag.String("tables", "all", "comma-separated tables ("+strings.Join(experiment.TableNames(), "|")+") or all")
+	benches := flag.String("benches", "", "comma-separated benchmark filter for per-bench tables ("+strings.Join(workload.Names(), "|")+"; empty = all)")
+	samples := flag.Int("n", 0, "audio samples per benchmark (0 = worker default)")
+	seed := flag.Int64("seed", 0, "synthetic-trace seed (0 = worker default)")
+	update := flag.String("update", "", "BDT update point: ex|mem|wb (empty = worker default)")
+	report := flag.Bool("report", false, "emit the full cluster report (tables + per-cell provenance + fleet health) instead of tables alone")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+	flag.Parse()
+
+	log.SetPrefix("asbr-cluster: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	workers := cf.WorkerList()
+	if len(workers) == 0 {
+		fmt.Fprintln(os.Stderr, "asbr-cluster: -workers is required (comma-separated asbr-serve addresses)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := cluster.New(cluster.Config{
+		Workers: workers,
+		VNodes:  cf.VNodes,
+		Poll:    cf.Poll,
+		Retry:   cf.Retry(),
+		Logf:    log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	for _, w := range c.Probe(ctx) {
+		log.Printf("worker %s: alive=%t status=%s id=%s", w.Addr, w.Alive, w.Status, w.WorkerID)
+	}
+
+	req := serve.SweepRequest{
+		Samples: *samples,
+		Seed:    *seed,
+		Update:  *update,
+	}
+	if *tables != "" && *tables != "all" {
+		req.Tables = splitList(*tables)
+	}
+	req.Benches = splitList(*benches)
+
+	start := time.Now()
+	rep, err := c.Sweep(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sweep finished in %v: %d cells, partial=%t", time.Since(start).Round(time.Millisecond), len(rep.Cells), rep.Partial)
+	log.Printf("fleet totals: %d cycles, %d instructions, cpi=%.3f, fold coverage=%.3f",
+		rep.Totals.Cycles, rep.Totals.Instructions, rep.Totals.CPI, rep.Totals.FoldCoverage)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	var out any = rep.Tables
+	if *report {
+		out = rep
+	}
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Partial {
+		for _, cell := range rep.Cells {
+			if cell.State != cluster.CellOK {
+				log.Printf("degraded cell: table=%s bench=%s state=%s err=%s", cell.Table, cell.Bench, cell.State, cell.Error)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

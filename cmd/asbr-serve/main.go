@@ -11,8 +11,8 @@
 //
 // Endpoints: POST /v1/sim, POST /v1/sweep, POST /v1/jobs,
 // GET /v1/jobs/{id}, GET /v1/jobs/{id}/trace, GET /v1/stats,
-// GET /v1/healthz, GET /metrics, GET /debug/pprof/. See DESIGN.md §8
-// and §10 (observability).
+// GET /v1/healthz, GET /v1/readyz, GET /metrics, GET /debug/pprof/.
+// See DESIGN.md §8, §10 (observability) and §12 (cluster).
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, in-flight
 // requests finish, queued async jobs run to completion, then the
@@ -43,6 +43,7 @@ func main() {
 	queue := flag.Int("queue", 64, "bounded job queue capacity (429 beyond it)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	samples := flag.Int("n", 4096, "default audio samples when a request leaves them unset")
+	workerID := flag.String("worker-id", "", "label this daemon as a cluster worker (reported by /v1/readyz)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight HTTP requests on shutdown")
 	sf := cliflags.NewSim()
 	sf.MaxCycles = 0             // 0 = the server's 2^32 default
@@ -62,6 +63,7 @@ func main() {
 		DefaultSamples:   *samples,
 		DefaultMaxCycles: sf.MaxCycles,
 		DefaultTimeout:   sf.Timeout,
+		WorkerID:         *workerID,
 		Logf:             log.Printf,
 	}
 	if sf.Record != "" {

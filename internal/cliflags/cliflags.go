@@ -168,3 +168,48 @@ func (s *Sim) Context() (context.Context, context.CancelFunc) {
 func (s *Sim) Client() *client.Client {
 	return client.New(s.Remote)
 }
+
+// Cluster carries the asbr-cluster coordinator flags: the worker
+// fleet and the fault-tolerance knobs (retry budget, hash fan-out,
+// poll cadence).
+type Cluster struct {
+	Workers  string        // -workers: comma-separated asbr-serve addresses
+	VNodes   int           // -vnodes: virtual nodes per worker on the hash ring
+	Attempts int           // -retry-attempts: per-dispatch transient-retry budget
+	Poll     time.Duration // -poll: job status poll interval
+}
+
+// NewCluster returns the coordinator flag set with its defaults.
+func NewCluster() *Cluster {
+	return &Cluster{Attempts: client.DefaultRetry.MaxAttempts, Poll: 100 * time.Millisecond}
+}
+
+// Register registers the coordinator flags.
+func (c *Cluster) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Workers, "workers", c.Workers,
+		"comma-separated asbr-serve worker addresses (required)")
+	fs.IntVar(&c.VNodes, "vnodes", c.VNodes,
+		"virtual nodes per worker on the consistent-hash ring (0 = 64)")
+	fs.IntVar(&c.Attempts, "retry-attempts", c.Attempts,
+		"tries per dispatch before a worker is marked dead and its keys rebalance")
+	fs.DurationVar(&c.Poll, "poll", c.Poll,
+		"job status poll interval")
+}
+
+// WorkerList parses -workers into trimmed, non-empty addresses.
+func (c *Cluster) WorkerList() []string {
+	var out []string
+	for _, w := range strings.Split(c.Workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Retry builds the client retry policy implied by -retry-attempts.
+func (c *Cluster) Retry() client.RetryPolicy {
+	p := client.DefaultRetry
+	p.MaxAttempts = c.Attempts
+	return p
+}

@@ -1,0 +1,51 @@
+package cluster
+
+import "sync"
+
+// flight is the coordinator-side single-flight table: each canonical
+// cell key has at most one dispatch in flight cluster-wide, and
+// concurrent sweeps asking for the same cell coalesce onto it. Results
+// are kept — successes and deterministic simulation failures are both
+// final answers for a deterministic simulator — except when the cell
+// ultimately failed for a transient reason (every worker owning it
+// died, the retry budget drained); those are evicted so a later sweep
+// re-dispatches against whatever fleet is alive then.
+type flight struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+type call struct {
+	done chan struct{}
+	cell cellResult
+}
+
+func newFlight() *flight {
+	return &flight{m: make(map[string]*call)}
+}
+
+// do returns the cached or in-flight result for key, running fn at
+// most once concurrently per key. The coalesced waiters all observe
+// the leader's result, including a transient failure — they coalesced
+// onto that attempt — but the key is forgotten afterwards so the next
+// do() retries fresh.
+func (f *flight) do(key string, fn func() cellResult) cellResult {
+	f.mu.Lock()
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.cell
+	}
+	c := &call{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+
+	c.cell = fn()
+	if c.cell.prov.State == CellFailed {
+		f.mu.Lock()
+		delete(f.m, key)
+		f.mu.Unlock()
+	}
+	close(c.done)
+	return c.cell
+}

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("sweep|tables=fig6|cell=%d", i)
+	}
+	return out
+}
+
+func TestRingOwnershipStable(t *testing.T) {
+	r := NewRing(0)
+	for _, w := range []string{"w1:1", "w2:2", "w3:3"} {
+		r.Add(w)
+	}
+	keys := ringKeys(256)
+	first := make(map[string]string)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		o, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q) found no worker", k)
+		}
+		first[k] = o
+		counts[o]++
+	}
+	// Deterministic: a second pass (and a rebuilt ring) agrees exactly.
+	r2 := NewRing(0)
+	for _, w := range []string{"w3:3", "w1:1", "w2:2"} { // add order must not matter
+		r2.Add(w)
+	}
+	for _, k := range keys {
+		if o, _ := r.Owner(k); o != first[k] {
+			t.Fatalf("ownership of %q drifted: %q != %q", k, o, first[k])
+		}
+		if o, _ := r2.Owner(k); o != first[k] {
+			t.Fatalf("rebuilt ring owns %q differently: %q != %q", k, o, first[k])
+		}
+	}
+	// Every worker owns a nontrivial share (vnodes spread the ranges).
+	for _, w := range []string{"w1:1", "w2:2", "w3:3"} {
+		if counts[w] == 0 {
+			t.Errorf("worker %s owns no keys: %v", w, counts)
+		}
+	}
+}
+
+func TestRingRebalanceMovesOnlyDeadKeys(t *testing.T) {
+	r := NewRing(0)
+	workers := []string{"w1:1", "w2:2", "w3:3"}
+	for _, w := range workers {
+		r.Add(w)
+	}
+	keys := ringKeys(256)
+	before := make(map[string]string)
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	r.MarkDead("w2:2")
+	moved := 0
+	for _, k := range keys {
+		after, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q) lost all workers", k)
+		}
+		if after == "w2:2" {
+			t.Fatalf("key %q still routed to the dead worker", k)
+		}
+		if before[k] == "w2:2" {
+			moved++
+			continue
+		}
+		// Keys the dead worker never owned must not move: that is the
+		// whole point of consistent hashing.
+		if after != before[k] {
+			t.Errorf("key %q moved from live worker %q to %q", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead worker owned no keys; test is vacuous")
+	}
+
+	// Revival restores the original assignment exactly.
+	r.Revive("w2:2")
+	for _, k := range keys {
+		if o, _ := r.Owner(k); o != before[k] {
+			t.Errorf("after revive, key %q owned by %q, want %q", k, o, before[k])
+		}
+	}
+}
+
+func TestRingAllDead(t *testing.T) {
+	r := NewRing(4)
+	r.Add("w1:1")
+	r.MarkDead("w1:1")
+	if _, ok := r.Owner("k"); ok {
+		t.Error("Owner succeeded with every worker dead")
+	}
+	if _, ok := NewRing(4).Owner("k"); ok {
+		t.Error("Owner succeeded on an empty ring")
+	}
+}

@@ -58,6 +58,37 @@ func (c ErrCode) String() string {
 	return fmt.Sprintf("ErrCode(%d)", uint8(c))
 }
 
+// ErrCodes lists every simulation failure class (ErrNone excluded) —
+// the full vocabulary a serving or cluster layer must round-trip.
+func ErrCodes() []ErrCode {
+	return []ErrCode{
+		ErrCycleLimit, ErrCanceled, ErrBadOpcode, ErrUnalignedAccess,
+		ErrMemOutOfRange, ErrTextOverrun, ErrFetchFault, ErrDivideByZero,
+		ErrBadSyscall, ErrBreak, ErrBadConfig,
+	}
+}
+
+// ParseErrCode inverts ErrCode.String. The second result is false for
+// strings outside the simulation-error vocabulary (service-level codes
+// like "backpressure" are not simulation errors).
+func ParseErrCode(s string) (ErrCode, bool) {
+	for _, c := range ErrCodes() {
+		if s == c.String() {
+			return c, true
+		}
+	}
+	return ErrNone, false
+}
+
+// Deterministic reports whether a failure class is a pure function of
+// the request: re-running the identical simulation reproduces it, so a
+// distributed caller must never retry it (it would only repeat the
+// failure and burn budget). Only ErrCanceled — a wall-clock budget trip,
+// which depends on host load — is non-deterministic.
+func (c ErrCode) Deterministic() bool {
+	return c != ErrNone && c != ErrCanceled
+}
+
 // SimError is the structured simulation error: what went wrong (Code),
 // where (PC) and when (Cycle). It replaces the free-form errors and
 // panics the engine used to die with, so a hung or crashing guest

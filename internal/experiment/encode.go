@@ -347,6 +347,26 @@ func (t *TablesJSON) HasErrors() bool {
 	return false
 }
 
+// Snapshots yields the embedded obs.Snapshot of every healthy
+// per-benchmark cell (Figure 6 and Figure 11 rows) for callers that
+// fold sweep work into service-lifetime totals with
+// obs.Snapshot.Accumulate. Failed cells are skipped: their snapshots
+// are all-zero and carry no measured work.
+func (t *TablesJSON) Snapshots() []obs.Snapshot {
+	var out []obs.Snapshot
+	for _, r := range t.Fig6 {
+		if r.Error == nil {
+			out = append(out, r.Snapshot)
+		}
+	}
+	for _, r := range t.Fig11 {
+		if r.Error == nil {
+			out = append(out, r.Snapshot)
+		}
+	}
+	return out
+}
+
 // defaultBITSweepSizes is the capacity axis of the BIT-size ablation.
 var defaultBITSweepSizes = []int{1, 2, 4, 8, 16, 32}
 

@@ -18,6 +18,7 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"asbr/internal/core"
@@ -35,6 +36,14 @@ type Options struct {
 	Seed     int64     // synthetic-trace seed (default 1)
 	Update   cpu.Stage // BDT update point (default StageMEM = threshold 3)
 	Parallel int       // max concurrent simulation jobs (default GOMAXPROCS; 1 = serial)
+
+	// Benches restricts the per-benchmark tables (Fig6, Fig11, power,
+	// faults) to a subset of workload.Names(), in canonical order
+	// (nil/empty = all). Each benchmark's rows depend only on that
+	// benchmark's artifacts, so a filtered run produces exactly the rows
+	// the full run would — the property the cluster coordinator's
+	// per-cell fan-out and byte-identical merge rest on.
+	Benches []string
 
 	// MaxCycles is the per-simulation watchdog budget (0 = the CPU
 	// default). A job that exceeds it fails with ErrCycleLimit instead
@@ -55,6 +64,58 @@ func (o *Options) fill() {
 	if o.Update != cpu.StageEX && o.Update != cpu.StageWB {
 		o.Update = cpu.StageMEM
 	}
+}
+
+// benches returns the benchmarks the per-benchmark tables iterate:
+// the canonical workload order, restricted to the filter when one is
+// set. Unknown names are rejected by NormalizeBenchNames before a
+// sweep is built; here an unknown entry simply selects nothing.
+func (o Options) benches() []string {
+	if len(o.Benches) == 0 {
+		return workload.Names()
+	}
+	want := make(map[string]bool, len(o.Benches))
+	for _, b := range o.Benches {
+		want[b] = true
+	}
+	var out []string
+	for _, b := range workload.Names() {
+		if want[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// NormalizeBenchNames validates a benchmark filter: every name must be
+// one of workload.Names(). The result is de-duplicated in canonical
+// order; empty input means all benchmarks and returns nil.
+func NormalizeBenchNames(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		known := false
+		for _, k := range workload.Names() {
+			if n == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("experiment: unknown benchmark %q (want %s)",
+				n, strings.Join(workload.Names(), "|"))
+		}
+		want[n] = true
+	}
+	var out []string
+	for _, k := range workload.Names() {
+		if want[k] {
+			out = append(out, k)
+		}
+	}
+	return out, nil
 }
 
 // MinDistance returns the static-distance threshold implied by the
@@ -136,7 +197,7 @@ func (s *Sweep) Fig6() ([]Fig6Row, error) {
 		mk    func() *predict.Unit
 	}
 	var jobs []job
-	for _, bench := range workload.Names() {
+	for _, bench := range s.opt.benches() {
 		for _, mk := range baselineUnits() {
 			jobs = append(jobs, job{bench, mk})
 		}
@@ -287,7 +348,7 @@ func (s *Sweep) Fig11() ([]Fig11Row, error) {
 		}
 	}
 	var jobs []job
-	for _, bench := range workload.Names() {
+	for _, bench := range s.opt.benches() {
 		for _, aux := range auxUnits() {
 			jobs = append(jobs, job{bench, aux})
 		}

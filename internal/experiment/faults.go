@@ -76,7 +76,7 @@ func (s *Sweep) Faults() ([]FaultRow, error) {
 		plan  fault.Plan
 	}
 	var jobs []job
-	for _, bench := range workload.Names() {
+	for _, bench := range s.opt.benches() {
 		for _, plan := range faultPlans() {
 			jobs = append(jobs, job{bench, plan})
 		}

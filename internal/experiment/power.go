@@ -5,7 +5,6 @@ import (
 	"asbr/internal/power"
 	"asbr/internal/predict"
 	"asbr/internal/runner"
-	"asbr/internal/workload"
 )
 
 // PowerRow is one row of the power/area comparison: the paper's
@@ -34,7 +33,7 @@ func PowerArea(opt Options) ([]PowerRow, error) {
 // tables of the sweep.
 func (s *Sweep) PowerArea() ([]PowerRow, error) {
 	params := power.DefaultParams()
-	pairs, err := runner.Map(s.opt.Parallel, workload.Names(), func(_ int, bench string) ([2]PowerRow, error) {
+	pairs, err := runner.Map(s.opt.Parallel, s.opt.benches(), func(_ int, bench string) ([2]PowerRow, error) {
 		pa, err := s.profiledRun(bench)
 		if err != nil {
 			return [2]PowerRow{}, err

@@ -380,3 +380,78 @@ func readFile(t *testing.T, path string) []byte {
 	}
 	return b
 }
+
+func TestSnapshotAccumulateZeroCycleExact(t *testing.T) {
+	// Rates chosen to be inexact under a multiply/divide round-trip:
+	// (0.1*3)/3 != 0.1 in float64. The zero-cycle fast paths must keep
+	// them bit-identical anyway.
+	full := obs.Snapshot{
+		Cycles: 3, Instructions: 2, CondBranches: 1, DirMispredicts: 1,
+		Folded: 4, FoldFallbacks: 1, LoadUseStalls: 5,
+		ICacheMissRate: 0.1, DCacheMissRate: 0.7,
+	}
+
+	// Zero-cycle accumulator adopting one snapshot: the degenerate
+	// single-worker fleet. Everything must round-trip exactly,
+	// including the recomputed ratios.
+	var s obs.Snapshot
+	s.Accumulate(full)
+	want := full
+	want.CPI = float64(full.Cycles) / float64(full.Instructions)
+	want.Accuracy = 1 - float64(full.DirMispredicts)/float64(full.CondBranches)
+	want.FoldCoverage = float64(full.Folded) / float64(full.CondBranches+full.Folded)
+	if diff := s.Diff(want); diff != nil {
+		t.Errorf("zero accumulator + snapshot: %v", diff)
+	}
+
+	// Folding a zero-cycle snapshot (an error cell, a skipped bench)
+	// into a live accumulator must not move the float state at all.
+	before := s
+	s.Accumulate(obs.Snapshot{})
+	if diff := s.Diff(before); diff != nil {
+		t.Errorf("accumulating zero snapshot perturbed state: %v", diff)
+	}
+	// Even a zero-cycle snapshot carrying junk rates is weightless.
+	s.Accumulate(obs.Snapshot{ICacheMissRate: 0.999, DCacheMissRate: 0.999})
+	if s.ICacheMissRate != before.ICacheMissRate || s.DCacheMissRate != before.DCacheMissRate {
+		t.Errorf("zero-cycle rates leaked in: icache %g dcache %g", s.ICacheMissRate, s.DCacheMissRate)
+	}
+
+	// Both sides zero: rates stay zero, no NaN from 0/0.
+	var z obs.Snapshot
+	z.Accumulate(obs.Snapshot{})
+	if z != (obs.Snapshot{}) {
+		t.Errorf("zero+zero = %+v, want zero value", z)
+	}
+}
+
+func TestSnapshotAccumulateOrderIndependent(t *testing.T) {
+	// Counters and the ratios derived from them are order-independent
+	// by construction. Float rate averaging is only guaranteed exact
+	// under reordering for exactly-representable rates with
+	// power-of-two cycle weights, which is what a coordinator's
+	// canonical accumulation order relies on — pin that contract.
+	parts := []obs.Snapshot{
+		{Cycles: 64, Instructions: 32, CondBranches: 8, DirMispredicts: 2, ICacheMissRate: 0.25, DCacheMissRate: 0.5},
+		{Cycles: 128, Instructions: 100, CondBranches: 16, DirMispredicts: 1, ICacheMissRate: 0.5, DCacheMissRate: 0.125},
+		{}, // an ERR cell contributes nothing
+		{Cycles: 64, Instructions: 40, Folded: 8, ICacheMissRate: 0.75, DCacheMissRate: 0.25},
+	}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	var ref obs.Snapshot
+	for _, i := range perms[0] {
+		ref.Accumulate(parts[i])
+	}
+	for _, p := range perms[1:] {
+		var s obs.Snapshot
+		for _, i := range p {
+			s.Accumulate(parts[i])
+		}
+		if diff := s.Diff(ref); diff != nil {
+			t.Errorf("order %v diverged from canonical: %v", p, diff)
+		}
+	}
+	if got, want := ref.ICacheMissRate, 0.5; got != want {
+		t.Errorf("ICacheMissRate = %g, want %g", got, want)
+	}
+}

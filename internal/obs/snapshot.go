@@ -72,9 +72,26 @@ func (s Snapshot) Diff(o Snapshot) []FieldDiff {
 // Accumulate folds another run's snapshot into s: counters add, cache
 // miss rates combine cycle-weighted, and the derived ratios (CPI,
 // Accuracy, FoldCoverage) are recomputed from the accumulated counters.
-// The serve daemon uses this to maintain its service-lifetime totals.
+// The serve daemon uses this for its service-lifetime totals and the
+// cluster coordinator folds per-worker fleet snapshots with it.
+//
+// Zero-cycle sides are exact, not merely approximate: folding in a
+// zero-cycle snapshot leaves the miss rates bit-identical (no
+// multiply/divide round-trip), and folding anything into a zero-cycle
+// accumulator adopts the other side's rates verbatim. That makes a
+// fresh accumulator plus one worker's snapshot reproduce that snapshot
+// byte-for-byte — the degenerate single-worker fleet — and lets
+// coordinators fold error/skipped cells (all-zero snapshots) without
+// perturbing float state.
 func (s *Snapshot) Accumulate(o Snapshot) {
-	if tc := s.Cycles + o.Cycles; tc > 0 {
+	switch {
+	case o.Cycles == 0:
+		// Weightless contribution: rates stay exactly as they were.
+	case s.Cycles == 0:
+		s.ICacheMissRate = o.ICacheMissRate
+		s.DCacheMissRate = o.DCacheMissRate
+	default:
+		tc := s.Cycles + o.Cycles
 		s.ICacheMissRate = (s.ICacheMissRate*float64(s.Cycles) + o.ICacheMissRate*float64(o.Cycles)) / float64(tc)
 		s.DCacheMissRate = (s.DCacheMissRate*float64(s.Cycles) + o.DCacheMissRate*float64(o.Cycles)) / float64(tc)
 	}

@@ -49,6 +49,7 @@ type (
 	JobRequest   = apitypes.JobRequestV1
 	JobStatus    = apitypes.JobStatusV1
 	Healthz      = apitypes.HealthzV1
+	Readyz       = apitypes.ReadyzV1
 	ErrorBody    = apitypes.ErrorBodyV1
 	Trace        = apitypes.TraceV1
 	ServiceStats = apitypes.StatsV1
@@ -128,6 +129,11 @@ func normalizeSweep(r *SweepRequest, cfg Config) error {
 		return badRequest("%v", err)
 	}
 	r.Tables = sel
+	benches, err := experiment.NormalizeBenchNames(r.Benches)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	r.Benches = benches
 	if r.Samples < 0 || r.Samples > cfg.MaxSamples {
 		return badRequest("samples %d out of range [0, %d]", r.Samples, cfg.MaxSamples)
 	}

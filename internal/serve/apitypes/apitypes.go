@@ -116,8 +116,15 @@ type SimResponseV1 struct {
 }
 
 // SweepRequestV1 asks for experiment tables (the asbr-tables workload).
+// Benches restricts the per-benchmark tables (fig6, fig11, power,
+// faults) to a subset of workload.Names() — the cluster coordinator
+// uses it to fan one (table, benchmark) cell out per worker; rows for a
+// benchmark are identical whether it runs filtered or inside the full
+// sweep, which is what makes the distributed merge byte-identical.
+// Empty means all benchmarks (the historical wire shape is unchanged).
 type SweepRequestV1 struct {
 	Tables    []string `json:"tables,omitempty"`     // table names, or empty/"all" for every table
+	Benches   []string `json:"benches,omitempty"`    // benchmark filter for per-bench tables (empty = all)
 	Samples   int      `json:"samples,omitempty"`    // audio samples per benchmark
 	Seed      int64    `json:"seed,omitempty"`       // synthetic-trace seed
 	Update    string   `json:"update,omitempty"`     // BDT update point: ex|mem|wb
@@ -129,10 +136,18 @@ type SweepRequestV1 struct {
 // Key returns the canonical coalescing key. Parallel is deliberately
 // excluded: the experiment engine's determinism contract makes sweep
 // output invariant under the worker count, so requests that differ
-// only in parallelism coalesce onto one run.
+// only in parallelism coalesce onto one run. The bench filter rides
+// through the canonical runner program keys, the same constructors the
+// artifact cache uses.
 func (r *SweepRequestV1) Key() string {
-	return fmt.Sprintf("sweep|tables=%s|n=%d|seed=%d|update=%s|maxcycles=%d|timeout=%d",
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep|tables=%s|n=%d|seed=%d|update=%s|maxcycles=%d|timeout=%d",
 		strings.Join(r.Tables, ","), r.Samples, r.Seed, r.Update, r.MaxCycles, r.TimeoutMS)
+	for _, bench := range r.Benches {
+		b.WriteString("|")
+		b.WriteString(runner.NewProgramKey(bench, workload.BuildOptionsFor(bench, true)).Canonical())
+	}
+	return b.String()
 }
 
 // Options converts a normalized request into experiment options.
@@ -140,6 +155,7 @@ func (r *SweepRequestV1) Options() experiment.Options {
 	opt := experiment.Options{
 		Samples:   r.Samples,
 		Seed:      r.Seed,
+		Benches:   r.Benches,
 		Parallel:  r.Parallel,
 		MaxCycles: r.MaxCycles,
 		Timeout:   time.Duration(r.TimeoutMS) * time.Millisecond,
@@ -196,6 +212,18 @@ type HealthzV1 struct {
 	Workers       int    `json:"workers"`
 }
 
+// ReadyzV1 is the readiness response (GET /v1/readyz) — distinct from
+// liveness: a daemon that is alive but draining, or whose bounded queue
+// is saturated, answers not-ready (503) so cluster coordinators and
+// load balancers stop routing new work to it while it recovers.
+type ReadyzV1 struct {
+	Ready         bool   `json:"ready"`
+	Status        string `json:"status"`              // ok | draining | saturated
+	WorkerID      string `json:"worker_id,omitempty"` // -worker-id label, for fleet provenance
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
 // TraceEventV1 is one pipeline event on the wire — an alias of
 // obs.Event, whose JSON shape (string kind names, omitempty operands)
 // is the same asbr-trace/v1 schema the CLI's JSONL files use.
@@ -240,4 +268,30 @@ type ErrorBodyV1 struct {
 	Message string `json:"message"`
 	PC      uint32 `json:"pc,omitempty"`    // faulting address (simulation errors)
 	Cycle   uint64 `json:"cycle,omitempty"` // cycle at the failure (simulation errors)
+}
+
+// EncodeSimError projects a structured simulation error onto the wire
+// body. The {code, pc, cycle} triple survives losslessly; Message
+// carries the full rendered error (including Detail) for humans.
+func EncodeSimError(se *cpu.SimError) ErrorBodyV1 {
+	return ErrorBodyV1{
+		Code:    se.Code.String(),
+		Message: se.Error(),
+		PC:      se.PC,
+		Cycle:   se.Cycle,
+	}
+}
+
+// SimError re-materializes the typed *cpu.SimError a coordinator needs
+// for retry classification. The second result is false when the body
+// carries a service-level code (backpressure, draining, ...) rather
+// than a simulation failure. EncodeSimError followed by SimError
+// round-trips the {code, pc, cycle} structure exactly; Detail collapses
+// into the rendered message, which is all the wire ever carried.
+func (b ErrorBodyV1) SimError() (*cpu.SimError, bool) {
+	code, ok := cpu.ParseErrCode(b.Code)
+	if !ok {
+		return nil, false
+	}
+	return &cpu.SimError{Code: code, PC: b.PC, Cycle: b.Cycle, Detail: b.Message}, true
 }

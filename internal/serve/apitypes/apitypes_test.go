@@ -100,6 +100,101 @@ func TestRoundTripTraceAndStats(t *testing.T) {
 	})
 }
 
+// TestSimErrorRoundTrip drives every simulation failure class through
+// the wire: encode to ErrorBodyV1, marshal, strict-unmarshal, and
+// re-materialize the typed *cpu.SimError. The {code, pc, cycle} triple
+// a cluster coordinator classifies on must survive without loss — a
+// coordinator that cannot tell cycle-limit from a connection error
+// would retry deterministic failures forever.
+func TestSimErrorRoundTrip(t *testing.T) {
+	// One entry per code, with details shaped like the real producers'
+	// (the watchdog, guest faults, and the fault-injection harness —
+	// whose injected corruptions surface as guest faults with lockstep
+	// divergence reports in the detail).
+	details := map[cpu.ErrCode]string{
+		cpu.ErrCycleLimit:   "exceeded MaxCycles budget 1024",
+		cpu.ErrCanceled:     "context deadline exceeded",
+		cpu.ErrBadOpcode:    "opcode 0x3f",
+		cpu.ErrFetchFault:   "DIVERGED at pc=0x00400040 cycle=512 after 100 matched commits: bdt-flip drove fetch off the text segment",
+		cpu.ErrTextOverrun:  "DIVERGED at pc=0x00400ffc cycle=900 after 33 matched commits: stale-bti folded past the last instruction",
+		cpu.ErrDivideByZero: "div $t0, $t1 with $t1 = 0",
+	}
+	for i, code := range cpu.ErrCodes() {
+		detail := details[code]
+		if detail == "" {
+			detail = "synthetic " + code.String()
+		}
+		se := &cpu.SimError{
+			Code:   code,
+			PC:     0x0040_0000 + uint32(i*4),
+			Cycle:  1000 + uint64(i),
+			Detail: detail,
+		}
+		body := EncodeSimError(se)
+		if body.Code != code.String() || body.PC != se.PC || body.Cycle != se.Cycle {
+			t.Fatalf("%s: encoded body %+v does not carry {code,pc,cycle}", code, body)
+		}
+		// The wire trip must not perturb the structure.
+		roundTrip(t, &body)
+		back, ok := body.SimError()
+		if !ok {
+			t.Fatalf("%s: decoded body not recognized as a simulation error", code)
+		}
+		if back.Code != se.Code || back.PC != se.PC || back.Cycle != se.Cycle {
+			t.Fatalf("%s: round trip lost structure: sent %+v got %+v", code, se, back)
+		}
+		if back.Code.Deterministic() != (code != cpu.ErrCanceled) {
+			t.Fatalf("%s: Deterministic() = %v, want %v", code, back.Code.Deterministic(), code != cpu.ErrCanceled)
+		}
+	}
+}
+
+// TestSimErrorRoundTripRejectsServiceCodes pins the negative side:
+// service-level and free-form codes are not simulation errors, so the
+// coordinator's classifier must not manufacture a *cpu.SimError out of
+// them.
+func TestSimErrorRoundTripRejectsServiceCodes(t *testing.T) {
+	for _, code := range []string{"backpressure", "draining", "bad-request", "not-found", "internal", "error", "none", "", "http-error"} {
+		body := ErrorBodyV1{Code: code, Message: "x"}
+		if _, ok := body.SimError(); ok {
+			t.Errorf("code %q must not decode as a simulation error", code)
+		}
+	}
+}
+
+// TestParseErrCodeTotal requires ParseErrCode to invert String for the
+// whole vocabulary.
+func TestParseErrCodeTotal(t *testing.T) {
+	for _, code := range cpu.ErrCodes() {
+		got, ok := cpu.ParseErrCode(code.String())
+		if !ok || got != code {
+			t.Errorf("ParseErrCode(%q) = %v, %v", code.String(), got, ok)
+		}
+	}
+	if _, ok := cpu.ParseErrCode("none"); ok {
+		t.Error(`ParseErrCode("none") must report false: ErrNone is not a failure`)
+	}
+}
+
+func TestRoundTripReadyz(t *testing.T) {
+	roundTrip(t, &ReadyzV1{Ready: true, Status: "ok", WorkerID: "w1", QueueDepth: 2, QueueCapacity: 64})
+	roundTrip(t, &ReadyzV1{Ready: false, Status: "draining", QueueDepth: 64, QueueCapacity: 64})
+}
+
+func TestRoundTripSweepBenches(t *testing.T) {
+	roundTrip(t, &SweepRequestV1{
+		Tables: []string{"fig6"}, Benches: []string{"adpcm-enc"},
+		Samples: 256, Seed: 1, Update: "mem",
+	})
+	// The bench filter must be part of the coalescing key: a filtered
+	// sweep and the full sweep are different computations.
+	full := &SweepRequestV1{Tables: []string{"fig6"}, Samples: 256, Seed: 1, Update: "mem"}
+	part := &SweepRequestV1{Tables: []string{"fig6"}, Benches: []string{"adpcm-enc"}, Samples: 256, Seed: 1, Update: "mem"}
+	if full.Key() == part.Key() {
+		t.Fatalf("bench filter not in sweep key: %s", full.Key())
+	}
+}
+
 // TestEncodeStats pins the projection from the simulator's counters to
 // the wire statistics.
 func TestEncodeStats(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,28 +21,43 @@ import (
 
 // Client talks to one asbr-serve daemon.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
+
+	// rnd and sleep are swapped by tests for deterministic backoff.
+	rnd   func() float64
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // New builds a client for addr, which may be "host:port" or a full
 // "http://..." base URL. The underlying http.Client has no global
 // timeout: per-call deadlines come from the caller's context (long
-// sweeps are legitimate).
-func New(addr string) *Client {
+// sweeps are legitimate). By default transient failures are not
+// retried; pass WithRetry to enable the backoff loop.
+func New(addr string, opts ...Option) *Client {
 	base := strings.TrimSuffix(addr, "/")
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{base: base, http: &http.Client{}}
+	c := &Client{base: base, http: &http.Client{}, rnd: defaultRnd, sleep: sleepCtx}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // APIError is a structured error response from the daemon: the HTTP
 // status plus the decoded error body. For simulation failures Code is
-// the *cpu.SimError code string (e.g. "cycle-limit").
+// the *cpu.SimError code string (e.g. "cycle-limit"). RetryAfter is
+// the daemon's Retry-After hint when it sent one (429/503), zero
+// otherwise.
 type APIError struct {
-	Status int
+	Status     int
+	RetryAfter time.Duration
 	serve.ErrorBody
+
+	raw []byte // undecoded response body, for non-envelope 503 payloads
 }
 
 // Error implements the error interface.
@@ -144,6 +160,28 @@ func (c *Client) Healthz(ctx context.Context) (*serve.Healthz, error) {
 	return &resp, nil
 }
 
+// Readyz probes readiness without retrying: a 503 means the daemon is
+// draining or saturated, and the decoded payload says which. Both the
+// ready and not-ready payloads decode; only transport failures and
+// non-readyz errors return err != nil.
+func (c *Client) Readyz(ctx context.Context) (*serve.Readyz, error) {
+	var resp serve.Readyz
+	err := c.once(ctx, http.MethodGet, "/v1/readyz", nil, &resp)
+	if err == nil {
+		return &resp, nil
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable {
+		// Not-ready is an answer, not a failure — but the body is the
+		// Readyz payload, not the error envelope, so re-fetch it from
+		// the raw bytes the error path preserved.
+		if json.Unmarshal(ae.raw, &resp) == nil && resp.Status != "" {
+			return &resp, nil
+		}
+	}
+	return nil, err
+}
+
 // Metrics scrapes the Prometheus text exposition.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
@@ -170,25 +208,53 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.do(ctx, http.MethodPost, path, body, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	return c.do(ctx, http.MethodGet, path, nil, out)
+}
+
+// do executes the request under the client's retry budget: transient
+// failures (see Transient) back off exponentially with jitter —
+// flooring each wait at the daemon's Retry-After hint — until the
+// budget runs out; every other error returns immediately. Retrying
+// POST is safe because the daemon coalesces by canonical request key.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if attempt+1 >= c.attempts() || !Transient(err) {
+			return err
+		}
+		delay := c.backoff(attempt)
+		if ra := retryAfterOf(err); ra > delay {
+			delay = ra
+		}
+		if serr := c.sleep(ctx, delay); serr != nil {
+			// The caller canceled mid-backoff; the last real failure is
+			// the useful diagnosis, the cancellation just ends retrying.
+			return fmt.Errorf("%w (retry %d/%d aborted: %v)", err, attempt+1, c.attempts(), serr)
+		}
+	}
+}
+
+// once executes one request attempt and decodes either the result or
+// the structured error envelope.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	return c.do(req, out)
-}
-
-// do executes the request and decodes either the result or the
-// structured error envelope.
-func (c *Client) do(req *http.Request, out any) error {
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	res, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -199,15 +265,22 @@ func (c *Client) do(req *http.Request, out any) error {
 		return err
 	}
 	if res.StatusCode >= 400 {
+		ae := &APIError{
+			Status:     res.StatusCode,
+			RetryAfter: parseRetryAfter(res.Header.Get("Retry-After")),
+			raw:        b,
+		}
 		var env struct {
 			Error serve.ErrorBody `json:"error"`
 		}
 		if json.Unmarshal(b, &env) == nil && env.Error.Code != "" {
-			return &APIError{Status: res.StatusCode, ErrorBody: env.Error}
+			ae.ErrorBody = env.Error
+		} else {
+			ae.ErrorBody = serve.ErrorBody{
+				Code: "http-error", Message: strings.TrimSpace(string(b)),
+			}
 		}
-		return &APIError{Status: res.StatusCode, ErrorBody: serve.ErrorBody{
-			Code: "http-error", Message: strings.TrimSpace(string(b)),
-		}}
+		return ae
 	}
 	if out == nil {
 		return nil

@@ -13,6 +13,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/sim", s.handleSim)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -85,10 +86,21 @@ type errorEnvelope struct {
 	Error ErrorBody `json:"error"`
 }
 
+// retryAfterSeconds is the Retry-After hint sent with transient
+// rejections (429 backpressure, 503 draining/not-ready). One second is
+// the queue-drain horizon for typical simulations; clients treat it as
+// a floor for their jittered backoff, not a promise.
+const retryAfterSeconds = "1"
+
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, body := toHTTP(err)
 	if status >= http.StatusInternalServerError {
 		s.logf("internal error: %v", err)
+	}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// Transient rejection: tell well-behaved clients when to come
+		// back instead of letting them hammer the full queue.
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
 	s.met.observeError(body.Code)
 	s.writeJSON(w, status, errorEnvelope{Error: body})
@@ -106,6 +118,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:    s.QueueLen(),
 		QueueCapacity: cap(s.tasks),
 		Workers:       s.cfg.Workers,
+	})
+}
+
+// handleReadyz is the readiness probe, distinct from liveness: a
+// daemon that is draining or whose bounded queue is saturated answers
+// 503 so cluster coordinators stop routing new work to it, while
+// /v1/healthz keeps answering 200 for as long as the process lives.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := s.Ready()
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
+	s.writeJSON(w, code, Readyz{
+		Ready:         ready,
+		Status:        s.readyStatus(),
+		WorkerID:      s.cfg.WorkerID,
+		QueueDepth:    s.QueueLen(),
+		QueueCapacity: cap(s.tasks),
 	})
 }
 

@@ -65,6 +65,14 @@ func newMetrics(s *Server) *metrics {
 	r.GaugeFunc("asbr_serve_workers",
 		"worker goroutines executing queued tasks.",
 		func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("asbr_serve_ready",
+		"readiness: 1 when accepting new work, 0 while draining or queue-saturated (the /v1/readyz signal).",
+		func() float64 {
+			if s.Ready() {
+				return 1
+			}
+			return 0
+		})
 
 	r.CounterFunc("asbr_serve_sim_cache_gets_total",
 		"sim requests keyed into the coalescing cache.", s.sims.Gets)

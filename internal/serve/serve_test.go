@@ -570,3 +570,185 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestReadyz pins the readiness contract /v1/readyz adds on top of
+// liveness: ready while idle, not-ready (503 + Retry-After) while the
+// bounded queue is saturated, not-ready while draining, and the
+// asbr_serve_ready gauge mirrors the same signal. A saturated daemon is
+// still *live* — healthz keeps answering ok — which is exactly the
+// distinction a cluster coordinator routes on.
+func TestReadyz(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	srv, ts := testServer(t, Config{Workers: 1, QueueDepth: 1, WorkerID: "w-test"})
+	srv.testHook = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	defer unblock()
+
+	status, b := get(t, ts.URL+"/v1/readyz")
+	if status != http.StatusOK {
+		t.Fatalf("readyz idle: %d %s", status, b)
+	}
+	var rz Readyz
+	if err := json.Unmarshal(b, &rz); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !rz.Ready || rz.Status != "ok" || rz.WorkerID != "w-test" {
+		t.Errorf("readyz idle = %+v", rz)
+	}
+
+	// Park the single worker, fill the single queue slot: saturated.
+	src := func(i int) string { return fmt.Sprintf("# v%d\n%s", i, exitSource) }
+	done := make(chan int, 2)
+	go func() {
+		st, _ := post(t, ts.URL+"/v1/sim", SimRequest{Source: src(0)})
+		done <- st
+	}()
+	<-entered
+	go func() {
+		st, _ := post(t, ts.URL+"/v1/sim", SimRequest{Source: src(1)})
+		done <- st
+	}()
+	waitFor(t, func() bool { return srv.QueueLen() == 1 })
+
+	res, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatalf("GET /v1/readyz: %v", err)
+	}
+	b, _ = io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz saturated: %d %s", res.StatusCode, b)
+	}
+	if ra := res.Header.Get("Retry-After"); ra == "" {
+		t.Error("saturated readyz missing Retry-After header")
+	}
+	if err := json.Unmarshal(b, &rz); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rz.Ready || rz.Status != "saturated" {
+		t.Errorf("readyz saturated = %+v", rz)
+	}
+	// Liveness is unaffected, and the gauge tracks readiness.
+	if status, _ := get(t, ts.URL+"/v1/healthz"); status != http.StatusOK {
+		t.Errorf("healthz while saturated = %d, want 200", status)
+	}
+	if _, b := get(t, ts.URL+"/metrics"); !strings.Contains(string(b), "asbr_serve_ready 0") {
+		t.Error("metrics missing asbr_serve_ready 0 while saturated")
+	}
+
+	// A 429 rejection must carry the same Retry-After hint.
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(SimRequest{Source: src(2)}) //nolint:errcheck
+	res, err = http.Post(ts.URL+"/v1/sim", "application/json", &buf)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	io.Copy(io.Discard, res.Body) //nolint:errcheck
+	res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow sim = %d, want 429", res.StatusCode)
+	}
+	if ra := res.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 missing Retry-After header")
+	}
+
+	unblock()
+	for i := 0; i < 2; i++ {
+		if st := <-done; st != http.StatusOK {
+			t.Errorf("held request %d finished with %d", i, st)
+		}
+	}
+	waitFor(t, func() bool { return srv.Ready() })
+	if _, b := get(t, ts.URL+"/metrics"); !strings.Contains(string(b), "asbr_serve_ready 1") {
+		t.Error("metrics missing asbr_serve_ready 1 after recovery")
+	}
+
+	srv.Drain()
+	status, b = get(t, ts.URL+"/v1/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz draining: %d %s", status, b)
+	}
+	if err := json.Unmarshal(b, &rz); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if rz.Ready || rz.Status != "draining" {
+		t.Errorf("readyz draining = %+v", rz)
+	}
+}
+
+// TestSweepBenchFilter proves a bench-filtered sweep returns exactly
+// the filtered benchmark's rows — the per-cell unit the cluster
+// coordinator fans out — and that an unknown bench is a 400.
+func TestSweepBenchFilter(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	status, b := post(t, ts.URL+"/v1/sweep", SweepRequest{
+		Tables: []string{"fig6"}, Benches: []string{workload.ADPCMEncode}, Samples: 64,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, b)
+	}
+	var tabs struct {
+		Fig6 []struct {
+			Benchmark string `json:"benchmark"`
+		} `json:"fig6"`
+	}
+	if err := json.Unmarshal(b, &tabs); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(tabs.Fig6) != 3 {
+		t.Fatalf("filtered fig6 rows = %d, want 3 (one per baseline predictor)", len(tabs.Fig6))
+	}
+	for _, r := range tabs.Fig6 {
+		if r.Benchmark != workload.ADPCMEncode {
+			t.Errorf("row benchmark = %q, want %q", r.Benchmark, workload.ADPCMEncode)
+		}
+	}
+
+	status, b = post(t, ts.URL+"/v1/sweep", SweepRequest{Tables: []string{"fig6"}, Benches: []string{"nope"}})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown bench: status = %d, body %s", status, b)
+	}
+	if eb := decodeErr(t, b); eb.Code != CodeBadRequest {
+		t.Errorf("code = %q, want %q", eb.Code, CodeBadRequest)
+	}
+}
+
+// TestSweepFeedsServiceTotals proves executed sweep cells accumulate
+// into the service-lifetime totals /v1/stats reports — the signal a
+// cluster coordinator folds into its fleet aggregate — and that a
+// coalesced repeat of the same sweep accumulates nothing extra.
+func TestSweepFeedsServiceTotals(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	req := SweepRequest{Tables: []string{"fig6"}, Benches: []string{workload.ADPCMEncode}, Samples: 64}
+	if status, b := post(t, ts.URL+"/v1/sweep", req); status != http.StatusOK {
+		t.Fatalf("sweep: %d %s", status, b)
+	}
+	_, b := get(t, ts.URL+"/v1/stats")
+	var st ServiceStats
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.Totals.Cycles == 0 || st.Totals.Instructions == 0 {
+		t.Fatalf("sweep left service totals empty: %+v", st.Totals)
+	}
+
+	if status, b := post(t, ts.URL+"/v1/sweep", req); status != http.StatusOK {
+		t.Fatalf("repeat sweep: %d %s", status, b)
+	}
+	_, b = get(t, ts.URL+"/v1/stats")
+	var again ServiceStats
+	if err := json.Unmarshal(b, &again); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if again.Totals.Cycles != st.Totals.Cycles {
+		t.Errorf("coalesced sweep re-accumulated: cycles %d -> %d", st.Totals.Cycles, again.Totals.Cycles)
+	}
+}

@@ -49,6 +49,12 @@ type Config struct {
 	// suite for `asbr-corpus replay`.
 	Record func(corpus.Record)
 
+	// WorkerID labels this daemon in a cluster fleet: it rides in the
+	// /v1/readyz payload so a coordinator's provenance reports can name
+	// workers stably across restarts and ephemeral ports. Empty is fine
+	// for a standalone daemon.
+	WorkerID string
+
 	Logf func(format string, args ...any) // optional logger (nil = silent)
 }
 
@@ -150,6 +156,27 @@ func (s *Server) QueueLen() int { return len(s.tasks) }
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Ready reports whether the daemon should receive new work: alive,
+// not draining, and with at least one free slot in the bounded queue.
+// This is the readiness signal (distinct from liveness): a saturated
+// queue answers every submission with 429 anyway, so a coordinator or
+// load balancer probing /v1/readyz routes around the daemon until the
+// backlog drains instead of burning its retry budget against it.
+func (s *Server) Ready() bool {
+	return !s.draining.Load() && len(s.tasks) < cap(s.tasks)
+}
+
+// readyStatus names the not-ready cause for the /v1/readyz payload.
+func (s *Server) readyStatus() string {
+	switch {
+	case s.draining.Load():
+		return "draining"
+	case len(s.tasks) >= cap(s.tasks):
+		return "saturated"
+	}
+	return "ok"
+}
+
 // Drain stops admission, lets the workers finish every queued task —
 // in-flight and queued async jobs run to completion — and returns once
 // the pool is idle. The HTTP layer must be shut down first (no handler
@@ -232,6 +259,16 @@ func (s *Server) runSweep(req *SweepRequest) (*experiment.TablesJSON, error) {
 	s.met.sweepRuns.Add(1)
 	tabs, err := experiment.NewSweep(req.Options()).Tables(req.Tables)
 	if tabs != nil {
+		// Executed sweep cells are simulations too: fold their
+		// snapshots into the service-lifetime totals so /v1/stats (and
+		// a cluster coordinator's fleet aggregate) reflects sweep
+		// workloads, not just /v1/sim traffic. Coalesced repeats hit
+		// the cache and never reach here, matching sim semantics.
+		s.statMu.Lock()
+		for _, snap := range tabs.Snapshots() {
+			s.totals.Accumulate(snap)
+		}
+		s.statMu.Unlock()
 		// Cell- and table-level failures are part of the payload;
 		// clients inspect tabs.Errors / per-cell error fields.
 		return tabs, nil
