@@ -11,7 +11,7 @@ FAULT_FUZZTIME ?= 2m
 CORPUS_FUZZTIME ?= 2m
 CORPUS_ENTRIES ?= 30
 
-.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke cluster-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus tables ci clean
+.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke cluster-smoke dse-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus tables ci clean
 
 all: build
 
@@ -63,6 +63,14 @@ serve-smoke:
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count=1 -v ./cmd/asbr-cluster
 
+# Design-space-exploration smoke: build asbr-dse, require the
+# asbr-dse/v1 front to be byte-identical at -parallel 1 vs 8 and when
+# evaluated on a two-worker asbr-serve fleet via -remote, require a
+# front point that strictly dominates the paper-default configuration,
+# and pin the documented exit codes (0 front / 1 partial / 2 usage).
+dse-smoke:
+	$(GO) test -run TestDSESmoke -count=1 -v ./cmd/asbr-dse
+
 # Observability smoke: run asbr-sim with -trace (plain and -asbr),
 # validate the JSONL against the asbr-trace/v1 schema and the
 # chrome://tracing twin against the trace_event shape. The disabled-
@@ -105,7 +113,7 @@ fuzz-corpus:
 tables:
 	$(GO) run ./cmd/asbr-tables
 
-ci: vet build race bench-smoke fault-smoke serve-smoke cluster-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus
+ci: vet build race bench-smoke fault-smoke serve-smoke cluster-smoke dse-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,111 @@
+// Command asbr-dse explores the ASBR design space: a seeded, budgeted
+// search over the configuration vector — BIT capacity and banks, BDT
+// update point, auxiliary predictor choice/size, cache geometry,
+// scheduling level — reduced to a Pareto front over {cycles, energy,
+// area}:
+//
+//	asbr-dse -bench adpcm-enc                 # hill-climb, 32-candidate budget
+//	asbr-dse -bench g721-dec -budget 64       # deeper search
+//	asbr-dse -search gen -seed 9              # generational mode, another seed
+//	asbr-dse -objective cycles,area           # drop the energy axis
+//	asbr-dse -parallel 8                      # evaluation batch width
+//	asbr-dse -remote :8344,:8345              # evaluate on a daemon fleet
+//	asbr-dse -json                            # the asbr-dse/v1 encoding
+//
+// Determinism: the same -seed and -budget produce a byte-identical
+// front (text and JSON) at any -parallel and whether candidates run
+// locally or on -remote workers — candidates are routed by canonical
+// key, evaluated through the same corpus execution path the daemon
+// uses, and scored from the wire snapshot alone.
+//
+// Exit status: 0 when every candidate evaluated (front produced), 1 on
+// a partial search (some evaluations failed; the front over the
+// candidates that did evaluate still prints), 2 on usage errors. See
+// DESIGN.md §13.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"asbr/internal/cliflags"
+	"asbr/internal/dse"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	df := cliflags.NewDSE()
+	df.Register(flag.CommandLine)
+	sf := cliflags.NewSim()
+	sf.RegisterBudget(flag.CommandLine)
+	sf.RegisterRemote(flag.CommandLine)
+	sf.RegisterParallel(flag.CommandLine)
+	sf.RegisterJSON(flag.CommandLine)
+	flag.Parse()
+
+	log.SetPrefix("asbr-dse: ")
+	log.SetFlags(0)
+
+	opts, err := df.Options(sf.Parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asbr-dse: %v\n", err)
+		flag.Usage()
+		return 2
+	}
+	if !sf.JSON {
+		opts.Logf = log.Printf
+	}
+	budgets := df.Budgets(sf.MaxCycles, sf.Timeout)
+
+	var ev dse.Evaluator
+	if sf.Remote != "" {
+		addrs := splitList(sf.Remote)
+		ev, err = dse.NewRemote(addrs, budgets, opts.Logf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asbr-dse: %v\n", err)
+			flag.Usage()
+			return 2
+		}
+	} else {
+		ev = dse.NewLocal(budgets)
+	}
+
+	ctx, cancel := sf.Context()
+	defer cancel()
+	res, err := dse.Run(ctx, ev, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asbr-dse: %v\n", err)
+		return 1
+	}
+
+	if sf.JSON {
+		data, err := res.EncodeJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asbr-dse: %v\n", err)
+			return 1
+		}
+		os.Stdout.Write(data)
+	} else {
+		res.WriteTable(os.Stdout)
+	}
+	if res.Partial {
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

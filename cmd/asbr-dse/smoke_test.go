@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"asbr/internal/dse"
+)
+
+// buildBin compiles one of the repo's binaries into dir.
+func buildBin(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// runDSE executes the binary and returns stdout and the exit code.
+func runDSE(t *testing.T, bin string, args ...string) ([]byte, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	t.Logf("%s %v -> exit %d\nstderr:\n%s", filepath.Base(bin), args, code, stderr.String())
+	return stdout.Bytes(), code
+}
+
+// TestDSESmoke is the end-to-end determinism gate behind `make
+// dse-smoke`: build the real asbr-dse binary and require (a) the
+// asbr-dse/v1 JSON and the text table are byte-identical at
+// -parallel 1 and -parallel 8, (b) the front contains a configuration
+// strictly dominating the paper default, (c) a daemon-fleet run via
+// -remote reproduces the local bytes exactly, and (d) the documented
+// exit codes: 0 front produced, 1 partial evaluations, 2 usage.
+func TestDSESmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs real searches")
+	}
+	dir := t.TempDir()
+	dseBin := buildBin(t, dir, "asbr/cmd/asbr-dse")
+	base := []string{"-bench", "adpcm-enc", "-budget", "8", "-seed", "1", "-n", "256"}
+
+	// (a) Byte-identical JSON and table at any worker count, exit 0.
+	serialJSON, code := runDSE(t, dseBin, append([]string{"-json", "-parallel", "1"}, base...)...)
+	if code != 0 {
+		t.Fatalf("serial run exit %d, want 0", code)
+	}
+	wideJSON, code := runDSE(t, dseBin, append([]string{"-json", "-parallel", "8"}, base...)...)
+	if code != 0 {
+		t.Fatalf("parallel run exit %d, want 0", code)
+	}
+	if !bytes.Equal(serialJSON, wideJSON) {
+		t.Errorf("-parallel 1 and -parallel 8 JSON diverged:\n%s\n---\n%s", serialJSON, wideJSON)
+	}
+	serialTab, _ := runDSE(t, dseBin, append([]string{"-parallel", "1"}, base...)...)
+	wideTab, _ := runDSE(t, dseBin, append([]string{"-parallel", "8"}, base...)...)
+	if !bytes.Equal(serialTab, wideTab) {
+		t.Errorf("-parallel 1 and -parallel 8 tables diverged:\n%s\n---\n%s", serialTab, wideTab)
+	}
+	if !bytes.Contains(serialTab, []byte("DSE front: adpcm-enc")) {
+		t.Errorf("table missing title:\n%s", serialTab)
+	}
+
+	// (b) The front must improve on the paper's own design point.
+	res, err := dse.DecodeJSON(serialJSON)
+	if err != nil {
+		t.Fatalf("decode front: %v", err)
+	}
+	def := dse.Default("adpcm-enc")
+	var defPoint *dse.Point
+	for i := range res.Points {
+		if res.Points[i].Config == def {
+			defPoint = &res.Points[i]
+			break
+		}
+	}
+	if defPoint == nil {
+		t.Fatal("the search never evaluated the paper-default configuration")
+	}
+	obj := dse.DefaultObjective()
+	dominated := false
+	for _, p := range res.Front {
+		if obj.Dominates(p.Score, defPoint.Score) {
+			dominated = true
+			break
+		}
+	}
+	if !dominated {
+		t.Errorf("no front point dominates the paper default %+v\nfront: %s", defPoint.Score, serialJSON)
+	}
+
+	// (c) A remote fleet reproduces the local bytes exactly.
+	serveBin := buildBin(t, dir, "asbr/cmd/asbr-serve")
+	addrs := make([]string, 2)
+	for i := range addrs {
+		addrFile := filepath.Join(dir, "addr"+string(rune('0'+i)))
+		worker := exec.Command(serveBin, "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-queue", "32")
+		worker.Stdout, worker.Stderr = io.Discard, io.Discard
+		if err := worker.Start(); err != nil {
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+		t.Cleanup(func() {
+			worker.Process.Kill() //nolint:errcheck
+			worker.Wait()         //nolint:errcheck
+		})
+		addrs[i] = awaitAddr(t, addrFile)
+	}
+	remoteJSON, code := runDSE(t, dseBin,
+		append([]string{"-json", "-parallel", "4", "-remote", addrs[0] + "," + addrs[1]}, base...)...)
+	if code != 0 {
+		t.Fatalf("remote run exit %d, want 0", code)
+	}
+	if !bytes.Equal(serialJSON, remoteJSON) {
+		t.Errorf("remote front diverged from local run:\n%s\n---\n%s", serialJSON, remoteJSON)
+	}
+
+	// (d) Exit codes: 2 on usage errors, 1 on a partial search.
+	if _, code := runDSE(t, dseBin, "-bench", "nope"); code != 2 {
+		t.Errorf("unknown bench: exit %d, want 2", code)
+	}
+	if _, code := runDSE(t, dseBin, "-budget", "0"); code != 2 {
+		t.Errorf("zero budget: exit %d, want 2", code)
+	}
+	if _, code := runDSE(t, dseBin, "-objective", "latency"); code != 2 {
+		t.Errorf("bad objective: exit %d, want 2", code)
+	}
+	// A fleet with no live workers: every evaluation fails, the search
+	// is partial, exit 1.
+	deadJSON, code := runDSE(t, dseBin,
+		"-json", "-remote", "127.0.0.1:1", "-bench", "adpcm-enc", "-budget", "2", "-n", "64")
+	if code != 1 {
+		t.Errorf("dead fleet: exit %d, want 1", code)
+	}
+	if res, err := dse.DecodeJSON(deadJSON); err != nil {
+		t.Errorf("dead-fleet output not decodable: %v", err)
+	} else if !res.Partial || len(res.Front) != 0 {
+		t.Errorf("dead fleet: partial=%t front=%d, want a partial empty front", res.Partial, len(res.Front))
+	}
+}
+
+// awaitAddr waits for a worker daemon to publish its bound address.
+func awaitAddr(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return string(b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never wrote its address file")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -10,16 +10,19 @@ package cliflags
 import (
 	"context"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"strings"
 	"time"
 
 	"asbr/internal/cpu"
+	"asbr/internal/dse"
 	"asbr/internal/mem"
 	"asbr/internal/obs"
 	"asbr/internal/predict"
 	"asbr/internal/serve/client"
+	"asbr/internal/workload"
 )
 
 // Sim carries the shared simulation flags. Zero-value defaults are
@@ -205,6 +208,102 @@ func (c *Cluster) WorkerList() []string {
 		}
 	}
 	return out
+}
+
+// DSE carries the asbr-dse search flags. The execution knobs
+// (-remote, -parallel, -json, -timeout) ride on the shared Sim group;
+// this group owns what is specific to design-space exploration: the
+// workload, the evaluation budget, the search seed and mode, and the
+// objective axes.
+type DSE struct {
+	Bench     string // -bench: workload.Names() vocabulary
+	Budget    int    // -budget: distinct candidate evaluations
+	Seed      int64  // -seed: search rng seed (restarts, mutations)
+	Objective string // -objective: comma-separated score axes
+	Search    string // -search: dse.SearchModes() vocabulary
+	Samples   int    // -n: audio samples per evaluation
+}
+
+// NewDSE returns the search flag set with its defaults: a 32-candidate
+// budget over the full three-axis objective, hill-climbing from the
+// paper default.
+func NewDSE() *DSE {
+	return &DSE{
+		Bench:     workload.ADPCMEncode,
+		Budget:    32,
+		Seed:      1,
+		Objective: "cycles,energy,area",
+		Search:    dse.SearchHill,
+		Samples:   4096,
+	}
+}
+
+// Register registers the search flags.
+func (d *DSE) Register(fs *flag.FlagSet) {
+	fs.StringVar(&d.Bench, "bench", d.Bench,
+		"benchmark to explore: "+strings.Join(workload.Names(), "|"))
+	fs.IntVar(&d.Budget, "budget", d.Budget,
+		"distinct candidate evaluations before the search stops (failed attempts count)")
+	fs.Int64Var(&d.Seed, "seed", d.Seed,
+		"search seed for restarts and mutations (same seed + budget = byte-identical front)")
+	fs.StringVar(&d.Objective, "objective", d.Objective,
+		"comma-separated score axes for Pareto dominance: any subset of cycles,energy,area")
+	fs.StringVar(&d.Search, "search", d.Search,
+		"search mode: "+strings.Join(dse.SearchModes(), "|"))
+	fs.IntVar(&d.Samples, "n", d.Samples,
+		"audio samples per candidate evaluation")
+}
+
+// Options validates the parsed flags into search options. A typo fails
+// here — before any simulation (or remote dispatch) starts.
+func (d *DSE) Options(parallel int) (dse.Options, error) {
+	if d.Budget <= 0 {
+		return dse.Options{}, fmt.Errorf("budget must be positive (got %d)", d.Budget)
+	}
+	if d.Samples <= 0 || d.Samples > workload.MaxSamples {
+		return dse.Options{}, fmt.Errorf("n %d out of range [1, %d]", d.Samples, workload.MaxSamples)
+	}
+	ok := false
+	for _, n := range workload.Names() {
+		if d.Bench == n {
+			ok = true
+		}
+	}
+	if !ok {
+		return dse.Options{}, fmt.Errorf("unknown bench %q (want %s)", d.Bench, strings.Join(workload.Names(), "|"))
+	}
+	ok = false
+	for _, m := range dse.SearchModes() {
+		if d.Search == m {
+			ok = true
+		}
+	}
+	if !ok {
+		return dse.Options{}, fmt.Errorf("unknown search mode %q (want %s)", d.Search, strings.Join(dse.SearchModes(), "|"))
+	}
+	obj, err := dse.ParseObjective(d.Objective)
+	if err != nil {
+		return dse.Options{}, err
+	}
+	return dse.Options{
+		Bench:     d.Bench,
+		Budget:    d.Budget,
+		Seed:      d.Seed,
+		Search:    d.Search,
+		Objective: obj,
+		Parallel:  parallel,
+	}, nil
+}
+
+// Budgets builds the per-evaluation simulation budgets the flags
+// imply.
+func (d *DSE) Budgets(maxCycles uint64, timeout time.Duration) dse.Budgets {
+	return dse.Budgets{
+		Samples:   d.Samples,
+		Seed:      1, // trace seed is fixed: the search seed drives exploration, not the input
+		MaxCycles: maxCycles,
+		TimeoutMS: timeout.Milliseconds(),
+	}.FillDefaults()
 }
 
 // Retry builds the client retry policy implied by -retry-attempts.

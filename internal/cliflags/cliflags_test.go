@@ -50,6 +50,74 @@ func TestMachineDefaults(t *testing.T) {
 	}
 }
 
+// TestDSERegisterAndOptions drives the search flag group end to end:
+// parse a command line, then build validated search options.
+func TestDSERegisterAndOptions(t *testing.T) {
+	d := NewDSE()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	d.Register(fs)
+	err := fs.Parse([]string{
+		"-bench", "g721-dec", "-budget", "12", "-seed", "7",
+		"-objective", "cycles,area", "-search", "gen", "-n", "256",
+	})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	opts, err := d.Options(3)
+	if err != nil {
+		t.Fatalf("Options: %v", err)
+	}
+	if opts.Bench != "g721-dec" || opts.Budget != 12 || opts.Seed != 7 ||
+		opts.Search != "gen" || opts.Parallel != 3 {
+		t.Fatalf("options wrong: %+v", opts)
+	}
+	if opts.Objective.String() != "cycles,area" {
+		t.Fatalf("objective = %q, want cycles,area", opts.Objective.String())
+	}
+}
+
+// TestDSEDefaults pins the search defaults the README documents.
+func TestDSEDefaults(t *testing.T) {
+	d := NewDSE()
+	opts, err := d.Options(0)
+	if err != nil {
+		t.Fatalf("Options: %v", err)
+	}
+	if opts.Bench != "adpcm-enc" || opts.Budget != 32 || opts.Seed != 1 ||
+		opts.Search != "hill" || opts.Objective.String() != "cycles,energy,area" {
+		t.Fatalf("defaults wrong: %+v", opts)
+	}
+	b := d.Budgets(0, 0)
+	if b.Samples != 4096 || b.Seed != 1 || b.MaxCycles != 1<<32 {
+		t.Fatalf("budgets wrong: %+v", b)
+	}
+}
+
+// TestDSERejectsTypos requires every axis of the group to fail
+// validation before a search would start.
+func TestDSERejectsTypos(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*DSE)
+	}{
+		{"zero budget", func(d *DSE) { d.Budget = 0 }},
+		{"negative budget", func(d *DSE) { d.Budget = -4 }},
+		{"zero samples", func(d *DSE) { d.Samples = 0 }},
+		{"oversized samples", func(d *DSE) { d.Samples = 1 << 20 }},
+		{"unknown bench", func(d *DSE) { d.Bench = "mpeg2" }},
+		{"unknown search", func(d *DSE) { d.Search = "anneal" }},
+		{"unknown objective axis", func(d *DSE) { d.Objective = "cycles,latency" }},
+		{"empty objective", func(d *DSE) { d.Objective = "," }},
+	}
+	for _, c := range cases {
+		d := NewDSE()
+		c.mod(d)
+		if _, err := d.Options(0); err == nil {
+			t.Errorf("%s: accepted %+v", c.name, d)
+		}
+	}
+}
+
 // TestMachineRejectsTypos requires validation to fail before a
 // simulation would.
 func TestMachineRejectsTypos(t *testing.T) {

@@ -19,20 +19,57 @@ import (
 	"asbr/internal/workload"
 )
 
-// Machine assembles the standard serving/replay platform around a
-// predictor name: the paper's 8KB caches and calibrated mispredict
-// penalty. The serve daemon builds its per-request machines through
-// this helper, so replaying a record reconstructs the exact
-// configuration the recorded run used.
-func Machine(predictor string, engine cpu.Engine, maxCycles uint64) cpu.Config {
-	return cpu.Config{
-		ICache:                mem.DefaultICache(),
-		DCache:                mem.DefaultDCache(),
-		Predictor:             predictor,
-		Engine:                engine,
-		ExtraMispredictCycles: experiment.ExtraMispredictCycles,
-		MaxCycles:             maxCycles,
+// MachineSpec names every machine-shape knob a serving request, replay
+// record or DSE candidate can set: the predictor, the step engine, the
+// watchdog budget, the BDT update point and the L1 geometries. The
+// zero value of each field means the paper's platform default.
+type MachineSpec struct {
+	Predictor string     // predict.Names() vocabulary ("" = bimodal)
+	Engine    cpu.Engine // step-loop implementation (EngineAuto = fast)
+	MaxCycles uint64     // watchdog cycle budget (0 = engine default)
+	Update    string     // BDT update point ex|mem|wb ("" = mem)
+	ICacheKB  int        // I-cache size in KB (0 = the paper's 8)
+	DCacheKB  int        // D-cache size in KB (0 = the paper's 8)
+}
+
+// MachineFor assembles the serving/replay platform for a spec: the
+// paper's cache organization (resized per spec), the calibrated
+// mispredict penalty, and the requested BDT update point. The serve
+// daemon, record replay and the DSE evaluators all build machines
+// through this one constructor, so a served job, its cold replay and a
+// search candidate cannot configure differently.
+func MachineFor(spec MachineSpec) (cpu.Config, error) {
+	stage, err := cpu.ParseUpdatePoint(spec.Update)
+	if err != nil {
+		return cpu.Config{}, err
 	}
+	ic, dc := mem.DefaultICache(), mem.DefaultDCache()
+	if spec.ICacheKB > 0 {
+		ic.SizeBytes = spec.ICacheKB * 1024
+	}
+	if spec.DCacheKB > 0 {
+		dc.SizeBytes = spec.DCacheKB * 1024
+	}
+	return cpu.Config{
+		ICache:                ic,
+		DCache:                dc,
+		Predictor:             spec.Predictor,
+		Engine:                spec.Engine,
+		BDTUpdate:             stage,
+		ExtraMispredictCycles: experiment.ExtraMispredictCycles,
+		MaxCycles:             spec.MaxCycles,
+	}, nil
+}
+
+// Machine assembles the standard platform around a predictor name —
+// MachineFor with the paper's default update point and cache sizes.
+func Machine(predictor string, engine cpu.Engine, maxCycles uint64) cpu.Config {
+	cfg, err := MachineFor(MachineSpec{Predictor: predictor, Engine: engine, MaxCycles: maxCycles})
+	if err != nil {
+		// Unreachable: the default spec has nothing to reject.
+		panic(err)
+	}
+	return cfg
 }
 
 // ResolveBITEntries maps a request's BIT capacity onto the effective
@@ -56,6 +93,13 @@ func ResolveBITEntries(bench string, requested int) int {
 // daemon and record replay (identical selection is what makes an ASBR
 // replay byte-identical).
 func BuildEngine(prog *isa.Program, prof *profile.Profiler, k, samples int) (*core.Engine, int, error) {
+	return BuildEngineBanked(prog, prof, k, 0, samples)
+}
+
+// BuildEngineBanked is BuildEngine with an explicit BIT bank count
+// (0 = the engine's single-bank default). Selection loads bank 0;
+// extra banks are switchable capacity the DSE area model charges for.
+func BuildEngineBanked(prog *isa.Program, prof *profile.Profiler, k, banks, samples int) (*core.Engine, int, error) {
 	cands, err := profile.Select(prog, prof, experiment.SelectOptionsFor(k, samples))
 	if err != nil {
 		return nil, 0, err
@@ -64,11 +108,105 @@ func BuildEngine(prog *isa.Program, prof *profile.Profiler, k, samples int) (*co
 	if err != nil {
 		return nil, 0, err
 	}
-	eng := core.NewEngine(core.Config{BITEntries: k, TrackValidity: true})
+	eng := core.NewEngine(core.Config{BITEntries: k, Banks: banks, TrackValidity: true})
 	if err := eng.Load(entries); err != nil {
 		return nil, 0, err
 	}
 	return eng, len(entries), nil
+}
+
+// BenchRun describes one benchmark simulation under an explicit
+// machine spec and scheduling level — the unit of work the serve
+// daemon and the DSE evaluators share. Build selects the scheduling
+// aggressiveness (workload.BuildOptionsLevel); the remaining fields
+// mirror the wire request.
+type BenchRun struct {
+	Bench string
+	Build workload.BuildOptions
+	Spec  MachineSpec
+
+	ASBR       bool
+	BITEntries int // requested BIT capacity (0 = per-bench default)
+	BITBanks   int // BIT bank count (0 = 1)
+
+	Samples int
+	Seed    int64
+
+	// Trace, when non-nil, observes the measured (folded) run and
+	// receives the engine's BIT/BDT events.
+	Trace *obs.Tracer
+}
+
+// BenchResult is a finished benchmark simulation: the measured run,
+// and for ASBR flows the number of BIT entries actually loaded plus
+// the profiled baseline's cycle count.
+type BenchResult struct {
+	Res            *workload.Result
+	Loaded         int
+	BaselineCycles uint64
+}
+
+// RunBench executes one benchmark simulation over a shared artifact
+// store: build (cached), input trace (cached), and for ASBR the
+// paper's profile → select → fold pipeline. This is the single
+// execution path behind POST /v1/sim bench requests and DSE candidate
+// evaluation — a candidate evaluated locally and the same candidate
+// dispatched to a daemon run byte-identical simulations by
+// construction.
+func RunBench(ctx context.Context, arts *runner.Artifacts, r BenchRun) (*BenchResult, error) {
+	prog, err := arts.Program(r.Bench, r.Build)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: build %s: %w", r.Bench, err)
+	}
+	in, err := arts.Input(r.Bench, r.Samples, r.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: input %s: %w", r.Bench, err)
+	}
+	cfg, err := MachineFor(r.Spec)
+	if err != nil {
+		return nil, err
+	}
+	// Runs simulating the same compiled benchmark share one decode
+	// table via the artifact store.
+	cfg.Predecoded = arts.Predecode(prog)
+	if !r.ASBR {
+		if r.Trace != nil {
+			cfg.Obs = r.Trace
+		}
+		res, err := workload.RunContext(ctx, prog, cfg, in, r.Samples)
+		if err != nil {
+			return nil, err
+		}
+		return &BenchResult{Res: res}, nil
+	}
+
+	// ASBR flow: one profiled run on the auxiliary shadow, §6
+	// selection, then the folded (measured) run — all under the same
+	// budgets.
+	prof := profile.New(predict.Must(predict.NewBimodal(512)))
+	pcfg := cfg
+	pcfg.Observer = prof
+	base, err := workload.RunContext(ctx, prog, pcfg, in, r.Samples)
+	if err != nil {
+		return nil, err
+	}
+	eng, n, err := BuildEngineBanked(prog, prof, ResolveBITEntries(r.Bench, r.BITEntries), r.BITBanks, r.Samples)
+	if err != nil {
+		return nil, err
+	}
+	fcfg := cfg
+	fcfg.Fold = eng
+	if r.Trace != nil {
+		// Trace the measured (folded) run only, never the profile run,
+		// and let the engine report BIT/BDT events through the same sink.
+		fcfg.Obs = r.Trace
+		eng.SetEventSink(r.Trace)
+	}
+	res, err := workload.RunContext(ctx, prog, fcfg, in, r.Samples)
+	if err != nil {
+		return nil, err
+	}
+	return &BenchResult{Res: res, Loaded: n, BaselineCycles: base.Stats.Cycles}, nil
 }
 
 // Run replays one record and returns the snapshot its program
@@ -89,7 +227,10 @@ func RunContext(ctx context.Context, rec Record) (obs.Snapshot, error) {
 	if err != nil {
 		return obs.Snapshot{}, err
 	}
-	cfg := Machine(rec.Config.Predictor, eng, rec.Config.MaxCycles)
+	cfg, err := MachineFor(rec.Config.MachineSpec(eng))
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
 	if cfg.Predictor == "" {
 		cfg.Predictor = "bimodal"
 	}
@@ -134,7 +275,7 @@ func runBench(ctx context.Context, rec Record, cfg cpu.Config) (obs.Snapshot, er
 	if _, err := workload.RunContext(ctx, prog, pcfg, in, rec.Config.Samples); err != nil {
 		return obs.Snapshot{}, err
 	}
-	eng, _, err := BuildEngine(prog, prof, ResolveBITEntries(rec.Bench, rec.Config.BITEntries), rec.Config.Samples)
+	eng, _, err := BuildEngineBanked(prog, prof, ResolveBITEntries(rec.Bench, rec.Config.BITEntries), rec.Config.BITBanks, rec.Config.Samples)
 	if err != nil {
 		return obs.Snapshot{}, err
 	}
@@ -168,7 +309,7 @@ func runSource(ctx context.Context, rec Record, cfg cpu.Config) (obs.Snapshot, e
 	if _, err := runProgram(ctx, prog, pcfg); err != nil {
 		return obs.Snapshot{}, err
 	}
-	eng, _, err := BuildEngine(prog, prof, ResolveBITEntries("", rec.Config.BITEntries), 0)
+	eng, _, err := BuildEngineBanked(prog, prof, ResolveBITEntries("", rec.Config.BITEntries), rec.Config.BITBanks, 0)
 	if err != nil {
 		return obs.Snapshot{}, err
 	}

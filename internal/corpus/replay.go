@@ -32,6 +32,30 @@ type ReplayConfig struct {
 	Samples    int    `json:"samples,omitempty"`     // bench records: input trace length
 	Seed       int64  `json:"seed,omitempty"`        // bench records: input trace seed
 	MaxCycles  uint64 `json:"max_cycles,omitempty"`  // watchdog budget (0 = engine default)
+
+	// DSE configuration-vector knobs, added after v1 froze: all
+	// omitempty, so records written before they existed (and records of
+	// paper-default machines) parse and re-encode unchanged. The
+	// scheduling level needs no field — it rides in the canonical
+	// program key's manual/compiler bits.
+	Update   string `json:"update,omitempty"`    // BDT update point ex|mem|wb ("" = mem)
+	BITBanks int    `json:"bit_banks,omitempty"` // BIT bank count (0 = 1)
+	ICacheKB int    `json:"icache_kb,omitempty"` // I-cache KB (0 = the paper's 8)
+	DCacheKB int    `json:"dcache_kb,omitempty"` // D-cache KB (0 = the paper's 8)
+}
+
+// MachineSpec projects the record's machine-shape fields onto the
+// shared constructor's spec (the engine parses separately because
+// replay legs override it per run).
+func (c ReplayConfig) MachineSpec(eng cpu.Engine) MachineSpec {
+	return MachineSpec{
+		Predictor: c.Predictor,
+		Engine:    eng,
+		MaxCycles: c.MaxCycles,
+		Update:    c.Update,
+		ICacheKB:  c.ICacheKB,
+		DCacheKB:  c.DCacheKB,
+	}
 }
 
 // Record is one captured simulation job: program identity (canonical
@@ -85,6 +109,15 @@ func (r Record) Validate() error {
 	}
 	if _, err := cpu.ParseEngine(r.Config.Engine); err != nil {
 		return fmt.Errorf("corpus: record %q: %v", r.Key, err)
+	}
+	if _, err := cpu.ParseUpdatePoint(r.Config.Update); err != nil {
+		return fmt.Errorf("corpus: record %q: %v", r.Key, err)
+	}
+	if r.Config.BITBanks < 0 {
+		return fmt.Errorf("corpus: record %q: negative bit_banks", r.Key)
+	}
+	if r.Config.ICacheKB < 0 || r.Config.DCacheKB < 0 {
+		return fmt.Errorf("corpus: record %q: negative cache size", r.Key)
 	}
 	return nil
 }

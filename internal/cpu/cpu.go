@@ -32,6 +32,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"asbr/internal/isa"
 	"asbr/internal/mem"
@@ -67,6 +68,22 @@ func (s Stage) String() string {
 		return "WB"
 	}
 	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// ParseUpdatePoint maps the wire spelling of a BDT update point
+// (ex|mem|wb, case-insensitive, "" = the paper's default MEM) onto its
+// Stage — the one vocabulary the sweep protocol, replay records and the
+// DSE grammar all share.
+func ParseUpdatePoint(s string) (Stage, error) {
+	switch strings.ToLower(s) {
+	case "", "mem":
+		return StageMEM, nil
+	case "ex":
+		return StageEX, nil
+	case "wb":
+		return StageWB, nil
+	}
+	return StageMEM, fmt.Errorf("cpu: unknown update point %q (want ex|mem|wb)", s)
 }
 
 // Engine selects the step-loop implementation of a machine.
@@ -357,6 +374,8 @@ func (s Stats) Snapshot() obs.Snapshot {
 		LoadUseStalls: s.LoadUseStalls, FetchStalls: s.FetchStalls,
 		MemStalls: s.MemStalls, ExStalls: s.ExStalls,
 		ICacheMissRate: s.ICache.MissRate(), DCacheMissRate: s.DCache.MissRate(),
+		Fetches: s.Fetches, WrongPath: s.WrongPath,
+		ICacheAccesses: s.ICache.Accesses(), DCacheAccesses: s.DCache.Accesses(),
 	}
 	if dyn := s.DynamicCondBranches(); dyn > 0 {
 		sn.FoldCoverage = float64(s.Folded) / float64(dyn)

@@ -1,0 +1,149 @@
+package dse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"asbr/internal/workload"
+)
+
+// Every benchmark's paper-default config is on the grammar and prices
+// cleanly.
+func TestDefaultNormalizes(t *testing.T) {
+	for _, bench := range workload.Names() {
+		d := Default(bench)
+		got, err := d.Normalize()
+		if err != nil {
+			t.Fatalf("Default(%s).Normalize: %v", bench, err)
+		}
+		if got != d {
+			t.Errorf("Default(%s) changed under Normalize: %+v -> %+v", bench, d, got)
+		}
+	}
+}
+
+// Zero axes fill with the paper defaults.
+func TestNormalizeFillsDefaults(t *testing.T) {
+	got, err := Config{Bench: "adpcm-enc"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != Default("adpcm-enc") {
+		t.Errorf("zero config normalized to %+v, want the paper default", got)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	mod := func(f func(*Config)) Config {
+		c := Default("adpcm-enc")
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error
+	}{
+		{"unknown bench", Config{Bench: "nope"}, "unknown bench"},
+		{"unknown predictor", mod(func(c *Config) { c.Predictor = "oracle" }), "oracle"},
+		{"bit off ladder", mod(func(c *Config) { c.BITEntries = 24 }), "bit_entries"},
+		{"banks off ladder", mod(func(c *Config) { c.BITBanks = 8 }), "bit_banks"},
+		{"bad update", mod(func(c *Config) { c.Update = "id" }), "update"},
+		{"icache off ladder", mod(func(c *Config) { c.ICacheKB = 64 }), "icache_kb"},
+		{"dcache off ladder", mod(func(c *Config) { c.DCacheKB = 3 }), "dcache_kb"},
+		{"bad sched", mod(func(c *Config) { c.Sched = "aggressive" }), "sched"},
+	}
+	for _, c := range cases {
+		if _, err := c.cfg.Normalize(); err == nil {
+			t.Errorf("%s: Normalize accepted %+v", c.name, c.cfg)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// Every reachable grammar point is valid: normalizes to itself and its
+// hardware passes the power model's validation. This walk is the
+// guarantee that no search trajectory can propose an unpriceable or
+// un-servable candidate.
+func TestGrammarClosedUnderValidation(t *testing.T) {
+	n := 0
+	for _, pred := range []string{"nottaken", "bimodal", "gshare", "bi512", "bi256"} {
+		for _, k := range bitLadder {
+			for _, banks := range bankLadder {
+				for _, up := range updateLadder {
+					for _, sched := range workload.SchedLevels() {
+						c := Default("g721-dec")
+						c.Predictor, c.BITEntries, c.BITBanks, c.Update, c.Sched = pred, k, banks, up, sched
+						if _, err := c.Normalize(); err != nil {
+							t.Fatalf("grammar point %s rejected: %v", c.Key(), err)
+						}
+						n++
+					}
+				}
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("grammar walk visited nothing")
+	}
+}
+
+// Keys are unique across distinct grammar points (the dedup cache and
+// the front tiebreak both hang off this).
+func TestKeyUnique(t *testing.T) {
+	seen := make(map[string]Config)
+	base := Default("adpcm-dec")
+	for _, c := range append(base.Neighbors(), base) {
+		k := c.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("key collision %q between %+v and %+v", k, prev, c)
+		}
+		seen[k] = c
+	}
+}
+
+// The neighbor enumeration is deterministic and leads with the BIT
+// capacity axis — the first evaluation batch of every hill-climb must
+// contain the smaller-BIT candidate.
+func TestNeighborsDeterministicBITFirst(t *testing.T) {
+	c := Default("adpcm-enc")
+	n1, n2 := c.Neighbors(), c.Neighbors()
+	if len(n1) == 0 || len(n1) != len(n2) {
+		t.Fatalf("neighbor counts differ: %d vs %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("neighbor %d differs between calls: %+v vs %+v", i, n1[i], n2[i])
+		}
+	}
+	if n1[0].BITEntries >= c.BITEntries {
+		t.Errorf("first neighbor BITEntries = %d, want a step below %d", n1[0].BITEntries, c.BITEntries)
+	}
+	for _, n := range n1 {
+		if _, err := n.Normalize(); err != nil {
+			t.Errorf("neighbor %s invalid: %v", n.Key(), err)
+		}
+	}
+}
+
+// Mutate with the same seed replays the same trajectory, and every
+// mutant stays on the grammar.
+func TestMutateDeterministicAndValid(t *testing.T) {
+	c := Default("g721-enc")
+	r1, r2 := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		m1, m2 := c.Mutate(r1), c.Mutate(r2)
+		if m1 != m2 {
+			t.Fatalf("mutation %d diverged under equal seeds: %+v vs %+v", i, m1, m2)
+		}
+		if m1 == c {
+			t.Fatalf("mutation %d returned the parent unchanged", i)
+		}
+		if _, err := m1.Normalize(); err != nil {
+			t.Fatalf("mutant %s invalid: %v", m1.Key(), err)
+		}
+		c = m1
+	}
+}

@@ -1,0 +1,83 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"asbr/internal/experiment"
+)
+
+// Schema identifies the Result wire encoding. The JSON shape is part
+// of the determinism gate: same seed + budget must produce the same
+// bytes at any worker count, locally or remote.
+const Schema = "asbr-dse/v1"
+
+// EncodeJSON marshals the result in the canonical indented form the
+// CLI emits with -json. encoding/json writes struct fields in
+// declaration order, so the bytes are deterministic.
+func (r *Result) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeJSON parses an asbr-dse/v1 document, rejecting unknown fields
+// and foreign schemas.
+func DecodeJSON(data []byte) (*Result, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var r Result
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("dse: decode: %v", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("dse: unknown schema %q (want %s)", r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// WriteTable renders the Pareto front as an asbr-tables-style text
+// table: one row per front point in canonical (key) order, with the
+// paper-default configuration's row marked when it survived to the
+// front. The provenance line carries everything needed to reproduce
+// the run.
+func (r *Result) WriteTable(w io.Writer) {
+	title := fmt.Sprintf("DSE front: %s (search=%s seed=%d budget=%d evals=%d n=%d objective=%s)",
+		r.Bench, r.Search, r.Seed, r.Budget, r.Evaluations, r.Budgets.Samples, r.Objective)
+	header := []string{"predictor", "bit", "banks", "update", "ic", "dc", "sched", "cycles", "energy", "area(bits)", ""}
+	def := Default(r.Bench)
+	rows := make([][]string, 0, len(r.Front))
+	for _, p := range r.Front {
+		c := p.Config
+		mark := ""
+		if c == def {
+			mark = "*paper default"
+		}
+		rows = append(rows, []string{
+			c.Predictor,
+			fmt.Sprintf("%d", c.BITEntries),
+			fmt.Sprintf("%d", c.BITBanks),
+			c.Update,
+			fmt.Sprintf("%dK", c.ICacheKB),
+			fmt.Sprintf("%dK", c.DCacheKB),
+			c.Sched,
+			fmt.Sprintf("%d", p.Score.Cycles),
+			fmt.Sprintf("%.0f", p.Score.Energy),
+			fmt.Sprintf("%d", p.Score.AreaBits),
+			mark,
+		})
+	}
+	experiment.RenderText(w, title, header, rows)
+	if r.Partial {
+		fmt.Fprintf(w, "PARTIAL: %d of %d evaluations failed\n", len(r.Errors), r.Evaluations)
+		for _, e := range r.Errors {
+			fmt.Fprintf(w, "  ERR: %s\n", e)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asbr/internal/obs"
+	"asbr/internal/power"
+)
+
+// Score is a candidate's objective vector. All three components are
+// pure functions of the configuration and its obs.Snapshot — cycles
+// straight from the simulator, energy and area from the power model —
+// so a score computed from a remote daemon's wire response is
+// bit-identical to one computed locally.
+type Score struct {
+	Cycles   uint64  `json:"cycles"`
+	Energy   float64 `json:"energy"`
+	AreaBits int     `json:"area_bits"`
+}
+
+// ScoreOf prices a finished simulation: cycles from the snapshot,
+// energy from the activity-based model over the same snapshot, area
+// from the config's hardware description. Lower is better on every
+// axis.
+func ScoreOf(c Config, s obs.Snapshot) Score {
+	h := c.Hardware()
+	return Score{
+		Cycles:   s.Cycles,
+		Energy:   power.EstimateSnapshot(power.DefaultParams(), h, s).Total(),
+		AreaBits: h.AreaBits(),
+	}
+}
+
+// Objective selects which score axes participate in dominance. At
+// least one axis is always enabled.
+type Objective struct {
+	Cycles bool
+	Energy bool
+	Area   bool
+}
+
+// DefaultObjective compares on all three axes.
+func DefaultObjective() Objective { return Objective{Cycles: true, Energy: true, Area: true} }
+
+// ParseObjective parses a comma-separated axis list ("cycles,energy,
+// area", any subset, any order). The empty string means the full
+// default objective.
+func ParseObjective(s string) (Objective, error) {
+	if s == "" {
+		return DefaultObjective(), nil
+	}
+	var o Objective
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "cycles":
+			o.Cycles = true
+		case "energy":
+			o.Energy = true
+		case "area":
+			o.Area = true
+		case "":
+		default:
+			return Objective{}, fmt.Errorf("dse: unknown objective axis %q (want cycles|energy|area)", f)
+		}
+	}
+	if !o.Cycles && !o.Energy && !o.Area {
+		return Objective{}, fmt.Errorf("dse: objective %q selects no axes", s)
+	}
+	return o, nil
+}
+
+// String renders the canonical axis list.
+func (o Objective) String() string {
+	var parts []string
+	if o.Cycles {
+		parts = append(parts, "cycles")
+	}
+	if o.Energy {
+		parts = append(parts, "energy")
+	}
+	if o.Area {
+		parts = append(parts, "area")
+	}
+	return strings.Join(parts, ",")
+}
+
+// Dominates reports whether a is at least as good as b on every
+// enabled axis and strictly better on at least one — the standard
+// (minimizing) Pareto relation. It is irreflexive and antisymmetric by
+// construction: equal vectors dominate in neither direction.
+func (o Objective) Dominates(a, b Score) bool {
+	better := false
+	if o.Cycles {
+		if a.Cycles > b.Cycles {
+			return false
+		}
+		if a.Cycles < b.Cycles {
+			better = true
+		}
+	}
+	if o.Energy {
+		if a.Energy > b.Energy {
+			return false
+		}
+		if a.Energy < b.Energy {
+			better = true
+		}
+	}
+	if o.Area {
+		if a.AreaBits > b.AreaBits {
+			return false
+		}
+		if a.AreaBits < b.AreaBits {
+			better = true
+		}
+	}
+	return better
+}
+
+// Point is one evaluated candidate: its configuration, score, and the
+// snapshot the score was computed from (kept for provenance — the
+// front's numbers can be re-derived from it).
+type Point struct {
+	Config   Config       `json:"config"`
+	Score    Score        `json:"score"`
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// scoreLess is a total order on score vectors (cycles, then energy,
+// then area) — used only to canonicalize duplicate-key collisions, not
+// for dominance.
+func scoreLess(a, b Score) bool {
+	if a.Cycles != b.Cycles {
+		return a.Cycles < b.Cycles
+	}
+	if a.Energy != b.Energy {
+		return a.Energy < b.Energy
+	}
+	return a.AreaBits < b.AreaBits
+}
+
+// ParetoFront filters points down to the mutually non-dominated set
+// under o and returns it sorted by config key. The result is a pure
+// function of the point *set*: dominance does not depend on
+// enumeration order and the sort canonicalizes the output, so any
+// insertion order yields the same front. Duplicate configurations
+// (same key) collapse to the one with the least score under a fixed
+// total order — in a real search duplicates are already identical
+// (evaluation is deterministic and deduplicated), but the front stays
+// order-independent for arbitrary input too.
+func ParetoFront(points []Point, o Objective) []Point {
+	byKey := make(map[string]Point, len(points))
+	var keys []string
+	for _, p := range points {
+		k := p.Config.Key()
+		prev, ok := byKey[k]
+		if !ok {
+			keys = append(keys, k)
+		} else if !scoreLess(p.Score, prev.Score) {
+			continue
+		}
+		byKey[k] = p
+	}
+	sort.Strings(keys)
+	var front []Point
+	for _, k := range keys {
+		p := byKey[k]
+		dominated := false
+		for _, k2 := range keys {
+			if k2 == k {
+				continue
+			}
+			if o.Dominates(byKey[k2].Score, p.Score) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}

@@ -1,0 +1,171 @@
+package dse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asbr/internal/obs"
+)
+
+// randScore draws a score with deliberately frequent axis collisions
+// (small value ranges), so the property tests exercise the equal-axis
+// edge cases, not just the generic position.
+func randScore(rng *rand.Rand) Score {
+	return Score{
+		Cycles:   uint64(rng.Intn(4)),
+		Energy:   float64(rng.Intn(4)),
+		AreaBits: rng.Intn(4),
+	}
+}
+
+func randObjective(rng *rand.Rand) Objective {
+	for {
+		o := Objective{Cycles: rng.Intn(2) == 0, Energy: rng.Intn(2) == 0, Area: rng.Intn(2) == 0}
+		if o.Cycles || o.Energy || o.Area {
+			return o
+		}
+	}
+}
+
+// Dominance is irreflexive: no score dominates itself, under any axis
+// subset.
+func TestDominatesIrreflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		o := randObjective(rng)
+		s := randScore(rng)
+		if o.Dominates(s, s) {
+			t.Fatalf("Dominates(%+v, itself) = true under %v", s, o)
+		}
+	}
+}
+
+// Dominance is antisymmetric: a dominating b forbids b dominating a.
+func TestDominatesAntisymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		o := randObjective(rng)
+		a, b := randScore(rng), randScore(rng)
+		if o.Dominates(a, b) && o.Dominates(b, a) {
+			t.Fatalf("both %+v and %+v dominate each other under %v", a, b, o)
+		}
+	}
+}
+
+// randPoints builds a point set with some duplicated configurations.
+func randPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		c := Default("adpcm-enc")
+		c.BITEntries = bitLadder[rng.Intn(len(bitLadder))]
+		c.ICacheKB = cacheLadder[rng.Intn(len(cacheLadder))]
+		c.Update = updateLadder[rng.Intn(len(updateLadder))]
+		pts[i] = Point{Config: c, Score: randScore(rng)}
+	}
+	return pts
+}
+
+// Every pair on the front is mutually non-dominated.
+func TestParetoFrontMutuallyNonDominated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		o := randObjective(rng)
+		front := ParetoFront(randPoints(rng, 12), o)
+		if len(front) == 0 {
+			t.Fatal("empty front from a nonempty point set")
+		}
+		for i := range front {
+			for j := range front {
+				if i != j && o.Dominates(front[i].Score, front[j].Score) {
+					t.Fatalf("front point %v dominates front point %v under %v",
+						front[i].Score, front[j].Score, o)
+				}
+			}
+		}
+	}
+}
+
+// The front is a function of the point set, not the insertion order.
+func TestParetoFrontInsertionOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		o := randObjective(rng)
+		pts := randPoints(rng, 10)
+		want := ParetoFront(pts, o)
+		shuffled := make([]Point, len(pts))
+		copy(shuffled, pts)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := ParetoFront(shuffled, o)
+		if len(got) != len(want) {
+			t.Fatalf("front size changed with insertion order: %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Config != want[i].Config || got[i].Score != want[i].Score {
+				t.Fatalf("front[%d] changed with insertion order:\n got %+v\nwant %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// ScoreOf is bit-stable: the same (config, snapshot) pair prices to
+// the identical float bits every time — the foundation of the
+// byte-identical front contract.
+func TestScoreBitStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		c := Default("adpcm-enc")
+		c.Predictor = []string{"nottaken", "bimodal", "gshare", "bi512", "bi256"}[rng.Intn(5)]
+		c.BITEntries = bitLadder[rng.Intn(len(bitLadder))]
+		c.BITBanks = bankLadder[rng.Intn(len(bankLadder))]
+		snap := obs.Snapshot{
+			Cycles:         rng.Uint64() % 1e7,
+			Instructions:   rng.Uint64() % 1e7,
+			WrongPath:      rng.Uint64() % 1e5,
+			CondBranches:   rng.Uint64() % 1e6,
+			TakenBranches:  rng.Uint64() % 1e6,
+			Fetches:        rng.Uint64() % 1e7,
+			Folded:         rng.Uint64() % 1e5,
+			FoldFallbacks:  rng.Uint64() % 1e4,
+			ICacheAccesses: rng.Uint64() % 1e7,
+			DCacheAccesses: rng.Uint64() % 1e6,
+		}
+		a, b := ScoreOf(c, snap), ScoreOf(c, snap)
+		if a.Cycles != b.Cycles || a.AreaBits != b.AreaBits ||
+			math.Float64bits(a.Energy) != math.Float64bits(b.Energy) {
+			t.Fatalf("ScoreOf not bit-stable: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"", "cycles,energy,area", false},
+		{"cycles,energy,area", "cycles,energy,area", false},
+		{"area,cycles", "cycles,area", false},
+		{"energy", "energy", false},
+		{" cycles , area ", "cycles,area", false},
+		{"cycles,wat", "", true},
+		{",", "", true},
+	}
+	for _, c := range cases {
+		o, err := ParseObjective(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseObjective(%q): no error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseObjective(%q): %v", c.in, err)
+			continue
+		}
+		if o.String() != c.want {
+			t.Errorf("ParseObjective(%q) = %q, want %q", c.in, o.String(), c.want)
+		}
+	}
+}

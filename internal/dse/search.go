@@ -1,0 +1,269 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"asbr/internal/obs"
+	"asbr/internal/runner"
+)
+
+// Search mode names.
+const (
+	SearchHill = "hill" // hill-climb with seeded restarts (default)
+	SearchGen  = "gen"  // generational mutation over the running front
+)
+
+// SearchModes lists the valid -search values.
+func SearchModes() []string { return []string{SearchHill, SearchGen} }
+
+// Options parameterizes one search run.
+type Options struct {
+	Bench     string
+	Budget    int       // distinct candidate evaluations (failed attempts count)
+	Seed      int64     // search rng seed (restart and mutation draws)
+	Search    string    // SearchHill | SearchGen
+	Objective Objective // score axes participating in dominance
+	Parallel  int       // evaluation batch width (results are invariant under it)
+
+	Logf func(format string, args ...any) // optional progress log (nil = silent)
+}
+
+// Result is one finished search: the Pareto front plus full provenance
+// — every evaluated point in evaluation order, the seed/budget that
+// produced them, and any evaluation failures. Partial searches (some
+// candidates failed to evaluate) still carry their front; callers use
+// Partial to distinguish exit status.
+type Result struct {
+	Schema      string   `json:"schema"` // "asbr-dse/v1"
+	Bench       string   `json:"bench"`
+	Search      string   `json:"search"`
+	Objective   string   `json:"objective"`
+	Seed        int64    `json:"seed"`
+	Budget      int      `json:"budget"`
+	Budgets     Budgets  `json:"budgets"`
+	Evaluations int      `json:"evaluations"`
+	Front       []Point  `json:"front"`
+	Points      []Point  `json:"points"`
+	Partial     bool     `json:"partial,omitempty"`
+	Errors      []string `json:"errors,omitempty"`
+}
+
+// Run executes a budgeted search over the configuration grammar.
+//
+// Determinism contract: the same (bench, budget, seed, search,
+// objective, budgets) yield a byte-identical Result at any Parallel
+// and for any Evaluator reaching the same simulations — the rng is
+// consumed only on the (serial) search loop, candidate batches go
+// through runner.MapErrs (input-ordered results), budget truncation is
+// order-based, and the front is a pure function of the evaluated set.
+func Run(ctx context.Context, ev Evaluator, opts Options) (*Result, error) {
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("dse: budget must be positive (got %d)", opts.Budget)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Search == "" {
+		opts.Search = SearchHill
+	}
+	if opts.Objective == (Objective{}) {
+		opts.Objective = DefaultObjective()
+	}
+	start, err := Default(opts.Bench).Normalize()
+	if err != nil {
+		return nil, err
+	}
+
+	s := &searcher{ev: ev, opts: opts, known: make(map[string]*Point)}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	switch opts.Search {
+	case SearchHill:
+		s.hill(ctx, rng, start)
+	case SearchGen:
+		s.generational(ctx, rng, start)
+	default:
+		return nil, fmt.Errorf("dse: unknown search mode %q (want hill|gen)", opts.Search)
+	}
+
+	var b Budgets
+	switch e := ev.(type) {
+	case *Local:
+		b = e.Budgets
+	case *Remote:
+		b = e.Budgets
+	}
+	return &Result{
+		Schema:      Schema,
+		Bench:       opts.Bench,
+		Search:      opts.Search,
+		Objective:   opts.Objective.String(),
+		Seed:        opts.Seed,
+		Budget:      opts.Budget,
+		Budgets:     b,
+		Evaluations: s.evals,
+		Front:       ParetoFront(s.points, opts.Objective),
+		Points:      s.points,
+		Partial:     s.partial,
+		Errors:      s.errs,
+	}, nil
+}
+
+// searcher carries the mutable search state. known holds every
+// attempted config by key (nil value = the evaluation failed), so the
+// budget counts distinct candidates and re-proposals are free.
+type searcher struct {
+	ev   Evaluator
+	opts Options
+
+	known   map[string]*Point
+	points  []Point // successful evaluations, in evaluation order
+	evals   int     // distinct attempts (success or failure)
+	partial bool
+	errs    []string
+}
+
+func (s *searcher) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// evalBatch evaluates the fresh configs in the proposal list — order-
+// deduplicated, already-known keys skipped, truncated to the remaining
+// budget — through the runner pool, then folds the input-ordered
+// results into the search state serially. Returns the point (or nil)
+// for each proposal.
+func (s *searcher) evalBatch(ctx context.Context, proposals []Config) []*Point {
+	var fresh []Config
+	inBatch := make(map[string]bool)
+	for _, c := range proposals {
+		k := c.Key()
+		if inBatch[k] {
+			continue
+		}
+		if _, ok := s.known[k]; ok {
+			continue
+		}
+		if s.evals+len(fresh) >= s.opts.Budget {
+			break
+		}
+		inBatch[k] = true
+		fresh = append(fresh, c)
+	}
+	if len(fresh) > 0 {
+		snaps, errs := runner.MapErrs(s.opts.Parallel, fresh, func(i int, c Config) (obs.Snapshot, error) {
+			return s.ev.Evaluate(ctx, c)
+		})
+		for i, c := range fresh {
+			s.evals++
+			if errs[i] != nil {
+				s.partial = true
+				s.errs = append(s.errs, fmt.Sprintf("%s: %v", c.Key(), errs[i]))
+				s.known[c.Key()] = nil
+				s.logf("dse: eval %d/%d %s FAILED: %v", s.evals, s.opts.Budget, c.Key(), errs[i])
+				continue
+			}
+			p := Point{Config: c, Score: ScoreOf(c, snaps[i]), Snapshot: snaps[i]}
+			s.known[c.Key()] = &p
+			s.points = append(s.points, p)
+			s.logf("dse: eval %d/%d %s cycles=%d energy=%.0f area=%d",
+				s.evals, s.opts.Budget, c.Key(), p.Score.Cycles, p.Score.Energy, p.Score.AreaBits)
+		}
+	}
+	out := make([]*Point, len(proposals))
+	for i, c := range proposals {
+		out[i] = s.known[c.Key()]
+	}
+	return out
+}
+
+// hill climbs from the paper default: evaluate the full neighbor ring,
+// move to the first (in the fixed proposal order) neighbor dominating
+// the current point, restart from a seeded mutation chain when no
+// neighbor does. Every evaluated point — on or off the walked path —
+// feeds the front.
+func (s *searcher) hill(ctx context.Context, rng *rand.Rand, start Config) {
+	cur := start
+	s.evalBatch(ctx, []Config{cur})
+	for s.evals < s.opts.Budget && ctx.Err() == nil {
+		neigh := cur.Neighbors()
+		res := s.evalBatch(ctx, neigh)
+		curP := s.known[cur.Key()]
+		moved := false
+		for i, p := range res {
+			if p == nil {
+				continue
+			}
+			if curP == nil || s.opts.Objective.Dominates(p.Score, curP.Score) {
+				cur = neigh[i]
+				moved = true
+				break
+			}
+		}
+		if moved {
+			s.logf("dse: climb -> %s", cur.Key())
+			continue
+		}
+		next, ok := s.restart(rng, start)
+		if !ok {
+			// The seeded restart draws only re-proposed known configs:
+			// the reachable neighborhood is exhausted before the budget.
+			return
+		}
+		s.logf("dse: local optimum at %s; restart -> %s", cur.Key(), next.Key())
+		cur = next
+		s.evalBatch(ctx, []Config{cur})
+	}
+}
+
+// restart draws a fresh (not yet attempted) config by mutating the
+// start point a few steps. Bounded draws keep a small grammar from
+// spinning forever once fully explored.
+func (s *searcher) restart(rng *rand.Rand, start Config) (Config, bool) {
+	for try := 0; try < 128; try++ {
+		c := start
+		for hops := 1 + rng.Intn(3); hops > 0; hops-- {
+			c = c.Mutate(rng)
+		}
+		if _, ok := s.known[c.Key()]; !ok {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// generational keeps a population (the running front, capped), breeds
+// a batch of mutants per generation, and reselects. All rng draws
+// happen serially between batches.
+func (s *searcher) generational(ctx context.Context, rng *rand.Rand, start Config) {
+	const genSize, popCap = 8, 8
+	pop := []Config{start}
+	s.evalBatch(ctx, pop)
+	stalls := 0
+	for s.evals < s.opts.Budget && ctx.Err() == nil && stalls < 4 {
+		before := s.evals
+		kids := make([]Config, 0, genSize)
+		for i := 0; i < genSize; i++ {
+			kids = append(kids, pop[rng.Intn(len(pop))].Mutate(rng))
+		}
+		s.evalBatch(ctx, kids)
+		front := ParetoFront(s.points, s.opts.Objective)
+		pop = pop[:0]
+		for _, p := range front {
+			pop = append(pop, p.Config)
+			if len(pop) == popCap {
+				break
+			}
+		}
+		if len(pop) == 0 {
+			pop = []Config{start}
+		}
+		if s.evals == before {
+			stalls++ // every mutant this generation was already known
+		} else {
+			stalls = 0
+		}
+	}
+}

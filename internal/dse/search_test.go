@@ -1,0 +1,240 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"asbr/internal/serve"
+)
+
+// testBudgets keeps package tests fast: tiny traces, default budgets
+// otherwise.
+func testBudgets() Budgets { return Budgets{Samples: 64} }
+
+// runSearch executes one search against a fresh local evaluator.
+func runSearch(t *testing.T, opts Options) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), NewLocal(testBudgets()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The determinism gate: the same (seed, budget) produce byte-identical
+// asbr-dse/v1 JSON at parallel 1 and parallel 8, for both search
+// modes.
+func TestSearchParallelInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	for _, mode := range SearchModes() {
+		opts := Options{Bench: "adpcm-enc", Budget: 8, Seed: 1, Search: mode}
+		opts.Parallel = 1
+		serial := runSearch(t, opts)
+		opts.Parallel = 8
+		wide := runSearch(t, opts)
+		a, err := serial.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := wide.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: -parallel 1 and -parallel 8 diverged:\n%s\n---\n%s", mode, a, b)
+		}
+		if serial.Evaluations == 0 || serial.Evaluations > opts.Budget {
+			t.Errorf("%s: evaluations = %d, want 1..%d", mode, serial.Evaluations, opts.Budget)
+		}
+		if len(serial.Front) == 0 {
+			t.Errorf("%s: empty front", mode)
+		}
+	}
+}
+
+// The front must improve on the paper's own design point: at least one
+// front point dominates the default configuration. On adpcm-enc the
+// branch selector can fill at most a handful of BIT entries, so the
+// k=8 neighbor reaches identical cycles at strictly smaller area and
+// BIT search energy — the hill-climb's very first batch finds it.
+func TestFrontDominatesPaperDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	res := runSearch(t, Options{Bench: "adpcm-enc", Budget: 8, Seed: 1, Parallel: 4})
+	def := Default("adpcm-enc")
+	var defPoint *Point
+	for i := range res.Points {
+		if res.Points[i].Config == def {
+			defPoint = &res.Points[i]
+			break
+		}
+	}
+	if defPoint == nil {
+		t.Fatal("the search never evaluated the paper-default configuration")
+	}
+	obj := DefaultObjective()
+	dominated := false
+	for _, p := range res.Front {
+		if obj.Dominates(p.Score, defPoint.Score) {
+			dominated = true
+			break
+		}
+	}
+	if !dominated {
+		t.Errorf("no front point dominates the paper default %+v; front: %+v", defPoint.Score, res.Front)
+	}
+}
+
+// Every point the search reports is on the grammar, the front is a
+// subset of the points, and the result decodes through the strict
+// schema reader.
+func TestResultWellFormed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	res := runSearch(t, Options{Bench: "adpcm-dec", Budget: 6, Seed: 3, Parallel: 4, Search: SearchGen})
+	keys := make(map[string]bool)
+	for _, p := range res.Points {
+		if _, err := p.Config.Normalize(); err != nil {
+			t.Errorf("reported point off-grammar: %v", err)
+		}
+		if keys[p.Config.Key()] {
+			t.Errorf("duplicate evaluation reported for %s", p.Config.Key())
+		}
+		keys[p.Config.Key()] = true
+	}
+	for _, p := range res.Front {
+		if !keys[p.Config.Key()] {
+			t.Errorf("front point %s missing from the evaluated set", p.Config.Key())
+		}
+	}
+	data, err := res.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Evaluations != res.Evaluations || len(back.Front) != len(res.Front) {
+		t.Errorf("round-trip changed the result: %+v vs %+v", back, res)
+	}
+	var tab bytes.Buffer
+	res.WriteTable(&tab)
+	if !bytes.Contains(tab.Bytes(), []byte("DSE front: adpcm-dec")) {
+		t.Errorf("table missing title:\n%s", tab.String())
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	ev := NewLocal(testBudgets())
+	if _, err := Run(context.Background(), ev, Options{Bench: "adpcm-enc", Budget: 0}); err == nil {
+		t.Error("budget 0 accepted")
+	}
+	if _, err := Run(context.Background(), ev, Options{Bench: "nope", Budget: 4}); err == nil {
+		t.Error("unknown bench accepted")
+	}
+	if _, err := Run(context.Background(), ev, Options{Bench: "adpcm-enc", Budget: 4, Search: "anneal"}); err == nil {
+		t.Error("unknown search mode accepted")
+	}
+}
+
+// startWorker runs a real in-process asbr-serve daemon.
+func startWorker(t *testing.T) string {
+	t.Helper()
+	srv := serve.New(serve.Config{Workers: 2, QueueDepth: 32, DefaultSamples: 64})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// A remote search over a live daemon fleet produces byte-identical
+// output to the local evaluator: both paths end in corpus.RunBench and
+// score from the same wire snapshot.
+func TestRemoteSearchMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations over HTTP")
+	}
+	opts := Options{Bench: "adpcm-enc", Budget: 6, Seed: 1, Parallel: 4}
+	local := runSearch(t, opts)
+
+	rem, err := NewRemote([]string{startWorker(t), startWorker(t)}, testBudgets(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Run(context.Background(), rem, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := local.EncodeJSON()
+	b, _ := remote.EncodeJSON()
+	if !bytes.Equal(a, b) {
+		t.Errorf("remote search diverged from local:\n%s\n---\n%s", a, b)
+	}
+}
+
+// A dead worker in the fleet is routed around: the ring marks it dead
+// on the first failed dispatch and the search completes on the
+// survivor, still byte-identical to a healthy run.
+func TestRemoteRebalancesAroundDeadWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations over HTTP")
+	}
+	opts := Options{Bench: "adpcm-enc", Budget: 4, Seed: 1, Parallel: 2}
+	live := startWorker(t)
+	dead := httptest.NewServer(nil)
+	deadAddr := dead.URL
+	dead.Close() // connection refused from here on
+
+	rem, err := NewRemote([]string{live, deadAddr}, testBudgets(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), rem, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial {
+		t.Fatalf("search partial despite a live worker: %v", got.Errors)
+	}
+
+	healthy, err := NewRemote([]string{live}, testBudgets(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(context.Background(), healthy, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := got.EncodeJSON()
+	b, _ := want.EncodeJSON()
+	if !bytes.Equal(a, b) {
+		t.Errorf("degraded-fleet search diverged from healthy run:\n%s\n---\n%s", a, b)
+	}
+}
+
+// With no live workers at all every evaluation fails: the search
+// still returns (Partial, with per-candidate errors) instead of
+// erroring out — the CLI maps this onto exit 1.
+func TestRemoteAllDeadIsPartial(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	addr := dead.URL
+	dead.Close()
+	rem, err := NewRemote([]string{addr}, testBudgets(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), rem, Options{Bench: "adpcm-enc", Budget: 2, Seed: 1, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Partial || len(got.Front) != 0 || len(got.Errors) == 0 {
+		t.Errorf("dead fleet: partial=%t front=%d errors=%d, want partial with empty front",
+			got.Partial, len(got.Front), len(got.Errors))
+	}
+}

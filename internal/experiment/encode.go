@@ -2,7 +2,9 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"strings"
+	"text/tabwriter"
 
 	"asbr/internal/cpu"
 	"asbr/internal/obs"
@@ -31,6 +33,22 @@ const (
 func TableNames() []string {
 	return []string{TableFig6, TableFig7, TableFig9, TableFig10, TableFig11,
 		TablePower, TableMotivation, TableAblations, TableFaults}
+}
+
+// RenderText writes one table in the asbr-tables house style: a title
+// line, a tabwriter-aligned header + rows block, and a trailing blank
+// line. asbr-tables' figure renderers and asbr-dse's Pareto front
+// share this shape, so every table the project prints aligns the same
+// way.
+func RenderText(w io.Writer, title string, header []string, rows [][]string) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
 }
 
 // CellError is a failed table cell in machine-readable form: the

@@ -32,6 +32,14 @@ type Snapshot struct {
 	ExStalls       uint64  `json:"ex_stalls"`
 	ICacheMissRate float64 `json:"icache_miss_rate"`
 	DCacheMissRate float64 `json:"dcache_miss_rate"`
+
+	// Activity counters for the power model (power.EstimateSnapshot):
+	// added after V1 froze, so all omitempty — a payload without them
+	// decodes to zero and re-encodes byte-identically.
+	Fetches        uint64 `json:"fetches,omitempty"`         // instructions delivered by fetch (incl. wrong-path)
+	WrongPath      uint64 `json:"wrong_path,omitempty"`      // fetched instructions squashed before execution
+	ICacheAccesses uint64 `json:"icache_accesses,omitempty"` // I-cache lookups
+	DCacheAccesses uint64 `json:"dcache_accesses,omitempty"` // D-cache lookups
 }
 
 // FieldDiff is one differing Snapshot cell, named by the field's wire
@@ -108,6 +116,10 @@ func (s *Snapshot) Accumulate(o Snapshot) {
 	s.FetchStalls += o.FetchStalls
 	s.MemStalls += o.MemStalls
 	s.ExStalls += o.ExStalls
+	s.Fetches += o.Fetches
+	s.WrongPath += o.WrongPath
+	s.ICacheAccesses += o.ICacheAccesses
+	s.DCacheAccesses += o.DCacheAccesses
 
 	s.CPI = 0
 	if s.Instructions > 0 {

@@ -15,10 +15,13 @@
 package power
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"asbr/internal/core"
 	"asbr/internal/cpu"
+	"asbr/internal/obs"
 )
 
 // Params sets per-event energy costs in arbitrary units. The defaults
@@ -77,6 +80,76 @@ func ASBRBimodal(auxEntries, bitEntries int) Hardware {
 		BITBanks:         1,
 		HasBDT:           true,
 	}
+}
+
+// Sentinel causes for Hardware validation failures; every violation is
+// wrapped in a *FieldError naming the offending field, so callers can
+// both dispatch on the class (errors.Is) and report the exact knob.
+var (
+	// ErrNegative marks an entry count below zero.
+	ErrNegative = errors.New("negative entry count")
+	// ErrNotPowerOfTwo marks a table size that is not a power of two —
+	// the indexed and CAM structures the model prices are all
+	// power-of-two arrays; anything else silently mispriced before
+	// validation existed.
+	ErrNotPowerOfTwo = errors.New("entry count not a power of two")
+	// ErrMissingBits marks a predictor with entries but zero bits per
+	// entry (its area would silently collapse to zero).
+	ErrMissingBits = errors.New("predictor entries without predictor bits")
+)
+
+// FieldError is a Hardware validation failure: the field, the rejected
+// value, and the sentinel cause (ErrNegative, ErrNotPowerOfTwo,
+// ErrMissingBits) reachable through errors.Is/Unwrap.
+type FieldError struct {
+	Field string
+	Value int
+	Err   error
+}
+
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("power: %s = %d: %v", e.Field, e.Value, e.Err)
+}
+
+func (e *FieldError) Unwrap() error { return e.Err }
+
+// powerOfTwo reports whether n is a positive power of two.
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate rejects degenerate configurations before they reach
+// AreaBits/arrayAccess, which would otherwise price them as silent
+// garbage (negative areas, sqrt of junk ratios). Zero means "structure
+// absent" and is always legal; a present structure must be a power-of-
+// two array, matching every configuration the paper and the DSE
+// grammar can express.
+func (h Hardware) Validate() error {
+	tables := []struct {
+		field string
+		value int
+	}{
+		{"PredictorEntries", h.PredictorEntries},
+		{"BTBEntries", h.BTBEntries},
+		{"BITEntries", h.BITEntries},
+		{"BITBanks", h.BITBanks},
+	}
+	for _, t := range tables {
+		if t.value < 0 {
+			return &FieldError{Field: t.field, Value: t.value, Err: ErrNegative}
+		}
+		if t.value > 0 && !powerOfTwo(t.value) {
+			return &FieldError{Field: t.field, Value: t.value, Err: ErrNotPowerOfTwo}
+		}
+	}
+	if h.PredictorBits < 0 {
+		return &FieldError{Field: "PredictorBits", Value: h.PredictorBits, Err: ErrNegative}
+	}
+	if h.HistoryBits < 0 {
+		return &FieldError{Field: "HistoryBits", Value: h.HistoryBits, Err: ErrNegative}
+	}
+	if h.PredictorEntries > 0 && h.PredictorBits == 0 {
+		return &FieldError{Field: "PredictorBits", Value: h.PredictorBits, Err: ErrMissingBits}
+	}
+	return nil
 }
 
 // The storage cost of one BTB entry: a 30-bit tag plus a 32-bit target.
@@ -159,5 +232,35 @@ func Estimate(p Params, h Hardware, st cpu.Stats, eng *core.Stats) Report {
 		r.BDT = p.BDTUpdate * (float64(st.Instructions) + float64(eng.Folds+eng.Fallbacks))
 	}
 	r.Caches = p.CacheAccess * float64(st.ICache.Accesses()+st.DCache.Accesses())
+	return r
+}
+
+// EstimateSnapshot is Estimate over the canonical cross-layer record
+// instead of the in-process counter structs: every activity term comes
+// from obs.Snapshot fields that ride the serve wire protocol
+// (SimStatsV1), so a score computed from a remote daemon's response is
+// byte-identical to one computed from a local run. The BDT read stream
+// (Estimate's eng.Folds+eng.Fallbacks) maps onto the snapshot's Folded
+// and FoldFallbacks counters, which the engine reports through the
+// same cpu.Stats projection.
+func EstimateSnapshot(p Params, h Hardware, s obs.Snapshot) Report {
+	var r Report
+	r.Pipeline = p.PipeSlot * float64(s.Instructions)
+	r.WrongPath = p.WrongPathSlot * float64(s.WrongPath)
+	if h.PredictorEntries > 0 {
+		r.Predictor = 2 * arrayAccess(p.ArrayBase, h.PredictorEntries) * float64(s.CondBranches)
+	}
+	if h.BTBEntries > 0 {
+		lookups := float64(s.CondBranches)
+		updates := float64(s.TakenBranches)
+		r.BTB = arrayAccess(p.ArrayBase, h.BTBEntries) * (lookups + updates)
+	}
+	if h.BITEntries > 0 {
+		r.BIT = p.CAMPerEntry * float64(h.BITEntries) * float64(s.Fetches)
+	}
+	if h.HasBDT {
+		r.BDT = p.BDTUpdate * (float64(s.Instructions) + float64(s.Folded+s.FoldFallbacks))
+	}
+	r.Caches = p.CacheAccess * float64(s.ICacheAccesses+s.DCacheAccesses)
 	return r
 }

@@ -1,6 +1,7 @@
 package power
 
 import (
+	"errors"
 	"testing"
 
 	"asbr/internal/core"
@@ -80,6 +81,86 @@ func TestEstimateComponents(t *testing.T) {
 	}
 	if got := base.Total(); got != base.Pipeline+base.WrongPath+base.Predictor+base.BTB+base.Caches {
 		t.Fatalf("total mismatch: %v", got)
+	}
+}
+
+func TestHardwareValidate(t *testing.T) {
+	mod := func(f func(*Hardware)) Hardware {
+		h := ASBRBimodal(512, 16)
+		f(&h)
+		return h
+	}
+	cases := []struct {
+		name  string
+		h     Hardware
+		field string
+		want  error // nil = must validate
+	}{
+		{"paper baseline", BaselineBimodal2048(), "", nil},
+		{"paper gshare", BaselineGShare(), "", nil},
+		{"paper asbr", ASBRBimodal(512, 16), "", nil},
+		{"all absent", Hardware{}, "", nil},
+		{"nottaken with BDT", Hardware{BITEntries: 16, BITBanks: 1, HasBDT: true}, "", nil},
+		{"negative predictor", mod(func(h *Hardware) { h.PredictorEntries = -512 }), "PredictorEntries", ErrNegative},
+		{"non-pow2 predictor", mod(func(h *Hardware) { h.PredictorEntries = 100 }), "PredictorEntries", ErrNotPowerOfTwo},
+		{"negative btb", mod(func(h *Hardware) { h.BTBEntries = -1 }), "BTBEntries", ErrNegative},
+		{"non-pow2 btb", mod(func(h *Hardware) { h.BTBEntries = 600 }), "BTBEntries", ErrNotPowerOfTwo},
+		{"negative bit", mod(func(h *Hardware) { h.BITEntries = -16 }), "BITEntries", ErrNegative},
+		{"non-pow2 bit", mod(func(h *Hardware) { h.BITEntries = 12 }), "BITEntries", ErrNotPowerOfTwo},
+		{"negative banks", mod(func(h *Hardware) { h.BITBanks = -2 }), "BITBanks", ErrNegative},
+		{"non-pow2 banks", mod(func(h *Hardware) { h.BITBanks = 3 }), "BITBanks", ErrNotPowerOfTwo},
+		{"negative predictor bits", mod(func(h *Hardware) { h.PredictorBits = -2 }), "PredictorBits", ErrNegative},
+		{"negative history bits", mod(func(h *Hardware) { h.HistoryBits = -11 }), "HistoryBits", ErrNegative},
+		{"entries without bits", mod(func(h *Hardware) { h.PredictorBits = 0 }), "PredictorBits", ErrMissingBits},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.h.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want cause %v", err, tc.want)
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("Validate() = %T, want *FieldError", err)
+			}
+			if fe.Field != tc.field {
+				t.Fatalf("FieldError.Field = %q, want %q", fe.Field, tc.field)
+			}
+		})
+	}
+}
+
+// TestEstimateSnapshotMatchesEstimate pins the wire-stats estimator to
+// the counter-struct one: a snapshot carrying the same activity figures
+// must price to the same report, which is what makes a remote DSE
+// score byte-identical to a local one.
+func TestEstimateSnapshotMatchesEstimate(t *testing.T) {
+	p := DefaultParams()
+	st := cpu.Stats{
+		Instructions:  9000,
+		WrongPath:     700,
+		CondBranches:  1000,
+		TakenBranches: 500,
+		Fetches:       9700,
+		Folded:        950,
+		FoldFallbacks: 50,
+	}
+	es := &core.Stats{Folds: 950, Fallbacks: 50}
+	sn := st.Snapshot()
+	h := ASBRBimodal(512, 16)
+	want := Estimate(p, h, st, es)
+	got := EstimateSnapshot(p, h, sn)
+	if got != want {
+		t.Fatalf("EstimateSnapshot = %+v, want %+v", got, want)
+	}
+	if got.Total() <= 0 {
+		t.Fatal("zero total energy for a live run")
 	}
 }
 

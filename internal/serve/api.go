@@ -109,6 +109,40 @@ func normalizeSim(r *SimRequest, cfg Config) error {
 	if r.BITEntries < 0 {
 		return badRequest("bit_entries must be >= 0")
 	}
+	if r.BITBanks < 0 {
+		return badRequest("bit_banks must be >= 0")
+	}
+	if r.BITBanks > 0 && (r.BITBanks&(r.BITBanks-1) != 0 || r.BITBanks > 8) {
+		return badRequest("bit_banks %d must be a power of two <= 8", r.BITBanks)
+	}
+	switch strings.ToLower(r.Update) {
+	case "":
+		// Zero means the paper default; keep it empty so pre-existing
+		// clients' keys and records are unchanged.
+	case "ex", "mem", "wb":
+		r.Update = strings.ToLower(r.Update)
+	default:
+		return badRequest("unknown update point %q (want ex|mem|wb)", r.Update)
+	}
+	for _, c := range []struct {
+		name string
+		kb   int
+	}{{"icache_kb", r.ICacheKB}, {"dcache_kb", r.DCacheKB}} {
+		if c.kb < 0 {
+			return badRequest("%s must be >= 0", c.name)
+		}
+		if c.kb > 0 && (c.kb&(c.kb-1) != 0 || c.kb > 64) {
+			return badRequest("%s %d must be a power of two <= 64", c.name, c.kb)
+		}
+	}
+	switch r.Sched {
+	case "", workload.SchedNone, workload.SchedCompiler, workload.SchedFull:
+	default:
+		return badRequest("unknown sched level %q (want %s)", r.Sched, strings.Join(workload.SchedLevels(), "|"))
+	}
+	if r.Sched != "" && r.Bench == "" {
+		return badRequest("sched applies to bench requests only (source requests use schedule)")
+	}
 	if r.MaxCycles == 0 {
 		r.MaxCycles = cfg.DefaultMaxCycles
 	}

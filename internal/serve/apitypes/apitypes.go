@@ -43,11 +43,32 @@ type SimRequestV1 struct {
 	ASBR       bool   `json:"asbr,omitempty"`        // profile, select, fold, re-run
 	BITEntries int    `json:"bit_entries,omitempty"` // BIT capacity for ASBR (0 = per-bench default)
 
+	// DSE configuration-vector knobs, added after V1 froze: all
+	// omitempty, so pre-existing clients marshal unchanged payloads and
+	// zero always means the paper-default platform.
+	BITBanks int    `json:"bit_banks,omitempty"` // BIT bank count (0 = 1)
+	Update   string `json:"update,omitempty"`    // BDT update point ex|mem|wb ("" = mem)
+	ICacheKB int    `json:"icache_kb,omitempty"`  // I-cache size in KB (0 = the paper's 8)
+	DCacheKB int    `json:"dcache_kb,omitempty"`  // D-cache size in KB (0 = the paper's 8)
+	Sched    string `json:"sched,omitempty"`      // Bench mode: scheduling level none|compiler|full ("" = full)
+
 	Samples int   `json:"samples,omitempty"` // Bench mode: audio samples (default server-side)
 	Seed    int64 `json:"seed,omitempty"`    // Bench mode: synthetic-trace seed (default 1)
 
 	MaxCycles uint64 `json:"max_cycles,omitempty"` // watchdog cycle budget (default server-side)
 	TimeoutMS int64  `json:"timeout_ms,omitempty"` // wall-clock budget (default server-side)
+}
+
+// BuildOptions returns the bench-mode compile options the request's
+// scheduling level implies ("" = the historical full scheduling).
+// Unknown levels fall back to full — normalization rejects them before
+// any keyed or executed path can see one.
+func (r *SimRequestV1) BuildOptions() workload.BuildOptions {
+	opt, err := workload.BuildOptionsLevel(r.Bench, r.Sched)
+	if err != nil {
+		return workload.BuildOptionsFor(r.Bench, true)
+	}
+	return opt
 }
 
 // Key returns the request's canonical coalescing key. Program and
@@ -59,15 +80,15 @@ func (r *SimRequestV1) Key() string {
 	var b strings.Builder
 	b.WriteString("sim|")
 	if r.Bench != "" {
-		b.WriteString(runner.NewProgramKey(r.Bench, workload.BuildOptionsFor(r.Bench, true)).Canonical())
+		b.WriteString(runner.NewProgramKey(r.Bench, r.BuildOptions()).Canonical())
 		b.WriteString("|")
 		b.WriteString(runner.NewTraceKey(r.Bench, r.Samples, r.Seed).Canonical())
 	} else {
 		sum := sha256.Sum256([]byte(r.Source))
 		fmt.Fprintf(&b, "src/%s?compile=%t&sched=%t", hex.EncodeToString(sum[:]), r.Compile, r.Schedule)
 	}
-	fmt.Fprintf(&b, "|pred=%s|asbr=%t|k=%d|maxcycles=%d|timeout=%d",
-		r.Predictor, r.ASBR, r.BITEntries, r.MaxCycles, r.TimeoutMS)
+	fmt.Fprintf(&b, "|pred=%s|asbr=%t|k=%d|banks=%d|update=%s|ic=%d|dc=%d|maxcycles=%d|timeout=%d",
+		r.Predictor, r.ASBR, r.BITEntries, r.BITBanks, r.Update, r.ICacheKB, r.DCacheKB, r.MaxCycles, r.TimeoutMS)
 	return b.String()
 }
 

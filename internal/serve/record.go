@@ -3,7 +3,6 @@ package serve
 import (
 	"asbr/internal/corpus"
 	"asbr/internal/runner"
-	"asbr/internal/workload"
 )
 
 // recordFor maps one executed simulation onto its replay record: the
@@ -19,12 +18,18 @@ func recordFor(req *SimRequest, resp *SimResponse) corpus.Record {
 			ASBR:       req.ASBR,
 			BITEntries: req.BITEntries,
 			MaxCycles:  req.MaxCycles,
+			Update:     req.Update,
+			BITBanks:   req.BITBanks,
+			ICacheKB:   req.ICacheKB,
+			DCacheKB:   req.DCacheKB,
 		},
 		Snapshot: resp.Stats,
 	}
 	if req.Bench != "" {
 		rec.Bench = req.Bench
-		rec.Key = runner.NewProgramKey(req.Bench, workload.BuildOptionsFor(req.Bench, true)).Canonical()
+		// The scheduling level rides in the canonical key's
+		// manual/compiler bits, which is how replay rebuilds the program.
+		rec.Key = runner.NewProgramKey(req.Bench, req.BuildOptions()).Canonical()
 		rec.Config.Samples = req.Samples
 		rec.Config.Seed = req.Seed
 	} else {

@@ -315,78 +315,64 @@ func (s *Server) simulateCtx(ctx context.Context, req *SimRequest, tr *obs.Trace
 	return s.simulateSource(ctx, req, tr)
 }
 
-// machineFor assembles the paper's platform around the requested
-// predictor with the request's watchdog budget, through the shared
-// corpus.Machine constructor — the same one record replay uses, so a
-// served job and its cold replay cannot configure differently. The
-// predictor rides by name in cpu.Config — cpu.New resolves it through
-// predict.ByName, the same vocabulary normalizeSim validated against.
+// machineFor assembles the requested platform around the request's
+// machine-shape knobs, through the shared corpus.MachineFor
+// constructor — the same one record replay and the DSE evaluators use,
+// so a served job and its cold replay cannot configure differently.
+// The predictor rides by name in cpu.Config — cpu.New resolves it
+// through predict.ByName, the same vocabulary normalizeSim validated
+// against.
 func machineFor(req *SimRequest) cpu.Config {
-	return corpus.Machine(req.Predictor, cpu.EngineAuto, req.MaxCycles)
+	cfg, err := corpus.MachineFor(machineSpec(req))
+	if err != nil {
+		// Unreachable: normalizeSim validated every spec field.
+		panic(err)
+	}
+	return cfg
 }
 
-// simulateBench runs a built-in benchmark over the shared artifact
-// store: the compiled program, input trace and golden output are each
-// built once per daemon no matter how many requests touch them.
-func (s *Server) simulateBench(ctx context.Context, req *SimRequest, tr *obs.Tracer) (*SimResponse, error) {
-	prog, err := s.arts.Program(req.Bench, workload.BuildOptionsFor(req.Bench, true))
-	if err != nil {
-		return nil, fmt.Errorf("serve: build %s: %w", req.Bench, err)
+// machineSpec projects a normalized request onto the shared machine
+// spec.
+func machineSpec(req *SimRequest) corpus.MachineSpec {
+	return corpus.MachineSpec{
+		Predictor: req.Predictor,
+		Engine:    cpu.EngineAuto,
+		MaxCycles: req.MaxCycles,
+		Update:    req.Update,
+		ICacheKB:  req.ICacheKB,
+		DCacheKB:  req.DCacheKB,
 	}
-	in, err := s.arts.Input(req.Bench, req.Samples, req.Seed)
+}
+
+// simulateBench runs a built-in benchmark through the shared
+// corpus.RunBench execution path over the daemon's artifact store: the
+// compiled program, input trace and golden output are each built once
+// per daemon no matter how many requests touch them.
+func (s *Server) simulateBench(ctx context.Context, req *SimRequest, tr *obs.Tracer) (*SimResponse, error) {
+	br, err := corpus.RunBench(ctx, &s.arts, corpus.BenchRun{
+		Bench:      req.Bench,
+		Build:      req.BuildOptions(),
+		Spec:       machineSpec(req),
+		ASBR:       req.ASBR,
+		BITEntries: req.BITEntries,
+		BITBanks:   req.BITBanks,
+		Samples:    req.Samples,
+		Seed:       req.Seed,
+		Trace:      tr,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("serve: input %s: %w", req.Bench, err)
+		return nil, err
 	}
 	resp := &SimResponse{
 		Bench: req.Bench, Predictor: req.Predictor, ASBR: req.ASBR,
 		Samples: req.Samples, Seed: req.Seed,
 	}
-
-	cfg := machineFor(req)
-	// Requests simulating the same compiled benchmark share one decode
-	// table via the artifact store.
-	cfg.Predecoded = s.arts.Predecode(prog)
-	if !req.ASBR {
-		if tr != nil {
-			cfg.Obs = tr
-		}
-		res, err := workload.RunContext(ctx, prog, cfg, in, req.Samples)
-		if err != nil {
-			return nil, err
-		}
-		s.finishBench(req, resp, res)
-		return resp, nil
+	s.finishBench(req, resp, br.Res)
+	if req.ASBR {
+		resp.BITEntries = br.Loaded
+		resp.BaselineCycles = br.BaselineCycles
+		resp.Improvement = 1 - float64(br.Res.Stats.Cycles)/float64(br.BaselineCycles)
 	}
-
-	// ASBR flow: one profiled run on the auxiliary shadow, selection,
-	// then the folded run — both under the same budgets.
-	prof := profile.New(predict.Must(predict.NewBimodal(512)))
-	pcfg := cfg
-	pcfg.Observer = prof
-	base, err := workload.RunContext(ctx, prog, pcfg, in, req.Samples)
-	if err != nil {
-		return nil, err
-	}
-	eng, n, err := corpus.BuildEngine(prog, prof, corpus.ResolveBITEntries(req.Bench, req.BITEntries), req.Samples)
-	if err != nil {
-		return nil, err
-	}
-	fcfg := cfg
-	fcfg.Fold = eng
-	if tr != nil {
-		// Trace the measured (folded) run only, never the profile run,
-		// and let the engine report BIT/BDT events through the same sink.
-		fcfg.Obs = tr
-		eng.SetEventSink(tr)
-	}
-	res, err := workload.RunContext(ctx, prog, fcfg, in, req.Samples)
-	if err != nil {
-		return nil, err
-	}
-	s.finishBench(req, resp, res)
-	resp.BITEntries = n
-	resp.BaselineCycles = base.Stats.Cycles
-	resp.Improvement = 1 - float64(res.Stats.Cycles)/float64(base.Stats.Cycles)
 	return resp, nil
 }
 
@@ -444,7 +430,7 @@ func (s *Server) simulateSource(ctx context.Context, req *SimRequest, tr *obs.Tr
 	if err != nil {
 		return nil, err
 	}
-	eng, n, err := corpus.BuildEngine(prog, prof, corpus.ResolveBITEntries("", req.BITEntries), 0)
+	eng, n, err := corpus.BuildEngineBanked(prog, prof, corpus.ResolveBITEntries("", req.BITEntries), req.BITBanks, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ package workload
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"asbr/internal/cc"
 	"asbr/internal/cpu"
@@ -108,6 +109,32 @@ func BuildOptionsFor(name string, schedule bool) BuildOptions {
 	}
 	manual := name == G721Encode || name == G721Decode
 	return BuildOptions{ManualSchedule: manual, CompilerSchedule: true}
+}
+
+// Scheduling aggressiveness levels — the MiniC scheduling axis of the
+// DSE configuration vector. "full" is the paper's §5.1/§8 methodology
+// (BuildOptionsFor with schedule=true) and the historical default.
+const (
+	SchedNone     = "none"     // plain compile, no scheduling pass
+	SchedCompiler = "compiler" // automatic basic-block scheduling only
+	SchedFull     = "full"     // compiler pass + manual source scheduling where it pays
+)
+
+// SchedLevels lists the scheduling levels in increasing aggressiveness.
+func SchedLevels() []string { return []string{SchedNone, SchedCompiler, SchedFull} }
+
+// BuildOptionsLevel maps a scheduling level name ("" = full, the
+// historical behavior) onto build options.
+func BuildOptionsLevel(name, level string) (BuildOptions, error) {
+	switch level {
+	case "", SchedFull:
+		return BuildOptionsFor(name, true), nil
+	case SchedCompiler:
+		return BuildOptions{CompilerSchedule: true}, nil
+	case SchedNone:
+		return BuildOptions{}, nil
+	}
+	return BuildOptions{}, fmt.Errorf("workload: unknown scheduling level %q (want %s)", level, strings.Join(SchedLevels(), "|"))
 }
 
 // Build compiles a benchmark. With schedule=true the paper's §5.1/§8
