@@ -27,17 +27,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Engine throughput over the four paper benchmarks on both cycle
-# engines: writes BENCH_cpu.json (cycles/sec, ns/instr, allocs/run,
-# fold-hit rate, fast-over-reference speedup).
+# Engine throughput over the four paper benchmarks on all three cycle
+# engines: writes the asbr-bench/v1 report BENCH_cpu.json (cycles/sec,
+# ns/instr, allocs/run, fold-hit rate, and the fast and superblock
+# speedups over the reference engine).
 bench:
 	$(GO) run ./cmd/asbr-bench -o BENCH_cpu.json
 
 # The CI regression gate: measure, then compare the host-portable
-# metrics (speedup ratio, allocation counts, fold-hit rate) against the
-# checked-in baseline; >10% worse fails.
+# metrics (fast and superblock speedup ratios and geomeans, allocation
+# counts) against the checked-in baseline at 10% tolerance, plus an
+# absolute 4x floor on the superblock geomean speedup. The baseline's
+# per-row speedups are conservative floors (the reference denominator
+# pays real GC, so single rows are noisy); the geomean floor is the
+# gate that a superblock fused-loop regression actually trips.
 bench-check:
-	$(GO) run ./cmd/asbr-bench -o BENCH_cpu.json -compare BENCH_baseline.json
+	$(GO) run ./cmd/asbr-bench -o BENCH_cpu.json -compare BENCH_baseline.json -min-super-geomean 4
 
 # One iteration of the Figure 6 benchmark suite: catches bit-rot in the
 # bench harness without paying for a full measurement run.
@@ -81,11 +86,11 @@ trace-smoke:
 
 # Corpus differential-replay gate: regenerate a seeded corpus of
 # control-dominated MiniC programs from seeds alone and replay every
-# entry through the fast and reference engines in lockstep — plus a
-# live /v1/jobs round-trip through an in-process daemon — failing on
-# the first snapshot divergence with the generating seed pinned. The
-# second (inverted) run proves the harness actually catches a fault:
-# an injected BDT corruption must make it fail.
+# entry through the fast, superblock and reference engines in lockstep
+# — plus a live /v1/jobs round-trip through an in-process daemon —
+# failing on the first snapshot divergence with the generating seed
+# pinned. The second (inverted) run proves the harness actually catches
+# a fault: an injected BDT corruption must make it fail.
 corpus-check:
 	$(GO) run ./cmd/asbr-corpus check -entries $(CORPUS_ENTRIES) -q -serve
 	@echo "corpus-check: injected-fault run follows; it MUST fail (the ! inverts it)"

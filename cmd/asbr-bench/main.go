@@ -1,8 +1,9 @@
 // Command asbr-bench measures simulator throughput over the paper's
-// four benchmarks on both cycle engines and writes the machine-
-// readable report BENCH_cpu.json (simulated cycles per second, host
-// ns per committed instruction, allocations per run, ASBR fold-hit
-// rate, and the fast-over-reference speedup).
+// four benchmarks on all three cycle engines and writes the versioned
+// asbr-bench/v1 report BENCH_cpu.json (simulated cycles per second,
+// host ns per committed instruction, allocations per run, ASBR
+// fold-hit rate, and each batch engine's speedup over the reference
+// engine).
 //
 //	asbr-bench                           # measure, print, write BENCH_cpu.json
 //	asbr-bench -iters 5 -n 2048          # measurement effort
@@ -10,24 +11,31 @@
 //	asbr-bench -compare BENCH_baseline.json -threshold 0.15
 //
 // The compare gate checks only host-portable metrics — the speedup
-// ratio (both engines run on the same machine, so the ratio cancels
-// host speed) and the fast engine's allocation counts (deterministic)
+// ratios (all engines run on the same machine, so the ratio cancels
+// host speed) and the batch engines' allocation counts (deterministic)
 // — never absolute wall-clock numbers, so one checked-in baseline
 // works on any hardware. A metric more than -threshold worse than the
-// baseline fails the run with exit status 1.
+// baseline fails the run with exit status 1. -min-super-geomean adds
+// an absolute floor on the superblock geomean speedup (also a ratio,
+// so host-portable): CI pins it so a superblock regression fails even
+// if someone lowers the baseline.
+//
+// Per-benchmark speedups are noisy (the reference denominator pays
+// real GC); the checked-in baseline records conservative floors per
+// row and keeps the tight gate on the geomeans, which are stable
+// run-to-run.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
 	"runtime"
 	"sort"
 	"time"
 
+	"asbr/internal/bench"
 	"asbr/internal/core"
 	"asbr/internal/cpu"
 	"asbr/internal/isa"
@@ -37,40 +45,13 @@ import (
 	"asbr/internal/workload"
 )
 
-// EngineResult is one engine's measurement on one benchmark.
-type EngineResult struct {
-	NsPerInstr   float64 `json:"ns_per_instr"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	AllocsPerRun float64 `json:"allocs_per_run"`
-	BytesPerRun  float64 `json:"bytes_per_run"`
-	Cycles       uint64  `json:"cycles"`       // per run
-	Instructions uint64  `json:"instructions"` // per run
-}
-
-// BenchResult pairs the two engines on one benchmark.
-type BenchResult struct {
-	Name        string       `json:"name"`
-	Fast        EngineResult `json:"fast"`
-	Reference   EngineResult `json:"reference"`
-	Speedup     float64      `json:"speedup"` // reference ns/instr over fast ns/instr
-	FoldHitRate float64      `json:"fold_hit_rate"`
-}
-
-// Report is the BENCH_cpu.json document.
-type Report struct {
-	GoVersion      string        `json:"go_version"`
-	Iterations     int           `json:"iterations"`
-	Samples        int           `json:"samples"`
-	Benchmarks     []BenchResult `json:"benchmarks"`
-	GeomeanSpeedup float64       `json:"geomean_speedup"`
-}
-
 func main() {
 	out := flag.String("o", "BENCH_cpu.json", "report output path")
 	iters := flag.Int("iters", 5, "measurement iterations per engine and benchmark")
 	n := flag.Int("n", 4096, "audio samples per benchmark run")
 	compare := flag.String("compare", "", "baseline report to gate against (exit 1 on regression)")
 	threshold := flag.Float64("threshold", 0.10, "allowed relative regression vs the baseline")
+	minSuper := flag.Float64("min-super-geomean", 0, "absolute floor on the superblock geomean speedup (0 disables)")
 	flag.Parse()
 
 	rep, err := measure(*iters, *n)
@@ -80,24 +61,25 @@ func main() {
 	}
 	render(rep)
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "asbr-bench:", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+	if err := bench.WriteFile(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, "asbr-bench:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
 
+	if *minSuper > 0 && rep.GeomeanSuperblock < *minSuper {
+		fmt.Fprintf(os.Stderr, "asbr-bench: REGRESSION: superblock geomean speedup %.2fx below the %.2fx floor\n",
+			rep.GeomeanSuperblock, *minSuper)
+		os.Exit(1)
+	}
+
 	if *compare != "" {
-		base, err := readReport(*compare)
+		base, err := bench.ReadFile(*compare)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "asbr-bench:", err)
 			os.Exit(1)
 		}
-		regs := regressions(base, rep, *threshold)
+		regs := bench.Regressions(base, rep, *threshold)
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintf(os.Stderr, "asbr-bench: REGRESSION: %s\n", r)
@@ -108,9 +90,8 @@ func main() {
 	}
 }
 
-func measure(iters, n int) (*Report, error) {
-	rep := &Report{GoVersion: runtime.Version(), Iterations: iters, Samples: n}
-	logSpeedup := 0.0
+func measure(iters, n int) (*bench.Report, error) {
+	rep := &bench.Report{GoVersion: runtime.Version(), Iterations: iters, Samples: n}
 	for _, name := range workload.Names() {
 		prog, err := workload.Build(name, true)
 		if err != nil {
@@ -126,6 +107,10 @@ func measure(iters, n int) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s/fast: %v", name, err)
 		}
+		super, err := measureEngine(prog, in, n, iters, cpu.EngineSuperblock, pre)
+		if err != nil {
+			return nil, fmt.Errorf("%s/superblock: %v", name, err)
+		}
 		ref, err := measureEngine(prog, in, n, iters, cpu.EngineReference, nil)
 		if err != nil {
 			return nil, fmt.Errorf("%s/reference: %v", name, err)
@@ -134,15 +119,14 @@ func measure(iters, n int) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s/fold: %v", name, err)
 		}
-		br := BenchResult{
-			Name: name, Fast: fast, Reference: ref,
-			Speedup:     ref.NsPerInstr / fast.NsPerInstr,
-			FoldHitRate: fhr,
-		}
-		logSpeedup += math.Log(br.Speedup)
-		rep.Benchmarks = append(rep.Benchmarks, br)
+		rep.Benchmarks = append(rep.Benchmarks, bench.Result{
+			Name: name, Fast: fast, Superblock: super, Reference: ref,
+			FastSpeedup:       ref.NsPerInstr / fast.NsPerInstr,
+			SuperblockSpeedup: ref.NsPerInstr / super.NsPerInstr,
+			FoldHitRate:       fhr,
+		})
 	}
-	rep.GeomeanSpeedup = math.Exp(logSpeedup / float64(len(rep.Benchmarks)))
+	rep.Finalize()
 	return rep, nil
 }
 
@@ -159,7 +143,7 @@ func engineConfig(eng cpu.Engine, pre *cpu.Predecoded) cpu.Config {
 // GC cost. Allocation counts come from the runtime's malloc counter
 // across the timed region and are averaged (they are deterministic up
 // to runtime-internal allocations).
-func measureEngine(prog *isa.Program, in []int32, n, iters int, eng cpu.Engine, pre *cpu.Predecoded) (EngineResult, error) {
+func measureEngine(prog *isa.Program, in []int32, n, iters int, eng cpu.Engine, pre *cpu.Predecoded) (bench.EngineResult, error) {
 	run := func() (cpu.Stats, error) {
 		res, err := workload.RunContext(context.Background(), prog, engineConfig(eng, pre), in, n)
 		if err != nil {
@@ -169,7 +153,7 @@ func measureEngine(prog *isa.Program, in []int32, n, iters int, eng cpu.Engine, 
 	}
 	st, err := run() // warmup; also the per-run counters (deterministic)
 	if err != nil {
-		return EngineResult{}, err
+		return bench.EngineResult{}, err
 	}
 
 	var before, after runtime.MemStats
@@ -179,7 +163,7 @@ func measureEngine(prog *isa.Program, in []int32, n, iters int, eng cpu.Engine, 
 	for i := 0; i < iters; i++ {
 		start := time.Now()
 		if _, err := run(); err != nil {
-			return EngineResult{}, err
+			return bench.EngineResult{}, err
 		}
 		times[i] = time.Since(start)
 	}
@@ -187,7 +171,7 @@ func measureEngine(prog *isa.Program, in []int32, n, iters int, eng cpu.Engine, 
 
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 	med := times[iters/2]
-	return EngineResult{
+	return bench.EngineResult{
 		NsPerInstr:   float64(med.Nanoseconds()) / float64(st.Instructions),
 		CyclesPerSec: float64(st.Cycles) / med.Seconds(),
 		AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(iters),
@@ -236,60 +220,15 @@ func foldHitRate(prog *isa.Program, in []int32, n int) (float64, error) {
 	return float64(res.Stats.Folded) / float64(hits), nil
 }
 
-func readReport(path string) (*Report, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var rep Report
-	if err := json.Unmarshal(data, &rep); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
-	}
-	return &rep, nil
-}
-
-// regressions lists every host-portable metric of cur that is more
-// than threshold worse than base. Wall-clock metrics are reported in
-// the JSON but never gated: they do not transfer between machines.
-func regressions(base, cur *Report, threshold float64) []string {
-	byName := map[string]BenchResult{}
-	for _, b := range cur.Benchmarks {
-		byName[b.Name] = b
-	}
-	var regs []string
-	for _, b := range base.Benchmarks {
-		c, ok := byName[b.Name]
-		if !ok {
-			regs = append(regs, fmt.Sprintf("%s: missing from current report", b.Name))
-			continue
-		}
-		if c.Speedup < b.Speedup*(1-threshold) {
-			regs = append(regs, fmt.Sprintf("%s: speedup %.2fx, baseline %.2fx (>%.0f%% drop)",
-				b.Name, c.Speedup, b.Speedup, 100*threshold))
-		}
-		// Allocation counts are deterministic; allow the relative
-		// threshold plus a tiny absolute slack for runtime-internal
-		// allocations that land in the timed window.
-		if c.Fast.AllocsPerRun > b.Fast.AllocsPerRun*(1+threshold)+16 {
-			regs = append(regs, fmt.Sprintf("%s: fast engine %.0f allocs/run, baseline %.0f",
-				b.Name, c.Fast.AllocsPerRun, b.Fast.AllocsPerRun))
-		}
-		if c.FoldHitRate < b.FoldHitRate-0.01 {
-			regs = append(regs, fmt.Sprintf("%s: fold-hit rate %.3f, baseline %.3f",
-				b.Name, c.FoldHitRate, b.FoldHitRate))
-		}
-	}
-	return regs
-}
-
-func render(rep *Report) {
+func render(rep *bench.Report) {
 	fmt.Printf("engine throughput (n=%d, %d iterations, %s)\n", rep.Samples, rep.Iterations, rep.GoVersion)
-	fmt.Printf("%-10s  %12s  %12s  %14s  %10s  %8s  %s\n",
-		"benchmark", "fast ns/in", "ref ns/in", "cycles/sec", "allocs/run", "speedup", "fold-hit")
+	fmt.Printf("%-10s  %11s  %11s  %11s  %9s  %9s  %s\n",
+		"benchmark", "fast ns/in", "super ns/in", "ref ns/in", "fast spd", "super spd", "fold-hit")
 	for _, b := range rep.Benchmarks {
-		fmt.Printf("%-10s  %12.1f  %12.1f  %14.0f  %10.0f  %7.2fx  %7.3f\n",
-			b.Name, b.Fast.NsPerInstr, b.Reference.NsPerInstr,
-			b.Fast.CyclesPerSec, b.Fast.AllocsPerRun, b.Speedup, b.FoldHitRate)
+		fmt.Printf("%-10s  %11.1f  %11.1f  %11.1f  %8.2fx  %8.2fx  %7.3f\n",
+			b.Name, b.Fast.NsPerInstr, b.Superblock.NsPerInstr, b.Reference.NsPerInstr,
+			b.FastSpeedup, b.SuperblockSpeedup, b.FoldHitRate)
 	}
-	fmt.Printf("geomean speedup: %.2fx\n", rep.GeomeanSpeedup)
+	fmt.Printf("geomean speedup over reference: fast %.2fx, superblock %.2fx\n",
+		rep.GeomeanFast, rep.GeomeanSuperblock)
 }

@@ -50,14 +50,16 @@ func main() {
 		cfg.Obs = tr
 	}
 	var prog *isa.Program
+	var resolved cpu.Engine
 	switch {
 	case *bench != "":
 		prog, err = workload.Build(*bench, true)
 		check(err)
 		in, ierr := workload.Input(*bench, *n, 1)
 		check(ierr)
-		_, err = workload.RunContext(ctx, prog, cfg, in, *n)
-		check(err)
+		res, rerr := workload.RunContext(ctx, prog, cfg, in, *n)
+		check(rerr)
+		resolved = res.CPU.ResolvedEngine()
 	case flag.NArg() == 1:
 		src, rerr := os.ReadFile(flag.Arg(0))
 		check(rerr)
@@ -71,14 +73,15 @@ func main() {
 		check(cerr)
 		_, err = c.RunContext(ctx)
 		check(err)
+		resolved = c.ResolvedEngine()
 	default:
 		fmt.Fprintln(os.Stderr, "usage: asbr-prof [-bench name | program.{s,mc}]")
 		os.Exit(2)
 	}
 
 	stats := prof.Stats()
-	fmt.Printf("%d static conditional branches, %d dynamic executions\n\n",
-		len(stats), prof.TotalBranches())
+	fmt.Printf("%d static conditional branches, %d dynamic executions (%s engine)\n\n",
+		len(stats), prof.TotalBranches(), resolved)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "pc\texec\ttaken\tnot-taken\tbimodal\tgshare\tdist")
 	for i, st := range stats {

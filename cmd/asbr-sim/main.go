@@ -346,6 +346,7 @@ func runOnce(ctx context.Context, prog *isa.Program, cfg cpu.Config) (*cpu.CPU, 
 
 func report(w io.Writer, c *cpu.CPU, eng *core.Engine) {
 	st := c.Stats()
+	fmt.Fprintf(w, "engine:        %s\n", c.ResolvedEngine())
 	fmt.Fprintf(w, "cycles:        %d\n", st.Cycles)
 	fmt.Fprintf(w, "instructions:  %d (CPI %.2f)\n", st.Instructions, st.CPI())
 	fmt.Fprintf(w, "cond branches: %d (taken %d, accuracy %.1f%%)\n",

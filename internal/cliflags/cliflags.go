@@ -55,7 +55,7 @@ func (s *Sim) RegisterMachine(fs *flag.FlagSet) {
 	fs.StringVar(&s.Predictor, "predictor", s.Predictor,
 		"branch predictor: "+strings.Join(predict.Names(), "|"))
 	fs.StringVar(&s.Engine, "engine", s.Engine,
-		"cycle engine: "+strings.Join(cpu.EngineNames(), "|")+" (auto = fast)")
+		"cycle engine: "+strings.Join(cpu.EngineNames(), "|")+" (auto = fastest the attached hooks permit)")
 	s.RegisterBudget(fs)
 }
 

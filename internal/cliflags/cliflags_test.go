@@ -4,6 +4,8 @@ import (
 	"flag"
 	"testing"
 	"time"
+
+	"asbr/internal/cpu"
 )
 
 // TestRegisterAndMachine drives the shared flag surface end to end:
@@ -130,5 +132,50 @@ func TestMachineRejectsTypos(t *testing.T) {
 	s.Engine = "warp"
 	if _, err := s.Machine(); err == nil {
 		t.Fatal("bad engine accepted")
+	}
+}
+
+// TestEngineFlagRoundTrip drives -engine through the full vocabulary:
+// every name cpu.EngineNames() advertises (including superblock) must
+// parse, build a machine config carrying that engine, and round-trip
+// through cpu.ParseEngine / Engine.String.
+func TestEngineFlagRoundTrip(t *testing.T) {
+	names := cpu.EngineNames()
+	if len(names) != 4 {
+		t.Fatalf("EngineNames() = %v, want 4 entries", names)
+	}
+	for _, name := range names {
+		s := NewSim()
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		s.RegisterMachine(fs)
+		if err := fs.Parse([]string{"-engine", name}); err != nil {
+			t.Fatalf("-engine %s: parse: %v", name, err)
+		}
+		cfg, err := s.Machine()
+		if err != nil {
+			t.Fatalf("-engine %s: Machine: %v", name, err)
+		}
+		want, err := cpu.ParseEngine(name)
+		if err != nil {
+			t.Fatalf("ParseEngine(%q): %v", name, err)
+		}
+		if cfg.Engine != want {
+			t.Errorf("-engine %s: config engine %s, want %s", name, cfg.Engine, want)
+		}
+		if got := cfg.Engine.String(); got != name {
+			t.Errorf("-engine %s: String() round-trips to %q", name, got)
+		}
+	}
+}
+
+// TestEngineFlagRejectsTypos: an unknown engine name must fail in
+// Machine, before any simulation starts.
+func TestEngineFlagRejectsTypos(t *testing.T) {
+	for _, bad := range []string{"turbo", "super-block", "Superblock", "fastest"} {
+		s := NewSim()
+		s.Engine = bad
+		if _, err := s.Machine(); err == nil {
+			t.Errorf("Machine accepted engine %q", bad)
+		}
 	}
 }

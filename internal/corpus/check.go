@@ -153,7 +153,12 @@ func checkOne(ctx context.Context, opt CheckOptions, knobs Knobs, seed int64, re
 		return c.Stats().Snapshot(), nil
 	}
 
-	// Leg 1: plain run, fast vs reference.
+	// Leg 1: plain run, fast vs reference, then superblock vs
+	// reference. The superblock leg runs hookless, so the explicit
+	// request really exercises the fused batch loop (SelectEngine would
+	// silently degrade it if any hook were attached — the cpu package's
+	// capability tests pin that, this leg pins the fused loop's
+	// architecture-visible equivalence on generated control flow).
 	ref, err := run(cpu.EngineReference, nil)
 	if err != nil {
 		return Entry{}, err
@@ -164,6 +169,13 @@ func checkOne(ctx context.Context, opt CheckOptions, knobs Knobs, seed int64, re
 	}
 	if ref != fast {
 		return Entry{}, diverged("fast-vs-reference", fast, ref)
+	}
+	super, err := run(cpu.EngineSuperblock, nil)
+	if err != nil {
+		return Entry{}, err
+	}
+	if ref != super {
+		return Entry{}, diverged("superblock-vs-reference", super, ref)
 	}
 
 	// Leg 2: ASBR run with every foldable branch loaded, fast vs

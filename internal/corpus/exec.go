@@ -23,9 +23,16 @@ import (
 // record or DSE candidate can set: the predictor, the step engine, the
 // watchdog budget, the BDT update point and the L1 geometries. The
 // zero value of each field means the paper's platform default.
+//
+// The spec never decides which step loop actually runs — that is
+// cpu.SelectEngine's job alone. Engine carries the caller's request
+// (zero value EngineAuto) and Demand carries any visibility
+// requirements beyond the attached hooks; cpu.New resolves the pair
+// against the hooks on the final Config.
 type MachineSpec struct {
 	Predictor string     // predict.Names() vocabulary ("" = bimodal)
-	Engine    cpu.Engine // step-loop implementation (EngineAuto = fast)
+	Engine    cpu.Engine // requested step-loop (resolved by cpu.SelectEngine)
+	Demand    cpu.Caps   // extra capability demands beyond attached hooks
 	MaxCycles uint64     // watchdog cycle budget (0 = engine default)
 	Update    string     // BDT update point ex|mem|wb ("" = mem)
 	ICacheKB  int        // I-cache size in KB (0 = the paper's 8)
@@ -55,6 +62,7 @@ func MachineFor(spec MachineSpec) (cpu.Config, error) {
 		DCache:                dc,
 		Predictor:             spec.Predictor,
 		Engine:                spec.Engine,
+		Demand:                spec.Demand,
 		BDTUpdate:             stage,
 		ExtraMispredictCycles: experiment.ExtraMispredictCycles,
 		MaxCycles:             spec.MaxCycles,

@@ -90,7 +90,9 @@ func ParseUpdatePoint(s string) (Stage, error) {
 type Engine int
 
 const (
-	// EngineAuto picks the default engine (currently EngineFast).
+	// EngineAuto picks the fastest engine the configuration is
+	// eligible for — see SelectEngine, the single resolution rule
+	// every builder shares.
 	EngineAuto Engine = iota
 	// EngineFast predecodes the text segment once into a flat table,
 	// dispatches through the dense opcode jump table, and recycles
@@ -102,6 +104,14 @@ const (
 	// the benchmark harness measures speedups against; both engines
 	// share the stage semantics, so their cycle counts are identical.
 	EngineReference
+	// EngineSuperblock keeps the whole pipeline in stack-local state
+	// and batch-advances predecoded straight-line runs (superblocks),
+	// dropping to per-cycle stepping around branches, loads/stores,
+	// mult/div and I-cache line boundaries. Its counters are
+	// bit-identical to the other engines, but it supports no
+	// observability hooks: a machine that attaches any (Caps) falls
+	// back to EngineFast. See superblock.go.
+	EngineSuperblock
 )
 
 // String names the engine.
@@ -113,12 +123,14 @@ func (e Engine) String() string {
 		return "fast"
 	case EngineReference:
 		return "reference"
+	case EngineSuperblock:
+		return "superblock"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
 
 // EngineNames lists the engine names ParseEngine accepts.
-func EngineNames() []string { return []string{"auto", "fast", "reference"} }
+func EngineNames() []string { return []string{"auto", "fast", "superblock", "reference"} }
 
 // ParseEngine resolves an engine name from a CLI flag or API field.
 func ParseEngine(name string) (Engine, error) {
@@ -127,10 +139,12 @@ func ParseEngine(name string) (Engine, error) {
 		return EngineAuto, nil
 	case "fast":
 		return EngineFast, nil
+	case "superblock":
+		return EngineSuperblock, nil
 	case "reference", "ref":
 		return EngineReference, nil
 	}
-	return EngineAuto, fmt.Errorf("cpu: unknown engine %q (want auto|fast|reference)", name)
+	return EngineAuto, fmt.Errorf("cpu: unknown engine %q (want auto|fast|superblock|reference)", name)
 }
 
 // Fold describes a successful ASBR branch fold returned by a FoldHook:
@@ -206,10 +220,19 @@ type Config struct {
 	// and API caller selects a predictor; setting both Predictor and
 	// Branch is an ErrBadConfig.
 	Predictor string
-	// Engine selects the step-loop implementation: EngineAuto (the
-	// default, currently the fast path), EngineFast, or
-	// EngineReference (decode-per-fetch baseline).
+	// Engine selects the step-loop implementation. EngineAuto (the
+	// default) resolves through SelectEngine to the fastest engine the
+	// configuration's capability demands permit; so does an explicit
+	// EngineSuperblock when a hook makes it ineligible. EngineFast and
+	// EngineReference are always honored verbatim. The engine New
+	// actually chose is reported by (*CPU).ResolvedEngine.
 	Engine Engine
+	// Demand declares capability requirements that do not arrive as
+	// Config hooks — e.g. a serving layer that will record and replay
+	// the run sets Demand.Record. SelectEngine folds Demand into the
+	// hook-derived capability set; any demand disqualifies the
+	// superblock engine. See Caps.
+	Demand Caps
 	// Predecoded, when non-nil, supplies a shared predecode table for
 	// the program (built once by Predecode, validated against the
 	// program in New). Nil makes New build a private one. Ignored by
@@ -440,6 +463,11 @@ type CPU struct {
 	slotFree []*slot
 	traceBuf []byte
 
+	// Superblock engine state: resolved is the engine SelectEngine
+	// actually chose; super marks the superblock run loop.
+	resolved Engine
+	super    bool
+
 	icache *mem.Cache // nil if disabled
 	dcache *mem.Cache
 
@@ -505,14 +533,16 @@ func New(cfg Config, prog *isa.Program) (*CPU, error) {
 		cfg.Branch = u
 	}
 	switch cfg.Engine {
-	case EngineAuto, EngineFast, EngineReference:
+	case EngineAuto, EngineFast, EngineReference, EngineSuperblock:
 	default:
 		return nil, &SimError{Code: ErrBadConfig, Detail: fmt.Sprintf("unknown engine %d", cfg.Engine)}
 	}
 	cfg.fillDefaults()
 	c := &CPU{cfg: cfg, prog: prog, mem: mem.NewMemory()}
 	c.resolveObservers()
-	if cfg.Engine != EngineReference {
+	c.resolved = SelectEngine(cfg)
+	c.super = c.resolved == EngineSuperblock
+	if c.resolved != EngineReference {
 		c.fast = true
 		if cfg.Predecoded != nil {
 			if !cfg.Predecoded.Matches(prog) {
@@ -575,6 +605,12 @@ func (c *CPU) SetReg(r isa.Reg, v int32) {
 // PC returns the current fetch address.
 func (c *CPU) PC() uint32 { return c.pc }
 
+// ResolvedEngine reports the engine New actually selected: the result
+// of SelectEngine over the machine's configuration. It is how CLIs
+// surface which step loop an `auto` (or capability-downgraded
+// `superblock`) request ended up on.
+func (c *CPU) ResolvedEngine() Engine { return c.resolved }
+
 // Halted reports whether execution finished.
 func (c *CPU) Halted() bool { return c.halted }
 
@@ -615,6 +651,15 @@ func (c *CPU) Run() (Stats, error) {
 // exactly Cycle == MaxCycles while the hot path pays no per-cycle
 // poll.
 func (c *CPU) RunContext(ctx context.Context) (Stats, error) {
+	if c.super && c.stats.Cycles == 0 && !c.halted && c.err == nil &&
+		c.sID == nil && c.sEX == nil && c.sMEM == nil && c.sWB == nil {
+		// Fresh superblock machine: the whole run happens in the
+		// superblock loop (it exits only on halt or a terminal error).
+		// A machine that already stepped — tests interleaving Step, a
+		// resumed run — keeps the general loop below; both loops are
+		// cycle-exact, so the counters cannot tell them apart.
+		return c.runSuperblock(ctx)
+	}
 	stride := uint64(c.cfg.PollStride)
 	if stride == 0 {
 		stride = 1024 // machine built before fillDefaults learned PollStride

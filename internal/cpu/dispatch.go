@@ -108,3 +108,127 @@ func (c *CPU) execute(s *slot) {
 		s.memAddr = uint32(rs) // jump target
 	}
 }
+
+// sbExecFn is execFn for the superblock engine's value-typed pipeline
+// slots: same opcode semantics, but operands arrive and results leave
+// in registers — no pipeline-slot pointer crosses the indirect call,
+// so stack-allocated slots never escape to the heap. Entries that set
+// only some of the three results return zeroes for the rest; the
+// pipeline never reads a result the opcode does not produce. The table
+// must mirror execTable entry for entry — TestExecTablesAgree pins the
+// op coverage and the engine equivalence suite pins the semantics.
+type sbExecFn func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (result int32, memAddr uint32, storeVal int32)
+
+var sbExecTable [isa.NumOps]sbExecFn
+
+func init() {
+	t := &sbExecTable
+	t[isa.OpADD] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) { return rs + rt, 0, 0 }
+	t[isa.OpADDU] = t[isa.OpADD]
+	t[isa.OpSUB] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) { return rs - rt, 0, 0 }
+	t[isa.OpSUBU] = t[isa.OpSUB]
+	t[isa.OpAND] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) { return rs & rt, 0, 0 }
+	t[isa.OpOR] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) { return rs | rt, 0, 0 }
+	t[isa.OpXOR] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) { return rs ^ rt, 0, 0 }
+	t[isa.OpNOR] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) { return ^(rs | rt), 0, 0 }
+	t[isa.OpSLT] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return b2i(rs < rt), 0, 0
+	}
+	t[isa.OpSLTU] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return b2i(uint32(rs) < uint32(rt)), 0, 0
+	}
+
+	t[isa.OpSLL] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return rt << uint(d.In.Imm&31), 0, 0
+	}
+	t[isa.OpSRL] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return int32(uint32(rt) >> uint(d.In.Imm&31)), 0, 0
+	}
+	t[isa.OpSRA] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return rt >> uint(d.In.Imm&31), 0, 0
+	}
+	t[isa.OpSLLV] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return rt << uint(rs&31), 0, 0
+	}
+	t[isa.OpSRLV] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return int32(uint32(rt) >> uint(rs&31)), 0, 0
+	}
+	t[isa.OpSRAV] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return rt >> uint(rs&31), 0, 0
+	}
+
+	t[isa.OpMULT] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		p := int64(rs) * int64(rt)
+		c.lo, c.hi = int32(p), int32(p>>32)
+		return 0, 0, 0
+	}
+	t[isa.OpMULTU] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		p := uint64(uint32(rs)) * uint64(uint32(rt))
+		c.lo, c.hi = int32(uint32(p)), int32(uint32(p>>32))
+		return 0, 0, 0
+	}
+	t[isa.OpDIV] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		if rt == 0 {
+			c.fail(ErrDivideByZero, pc, "divide by zero")
+			return 0, 0, 0
+		}
+		c.lo, c.hi = rs/rt, rs%rt
+		return 0, 0, 0
+	}
+	t[isa.OpDIVU] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		if rt == 0 {
+			c.fail(ErrDivideByZero, pc, "divide by zero (divu)")
+			return 0, 0, 0
+		}
+		c.lo = int32(uint32(rs) / uint32(rt))
+		c.hi = int32(uint32(rs) % uint32(rt))
+		return 0, 0, 0
+	}
+	t[isa.OpMFHI] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) { return c.hi, 0, 0 }
+	t[isa.OpMFLO] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) { return c.lo, 0, 0 }
+	t[isa.OpMTHI] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		c.hi = rs
+		return 0, 0, 0
+	}
+	t[isa.OpMTLO] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		c.lo = rs
+		return 0, 0, 0
+	}
+
+	t[isa.OpADDI] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return rs + d.In.Imm, 0, 0
+	}
+	t[isa.OpADDIU] = t[isa.OpADDI]
+	t[isa.OpSLTI] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return b2i(rs < d.In.Imm), 0, 0
+	}
+	t[isa.OpSLTIU] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return b2i(uint32(rs) < uint32(d.In.Imm)), 0, 0
+	}
+	t[isa.OpANDI] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return rs & d.In.Imm, 0, 0
+	}
+	t[isa.OpORI] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return rs | d.In.Imm, 0, 0
+	}
+	t[isa.OpXORI] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return rs ^ d.In.Imm, 0, 0
+	}
+	t[isa.OpLUI] = func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return d.In.Imm << 16, 0, 0
+	}
+
+	load := func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return 0, uint32(rs + d.In.Imm), 0
+	}
+	t[isa.OpLB], t[isa.OpLBU], t[isa.OpLH], t[isa.OpLHU], t[isa.OpLW] = load, load, load, load, load
+	store := func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return 0, uint32(rs + d.In.Imm), rt
+	}
+	t[isa.OpSB], t[isa.OpSH], t[isa.OpSW] = store, store, store
+
+	link := func(c *CPU, d *DecodedInst, pc uint32, rs, rt int32) (int32, uint32, int32) {
+		return int32(pc + 4), 0, 0
+	}
+	t[isa.OpJAL], t[isa.OpJALR] = link, link
+}

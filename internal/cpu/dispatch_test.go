@@ -1,0 +1,21 @@
+package cpu
+
+import (
+	"testing"
+
+	"asbr/internal/isa"
+)
+
+// TestExecTablesAgree pins the shape of the two dispatch tables
+// together: an opcode has an execute function for the pointer-slot
+// engines if and only if it has one for the superblock engine's
+// value-typed slots. (The engine equivalence suite pins the
+// semantics.)
+func TestExecTablesAgree(t *testing.T) {
+	for op := isa.Op(0); int(op) < isa.NumOps; op++ {
+		if (execTable[op] == nil) != (sbExecTable[op] == nil) {
+			t.Errorf("op %v: execTable nil=%v, sbExecTable nil=%v",
+				op, execTable[op] == nil, sbExecTable[op] == nil)
+		}
+	}
+}

@@ -57,34 +57,43 @@ func pour(prog *isa.Program, in []int32) func(*cpu.CPU) error {
 	}
 }
 
-// TestEngineLockstepEquivalence compares the reference and fast
-// engines commit by commit on all four benchmarks via the fault
-// harness's divergence checker (with no faults injected).
+// TestEngineLockstepEquivalence compares the reference engine commit
+// by commit against each other engine on all four benchmarks via the
+// fault harness's divergence checker (with no faults injected). The
+// checker attaches a commit observer to both machines, so a
+// superblock request provably falls back to the per-cycle fast loop
+// (CommitObs capability) — the lockstep gate covers exactly the
+// engine a superblock machine degrades to, while the stats gate below
+// covers the live superblock path.
 func TestEngineLockstepEquivalence(t *testing.T) {
-	for _, name := range workload.Names() {
-		t.Run(name, func(t *testing.T) {
-			prog, in := buildBench(t, name)
-			rep, err := fault.RunPair(prog,
-				engCfg(cpu.EngineReference), engCfg(cpu.EngineFast), pour(prog, in))
-			if err != nil {
-				t.Fatalf("RunPair: %v", err)
-			}
-			if rep.BaseErr != nil || rep.TestErr != nil {
-				t.Fatalf("simulation errors: reference %v, fast %v", rep.BaseErr, rep.TestErr)
-			}
-			if rep.Diverged {
-				t.Fatalf("engines diverged: %s", rep)
-			}
-			if rep.Commits == 0 {
-				t.Fatal("no commits compared")
-			}
-		})
+	for _, eng := range []cpu.Engine{cpu.EngineFast, cpu.EngineSuperblock} {
+		for _, name := range workload.Names() {
+			t.Run(eng.String()+"/"+name, func(t *testing.T) {
+				prog, in := buildBench(t, name)
+				rep, err := fault.RunPair(prog,
+					engCfg(cpu.EngineReference), engCfg(eng), pour(prog, in))
+				if err != nil {
+					t.Fatalf("RunPair: %v", err)
+				}
+				if rep.BaseErr != nil || rep.TestErr != nil {
+					t.Fatalf("simulation errors: reference %v, %s %v", rep.BaseErr, eng, rep.TestErr)
+				}
+				if rep.Diverged {
+					t.Fatalf("engines diverged: %s", rep)
+				}
+				if rep.Commits == 0 {
+					t.Fatal("no commits compared")
+				}
+			})
+		}
 	}
 }
 
 // TestEngineStatsEquivalence requires bit-identical statistics (every
 // counter, including cycles and stall breakdowns), outputs, and final
-// register files from independent reference and fast runs.
+// register files from independent reference, fast and superblock runs.
+// This is the gate that exercises the live superblock path: a hookless
+// EngineSuperblock config resolves to the superblock loop itself.
 func TestEngineStatsEquivalence(t *testing.T) {
 	for _, name := range workload.Names() {
 		t.Run(name, func(t *testing.T) {
@@ -93,23 +102,28 @@ func TestEngineStatsEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("reference run: %v", err)
 			}
-			fast, err := workload.RunContext(context.Background(), prog, engCfg(cpu.EngineFast), in, equivSamples)
-			if err != nil {
-				t.Fatalf("fast run: %v", err)
-			}
-			if !reflect.DeepEqual(ref.Stats, fast.Stats) {
-				t.Errorf("stats mismatch:\nreference %+v\nfast      %+v", ref.Stats, fast.Stats)
-			}
-			if !reflect.DeepEqual(ref.Output, fast.Output) {
-				t.Errorf("output mismatch: %d vs %d words", len(ref.Output), len(fast.Output))
-			}
-			for r := 0; r < isa.NumRegs; r++ {
-				if rv, fv := ref.CPU.Reg(isa.Reg(r)), fast.CPU.Reg(isa.Reg(r)); rv != fv {
-					t.Errorf("final $%d: reference %d, fast %d", r, rv, fv)
+			for _, eng := range []cpu.Engine{cpu.EngineFast, cpu.EngineSuperblock} {
+				res, err := workload.RunContext(context.Background(), prog, engCfg(eng), in, equivSamples)
+				if err != nil {
+					t.Fatalf("%s run: %v", eng, err)
 				}
-			}
-			if ref.CPU.ExitCode() != fast.CPU.ExitCode() {
-				t.Errorf("exit code: reference %d, fast %d", ref.CPU.ExitCode(), fast.CPU.ExitCode())
+				if got := res.CPU.ResolvedEngine(); got != eng {
+					t.Fatalf("hookless %s config resolved to %s", eng, got)
+				}
+				if !reflect.DeepEqual(ref.Stats, res.Stats) {
+					t.Errorf("stats mismatch:\nreference %+v\n%-9s %+v", ref.Stats, eng, res.Stats)
+				}
+				if !reflect.DeepEqual(ref.Output, res.Output) {
+					t.Errorf("output mismatch: %d vs %d words", len(ref.Output), len(res.Output))
+				}
+				for r := 0; r < isa.NumRegs; r++ {
+					if rv, fv := ref.CPU.Reg(isa.Reg(r)), res.CPU.Reg(isa.Reg(r)); rv != fv {
+						t.Errorf("final $%d: reference %d, %s %d", r, rv, eng, fv)
+					}
+				}
+				if ref.CPU.ExitCode() != res.CPU.ExitCode() {
+					t.Errorf("exit code: reference %d, %s %d", ref.CPU.ExitCode(), eng, res.CPU.ExitCode())
+				}
 			}
 		})
 	}

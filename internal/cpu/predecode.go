@@ -25,6 +25,19 @@ type DecodedInst struct {
 	// BranchTarget is the taken-path address of a conditional branch
 	// (In.BranchTarget at this entry's own PC), zero otherwise.
 	BranchTarget uint32
+
+	// Fuse is the superblock fusion run length starting at this word:
+	// how many consecutive instructions from here are fusible
+	// (straight-line work that cannot redirect fetch or occupy EX — see
+	// fusible) with no load-use hazard pair inside the run (a load
+	// immediately followed by a consumer of its destination would cost
+	// the one-cycle interlock, breaking the run's one-commit-per-cycle
+	// steady state). The superblock engine batch-advances Fuse
+	// instructions the moment the pipeline is full of the run's head.
+	// Living on the instruction itself keeps the engine's per-cycle
+	// engagement test on the cache line it is already touching to
+	// commit, instead of a side table.
+	Fuse int32
 }
 
 // Predecoded is a program's text segment decoded once into a flat
@@ -69,7 +82,55 @@ func Predecode(prog *isa.Program) *Predecoded {
 			d.BranchTarget = in.BranchTarget(pc)
 		}
 	}
+	var next int32 // run length at word i+1
+	for i := len(p.insts) - 1; i >= 0; i-- {
+		d := &p.insts[i]
+		switch {
+		case !fusible(d):
+			d.Fuse = 0
+		case d.Load && d.HasDest && i+1 < len(p.insts) && readsReg(&p.insts[i+1], d.Dest):
+			// Load-use hazard pair: the next instruction would stall one
+			// cycle in EX waiting for the load. End the run at the load.
+			d.Fuse = 1
+		default:
+			d.Fuse = next + 1
+		}
+		next = d.Fuse
+	}
 	return p
+}
+
+// fusible reports whether a predecoded instruction can live inside a
+// superblock: straight-line single-cycle work that cannot redirect
+// fetch or occupy EX for more than a cycle. Loads and stores are
+// fusible — the fused loop performs their D-cache access at the exact
+// virtual MEM cycle and exits on a miss — but everything that
+// interacts with the branch unit, multi-cycle EX dispatch or the OS
+// surface forces the superblock engine back to per-cycle stepping.
+// mfhi/mflo/mthi/mtlo are fusible: within a straight-line run their EX
+// order equals program order either way, so HI/LO reads and writes
+// sequence identically.
+func fusible(d *DecodedInst) bool {
+	if !d.OK || d.CondBranch || d.In.IsJump() {
+		return false
+	}
+	switch d.In.Op {
+	case isa.OpMULT, isa.OpMULTU, isa.OpDIV, isa.OpDIVU,
+		isa.OpSYSCALL, isa.OpBREAK, isa.OpBITSW:
+		return false
+	}
+	return true
+}
+
+// readsReg reports whether instruction d reads register r — the same
+// source comparison the load-use interlock performs.
+func readsReg(d *DecodedInst, r isa.Reg) bool {
+	for i := uint8(0); i < d.NSrc; i++ {
+		if d.Src[i] == r {
+			return true
+		}
+	}
+	return false
 }
 
 // Len returns the number of predecoded instruction words.

@@ -8,7 +8,6 @@ import (
 
 	"asbr/internal/cluster"
 	"asbr/internal/corpus"
-	"asbr/internal/cpu"
 	"asbr/internal/obs"
 	"asbr/internal/runner"
 	"asbr/internal/serve"
@@ -77,9 +76,10 @@ func (l *Local) Evaluate(ctx context.Context, c Config) (obs.Snapshot, error) {
 	br, err := corpus.RunBench(ctx, &l.arts, corpus.BenchRun{
 		Bench: c.Bench,
 		Build: build,
+		// The spec names no engine: cpu.SelectEngine resolves the step
+		// loop from the hooks the ASBR flow attaches per run.
 		Spec: corpus.MachineSpec{
 			Predictor: c.Predictor,
-			Engine:    cpu.EngineAuto,
 			MaxCycles: l.Budgets.MaxCycles,
 			Update:    c.Update,
 			ICacheKB:  c.ICacheKB,

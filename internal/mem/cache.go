@@ -128,6 +128,19 @@ func (c *Cache) Reset() {
 	c.tick = 0
 }
 
+// AccountHits records n read hits without touching the line state.
+//
+// It is exact only under the contract the superblock engine honors:
+// each skipped access would have re-touched the line of the
+// immediately preceding Access with no other access in between.
+// Re-touching the most-recently-used line only refreshes an LRU stamp
+// that is already the newest in its set, and LRU comparisons are
+// relative, so eliding those touches leaves every future hit/miss/
+// eviction decision — and therefore every statistic — bit-identical.
+func (c *Cache) AccountHits(n int) {
+	c.stats.Reads += uint64(n)
+}
+
 // Access simulates a read (write=false) or write (write=true) of the
 // line containing addr and returns the cycle cost.
 func (c *Cache) Access(addr uint32, write bool) int {

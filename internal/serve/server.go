@@ -322,8 +322,8 @@ func (s *Server) simulateCtx(ctx context.Context, req *SimRequest, tr *obs.Trace
 // The predictor rides by name in cpu.Config — cpu.New resolves it
 // through predict.ByName, the same vocabulary normalizeSim validated
 // against.
-func machineFor(req *SimRequest) cpu.Config {
-	cfg, err := corpus.MachineFor(machineSpec(req))
+func (s *Server) machineFor(req *SimRequest) cpu.Config {
+	cfg, err := corpus.MachineFor(s.machineSpec(req))
 	if err != nil {
 		// Unreachable: normalizeSim validated every spec field.
 		panic(err)
@@ -332,11 +332,15 @@ func machineFor(req *SimRequest) cpu.Config {
 }
 
 // machineSpec projects a normalized request onto the shared machine
-// spec.
-func machineSpec(req *SimRequest) corpus.MachineSpec {
+// spec. The engine is left at the zero value (EngineAuto) — the daemon
+// never picks a step loop itself; cpu.SelectEngine resolves it from
+// the hooks on the final config. A recording daemon demands the record
+// capability so every captured run executes on the per-cycle baseline
+// its replay legs will be compared against.
+func (s *Server) machineSpec(req *SimRequest) corpus.MachineSpec {
 	return corpus.MachineSpec{
 		Predictor: req.Predictor,
-		Engine:    cpu.EngineAuto,
+		Demand:    cpu.Caps{Record: s.cfg.Record != nil},
 		MaxCycles: req.MaxCycles,
 		Update:    req.Update,
 		ICacheKB:  req.ICacheKB,
@@ -352,7 +356,7 @@ func (s *Server) simulateBench(ctx context.Context, req *SimRequest, tr *obs.Tra
 	br, err := corpus.RunBench(ctx, &s.arts, corpus.BenchRun{
 		Bench:      req.Bench,
 		Build:      req.BuildOptions(),
-		Spec:       machineSpec(req),
+		Spec:       s.machineSpec(req),
 		ASBR:       req.ASBR,
 		BITEntries: req.BITEntries,
 		BITBanks:   req.BITBanks,
@@ -406,7 +410,7 @@ func (s *Server) simulateSource(ctx context.Context, req *SimRequest, tr *obs.Tr
 			return nil, badProgram(err)
 		}
 	}
-	cfg := machineFor(req)
+	cfg := s.machineFor(req)
 	resp := &SimResponse{Predictor: req.Predictor, ASBR: req.ASBR}
 
 	if !req.ASBR {
