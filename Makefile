@@ -1,7 +1,8 @@
 # Development targets for the ASBR reproduction. `make ci` is what the
 # CI workflow runs: vet, build, race-enabled tests, a 1-iteration
 # benchmark smoke, a fault-injection smoke, a serving-layer smoke and
-# load check, the corpus differential-replay gate, and short fuzz
+# load check, the branch-predictability smoke, the corpus
+# differential-replay gate, and short fuzz
 # smokes of the assembler round-trip, the fault-plan grammar and the
 # corpus generator.
 
@@ -11,7 +12,7 @@ FAULT_FUZZTIME ?= 2m
 CORPUS_FUZZTIME ?= 2m
 CORPUS_ENTRIES ?= 30
 
-.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke cluster-smoke dse-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus tables ci clean
+.PHONY: all build vet test race bench bench-check bench-smoke fault-smoke serve-smoke cluster-smoke dse-smoke trace-smoke predict-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus tables ci clean
 
 all: build
 
@@ -84,6 +85,15 @@ dse-smoke:
 trace-smoke:
 	$(GO) test -run TestTraceSmoke -count=1 -v ./cmd/asbr-sim
 
+# Predictability smoke: build asbr-tables, run the branch-predictability
+# classification (`-table predictability`) on two benchmarks against the
+# full shadow zoo (bimodal, gshare, TAGE, loop, TAGE+loop), require the
+# output byte-identical at -parallel 1 vs 8, and require at least one
+# branch that ASBR folds while TAGE still mispredicts it — the scenario's
+# non-vacuity gate.
+predict-smoke:
+	$(GO) test -run TestPredictSmoke -count=1 -v ./cmd/asbr-tables
+
 # Corpus differential-replay gate: regenerate a seeded corpus of
 # control-dominated MiniC programs from seeds alone and replay every
 # entry through the fast, superblock and reference engines in lockstep
@@ -118,7 +128,7 @@ fuzz-corpus:
 tables:
 	$(GO) run ./cmd/asbr-tables
 
-ci: vet build race bench-smoke fault-smoke serve-smoke cluster-smoke dse-smoke trace-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus
+ci: vet build race bench-smoke fault-smoke serve-smoke cluster-smoke dse-smoke trace-smoke predict-smoke corpus-check loadgen fuzz-smoke fuzz-fault fuzz-corpus
 
 clean:
 	$(GO) clean ./...

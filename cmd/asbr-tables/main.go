@@ -11,6 +11,8 @@
 //	asbr-tables -table motivation # §3 Figure 1 correlation experiment
 //	asbr-tables -table ablations # threshold / BIT size / scheduling / validity
 //	asbr-tables -table faults    # fault-injection reliability table
+//	asbr-tables -table predictability # static branches vs the dynamic predictor zoo
+//	asbr-tables -bench adpcm-enc,g721-dec # restrict per-benchmark tables
 //	asbr-tables -n 8192          # samples per benchmark
 //	asbr-tables -parallel 8      # bounded worker pool for the sweep jobs
 //	asbr-tables -max-cycles 1e6  # per-simulation watchdog budget
@@ -43,6 +45,7 @@ import (
 
 func main() {
 	table := flag.String("table", "all", "table to regenerate: "+strings.Join(experiment.TableNames(), "|")+"|all")
+	bench := flag.String("bench", "", "comma-separated benchmark filter for per-benchmark tables (empty = all)")
 	n := flag.Int("n", 4096, "audio samples per benchmark")
 	seed := flag.Int64("seed", 1, "synthetic input seed")
 	update := flag.String("update", "mem", "BDT update point: ex|mem|wb (paper thresholds 2|3|4)")
@@ -60,17 +63,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var benches []string
+	if *bench != "" {
+		benches, err = experiment.NormalizeBenchNames(strings.Split(*bench, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asbr-tables: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 
 	var tabs *experiment.TablesJSON
 	if sf.Remote != "" {
-		tabs, err = remoteSweep(sf, names, *n, *seed, *update)
+		tabs, err = remoteSweep(sf, names, benches, *n, *seed, *update)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asbr-tables: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
 		opt := experiment.Options{Samples: *n, Seed: *seed, Parallel: sf.Parallel,
-			MaxCycles: sf.MaxCycles, Timeout: sf.Timeout}
+			Benches: benches, MaxCycles: sf.MaxCycles, Timeout: sf.Timeout}
 		switch strings.ToLower(*update) {
 		case "ex":
 			opt.Update = cpu.StageEX
@@ -108,9 +120,10 @@ func main() {
 
 // remoteSweep runs the sweep on an asbr-serve daemon; the response is
 // the same TablesJSON a local run produces.
-func remoteSweep(sf *cliflags.Sim, names []string, n int, seed int64, update string) (*experiment.TablesJSON, error) {
+func remoteSweep(sf *cliflags.Sim, names, benches []string, n int, seed int64, update string) (*experiment.TablesJSON, error) {
 	return sf.Client().Sweep(context.Background(), serve.SweepRequest{
 		Tables:    names,
+		Benches:   benches,
 		Samples:   n,
 		Seed:      seed,
 		Update:    update,
@@ -144,6 +157,9 @@ func render(t *experiment.TablesJSON) {
 	}
 	if t.Faults != nil {
 		faults(t)
+	}
+	if t.Predictability != nil {
+		predictability(t)
 	}
 }
 
@@ -327,4 +343,44 @@ func faults(t *experiment.TablesJSON) {
 	w.Flush()
 	printCellErrors(errs)
 	fmt.Println()
+}
+
+// predictability renders the branch-predictability classification: one
+// block per benchmark listing every static branch with its shadow-zoo
+// accuracies and class, then the class census and the headline rescued
+// fraction.
+func predictability(t *experiment.TablesJSON) {
+	fmt.Printf("Predictability: static branches vs. the dynamic predictor zoo (n=%d, update=%v)\n",
+		t.Samples, t.Update)
+	var errs []*experiment.CellError
+	for _, r := range t.Predictability {
+		if r.Error != nil {
+			fmt.Printf("%s: ERR\n", r.Benchmark)
+			errs = append(errs, r.Error)
+			continue
+		}
+		fmt.Printf("%s\n", r.Benchmark)
+		w := newTab()
+		fmt.Fprintln(w, "pc\texec #\ttaken\tbimodal\tgshare\ttage\tloop\ttageloop\tfold\tbest misses\trescued\tclass")
+		for _, b := range r.Rows {
+			fmt.Fprintf(w, "0x%08x\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%d\t%d\t%s\n",
+				b.PC, b.Exec, b.Taken,
+				b.Accuracy["bimodal"], b.Accuracy["gshare"], b.Accuracy["tage"],
+				b.Accuracy["loop"], b.Accuracy["tageloop"],
+				b.FoldRate, b.Mispredicts, b.Rescued, b.Class)
+		}
+		w.Flush()
+		fmt.Printf("classes:")
+		for _, c := range []string{
+			experiment.ClassPredictable, experiment.ClassTAGERescued,
+			experiment.ClassLoopRescued, experiment.ClassASBRFolded,
+			experiment.ClassUnpredictable,
+		} {
+			fmt.Printf(" %s=%d", c, r.Classes[c])
+		}
+		fmt.Println()
+		fmt.Printf("ASBR rescues %d of %d best-dynamic mispredictions (%.0f%%, %d cycles) that no predictor in the zoo avoids\n\n",
+			r.RescuedMispredicts, r.BestMispredicts, 100*r.RescuedFrac, r.RescuedCycles)
+	}
+	printCellErrors(errs)
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"asbr/internal/experiment"
+)
+
+// buildBin compiles one of the repo's binaries into dir.
+func buildBin(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// runTables executes the binary and returns stdout and the exit code.
+func runTables(t *testing.T, bin string, args ...string) ([]byte, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", bin, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	t.Logf("%s %v -> exit %d\nstderr:\n%s", filepath.Base(bin), args, code, stderr.String())
+	return stdout.Bytes(), code
+}
+
+// TestPredictSmoke is the end-to-end predictability gate behind `make
+// predict-smoke`: build the real asbr-tables binary, run the
+// predictability table on two benchmarks, and require (a) byte-identical
+// text and JSON output at -parallel 1 and -parallel 8, (b) a non-vacuous
+// classification — at least one branch that ASBR folds (rescuing real
+// best-dynamic mispredictions) while the TAGE shadow still mispredicts
+// it — and (c) exit 2 on an unknown benchmark filter.
+func TestPredictSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs real sweeps")
+	}
+	dir := t.TempDir()
+	bin := buildBin(t, dir, "asbr/cmd/asbr-tables")
+	base := []string{"-table", "predictability", "-bench", "adpcm-enc,g721-enc", "-n", "2048", "-seed", "1"}
+
+	// (a) Byte-identical at any worker count, exit 0.
+	serialTab, code := runTables(t, bin, append([]string{"-parallel", "1"}, base...)...)
+	if code != 0 {
+		t.Fatalf("serial run exit %d, want 0", code)
+	}
+	wideTab, code := runTables(t, bin, append([]string{"-parallel", "8"}, base...)...)
+	if code != 0 {
+		t.Fatalf("parallel run exit %d, want 0", code)
+	}
+	if !bytes.Equal(serialTab, wideTab) {
+		t.Errorf("-parallel 1 and -parallel 8 tables diverged:\n%s\n---\n%s", serialTab, wideTab)
+	}
+	serialJSON, code := runTables(t, bin, append([]string{"-json", "-parallel", "1"}, base...)...)
+	if code != 0 {
+		t.Fatalf("serial JSON run exit %d, want 0", code)
+	}
+	wideJSON, code := runTables(t, bin, append([]string{"-json", "-parallel", "8"}, base...)...)
+	if code != 0 {
+		t.Fatalf("parallel JSON run exit %d, want 0", code)
+	}
+	if !bytes.Equal(serialJSON, wideJSON) {
+		t.Errorf("-parallel 1 and -parallel 8 JSON diverged:\n%s\n---\n%s", serialJSON, wideJSON)
+	}
+
+	// (b) The scenario's reason to exist: a branch the front-end folds
+	// that the strongest dynamic predictors still miss. Without one the
+	// rescued-misprediction headline would be vacuously zero.
+	var tabs experiment.TablesJSON
+	if err := json.Unmarshal(serialJSON, &tabs); err != nil {
+		t.Fatalf("decode sweep JSON: %v", err)
+	}
+	if len(tabs.Predictability) != 2 {
+		t.Fatalf("predictability rows = %d, want 2 benchmarks", len(tabs.Predictability))
+	}
+	found := false
+	for _, r := range tabs.Predictability {
+		if r.Error != nil {
+			t.Fatalf("%s: %s", r.Benchmark, r.Error.Message)
+		}
+		for _, b := range r.Rows {
+			if b.Class == experiment.ClassASBRFolded && b.Accuracy["tage"] < 0.95 && b.Rescued > 0 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no ASBR-folded branch that TAGE misses; the headline metric is vacuous:\n%s", serialTab)
+	}
+
+	// (c) Usage errors exit 2.
+	if _, code := runTables(t, bin, "-table", "predictability", "-bench", "nope"); code != 2 {
+		t.Errorf("unknown bench filter: exit %d, want 2", code)
+	}
+}

@@ -29,7 +29,7 @@ import (
 // applied by NewSim; binaries may override a default (e.g. MaxCycles)
 // before registering, and the flag help reflects the override.
 type Sim struct {
-	Predictor string        // -predictor: predict.Names() vocabulary
+	Predictor string        // -predictor: predict spec (family[:k=v,...] or legacy alias)
 	Engine    string        // -engine: cpu.EngineNames() vocabulary
 	MaxCycles uint64        // -max-cycles: watchdog cycle budget
 	Timeout   time.Duration // -timeout: wall-clock budget (0 = none)
@@ -53,7 +53,10 @@ func NewSim() *Sim {
 // -engine) plus the budgets.
 func (s *Sim) RegisterMachine(fs *flag.FlagSet) {
 	fs.StringVar(&s.Predictor, "predictor", s.Predictor,
-		"branch predictor: "+strings.Join(predict.Names(), "|"))
+		"branch predictor spec family[:key=value,...]: families "+
+			strings.Join(predict.FamilyNames(), "|")+
+			" plus legacy aliases "+strings.Join(predict.Names(), "|")+
+			" (e.g. tage:tables=4,hist=64; \"help\" lists parameters and defaults)")
 	fs.StringVar(&s.Engine, "engine", s.Engine,
 		"cycle engine: "+strings.Join(cpu.EngineNames(), "|")+" (auto = fastest the attached hooks permit)")
 	s.RegisterBudget(fs)
@@ -100,7 +103,9 @@ func (s *Sim) Machine() (cpu.Config, error) {
 	if err != nil {
 		return cpu.Config{}, err
 	}
-	if _, err := predict.ByName(s.Predictor); err != nil {
+	// ParseSpec validates the predictor (and makes "-predictor help"
+	// surface the family/parameter listing as the error text).
+	if _, err := predict.ParseSpec(s.Predictor); err != nil {
 		return cpu.Config{}, err
 	}
 	return cpu.Config{

@@ -252,10 +252,11 @@ type cellResult struct {
 // inside a full run, which is what makes the distributed merge
 // byte-identical.
 var perBench = map[string]bool{
-	experiment.TableFig6:   true,
-	experiment.TableFig11:  true,
-	experiment.TablePower:  true,
-	experiment.TableFaults: true,
+	experiment.TableFig6:           true,
+	experiment.TableFig11:          true,
+	experiment.TablePower:          true,
+	experiment.TableFaults:         true,
+	experiment.TablePredictability: true,
 }
 
 // cells decomposes a normalized request into dispatch units in
@@ -464,6 +465,8 @@ func (c *Coordinator) merge(req serve.SweepRequest, work []cell, results []cellR
 			merged.Power = append(merged.Power, r.res.Power...)
 		case experiment.TableFaults:
 			merged.Faults = append(merged.Faults, r.res.Faults...)
+		case experiment.TablePredictability:
+			merged.Predictability = append(merged.Predictability, r.res.Predictability...)
 		case experiment.TableFig7:
 			merged.Fig7 = r.res.Fig7
 		case experiment.TableFig9:

@@ -40,6 +40,16 @@ type CheckOptions struct {
 	Logf func(format string, args ...any) // optional progress logger
 }
 
+// zooSpecs are the predictor-zoo configurations the differential gate
+// rotates through (leg 1b): compact TAGE/loop sizings that still
+// exercise tagged-table allocation and trip-count training on the
+// generated programs.
+var zooSpecs = []string{
+	"tage:tables=4,entries=256,hist=32",
+	"loop:entries=64",
+	"tageloop:tables=4,entries=256,hist=32",
+}
+
 func (o CheckOptions) fill() CheckOptions {
 	if o.Entries <= 0 {
 		o.Entries = 30
@@ -176,6 +186,34 @@ func checkOne(ctx context.Context, opt CheckOptions, knobs Knobs, seed int64, re
 	}
 	if ref != super {
 		return Entry{}, diverged("superblock-vs-reference", super, ref)
+	}
+
+	// Leg 1b: the predictor zoo. Each entry exercises one TAGE/loop
+	// spec in rotation; all three engines must agree bit-for-bit with
+	// stateful tagged-history and trip-count predictors in the branch
+	// unit (TAGE's Predict is read-only, so differing probe counts
+	// between engines must not diverge).
+	zoo := zooSpecs[int(uint64(seed)%uint64(len(zooSpecs)))]
+	withPred := func(engine cpu.Engine) (obs.Snapshot, error) {
+		return run(engine, func(cfg *cpu.Config) { cfg.Predictor = zoo })
+	}
+	zooRef, err := withPred(cpu.EngineReference)
+	if err != nil {
+		return Entry{}, err
+	}
+	zooFast, err := withPred(cpu.EngineFast)
+	if err != nil {
+		return Entry{}, err
+	}
+	if zooRef != zooFast {
+		return Entry{}, diverged("zoo["+zoo+"]-fast-vs-reference", zooFast, zooRef)
+	}
+	zooSuper, err := withPred(cpu.EngineSuperblock)
+	if err != nil {
+		return Entry{}, err
+	}
+	if zooRef != zooSuper {
+		return Entry{}, diverged("zoo["+zoo+"]-superblock-vs-reference", zooSuper, zooRef)
 	}
 
 	// Leg 2: ASBR run with every foldable branch loaded, fast vs

@@ -30,7 +30,7 @@ import (
 // requirements beyond the attached hooks; cpu.New resolves the pair
 // against the hooks on the final Config.
 type MachineSpec struct {
-	Predictor string     // predict.Names() vocabulary ("" = bimodal)
+	Predictor string     // predictor spec family[:k=v,...] or legacy alias ("" = bimodal)
 	Engine    cpu.Engine // requested step-loop (resolved by cpu.SelectEngine)
 	Demand    cpu.Caps   // extra capability demands beyond attached hooks
 	MaxCycles uint64     // watchdog cycle budget (0 = engine default)

@@ -25,7 +25,7 @@ const ReplaySchema = "asbr-replay/v1"
 // Wall-clock timeouts are deliberately absent — they cannot change a
 // deterministic result, only abort it.
 type ReplayConfig struct {
-	Predictor  string `json:"predictor,omitempty"`   // predict.Names() vocabulary ("" = bimodal)
+	Predictor  string `json:"predictor,omitempty"`   // predictor spec or legacy alias ("" = bimodal)
 	Engine     string `json:"engine,omitempty"`      // cpu.EngineNames() vocabulary ("" = auto)
 	ASBR       bool   `json:"asbr,omitempty"`        // profile, select, fold, re-run
 	BITEntries int    `json:"bit_entries,omitempty"` // requested BIT capacity (0 = default)
@@ -103,7 +103,7 @@ func (r Record) Validate() error {
 		}
 	}
 	if r.Config.Predictor != "" {
-		if _, err := predict.ByName(r.Config.Predictor); err != nil {
+		if _, err := predict.ParseSpec(r.Config.Predictor); err != nil {
 			return fmt.Errorf("corpus: record %q: %v", r.Key, err)
 		}
 	}

@@ -215,10 +215,11 @@ type Config struct {
 	// Branch is the fetch-stage branch unit. Nil means always
 	// not-taken with no BTB (the paper's predictor-less baseline).
 	Branch *predict.Unit
-	// Predictor names a branch-unit configuration (predict.Names) to
-	// build instead of supplying Branch directly. It is how every CLI
-	// and API caller selects a predictor; setting both Predictor and
-	// Branch is an ErrBadConfig.
+	// Predictor is a branch-unit spec ("family[:key=value,...]", e.g.
+	// "tage:tables=4,hist=64", or a legacy alias like "bi512"; see
+	// predict.ParseSpec) to build instead of supplying Branch directly.
+	// It is how every CLI and API caller selects a predictor; setting
+	// both Predictor and Branch is an ErrBadConfig.
 	Predictor string
 	// Engine selects the step-loop implementation. EngineAuto (the
 	// default) resolves through SelectEngine to the fastest engine the

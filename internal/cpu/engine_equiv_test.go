@@ -36,15 +36,24 @@ func buildBench(t *testing.T, name string) (*isa.Program, []int32) {
 	return prog, in
 }
 
-func engCfg(e cpu.Engine) cpu.Config {
+func engCfg(e cpu.Engine) cpu.Config { return engCfgPred(e, "bimodal") }
+
+func engCfgPred(e cpu.Engine, predictor string) cpu.Config {
 	return cpu.Config{
 		ICache:    mem.DefaultICache(),
 		DCache:    mem.DefaultDCache(),
-		Predictor: "bimodal",
+		Predictor: predictor,
 		Engine:    e,
 		MaxCycles: 1 << 30,
 	}
 }
+
+// zooSpecs are the stateful predictor-zoo configurations the
+// equivalence gates cover beyond the bimodal default: TAGE's tagged
+// tables and the loop predictor's trip counters live in the branch
+// unit, so the superblock engine's PredictFetch/Resolve chaining must
+// reproduce the reference engine's exact training sequence.
+var zooSpecs = []string{"tage:tables=4,entries=256,hist=32", "loop:entries=64", "tageloop"}
 
 // pour preps a machine the way workload.RunContext does, so the
 // lockstep pair sees the benchmark's real input.
@@ -66,25 +75,34 @@ func pour(prog *isa.Program, in []int32) func(*cpu.CPU) error {
 // engine a superblock machine degrades to, while the stats gate below
 // covers the live superblock path.
 func TestEngineLockstepEquivalence(t *testing.T) {
+	preds := append([]string{"bimodal"}, zooSpecs...)
 	for _, eng := range []cpu.Engine{cpu.EngineFast, cpu.EngineSuperblock} {
-		for _, name := range workload.Names() {
-			t.Run(eng.String()+"/"+name, func(t *testing.T) {
-				prog, in := buildBench(t, name)
-				rep, err := fault.RunPair(prog,
-					engCfg(cpu.EngineReference), engCfg(eng), pour(prog, in))
-				if err != nil {
-					t.Fatalf("RunPair: %v", err)
-				}
-				if rep.BaseErr != nil || rep.TestErr != nil {
-					t.Fatalf("simulation errors: reference %v, %s %v", rep.BaseErr, eng, rep.TestErr)
-				}
-				if rep.Diverged {
-					t.Fatalf("engines diverged: %s", rep)
-				}
-				if rep.Commits == 0 {
-					t.Fatal("no commits compared")
-				}
-			})
+		for _, pred := range preds {
+			// The bimodal default covers all benchmarks; the zoo specs
+			// cover one encoder and one decoder to bound runtime.
+			benches := workload.Names()
+			if pred != "bimodal" {
+				benches = []string{workload.ADPCMEncode, workload.G721Decode}
+			}
+			for _, name := range benches {
+				t.Run(eng.String()+"/"+pred+"/"+name, func(t *testing.T) {
+					prog, in := buildBench(t, name)
+					rep, err := fault.RunPair(prog,
+						engCfgPred(cpu.EngineReference, pred), engCfgPred(eng, pred), pour(prog, in))
+					if err != nil {
+						t.Fatalf("RunPair: %v", err)
+					}
+					if rep.BaseErr != nil || rep.TestErr != nil {
+						t.Fatalf("simulation errors: reference %v, %s %v", rep.BaseErr, eng, rep.TestErr)
+					}
+					if rep.Diverged {
+						t.Fatalf("engines diverged: %s", rep)
+					}
+					if rep.Commits == 0 {
+						t.Fatal("no commits compared")
+					}
+				})
+			}
 		}
 	}
 }
@@ -95,37 +113,43 @@ func TestEngineLockstepEquivalence(t *testing.T) {
 // This is the gate that exercises the live superblock path: a hookless
 // EngineSuperblock config resolves to the superblock loop itself.
 func TestEngineStatsEquivalence(t *testing.T) {
-	for _, name := range workload.Names() {
-		t.Run(name, func(t *testing.T) {
-			prog, in := buildBench(t, name)
-			ref, err := workload.RunContext(context.Background(), prog, engCfg(cpu.EngineReference), in, equivSamples)
-			if err != nil {
-				t.Fatalf("reference run: %v", err)
-			}
-			for _, eng := range []cpu.Engine{cpu.EngineFast, cpu.EngineSuperblock} {
-				res, err := workload.RunContext(context.Background(), prog, engCfg(eng), in, equivSamples)
+	for _, pred := range append([]string{"bimodal"}, zooSpecs...) {
+		benches := workload.Names()
+		if pred != "bimodal" {
+			benches = []string{workload.ADPCMEncode, workload.G721Decode}
+		}
+		for _, name := range benches {
+			t.Run(pred+"/"+name, func(t *testing.T) {
+				prog, in := buildBench(t, name)
+				ref, err := workload.RunContext(context.Background(), prog, engCfgPred(cpu.EngineReference, pred), in, equivSamples)
 				if err != nil {
-					t.Fatalf("%s run: %v", eng, err)
+					t.Fatalf("reference run: %v", err)
 				}
-				if got := res.CPU.ResolvedEngine(); got != eng {
-					t.Fatalf("hookless %s config resolved to %s", eng, got)
-				}
-				if !reflect.DeepEqual(ref.Stats, res.Stats) {
-					t.Errorf("stats mismatch:\nreference %+v\n%-9s %+v", ref.Stats, eng, res.Stats)
-				}
-				if !reflect.DeepEqual(ref.Output, res.Output) {
-					t.Errorf("output mismatch: %d vs %d words", len(ref.Output), len(res.Output))
-				}
-				for r := 0; r < isa.NumRegs; r++ {
-					if rv, fv := ref.CPU.Reg(isa.Reg(r)), res.CPU.Reg(isa.Reg(r)); rv != fv {
-						t.Errorf("final $%d: reference %d, %s %d", r, rv, eng, fv)
+				for _, eng := range []cpu.Engine{cpu.EngineFast, cpu.EngineSuperblock} {
+					res, err := workload.RunContext(context.Background(), prog, engCfgPred(eng, pred), in, equivSamples)
+					if err != nil {
+						t.Fatalf("%s run: %v", eng, err)
+					}
+					if got := res.CPU.ResolvedEngine(); got != eng {
+						t.Fatalf("hookless %s config resolved to %s", eng, got)
+					}
+					if !reflect.DeepEqual(ref.Stats, res.Stats) {
+						t.Errorf("stats mismatch:\nreference %+v\n%-9s %+v", ref.Stats, eng, res.Stats)
+					}
+					if !reflect.DeepEqual(ref.Output, res.Output) {
+						t.Errorf("output mismatch: %d vs %d words", len(ref.Output), len(res.Output))
+					}
+					for r := 0; r < isa.NumRegs; r++ {
+						if rv, fv := ref.CPU.Reg(isa.Reg(r)), res.CPU.Reg(isa.Reg(r)); rv != fv {
+							t.Errorf("final $%d: reference %d, %s %d", r, rv, eng, fv)
+						}
+					}
+					if ref.CPU.ExitCode() != res.CPU.ExitCode() {
+						t.Errorf("exit code: reference %d, %s %d", ref.CPU.ExitCode(), eng, res.CPU.ExitCode())
 					}
 				}
-				if ref.CPU.ExitCode() != res.CPU.ExitCode() {
-					t.Errorf("exit code: reference %d, %s %d", ref.CPU.ExitCode(), eng, res.CPU.ExitCode())
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

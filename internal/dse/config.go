@@ -35,6 +35,22 @@ var (
 	bankLadder   = []int{1, 2, 4}
 	cacheLadder  = []int{2, 4, 8, 16, 32}
 	updateLadder = []string{"ex", "mem", "wb"}
+	// predLadder orders the predictor axis by hardware capability:
+	// nothing, the paper's shrunken auxiliaries, the full-size
+	// baselines, then the zoo (loop, TAGE, TAGE+loop at their default
+	// spec parameters). Any spec the predict registry resolves is a
+	// valid Config.Predictor; off-ladder specs simply do not move on
+	// this axis during search.
+	predLadder = []string{"nottaken", "bi256", "bi512", "bimodal", "gshare", "loop", "tage", "tageloop"}
+	// predCanon matches configs onto the ladder by canonical spelling,
+	// so "tage:tables=4,hist=64" occupies the same rung as "tage".
+	predCanon = func() []string {
+		out := make([]string, len(predLadder))
+		for i, p := range predLadder {
+			out[i] = predict.CanonicalOr(p)
+		}
+		return out
+	}()
 )
 
 // Config is one point of the search grammar: a complete ASBR machine
@@ -43,7 +59,7 @@ var (
 // names exactly one machine.
 type Config struct {
 	Bench      string `json:"bench"`
-	Predictor  string `json:"predictor"`   // auxiliary predictor choice+size (predict.Names())
+	Predictor  string `json:"predictor"`   // auxiliary predictor spec (predict.ParseSpec grammar)
 	BITEntries int    `json:"bit_entries"` // BIT capacity
 	BITBanks   int    `json:"bit_banks"`   // switchable BIT copies
 	Update     string `json:"update"`      // BDT update point ex|mem|wb (fold thresholds 2|3|4)
@@ -108,7 +124,7 @@ func (c Config) Normalize() (Config, error) {
 	if !ok {
 		return Config{}, fmt.Errorf("dse: unknown bench %q (want %s)", c.Bench, strings.Join(workload.Names(), "|"))
 	}
-	if _, err := predict.ByName(c.Predictor); err != nil {
+	if _, err := predict.ParseSpec(c.Predictor); err != nil {
 		return Config{}, fmt.Errorf("dse: %v", err)
 	}
 	if err := onLadder("bit_entries", c.BITEntries, bitLadder); err != nil {
@@ -154,10 +170,12 @@ func onLadderS(name, v string, ladder []string) error {
 }
 
 // Key is the config's canonical identity: the dedup key of the
-// once-cache and the tiebreak ordering of the Pareto front.
+// once-cache and the tiebreak ordering of the Pareto front. The
+// predictor is keyed by its canonical spec spelling, so permuted
+// parameter orders coalesce to one evaluation.
 func (c Config) Key() string {
 	return fmt.Sprintf("dse|%s|pred=%s|k=%d|banks=%d|update=%s|ic=%d|dc=%d|sched=%s",
-		c.Bench, c.Predictor, c.BITEntries, c.BITBanks, c.Update, c.ICacheKB, c.DCacheKB, c.Sched)
+		c.Bench, predict.CanonicalOr(c.Predictor), c.BITEntries, c.BITBanks, c.Update, c.ICacheKB, c.DCacheKB, c.Sched)
 }
 
 // Request maps the config onto the serve wire protocol. The request is
@@ -182,26 +200,45 @@ func (c Config) Request(samples int, seed int64, maxCycles uint64, timeoutMS int
 }
 
 // Hardware prices the config's branch-handling structures for the
-// area/energy model. The predictor axis folds choice and size into one
-// name, mirroring predict.ByName's unit shapes (the ASBR auxiliary
-// units carry the paper's quarter-size 512-entry BTB).
+// area/energy model, derived from the parsed predictor spec: the
+// primary counter table becomes PredictorEntries×PredictorBits, and
+// TAGE tagged tables / loop trip counters are priced as AuxBits
+// (counter + useful + partial-tag bits per tagged entry; tag, trip,
+// current, confidence and direction bits per loop entry).
 func (c Config) Hardware() power.Hardware {
 	h := power.Hardware{
 		BITEntries: c.BITEntries,
 		BITBanks:   c.BITBanks,
 		HasBDT:     true,
 	}
-	switch c.Predictor {
+	s, err := predict.ParseSpec(c.Predictor)
+	if err != nil {
+		return h // Normalize rejects unparseable specs before pricing matters
+	}
+	const (
+		tageEntryBits = 3 + 2 // signed counter + useful bits, plus the tag below
+		loopEntryBits = 32 + 16 + 16 + 4 + 1
+	)
+	h.BTBEntries = s.Param("btb", 0)
+	switch s.Family {
 	case "nottaken":
-		// No direction table, no BTB.
 	case "bimodal":
-		h.PredictorEntries, h.PredictorBits, h.BTBEntries = 2048, 2, 2048
+		h.PredictorEntries, h.PredictorBits = s.Param("entries", 0), 2
 	case "gshare":
-		h.PredictorEntries, h.PredictorBits, h.HistoryBits, h.BTBEntries = 2048, 2, 11, 2048
-	case "bi512":
-		h.PredictorEntries, h.PredictorBits, h.BTBEntries = 512, 2, 512
-	case "bi256":
-		h.PredictorEntries, h.PredictorBits, h.BTBEntries = 256, 2, 512
+		h.PredictorEntries, h.PredictorBits = s.Param("entries", 0), 2
+		h.HistoryBits = s.Param("hist", 0)
+	case "tage":
+		h.PredictorEntries, h.PredictorBits = s.Param("base", 0), 2
+		h.HistoryBits = s.Param("hist", 0)
+		h.AuxBits = s.Param("tables", 0) * s.Param("entries", 0) * (tageEntryBits + s.Param("tag", 0))
+	case "loop":
+		h.PredictorEntries, h.PredictorBits = s.Param("base", 0), 2
+		h.AuxBits = s.Param("entries", 0) * loopEntryBits
+	case "tageloop":
+		h.PredictorEntries, h.PredictorBits = s.Param("base", 0), 2
+		h.HistoryBits = s.Param("hist", 0)
+		h.AuxBits = s.Param("tables", 0)*s.Param("entries", 0)*(tageEntryBits+s.Param("tag", 0)) +
+			s.Param("loops", 0)*loopEntryBits
 	}
 	return h
 }
@@ -235,13 +272,12 @@ func (c Config) axes() []axis {
 		}
 		return -1
 	}
-	preds := predict.Names()
 	scheds := workload.SchedLevels()
 	return []axis{
 		{"bit_entries", func(c *Config) int { return idx(c.BITEntries, bitLadder) },
 			func(c *Config, i int) { c.BITEntries = bitLadder[i] }, len(bitLadder)},
-		{"predictor", func(c *Config) int { return idxS(c.Predictor, preds) },
-			func(c *Config, i int) { c.Predictor = preds[i] }, len(preds)},
+		{"predictor", func(c *Config) int { return idxS(predict.CanonicalOr(c.Predictor), predCanon) },
+			func(c *Config, i int) { c.Predictor = predLadder[i] }, len(predLadder)},
 		{"update", func(c *Config) int { return idxS(c.Update, updateLadder) },
 			func(c *Config, i int) { c.Update = updateLadder[i] }, len(updateLadder)},
 		{"icache_kb", func(c *Config) int { return idx(c.ICacheKB, cacheLadder) },

@@ -18,21 +18,23 @@ import (
 
 // Table names accepted by (*Sweep).Tables, in reporting order.
 const (
-	TableFig6       = "fig6"
-	TableFig7       = "fig7"
-	TableFig9       = "fig9"
-	TableFig10      = "fig10"
-	TableFig11      = "fig11"
-	TablePower      = "power"
-	TableMotivation = "motivation"
-	TableAblations  = "ablations"
-	TableFaults     = "faults"
+	TableFig6           = "fig6"
+	TableFig7           = "fig7"
+	TableFig9           = "fig9"
+	TableFig10          = "fig10"
+	TableFig11          = "fig11"
+	TablePower          = "power"
+	TableMotivation     = "motivation"
+	TableAblations      = "ablations"
+	TableFaults         = "faults"
+	TablePredictability = "predictability"
 )
 
 // TableNames lists every table name, in the order Tables runs them.
 func TableNames() []string {
 	return []string{TableFig6, TableFig7, TableFig9, TableFig10, TableFig11,
-		TablePower, TableMotivation, TableAblations, TableFaults}
+		TablePower, TableMotivation, TableAblations, TableFaults,
+		TablePredictability}
 }
 
 // RenderText writes one table in the asbr-tables house style: a title
@@ -317,6 +319,62 @@ func EncodeFaults(rows []FaultRow) []FaultJSON {
 	return out
 }
 
+// PredictabilityBranchJSON is one encoded static-branch verdict.
+type PredictabilityBranchJSON struct {
+	PC           uint32             `json:"pc"`
+	Exec         uint64             `json:"exec"`
+	Taken        float64            `json:"taken"`
+	FoldEligible bool               `json:"fold_eligible"`
+	FoldRate     float64            `json:"fold_rate"`
+	Accuracy     map[string]float64 `json:"accuracy"` // shadow role -> accuracy
+	Best         string             `json:"best"`     // most accurate dynamic shadow role
+	BestAccuracy float64            `json:"best_accuracy"`
+	Mispredicts  uint64             `json:"mispredicts"` // best shadow's misses
+	Rescued      uint64             `json:"rescued"`     // misses removed by folding
+	CycleCost    uint64             `json:"cycle_cost"`
+	Class        string             `json:"class"`
+}
+
+// PredictabilityJSON is one benchmark's encoded classification.
+type PredictabilityJSON struct {
+	Benchmark string                     `json:"benchmark"`
+	Shadows   map[string]string          `json:"shadows"` // role -> predictor name
+	Rows      []PredictabilityBranchJSON `json:"rows"`
+	Classes   map[string]int             `json:"classes"`
+
+	BestMispredicts    uint64     `json:"best_mispredicts"`
+	RescuedMispredicts uint64     `json:"rescued_mispredicts"`
+	RescuedFrac        float64    `json:"rescued_frac"`
+	RescuedCycles      uint64     `json:"rescued_cycles"`
+	Error              *CellError `json:"error,omitempty"`
+}
+
+// EncodePredictability converts predictability rows to the wire form.
+func EncodePredictability(rows []PredictabilityRow) []PredictabilityJSON {
+	out := make([]PredictabilityJSON, len(rows))
+	for i, r := range rows {
+		j := PredictabilityJSON{
+			Benchmark: r.Benchmark, Shadows: r.Shadows, Classes: r.Classes,
+			BestMispredicts:    r.BestMispredicts,
+			RescuedMispredicts: r.RescuedMispredicts,
+			RescuedFrac:        r.RescuedFrac,
+			RescuedCycles:      r.RescuedCycles,
+			Error:              EncodeCellError(r.Err),
+		}
+		for _, b := range r.Branches {
+			j.Rows = append(j.Rows, PredictabilityBranchJSON{
+				PC: b.PC, Exec: b.Exec, Taken: b.Taken,
+				FoldEligible: b.FoldEligible, FoldRate: b.FoldRate,
+				Accuracy: b.Accuracy, Best: b.Best, BestAccuracy: b.BestAccuracy,
+				Mispredicts: b.Mispredicts, Rescued: b.Rescued,
+				CycleCost: b.CycleCost, Class: b.Class,
+			})
+		}
+		out[i] = j
+	}
+	return out
+}
+
 // TablesJSON is a full machine-readable sweep: the options it ran
 // under plus every requested table. Absent tables marshal as absent
 // fields; a table that failed outright is reported in Errors while the
@@ -335,6 +393,8 @@ type TablesJSON struct {
 	Motivation *MotivationJSON  `json:"motivation,omitempty"`
 	Ablations  *AblationsJSON   `json:"ablations,omitempty"`
 	Faults     []FaultJSON      `json:"faults,omitempty"`
+
+	Predictability []PredictabilityJSON `json:"predictability,omitempty"`
 
 	// Errors lists table-level failures ("<table>: reason"). Cell-level
 	// failures live on the cells themselves.
@@ -358,6 +418,11 @@ func (t *TablesJSON) HasErrors() bool {
 		}
 	}
 	for _, r := range t.Faults {
+		if r.Error != nil {
+			return true
+		}
+	}
+	for _, r := range t.Predictability {
 		if r.Error != nil {
 			return true
 		}
@@ -506,6 +571,12 @@ func (s *Sweep) Tables(names []string) (*TablesJSON, error) {
 			if err != nil {
 				fail(name, err)
 			}
+		case TablePredictability:
+			rows, err := s.Predictability()
+			out.Predictability = EncodePredictability(rows)
+			if err != nil {
+				fail(name, err)
+			}
 		}
 	}
 	if first == nil {
@@ -579,6 +650,11 @@ func firstCellError(t *TablesJSON) error {
 	for _, r := range t.Faults {
 		if r.Error != nil {
 			return fmt.Errorf("faults %s/%s: %s", r.Benchmark, r.Plan, r.Error.Message)
+		}
+	}
+	for _, r := range t.Predictability {
+		if r.Error != nil {
+			return fmt.Errorf("predictability %s: %s", r.Benchmark, r.Error.Message)
 		}
 	}
 	return nil

@@ -1,0 +1,252 @@
+package experiment
+
+import (
+	"fmt"
+
+	"asbr/internal/core"
+	"asbr/internal/obs"
+	"asbr/internal/predict"
+	"asbr/internal/runner"
+)
+
+// This file is the branch-predictability scenario: every static
+// conditional branch of a benchmark is classified by which mechanism —
+// a conventional predictor, a modern dynamic predictor from the zoo, or
+// ASBR folding — can actually handle its outcome stream. The headline
+// number is the fraction of best-dynamic mispredictions that ASBR
+// folding removes: cycles no predictor in the zoo recovers, which is
+// the paper's case for algorithm-specific resolution restated against
+// much stronger dynamic competition than its 2001 baselines.
+
+// Predictability classes, in precedence order.
+const (
+	ClassPredictable   = "predictable"   // a baseline (bimodal/gshare) already handles it
+	ClassTAGERescued   = "tage-rescued"  // baselines fail, TAGE's tagged history handles it
+	ClassLoopRescued   = "loop-rescued"  // only the loop predictor's trip counter handles it
+	ClassASBRFolded    = "asbr-folded"   // no dynamic predictor handles it, but ASBR folds it
+	ClassUnpredictable = "unpredictable" // intrinsically unpredictable and not foldable
+)
+
+// predictableAcc is the accuracy at which a shadow predictor is deemed
+// to "handle" a branch (19 of 20 outcomes right).
+const predictableAcc = 0.95
+
+// foldedFracMin is the fold rate at which ASBR is deemed to handle a
+// branch: the front-end must resolve at least half its executions.
+const foldedFracMin = 0.5
+
+// predictabilityShadowSpecs maps each shadow role onto its predictor
+// spec. The roles drive classification; the specs are resolved through
+// the open predictor registry, so the zoo the scenario competes against
+// is exactly the zoo every CLI accepts.
+type shadowSpec struct {
+	Role string
+	Spec string
+}
+
+func predictabilityShadows() []shadowSpec {
+	return []shadowSpec{
+		{Role: "bimodal", Spec: "bimodal"},
+		{Role: "gshare", Spec: "gshare"},
+		{Role: "tage", Spec: "tage"},
+		{Role: "loop", Spec: "loop"},
+		{Role: "tageloop", Spec: "tageloop"},
+	}
+}
+
+// PredictabilityBranch is one static branch's account and verdict.
+type PredictabilityBranch struct {
+	PC           uint32
+	Exec         uint64
+	Taken        float64            // taken-outcome fraction
+	FoldEligible bool               // in the benchmark's BIT fold set
+	FoldRate     float64            // executions the ASBR front-end folded
+	Accuracy     map[string]float64 // shadow role -> accuracy
+	Best         string             // role of the most accurate dynamic shadow
+	BestAccuracy float64
+	// Mispredicts is the best shadow's miss count; Rescued is the subset
+	// of those misses that landed on folded executions (removed by
+	// ASBR); CycleCost prices the misses at the platform flush penalty.
+	Mispredicts uint64
+	Rescued     uint64
+	CycleCost   uint64
+	Class       string
+}
+
+// PredictabilityRow is one benchmark's full classification.
+type PredictabilityRow struct {
+	Benchmark string
+	Shadows   map[string]string // role -> resolved predictor name
+	Branches  []PredictabilityBranch
+	Classes   map[string]int // class -> static branch count
+
+	// BestMispredicts sums each branch's best-dynamic miss count;
+	// RescuedMispredicts is the subset removed by ASBR folding, and
+	// RescuedFrac their ratio — the headline "mispredictions no dynamic
+	// predictor in the zoo avoids, that folding removes".
+	BestMispredicts    uint64
+	RescuedMispredicts uint64
+	RescuedFrac        float64
+	// RescuedCycles prices the rescued misses at the flush penalty.
+	RescuedCycles uint64
+
+	Err error // non-nil when this benchmark's run failed
+}
+
+// Predictability classifies every benchmark on a fresh sweep (see
+// Sweep.Predictability).
+func Predictability(opt Options) ([]PredictabilityRow, error) {
+	return NewSweep(opt).Predictability()
+}
+
+// Predictability runs the folded ASBR machine once per benchmark with a
+// branch-accounting observer attached: every dynamic outcome is
+// replayed through the shadow zoo (bimodal, gshare, TAGE, loop,
+// TAGE+loop), folded executions included, and each static branch is
+// classified by the weakest mechanism that handles it. Each benchmark
+// is one pool job; the profiled run and BIT selection are the sweep's
+// shared artifacts, and rows aggregate in canonical benchmark order, so
+// the table is byte-identical at any worker count.
+func (s *Sweep) Predictability() ([]PredictabilityRow, error) {
+	benches := s.opt.benches()
+	rows, errs := runner.MapErrs(s.opt.Parallel, benches, func(_ int, bench string) (PredictabilityRow, error) {
+		return s.predictability(bench)
+	})
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		rows[i] = PredictabilityRow{Benchmark: benches[i], Err: err}
+		if first == nil {
+			first = err
+		}
+	}
+	return rows, first
+}
+
+// predictability builds one benchmark's classification.
+func (s *Sweep) predictability(bench string) (PredictabilityRow, error) {
+	pa, err := s.profiledRun(bench)
+	if err != nil {
+		return PredictabilityRow{}, err
+	}
+	in, err := s.input(bench)
+	if err != nil {
+		return PredictabilityRow{}, err
+	}
+	entries, err := s.bitEntries(bench)
+	if err != nil {
+		return PredictabilityRow{}, err
+	}
+
+	// Fresh shadows per benchmark: the account must not leak training
+	// across benchmarks, and fresh units keep the row independent of
+	// job scheduling.
+	specs := predictabilityShadows()
+	shadows := make([]obs.ShadowPredictor, len(specs))
+	roleName := make(map[string]string, len(specs))
+	nameRole := make(map[string]string, len(specs))
+	for i, sp := range specs {
+		spec, err := predict.ParseSpec(sp.Spec)
+		if err != nil {
+			return PredictabilityRow{}, fmt.Errorf("%s: shadow %s: %w", bench, sp.Role, err)
+		}
+		u, err := spec.Build()
+		if err != nil {
+			return PredictabilityRow{}, fmt.Errorf("%s: shadow %s: %w", bench, sp.Role, err)
+		}
+		shadows[i] = u.Dir
+		roleName[sp.Role] = u.Dir.Name()
+		nameRole[u.Dir.Name()] = sp.Role
+	}
+
+	// The folded ASBR machine with the paper's bimodal-512 auxiliary:
+	// the live predictor only shapes timing, while the observer's
+	// outcome stream and the BDT's fold decisions are architectural, so
+	// the account is the same one every Figure 11 configuration sees.
+	acct := obs.NewBranchAccounting(uint64(2+ExtraMispredictCycles), shadows...)
+	pcs := make([]uint32, len(entries))
+	for i, e := range entries {
+		pcs[i] = e.PC
+	}
+	acct.MarkFoldEligible(pcs)
+
+	eng := core.NewEngine(core.DefaultConfig())
+	if err := eng.Load(entries); err != nil {
+		return PredictabilityRow{}, err
+	}
+	cfg := s.machine(predict.AuxBimodal512())
+	cfg.Fold = eng
+	cfg.BDTUpdate = s.opt.Update
+	cfg.Observer = acct
+	if _, err := s.run(pa.prog, cfg, in); err != nil {
+		return PredictabilityRow{}, fmt.Errorf("%s: %w", bench, err)
+	}
+
+	row := PredictabilityRow{
+		Benchmark: bench,
+		Shadows:   roleName,
+		Classes:   make(map[string]int),
+	}
+	for _, a := range acct.Stats() {
+		b := classify(a, acct.ShadowNames(), nameRole, acct.FlushPenalty)
+		row.Branches = append(row.Branches, b)
+		row.Classes[b.Class]++
+		row.BestMispredicts += b.Mispredicts
+		row.RescuedMispredicts += b.Rescued
+		row.RescuedCycles += b.Rescued * acct.FlushPenalty
+	}
+	if row.BestMispredicts > 0 {
+		row.RescuedFrac = float64(row.RescuedMispredicts) / float64(row.BestMispredicts)
+	}
+	return row, nil
+}
+
+// classify turns one branch account into its verdict. Precedence runs
+// from the cheapest mechanism to the most specialized: a branch a
+// baseline already predicts is "predictable" even if TAGE also nails
+// it, and "asbr-folded" is reserved for branches no dynamic shadow
+// reaches — the class the headline metric counts.
+func classify(a obs.BranchAcct, shadowNames []string, nameRole map[string]string, flushPenalty uint64) PredictabilityBranch {
+	b := PredictabilityBranch{
+		PC:           a.PC,
+		Exec:         a.Execs,
+		FoldEligible: a.FoldEligible,
+		Accuracy:     make(map[string]float64, len(shadowNames)),
+	}
+	if a.Execs > 0 {
+		b.Taken = float64(a.Taken) / float64(a.Execs)
+		b.FoldRate = float64(a.Folded) / float64(a.Execs)
+	}
+	// Best dynamic shadow: fewest total misses, ties broken by replay
+	// order so the verdict is deterministic.
+	first := true
+	var bestName string
+	for _, name := range shadowNames {
+		role := nameRole[name]
+		b.Accuracy[role] = a.Accuracy(name)
+		if m := a.Mispredicts[name]; first || m < a.Mispredicts[bestName] {
+			bestName, first = name, false
+		}
+	}
+	b.Best = nameRole[bestName]
+	b.BestAccuracy = a.Accuracy(bestName)
+	b.Mispredicts = a.Mispredicts[bestName]
+	b.Rescued = a.MispredictsFolded[bestName]
+	b.CycleCost = b.Mispredicts * flushPenalty
+
+	switch {
+	case b.Accuracy["bimodal"] >= predictableAcc || b.Accuracy["gshare"] >= predictableAcc:
+		b.Class = ClassPredictable
+	case b.Accuracy["tage"] >= predictableAcc:
+		b.Class = ClassTAGERescued
+	case b.Accuracy["loop"] >= predictableAcc || b.Accuracy["tageloop"] >= predictableAcc:
+		b.Class = ClassLoopRescued
+	case b.FoldEligible && b.FoldRate >= foldedFracMin:
+		b.Class = ClassASBRFolded
+	default:
+		b.Class = ClassUnpredictable
+	}
+	return b
+}

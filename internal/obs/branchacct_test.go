@@ -1,0 +1,66 @@
+package obs
+
+import "testing"
+
+// fakeShadow predicts a fixed direction and counts updates.
+type fakeShadow struct {
+	name    string
+	taken   bool
+	updates int
+}
+
+func (f *fakeShadow) Predict(uint32) bool { return f.taken }
+func (f *fakeShadow) Update(uint32, bool) { f.updates++ }
+func (f *fakeShadow) Name() string        { return f.name }
+func (f *fakeShadow) Reset()              { f.updates = 0 }
+
+func TestBranchAccounting(t *testing.T) {
+	nt := &fakeShadow{name: "nt", taken: false}
+	tk := &fakeShadow{name: "tk", taken: true}
+	b := NewBranchAccounting(5, nt, tk)
+	b.MarkFoldEligible([]uint32{0x100})
+
+	// 0x100: 3 taken (2 folded), 1 not-taken. 0x200: 1 not-taken.
+	b.OnBranch(0x100, true, true)
+	b.OnBranch(0x100, true, true)
+	b.OnBranch(0x100, true, false)
+	b.OnBranch(0x100, false, false)
+	b.OnBranch(0x200, false, false)
+
+	stats := b.Stats()
+	if len(stats) != 2 || stats[0].PC != 0x100 || stats[1].PC != 0x200 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	a := stats[0]
+	if a.Execs != 4 || a.Taken != 3 || a.Folded != 2 || !a.FoldEligible {
+		t.Fatalf("account = %+v", a)
+	}
+	if a.Mispredicts["nt"] != 3 || a.Mispredicts["tk"] != 1 {
+		t.Fatalf("mispredicts = %v", a.Mispredicts)
+	}
+	// nt mispredicted all 3 taken outcomes; 2 of those were folded, so
+	// folding removed exactly 2 of its mispredictions. tk's single miss
+	// was on an unfolded execution.
+	if a.MispredictsFolded["nt"] != 2 || a.MispredictsFolded["tk"] != 0 {
+		t.Fatalf("folded mispredicts = %v", a.MispredictsFolded)
+	}
+	// Best shadow (tk, 1 miss) times the flush penalty.
+	if a.CycleCost != 5 {
+		t.Fatalf("cycle cost = %d, want 5", a.CycleCost)
+	}
+	if acc := a.Accuracy("tk"); acc != 0.75 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if !stats[1].FoldEligible == false && stats[1].FoldEligible {
+		t.Fatal("0x200 must not be fold-eligible")
+	}
+	// Folded outcomes still train the shadows.
+	if nt.updates != 5 || tk.updates != 5 {
+		t.Fatalf("shadow updates = %d/%d, want 5/5", nt.updates, tk.updates)
+	}
+
+	b.Reset()
+	if len(b.Stats()) != 0 || nt.updates != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

@@ -52,7 +52,13 @@ func DefaultParams() Params {
 type Hardware struct {
 	PredictorEntries int // direction-predictor table entries (0 = none)
 	PredictorBits    int // bits per direction entry (2 for bimodal/gshare)
-	HistoryBits      int // global history register (gshare)
+	HistoryBits      int // global history register (gshare/TAGE)
+	// AuxBits is additional predictor storage not captured by the
+	// entries×bits product: TAGE tagged tables (counter + useful bits +
+	// partial tag per entry) and loop-predictor trip counters. It is
+	// priced in AreaBits; access energy still scales with the primary
+	// table via PredictorEntries.
+	AuxBits int
 	BTBEntries       int // branch target buffer entries (0 = none)
 	BITEntries       int // ASBR branch identification table entries (0 = no ASBR)
 	BITBanks         int // BIT copies (only one searched at a time)
@@ -146,6 +152,9 @@ func (h Hardware) Validate() error {
 	if h.HistoryBits < 0 {
 		return &FieldError{Field: "HistoryBits", Value: h.HistoryBits, Err: ErrNegative}
 	}
+	if h.AuxBits < 0 {
+		return &FieldError{Field: "AuxBits", Value: h.AuxBits, Err: ErrNegative}
+	}
 	if h.PredictorEntries > 0 && h.PredictorBits == 0 {
 		return &FieldError{Field: "PredictorBits", Value: h.PredictorBits, Err: ErrMissingBits}
 	}
@@ -166,7 +175,7 @@ const bdtBits = 32 * (6 + 3)
 // AreaBits returns the total storage of the branch-handling hardware
 // in bits — the paper's area metric ("significantly lower area costs").
 func (h Hardware) AreaBits() int {
-	bits := h.PredictorEntries*h.PredictorBits + h.HistoryBits
+	bits := h.PredictorEntries*h.PredictorBits + h.HistoryBits + h.AuxBits
 	bits += h.BTBEntries * btbEntryBits
 	banks := h.BITBanks
 	if banks == 0 && h.BITEntries > 0 {

@@ -1,9 +1,6 @@
 package predict
 
-import (
-	"fmt"
-	"strings"
-)
+import "fmt"
 
 // BTB is a direct-mapped branch target buffer: it caches the target
 // address of taken branches so the fetch stage can redirect without
@@ -150,29 +147,8 @@ func AuxBimodal512() *Unit { return NewUnit(Must(NewBimodal(512)), Must(NewBTB(5
 // reduced to a quarter of the baseline (512 entries).
 func AuxBimodal256() *Unit { return NewUnit(Must(NewBimodal(256)), Must(NewBTB(512))) }
 
-// Names lists the branch-unit configurations resolvable by ByName, in
-// presentation order. It is the single vocabulary shared by every CLI
-// -predictor flag and the serve API's predictor field.
-func Names() []string {
-	return []string{"nottaken", "bimodal", "gshare", "bi512", "bi256"}
-}
-
-// ByName builds a fresh branch unit from its canonical configuration
-// name (one of Names). Every caller that accepts a predictor name —
-// cpu.Config.Predictor, the CLIs, the serve API — resolves through
-// here, so a new configuration lands everywhere at once.
-func ByName(name string) (*Unit, error) {
-	switch name {
-	case "nottaken":
-		return BaselineNotTaken(), nil
-	case "", "bimodal":
-		return BaselineBimodal(), nil
-	case "gshare":
-		return BaselineGShare(), nil
-	case "bi512":
-		return AuxBimodal512(), nil
-	case "bi256":
-		return AuxBimodal256(), nil
-	}
-	return nil, fmt.Errorf("predict: unknown predictor %q (want %s)", name, strings.Join(Names(), "|"))
-}
+// Predictor name resolution (Names/ByName) lives in spec.go: the
+// registry resolves any "family[:k=v,...]" spec plus the legacy
+// aliases, so every caller that accepts a predictor name —
+// cpu.Config.Predictor, the CLIs, the serve API — shares one open
+// vocabulary.

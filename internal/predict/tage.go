@@ -1,0 +1,390 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// TAGE is a tagged-geometric-history predictor (Seznec & Michaud): a
+// bimodal base table backed by N tagged tables indexed by hashes of
+// geometrically increasing global-history lengths. The longest-length
+// tag match provides the prediction; useful-bit counters arbitrate
+// allocation on mispredictions and decay periodically so stale entries
+// can be reclaimed.
+//
+// Determinism contract: Predict is read-only; all training, history
+// update, and allocation happen in Update, and the only randomness
+// (allocation-victim choice) comes from a seeded splitmix64 stream that
+// Reset reseeds — the same seed replays bit-identical predictions.
+type TAGE struct {
+	cfg   TAGEConfig
+	base  *Bimodal
+	banks []tageBank
+	hist  uint64 // global history shift register, newest outcome in bit 0
+	rng   uint64 // splitmix64 state
+	tick  uint64 // updates since the last useful-bit decay
+}
+
+// TAGEConfig sizes a TAGE predictor. Zero fields take defaults.
+type TAGEConfig struct {
+	Tables  int    // tagged tables (default 4)
+	Entries int    // entries per tagged table, power of two (default 1024)
+	MaxHist int    // longest history length in branches, <= 64 (default 64)
+	MinHist int    // shortest history length (default 4)
+	TagBits int    // partial tag width (default 8)
+	Base    int    // base bimodal entries, power of two (default 2048)
+	Seed    uint64 // PRNG seed for allocation choices (default 1)
+	// DecayPeriod is the number of Updates between useful-bit decays
+	// (default 1<<18). Exposed for tests.
+	DecayPeriod uint64
+}
+
+type tageBank struct {
+	entries []tageEntry
+	mask    uint32
+	length  int // history length hashed into this bank's index and tag
+}
+
+type tageEntry struct {
+	ctr int8 // 3-bit signed: >= 0 predicts taken
+	u   uint8
+	tag uint16
+}
+
+const (
+	tageCtrMax = 3
+	tageCtrMin = -4
+	tageUMax   = 3
+)
+
+// NewTAGE builds a TAGE predictor.
+func NewTAGE(cfg TAGEConfig) (*TAGE, error) {
+	if cfg.Tables == 0 {
+		cfg.Tables = 4
+	}
+	if cfg.Entries == 0 {
+		cfg.Entries = 1024
+	}
+	if cfg.MaxHist == 0 {
+		cfg.MaxHist = 64
+	}
+	if cfg.MinHist == 0 {
+		cfg.MinHist = 4
+	}
+	if cfg.TagBits == 0 {
+		cfg.TagBits = 8
+	}
+	if cfg.Base == 0 {
+		cfg.Base = 2048
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.DecayPeriod == 0 {
+		cfg.DecayPeriod = 1 << 18
+	}
+	if cfg.Tables < 1 || cfg.Tables > 16 {
+		return nil, fmt.Errorf("predict: tage tables %d out of range [1,16]", cfg.Tables)
+	}
+	if cfg.Entries&(cfg.Entries-1) != 0 {
+		return nil, fmt.Errorf("predict: tage entries %d not a power of two", cfg.Entries)
+	}
+	if cfg.MaxHist < 2 || cfg.MaxHist > 64 {
+		return nil, fmt.Errorf("predict: tage max history %d out of range [2,64]", cfg.MaxHist)
+	}
+	if cfg.MinHist < 1 || cfg.MinHist > cfg.MaxHist {
+		return nil, fmt.Errorf("predict: tage min history %d out of range [1,%d]", cfg.MinHist, cfg.MaxHist)
+	}
+	if cfg.TagBits < 4 || cfg.TagBits > 15 {
+		return nil, fmt.Errorf("predict: tage tag bits %d out of range [4,15]", cfg.TagBits)
+	}
+	base, err := NewBimodal(cfg.Base)
+	if err != nil {
+		return nil, err
+	}
+	t := &TAGE{cfg: cfg, base: base, banks: make([]tageBank, cfg.Tables)}
+	for i := range t.banks {
+		t.banks[i] = tageBank{
+			entries: make([]tageEntry, cfg.Entries),
+			mask:    uint32(cfg.Entries - 1),
+			length:  geomLength(cfg.MinHist, cfg.MaxHist, i, cfg.Tables),
+		}
+	}
+	t.Reset()
+	return t, nil
+}
+
+// geomLength spaces history lengths geometrically between min and max
+// (Seznec's L(i) = min * (max/min)^(i/(N-1))), forced strictly
+// increasing so every bank sees a distinct history window.
+func geomLength(min, max, i, n int) int {
+	if n == 1 {
+		return max
+	}
+	ratio := math.Pow(float64(max)/float64(min), 1/float64(n-1))
+	v := int(float64(min)*math.Pow(ratio, float64(i)) + 0.5)
+	if v <= min+i-1 {
+		v = min + i // force strictly increasing
+	}
+	if v > max {
+		v = max
+	}
+	if i == n-1 {
+		v = max
+	}
+	return v
+}
+
+// histMask returns a mask of the low n bits of the history register.
+func histMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<n - 1
+}
+
+// fold xor-folds the low length bits of h into width-bit chunks.
+func fold(h uint64, length, width int) uint32 {
+	h &= histMask(length)
+	var f uint32
+	m := uint32(1)<<width - 1
+	for length > 0 {
+		f ^= uint32(h) & m
+		h >>= uint(width)
+		length -= width
+	}
+	return f
+}
+
+func (t *TAGE) index(pc uint32, bank int) uint32 {
+	b := &t.banks[bank]
+	idxBits := 0
+	for 1<<idxBits < len(b.entries) {
+		idxBits++
+	}
+	h := fold(t.hist, b.length, idxBits)
+	return ((pc >> 2) ^ (pc >> uint(2+idxBits)) ^ h ^ uint32(bank)*0x27d4eb2f) & b.mask
+}
+
+func (t *TAGE) tag(pc uint32, bank int) uint16 {
+	b := &t.banks[bank]
+	tb := t.cfg.TagBits
+	h1 := fold(t.hist, b.length, tb)
+	h2 := fold(t.hist, b.length, tb-1)
+	return uint16(((pc >> 2) ^ h1 ^ (h2 << 1)) & (1<<uint(tb) - 1))
+}
+
+// lookup finds the provider (longest tag-matching bank, -1 for base)
+// and the alternate prediction (next-longest match, else base) for the
+// current history. It is read-only.
+func (t *TAGE) lookup(pc uint32) (provider int, providerIdx uint32, pred, altPred bool) {
+	provider = -1
+	alt := -1
+	var altIdx uint32
+	for i := len(t.banks) - 1; i >= 0; i-- {
+		idx := t.index(pc, i)
+		if t.banks[i].entries[idx].tag == t.tag(pc, i) {
+			if provider < 0 {
+				provider, providerIdx = i, idx
+			} else if alt < 0 {
+				alt, altIdx = i, idx
+				break
+			}
+		}
+	}
+	basePred := t.base.Predict(pc)
+	switch {
+	case provider < 0:
+		return -1, 0, basePred, basePred
+	case alt < 0:
+		return provider, providerIdx, t.banks[provider].entries[providerIdx].ctr >= 0, basePred
+	default:
+		return provider, providerIdx, t.banks[provider].entries[providerIdx].ctr >= 0,
+			t.banks[alt].entries[altIdx].ctr >= 0
+	}
+}
+
+// Predict implements DirectionPredictor. It is read-only: engines may
+// call it a different number of times (the superblock engine re-probes
+// at fetch) without perturbing state.
+func (t *TAGE) Predict(pc uint32) bool {
+	_, _, pred, _ := t.lookup(pc)
+	return pred
+}
+
+// Update implements DirectionPredictor. Provider selection is
+// recomputed from the resolve-time history (the same non-speculative
+// idiom as GShare), so training is independent of how many Predict
+// probes the engine issued.
+func (t *TAGE) Update(pc uint32, taken bool) {
+	provider, providerIdx, pred, altPred := t.lookup(pc)
+
+	if provider >= 0 {
+		e := &t.banks[provider].entries[providerIdx]
+		// The useful bit tracks whether the provider beats the
+		// alternate prediction; only then is the entry worth keeping.
+		if pred != altPred {
+			if pred == taken {
+				if e.u < tageUMax {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		e.ctr = trainSigned(e.ctr, taken)
+	} else {
+		t.base.Update(pc, taken)
+	}
+
+	// Allocate a longer-history entry on a misprediction, so the
+	// predictor escalates to more context exactly where it fails.
+	if pred != taken && provider < len(t.banks)-1 {
+		t.allocate(pc, provider, taken)
+	}
+
+	// Periodic useful-bit decay reclaims entries whose usefulness was
+	// earned under stale history.
+	t.tick++
+	if t.tick >= t.cfg.DecayPeriod {
+		t.tick = 0
+		for i := range t.banks {
+			for j := range t.banks[i].entries {
+				t.banks[i].entries[j].u >>= 1
+			}
+		}
+	}
+
+	t.hist = t.hist<<1 | uint64(b2u(taken))
+}
+
+// allocate claims an entry in a bank with longer history than the
+// provider. Among banks whose victim entry has u == 0, a seeded coin
+// biases toward shorter histories (cheaper to warm up); if every victim
+// is useful, their u counters are decremented instead (anti-ping-pong).
+func (t *TAGE) allocate(pc uint32, provider int, taken bool) {
+	type cand struct {
+		bank int
+		idx  uint32
+	}
+	var cands []cand
+	for i := provider + 1; i < len(t.banks); i++ {
+		idx := t.index(pc, i)
+		if t.banks[i].entries[idx].u == 0 {
+			cands = append(cands, cand{i, idx})
+		}
+	}
+	if len(cands) == 0 {
+		for i := provider + 1; i < len(t.banks); i++ {
+			idx := t.index(pc, i)
+			if e := &t.banks[i].entries[idx]; e.u > 0 {
+				e.u--
+			}
+		}
+		return
+	}
+	pick := cands[0]
+	for _, c := range cands[1:] {
+		// Move to the longer-history candidate with probability 1/3.
+		if t.rand()%3 == 0 {
+			pick = c
+		} else {
+			break
+		}
+	}
+	e := &t.banks[pick.bank].entries[pick.idx]
+	e.tag = t.tag(pc, pick.bank)
+	e.u = 0
+	if taken {
+		e.ctr = 0 // weakly taken
+	} else {
+		e.ctr = -1 // weakly not-taken
+	}
+}
+
+func trainSigned(c int8, taken bool) int8 {
+	if taken {
+		if c < tageCtrMax {
+			return c + 1
+		}
+		return c
+	}
+	if c > tageCtrMin {
+		return c - 1
+	}
+	return c
+}
+
+// rand steps the seeded splitmix64 stream. It is consumed only in
+// Update (allocation), never in Predict.
+func (t *TAGE) rand() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// Name implements DirectionPredictor.
+func (t *TAGE) Name() string {
+	return fmt.Sprintf("tage-%dx%d/h%d", len(t.banks), t.cfg.Entries, t.cfg.MaxHist)
+}
+
+// Reset implements DirectionPredictor: tables, history, tick, and the
+// PRNG all return to the seeded power-on state, so a Reset rerun is
+// bit-identical.
+func (t *TAGE) Reset() {
+	t.base.Reset()
+	for i := range t.banks {
+		for j := range t.banks[i].entries {
+			t.banks[i].entries[j] = tageEntry{}
+		}
+	}
+	t.hist = 0
+	t.tick = 0
+	t.rng = t.cfg.Seed
+}
+
+// HistoryLengths reports the geometric history length of each tagged
+// bank, shortest first (for tests and reports).
+func (t *TAGE) HistoryLengths() []int {
+	out := make([]int, len(t.banks))
+	for i, b := range t.banks {
+		out[i] = b.length
+	}
+	return out
+}
+
+func init() {
+	RegisterFamily(Family{
+		Name: "tage",
+		Doc:  "tagged geometric-history predictor with bimodal base",
+		Params: []Param{
+			{Name: "tables", Default: 4, Min: 1, Max: 16, Doc: "tagged tables"},
+			{Name: "entries", Default: 1024, Min: 16, Max: 1 << 16, Pow2: true, Doc: "entries per tagged table"},
+			{Name: "hist", Default: 64, Min: 2, Max: 64, Doc: "longest history length"},
+			{Name: "tag", Default: 8, Min: 4, Max: 15, Doc: "partial tag bits"},
+			{Name: "base", Default: 2048, Min: 16, Max: 1 << 20, Pow2: true, Doc: "base bimodal entries"},
+			{Name: "seed", Default: 1, Min: 1, Max: 1 << 30, Doc: "allocation PRNG seed"},
+			btbParam(2048),
+		},
+		Build: func(p map[string]int) (*Unit, error) {
+			dir, err := NewTAGE(TAGEConfig{
+				Tables:  p["tables"],
+				Entries: p["entries"],
+				MaxHist: p["hist"],
+				TagBits: p["tag"],
+				Base:    p["base"],
+				Seed:    uint64(p["seed"]),
+			})
+			if err != nil {
+				return nil, err
+			}
+			btb, err := btbFor(p["btb"])
+			if err != nil {
+				return nil, err
+			}
+			return NewUnit(dir, btb), nil
+		},
+	})
+}

@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"asbr/internal/experiment"
+	"asbr/internal/predict"
 	"asbr/internal/serve/apitypes"
 	"asbr/internal/workload"
 )
@@ -87,15 +88,11 @@ func normalizeSim(r *SimRequest, cfg Config) error {
 	if r.Predictor == "" {
 		r.Predictor = "bimodal"
 	}
-	ok := false
-	for _, n := range apitypes.PredictorNames() {
-		if r.Predictor == n {
-			ok = true
-			break
-		}
-	}
-	if !ok {
-		return badRequest("unknown predictor %q (want %s)", r.Predictor, strings.Join(apitypes.PredictorNames(), "|"))
+	// Any spec the predict registry resolves is accepted; an unknown
+	// family or bad parameter is a structured 400 whose message
+	// enumerates every family with its parameters and defaults.
+	if _, err := predict.ParseSpec(r.Predictor); err != nil {
+		return badRequest("%v", err)
 	}
 	if r.Samples < 0 || r.Samples > cfg.MaxSamples {
 		return badRequest("samples %d out of range [0, %d]", r.Samples, cfg.MaxSamples)

@@ -22,9 +22,12 @@ import (
 	"asbr/internal/workload"
 )
 
-// PredictorNames is the predictor vocabulary every API field and CLI
-// flag accepts — delegated to the predict package so a new
-// configuration lands in the protocol automatically.
+// PredictorNames lists the legacy predictor aliases. The protocol
+// vocabulary is open now — any "family[:key=value,...]" spec the
+// predict registry resolves (see predict.ParseSpec) is accepted — so
+// this is only the historical subset, kept for enumerating clients.
+//
+// Deprecated: use predict.FamilyNames/ParseSpec.
 func PredictorNames() []string { return predict.Names() }
 
 // SimRequestV1 asks for one simulation. Exactly one of Bench and
@@ -39,7 +42,7 @@ type SimRequestV1 struct {
 	Compile  bool `json:"compile,omitempty"`  // Source is MiniC, not assembly
 	Schedule bool `json:"schedule,omitempty"` // Source mode: run the §5.1 scheduling pass
 
-	Predictor  string `json:"predictor,omitempty"`   // predict.Names() vocabulary (default bimodal)
+	Predictor  string `json:"predictor,omitempty"`   // predictor spec family[:k=v,...] or legacy alias (default bimodal)
 	ASBR       bool   `json:"asbr,omitempty"`        // profile, select, fold, re-run
 	BITEntries int    `json:"bit_entries,omitempty"` // BIT capacity for ASBR (0 = per-bench default)
 
@@ -87,8 +90,12 @@ func (r *SimRequestV1) Key() string {
 		sum := sha256.Sum256([]byte(r.Source))
 		fmt.Fprintf(&b, "src/%s?compile=%t&sched=%t", hex.EncodeToString(sum[:]), r.Compile, r.Schedule)
 	}
+	// The predictor is keyed by its canonical spec spelling so that
+	// permuted parameter orders and bare-vs-explicit forms (e.g.
+	// "tage:hist=64,tables=4" vs "tage:tables=4,hist=64" vs "tage")
+	// coalesce to one cache entry.
 	fmt.Fprintf(&b, "|pred=%s|asbr=%t|k=%d|banks=%d|update=%s|ic=%d|dc=%d|maxcycles=%d|timeout=%d",
-		r.Predictor, r.ASBR, r.BITEntries, r.BITBanks, r.Update, r.ICacheKB, r.DCacheKB, r.MaxCycles, r.TimeoutMS)
+		predict.CanonicalOr(r.Predictor), r.ASBR, r.BITEntries, r.BITBanks, r.Update, r.ICacheKB, r.DCacheKB, r.MaxCycles, r.TimeoutMS)
 	return b.String()
 }
 
